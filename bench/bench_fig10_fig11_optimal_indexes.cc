@@ -1,0 +1,69 @@
+// Figures 10 and 11: the space-time tradeoff of (a) the entire class of
+// indexes, (b) the class of space-optimal indexes, and (c) the class of
+// time-optimal indexes, for C = 1000; and the space-optimal curve labeled
+// with component counts, whose knee is the 2-component point.
+//
+// Expected shape: the space-optimal curve's points lie on the full-space
+// frontier; the time-optimal curve is far more space-hungry at equal time;
+// the definitional knee lands on n = 2.
+
+#include <cstdio>
+#include <vector>
+
+#include "core/advisor.h"
+#include "core/cost_model.h"
+
+using namespace bix;
+
+int main() {
+  const uint32_t c = 1000;
+
+  std::printf("Figure 10: space-time tradeoff, C = %u\n\n", c);
+
+  std::printf("all indexes (optimal frontier of the full design space):\n");
+  std::vector<IndexDesign> frontier = OptimalFrontier(c);
+  for (const IndexDesign& d : frontier) {
+    std::printf("  space=%-5lld time=%-8.3f %s\n",
+                static_cast<long long>(d.space), d.time,
+                d.base.ToString().c_str());
+  }
+
+  std::printf("\nFigure 11: space-optimal indexes labeled with component "
+              "count n:\n");
+  std::vector<IndexDesign> curve;
+  for (int n = MaxComponents(c); n >= 1; --n) {
+    IndexDesign d = MakeDesign(BestSpaceOptimalBase(c, n));
+    std::printf("  n=%-3d space=%-5lld time=%-8.3f %s\n", n,
+                static_cast<long long>(d.space), d.time,
+                d.base.ToString().c_str());
+    curve.push_back(d);
+  }
+  int knee = DefinitionalKneeIndex(curve);
+  if (knee >= 0) {
+    std::printf("  knee of the space-optimal curve: n=%d (%s)\n",
+                curve[static_cast<size_t>(knee)].base.num_components(),
+                curve[static_cast<size_t>(knee)].base.ToString().c_str());
+  }
+
+  std::printf("\ntime-optimal indexes per component count:\n");
+  for (int n = 1; n <= MaxComponents(c); ++n) {
+    IndexDesign d = MakeDesign(TimeOptimalBase(c, n));
+    std::printf("  n=%-3d space=%-5lld time=%-8.3f %s\n", n,
+                static_cast<long long>(d.space), d.time,
+                d.base.ToString().c_str());
+  }
+
+  // Shape check: every space-optimal point is on the global frontier.
+  int on_frontier = 0;
+  for (const IndexDesign& d : curve) {
+    for (const IndexDesign& f : frontier) {
+      if (f.space == d.space && f.time <= d.time + 1e-9) {
+        ++on_frontier;
+        break;
+      }
+    }
+  }
+  std::printf("\nspace-optimal points matching the full frontier: %d/%zu\n",
+              on_frontier, curve.size());
+  return 0;
+}

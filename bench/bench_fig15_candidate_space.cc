@@ -1,0 +1,31 @@
+// Figure 15: size of TimeOptAlg's candidate index set |I| as a function of
+// the space constraint M, for C = 1000.  (The paper labels this exhibit
+// "Size of Set of Candidate Bitmap Indexes as a Function of M".)
+//
+// Expected shape: |I| = 0 below the feasibility threshold, grows to a large
+// peak for mid-range M (many k-component bases fit), and collapses to 1
+// once the n0-component time-optimal index fits outright.
+
+#include <cstdio>
+
+#include "core/advisor.h"
+
+using namespace bix;
+
+int main() {
+  const uint32_t c = 1000;
+  std::printf("Figure 15: candidate set size |I| vs space constraint M, "
+              "C = %u\n\n", c);
+  std::printf("%8s %14s\n", "M", "|I|");
+  const int64_t budgets[] = {5,   10,  15,  20,  30,  40,  55,  70,  90,
+                             110, 130, 160, 200, 260, 320, 400, 499, 500,
+                             600, 999};
+  for (int64_t m : budgets) {
+    std::printf("%8lld %14lld\n", static_cast<long long>(m),
+                static_cast<long long>(CandidateSetSize(c, m)));
+  }
+  std::printf("\nshape check: zero when infeasible (M < %d), peaked in the "
+              "mid range, 1 once the time-optimal index fits (M >= 500).\n",
+              MaxComponents(c));
+  return 0;
+}

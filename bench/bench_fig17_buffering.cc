@@ -1,0 +1,59 @@
+// Figure 17: space-time tradeoff of range-encoded indexes under the
+// optimal bitmap buffering policy, as a function of the number of buffered
+// bitmaps m, for C = 1000.
+//
+// Expected shape: the whole frontier shifts down as m grows; with m > 0
+// the buffered time-optimal index follows Theorem 10.2.
+
+#include <cstdio>
+#include <vector>
+
+#include "buffer/buffering.h"
+#include "core/advisor.h"
+
+using namespace bix;
+
+int main() {
+  const uint32_t c = 1000;
+  std::printf("Figure 17: buffered space-time tradeoff, C = %u\n", c);
+
+  for (int64_t m : {int64_t{0}, int64_t{1}, int64_t{2}, int64_t{4},
+                    int64_t{8}, int64_t{16}}) {
+    std::printf("\nm = %lld buffered bitmaps (frontier):\n",
+                static_cast<long long>(m));
+    std::vector<BufferedDesign> frontier = BufferedFrontier(c, m);
+    // Print a readable subsample: every frontier point up to space 70,
+    // then the tail landmarks.
+    for (const BufferedDesign& d : frontier) {
+      if (d.space > 70 && d.space != frontier.back().space) continue;
+      std::printf("  space=%-5lld time=%-8.3f %s\n",
+                  static_cast<long long>(d.space), d.time,
+                  d.base.ToString().c_str());
+    }
+    BufferedDesign best = BufferedTimeOptimal(c, m);
+    std::printf("  buffered time-optimal (Thm 10.2): %s  time=%.3f\n",
+                best.base.ToString().c_str(), best.time);
+  }
+
+  // Shape check: every frontier point at budget m is dominated (weakly) by
+  // some point at budget m+1.
+  bool monotone = true;
+  std::vector<BufferedDesign> prev = BufferedFrontier(c, 0);
+  for (int64_t m = 1; m <= 16; ++m) {
+    std::vector<BufferedDesign> cur = BufferedFrontier(c, m);
+    for (const BufferedDesign& p : prev) {
+      bool dominated = false;
+      for (const BufferedDesign& q : cur) {
+        if (q.space <= p.space && q.time <= p.time + 1e-12) {
+          dominated = true;
+          break;
+        }
+      }
+      if (!dominated) monotone = false;
+    }
+    prev = std::move(cur);
+  }
+  std::printf("\nshape check: frontiers improve monotonically with m: %s\n",
+              monotone ? "yes" : "NO");
+  return 0;
+}

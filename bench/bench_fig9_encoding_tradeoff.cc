@@ -1,0 +1,55 @@
+// Figure 9: space-time tradeoff of range-encoded vs equality-encoded
+// indexes for C in {25, 100, 1000}.  One point per component count n,
+// using the most space-efficient decomposition at each n (the class the
+// paper's Section 7 shows approximates the full design space well).
+//
+// Expected shape: the range-encoded curve dominates the equality-encoded
+// curve (lower time at comparable or smaller space) at almost every point.
+
+#include <cstdio>
+
+#include "core/advisor.h"
+#include "core/cost_model.h"
+
+using namespace bix;
+
+int main() {
+  std::printf("Figure 9: range vs equality encoding, space-optimal "
+              "decompositions per component count\n");
+  for (uint32_t c : {25u, 100u, 1000u}) {
+    std::printf("\nC = %u\n", c);
+    std::printf("  %3s %-22s | %9s %9s | %9s %9s\n", "n", "base",
+                "space(R)", "time(R)", "space(E)", "time(E)");
+    for (int n = 1; n <= MaxComponents(c); ++n) {
+      BaseSequence base = BestSpaceOptimalBase(c, n);
+      std::printf("  %3d %-22s | %9lld %9.3f | %9lld %9.3f\n", n,
+                  base.ToString().c_str(),
+                  static_cast<long long>(SpaceInBitmaps(base, Encoding::kRange)),
+                  AnalyticTime(base, Encoding::kRange),
+                  static_cast<long long>(
+                      SpaceInBitmaps(base, Encoding::kEquality)),
+                  AnalyticTime(base, Encoding::kEquality));
+    }
+    // Dominance summary across the two frontiers.
+    int dominated = 0;
+    int total = 0;
+    for (int n = 1; n <= MaxComponents(c); ++n) {
+      BaseSequence base = BestSpaceOptimalBase(c, n);
+      double te = AnalyticTime(base, Encoding::kEquality);
+      int64_t se = SpaceInBitmaps(base, Encoding::kEquality);
+      ++total;
+      // Is some range-encoded point at least as good in both dimensions?
+      for (int m = 1; m <= MaxComponents(c); ++m) {
+        BaseSequence rb = BestSpaceOptimalBase(c, m);
+        if (SpaceInBitmaps(rb, Encoding::kRange) <= se &&
+            AnalyticTime(rb, Encoding::kRange) <= te + 1e-9) {
+          ++dominated;
+          break;
+        }
+      }
+    }
+    std::printf("  => %d/%d equality-encoded points dominated by a "
+                "range-encoded point\n", dominated, total);
+  }
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Micro-benchmarks of the bitvector substrate: the logical operations every
+// predicate evaluation is built from, popcount, and (de)serialization.
+
+#include <random>
+
+#include <benchmark/benchmark.h>
+
+#include "bitmap/bitvector.h"
+
+namespace {
+
+bix::Bitvector RandomBitvector(size_t bits, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  bix::Bitvector bv(bits);
+  for (size_t i = 0; i < bits; i += 64) {
+    uint64_t word = rng();
+    for (int k = 0; k < 64 && i + static_cast<size_t>(k) < bits; ++k) {
+      if ((word >> k) & 1) bv.Set(i + static_cast<size_t>(k));
+    }
+  }
+  return bv;
+}
+
+void BM_BitvectorAnd(benchmark::State& state) {
+  size_t bits = static_cast<size_t>(state.range(0));
+  bix::Bitvector a = RandomBitvector(bits, 1);
+  bix::Bitvector b = RandomBitvector(bits, 2);
+  for (auto _ : state) {
+    bix::Bitvector c = a;
+    c.AndWith(b);
+    benchmark::DoNotOptimize(c);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(bits / 8));
+}
+BENCHMARK(BM_BitvectorAnd)->Arg(1 << 13)->Arg(1 << 17)->Arg(1 << 21);
+
+void BM_BitvectorOr(benchmark::State& state) {
+  size_t bits = static_cast<size_t>(state.range(0));
+  bix::Bitvector a = RandomBitvector(bits, 1);
+  bix::Bitvector b = RandomBitvector(bits, 2);
+  for (auto _ : state) {
+    bix::Bitvector c = a;
+    c.OrWith(b);
+    benchmark::DoNotOptimize(c);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(bits / 8));
+}
+BENCHMARK(BM_BitvectorOr)->Arg(1 << 17);
+
+void BM_BitvectorXorNot(benchmark::State& state) {
+  size_t bits = static_cast<size_t>(state.range(0));
+  bix::Bitvector a = RandomBitvector(bits, 1);
+  bix::Bitvector b = RandomBitvector(bits, 2);
+  for (auto _ : state) {
+    bix::Bitvector c = a;
+    c.XorWith(b);
+    c.NotInPlace();
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_BitvectorXorNot)->Arg(1 << 17);
+
+void BM_BitvectorCount(benchmark::State& state) {
+  bix::Bitvector a = RandomBitvector(static_cast<size_t>(state.range(0)), 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.Count());
+  }
+}
+BENCHMARK(BM_BitvectorCount)->Arg(1 << 17)->Arg(1 << 21);
+
+void BM_BitvectorToSetBitIndices(benchmark::State& state) {
+  // Sparse foundset extraction (RID materialization).
+  size_t bits = 1 << 20;
+  bix::Bitvector a(bits);
+  std::mt19937_64 rng(4);
+  for (int i = 0; i < state.range(0); ++i) {
+    a.Set(rng() % bits);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.ToSetBitIndices());
+  }
+}
+BENCHMARK(BM_BitvectorToSetBitIndices)->Arg(1000)->Arg(100000);
+
+void BM_BitvectorSerialize(benchmark::State& state) {
+  bix::Bitvector a = RandomBitvector(1 << 20, 5);
+  for (auto _ : state) {
+    auto bytes = a.ToBytes();
+    benchmark::DoNotOptimize(bix::Bitvector::FromBytes(bytes, a.size()));
+  }
+}
+BENCHMARK(BM_BitvectorSerialize);
+
+}  // namespace

@@ -1,0 +1,66 @@
+// Scaling characteristics (engineering companion to the paper's cost
+// model): index build throughput and query latency versus relation
+// cardinality N, for the knee design at C = 1000.
+//
+// Expected shape: build time and per-query time scale linearly with N
+// (bitmaps are N bits); expected scans per query are N-independent,
+// matching the analytic model at every size.
+
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "core/advisor.h"
+#include "core/bitmap_index.h"
+#include "core/cost_model.h"
+#include "workload/generators.h"
+#include "workload/queries.h"
+
+using namespace bix;
+
+int main() {
+  const uint32_t c = 1000;
+  const BaseSequence base = KneeBase(c);
+  std::printf("Scaling: knee index %s over C = %u\n\n",
+              base.ToString().c_str(), c);
+  std::printf("%10s | %10s %14s | %12s %12s %10s\n", "N", "build ms",
+              "index MB", "us/query", "scans/query", "model");
+
+  for (size_t n : {size_t{100000}, size_t{400000}, size_t{1600000},
+                   size_t{4000000}}) {
+    std::vector<uint32_t> column = GenerateUniform(n, c, 7);
+    auto t0 = std::chrono::steady_clock::now();
+    BitmapIndex index = BitmapIndex::Build(column, c, base, Encoding::kRange);
+    double build_ms =
+        1e3 * std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count();
+
+    std::vector<Query> queries = RestrictedSelectionQueries(c);
+    EvalStats stats;
+    t0 = std::chrono::steady_clock::now();
+    for (const Query& q : queries) index.Evaluate(q.op, q.v, &stats);
+    double query_us =
+        1e6 * std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count() /
+        static_cast<double>(queries.size());
+
+    int64_t model_scans = 0;
+    for (const Query& q : queries) {
+      model_scans += ModelScans(base, c, Encoding::kRange,
+                                EvalAlgorithm::kRangeEvalOpt, q.op, q.v);
+    }
+    std::printf("%10zu | %10.1f %14.1f | %12.1f %12.3f %10.3f\n", n, build_ms,
+                static_cast<double>(index.SizeInBytes()) / (1024.0 * 1024.0),
+                query_us,
+                static_cast<double>(stats.bitmap_scans) /
+                    static_cast<double>(queries.size()),
+                static_cast<double>(model_scans) /
+                    static_cast<double>(queries.size()));
+  }
+  std::printf("\nshape check: linear in N; scans per query constant and "
+              "equal to the model (the {<=,=} workload is cheaper than the "
+              "full six-operator mix).\n");
+  return 0;
+}

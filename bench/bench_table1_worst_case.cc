@@ -1,0 +1,73 @@
+// Table 1: worst-case number of bitmap operations and scans per predicate
+// for RangeEval vs RangeEval-Opt, measured by instrumenting the actual
+// algorithms on an n-component index at a predicate constant whose digits
+// are all interior (the worst and most probable case).
+//
+// The paper reports these counts as formulas in n; this harness prints the
+// measured counts for n = 1..6 plus the closed forms they fit.
+
+#include <cstdio>
+#include <vector>
+
+#include "core/bitmap_index.h"
+#include "core/eval.h"
+#include "workload/generators.h"
+
+using namespace bix;
+
+namespace {
+
+struct Row {
+  const char* predicate;
+  CompareOp op;
+  int64_t v_offset;  // added to the all-fives constant
+};
+
+void PrintAlgorithm(const char* name, EvalAlgorithm algorithm, int max_n) {
+  const Row rows[] = {
+      {"A <= c", CompareOp::kLe, 0}, {"A >= c", CompareOp::kGe, 1},
+      {"A >  c", CompareOp::kGt, 0}, {"A <  c", CompareOp::kLt, 1},
+      {"A  = c", CompareOp::kEq, 0}, {"A != c", CompareOp::kNe, 0},
+  };
+  std::printf("%s\n", name);
+  std::printf("  %-8s", "pred");
+  for (int n = 1; n <= max_n; ++n) std::printf("      n=%d", n);
+  std::printf("   (columns: AND/OR/XOR/NOT ops | scans)\n");
+  for (const Row& row : rows) {
+    std::printf("  %-8s", row.predicate);
+    for (int n = 1; n <= max_n; ++n) {
+      uint32_t c = 1;
+      for (int i = 0; i < n; ++i) c *= 10;
+      std::vector<uint32_t> values = GenerateUniform(64, c, 7);
+      BitmapIndex index = BitmapIndex::Build(
+          values, c, BaseSequence::Uniform(10, c), Encoding::kRange);
+      int64_t mid = 0;
+      for (int i = 0; i < n; ++i) mid = mid * 10 + 5;
+      EvalStats stats;
+      index.Evaluate(algorithm, row.op, mid + row.v_offset, &stats);
+      std::printf("  %3lld|%2lld", static_cast<long long>(stats.TotalOps()),
+                  static_cast<long long>(stats.bitmap_scans));
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Table 1: worst-case bitmap operations and scans "
+              "(uniform base-10 index, interior digits)\n\n");
+  PrintAlgorithm("RangeEval (O'Neil & Quass Alg. 4.3)",
+                 EvalAlgorithm::kRangeEval, 6);
+  std::printf("\n");
+  PrintAlgorithm("RangeEval-Opt (this paper)", EvalAlgorithm::kRangeEvalOpt, 6);
+  std::printf(
+      "\nclosed forms (n components):\n"
+      "  RangeEval:     range predicates 4n..5n+1 ops, 2n scans;"
+      " equality 2n..2n+2 ops, 2n scans\n"
+      "  RangeEval-Opt: range predicates 2n-1..2n ops, 2n-1 scans;"
+      " equality 2n+1..2n+2 ops, 2n scans\n"
+      "  => ~40-50%% fewer operations and one fewer scan per range "
+      "predicate.\n");
+  return 0;
+}

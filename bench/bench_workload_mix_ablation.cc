@@ -1,0 +1,64 @@
+// Ablation beyond the paper: how the best index design and the preferred
+// encoding move as the workload's operator mix shifts from pure key
+// lookups (equality) to pure interval filters (range).  The paper fixes a
+// uniform mix (range fraction 2/3); DSS reporting workloads are often far
+// more range-heavy and OLTP-ish drill-downs more equality-heavy.
+//
+// For each mix, searches all tight designs under a fixed space budget and
+// reports the winning encoding and base.
+//
+// Expected shape: equality encoding wins the equality-heavy end (1 scan
+// per component), range encoding wins from moderate mixes onward; the
+// winning decomposition stays 2-component near the knee budget.
+
+#include <cstdio>
+#include <limits>
+
+#include "core/advisor.h"
+#include "core/cost_model.h"
+
+using namespace bix;
+
+namespace {
+
+struct Best {
+  BaseSequence base;
+  Encoding encoding = Encoding::kRange;
+  double time = std::numeric_limits<double>::infinity();
+};
+
+Best SearchBest(uint32_t c, int64_t budget, const WorkloadMix& mix) {
+  Best best;
+  EnumerateTightBases(c, 0, [&](const BaseSequence& base) {
+    for (Encoding enc : {Encoding::kRange, Encoding::kEquality}) {
+      if (SpaceInBitmaps(base, enc) > budget) continue;
+      double t = AnalyticTimeForMix(base, enc, mix);
+      if (t < best.time) {
+        best = Best{base, enc, t};
+      }
+    }
+  });
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  const uint32_t c = 1000;
+  const int64_t budget = 64;  // around the uniform-mix knee's footprint
+
+  std::printf("Workload-mix ablation: best design within %lld bitmaps, "
+              "C = %u\n\n", static_cast<long long>(budget), c);
+  std::printf("%14s | %-10s %-22s %10s\n", "range frac", "encoding", "base",
+              "scans");
+  for (double f : {0.0, 0.1, 0.25, 0.4, 0.5, 2.0 / 3.0, 0.8, 0.9, 1.0}) {
+    Best best = SearchBest(c, budget, WorkloadMix{f});
+    std::printf("%14.2f | %-10s %-22s %10.3f\n", f,
+                std::string(ToString(best.encoding)).c_str(),
+                best.base.ToString().c_str(), best.time);
+  }
+  std::printf("\nshape check: equality encoding wins the key-lookup end; "
+              "range encoding takes over as range predicates dominate "
+              "(the paper's uniform mix sits at 0.67).\n");
+  return 0;
+}

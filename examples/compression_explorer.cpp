@@ -1,0 +1,91 @@
+// Compression explorer: how storage scheme, codec, and data distribution
+// interact for a bitmap index (extends the paper's Section 9 study with
+// Zipf/sorted/clustered ablations and the RLE codec).
+//
+//   ./examples/compression_explorer [rows]     (default 50000)
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/advisor.h"
+#include "core/bitmap_index.h"
+#include "storage/stored_index.h"
+#include "workload/generators.h"
+
+int main(int argc, char** argv) {
+  using namespace bix;
+
+  size_t rows = 50000;
+  if (argc > 1) rows = static_cast<size_t>(std::atoll(argv[1]));
+  const uint32_t c = 100;
+
+  struct Distribution {
+    const char* name;
+    std::vector<uint32_t> column;
+  };
+  std::vector<Distribution> distributions;
+  distributions.push_back({"uniform", GenerateUniform(rows, c, 1)});
+  distributions.push_back({"zipf1.2", GenerateZipf(rows, c, 1.2, 2)});
+  distributions.push_back({"sorted", GenerateSorted(rows, c, 3)});
+  distributions.push_back({"clustered", GenerateClustered(rows, c, 64, 4)});
+
+  const BaseSequence base = KneeBase(c);
+  std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "bix_compression_explorer";
+
+  std::printf("index: %s over C=%u, N=%zu (sizes in bytes; %% of raw)\n\n",
+              base.ToString().c_str(), c, rows);
+  std::printf("%-10s", "data");
+  for (const char* col :
+       {"raw", "BS+lz77", "BS+rle", "CS+lz77", "CS+rle", "IS+lz77"}) {
+    std::printf(" %14s", col);
+  }
+  std::printf("\n");
+
+  for (const Distribution& d : distributions) {
+    BitmapIndex index = BitmapIndex::Build(d.column, c, base, Encoding::kRange);
+    std::printf("%-10s", d.name);
+    bool first = true;
+    int64_t raw_bytes = 0;
+    struct Config {
+      StorageScheme scheme;
+      const char* codec;
+    };
+    const Config configs[] = {
+        {StorageScheme::kBitmapLevel, "lz77"},
+        {StorageScheme::kBitmapLevel, "rle"},
+        {StorageScheme::kComponentLevel, "lz77"},
+        {StorageScheme::kComponentLevel, "rle"},
+        {StorageScheme::kIndexLevel, "lz77"},
+    };
+    for (const Config& cfg : configs) {
+      std::unique_ptr<StoredIndex> stored;
+      Status s = StoredIndex::Write(index, dir, cfg.scheme,
+                                    *CodecByName(cfg.codec), &stored);
+      if (!s.ok()) {
+        std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+        return 1;
+      }
+      if (first) {
+        raw_bytes = stored->uncompressed_bytes();
+        std::printf(" %14lld", static_cast<long long>(raw_bytes));
+        first = false;
+      }
+      std::printf(" %8lld (%2.0f%%)", static_cast<long long>(stored->stored_bytes()),
+                  100.0 * static_cast<double>(stored->stored_bytes()) /
+                      static_cast<double>(raw_bytes));
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\ntakeaways: CS compresses best on range-encoded data; value\n"
+              "clustering (sorted/clustered columns) is what makes BS\n"
+              "bitmaps compressible; RLE only pays off on long fills.\n");
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Index advisor: physical-design exploration for one attribute.
+//
+// Given an attribute cardinality C and an optional disk budget of M bitmaps
+// prints the landmark indexes of the space-time tradeoff (Sections 6-8 of
+// the paper), the optimal frontier, and the constrained-optimal design
+// found by the exact algorithm and the near-optimal heuristic.
+//
+//   ./examples/index_advisor [C] [M]     (defaults: C = 1000, M = 100)
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/advisor.h"
+#include "core/cost_model.h"
+
+int main(int argc, char** argv) {
+  using namespace bix;
+
+  uint32_t cardinality = 1000;
+  int64_t budget = 100;
+  if (argc > 1) cardinality = static_cast<uint32_t>(std::atoi(argv[1]));
+  if (argc > 2) budget = std::atoll(argv[2]);
+  if (cardinality < 4) {
+    std::fprintf(stderr, "cardinality must be >= 4\n");
+    return 1;
+  }
+
+  std::printf("attribute cardinality C = %u, space budget M = %lld bitmaps\n\n",
+              cardinality, static_cast<long long>(budget));
+
+  auto print_design = [](const char* label, const BaseSequence& base) {
+    std::printf("  %-34s %-22s space=%-6lld time=%.3f\n", label,
+                base.ToString().c_str(),
+                static_cast<long long>(SpaceInBitmaps(base, Encoding::kRange)),
+                AnalyticTime(base, Encoding::kRange));
+  };
+
+  std::printf("landmark designs (range-encoded, expected bitmap scans):\n");
+  print_design("(D) time-optimal", TimeOptimalBase(cardinality, 1));
+  print_design("(C) knee (Theorem 7.1)", KneeBase(cardinality));
+  print_design("(A) space-optimal",
+               SpaceOptimalBase(cardinality, MaxComponents(cardinality)));
+
+  ConstrainedResult exact = TimeOptAlg(cardinality, budget);
+  ConstrainedResult heur = TimeOptHeur(cardinality, budget);
+  if (!exact.feasible) {
+    std::printf("\n(B) no index fits in %lld bitmaps (minimum is %d)\n",
+                static_cast<long long>(budget), MaxComponents(cardinality));
+  } else {
+    std::printf("\nconstrained to at most %lld bitmaps:\n",
+                static_cast<long long>(budget));
+    print_design("(B) TimeOptAlg (exact)", exact.design.base);
+    print_design("    TimeOptHeur (heuristic)", heur.design.base);
+    std::printf("    candidate set size |I| = %lld\n",
+                static_cast<long long>(CandidateSetSize(cardinality, budget)));
+  }
+
+  std::printf("\nspace-optimal tradeoff curve (one point per component "
+              "count):\n  %-4s %-22s %8s %10s\n", "n", "base", "space",
+              "time");
+  for (int n = 1; n <= MaxComponents(cardinality); ++n) {
+    BaseSequence base = BestSpaceOptimalBase(cardinality, n);
+    std::printf("  %-4d %-22s %8lld %10.3f\n", n, base.ToString().c_str(),
+                static_cast<long long>(SpaceInBitmaps(base, Encoding::kRange)),
+                AnalyticTime(base, Encoding::kRange));
+  }
+
+  if (cardinality > 5000) {
+    std::printf("\n(frontier enumeration skipped for C > 5000)\n");
+    return 0;
+  }
+  std::printf("\noptimal frontier (all non-dominated designs):\n");
+  std::vector<IndexDesign> frontier = OptimalFrontier(cardinality);
+  int knee = DefinitionalKneeIndex(frontier);
+  for (size_t i = 0; i < frontier.size(); ++i) {
+    const IndexDesign& d = frontier[i];
+    std::printf("  %-22s space=%-6lld time=%-8.3f%s\n",
+                d.base.ToString().c_str(), static_cast<long long>(d.space),
+                d.time, static_cast<int>(i) == knee ? "  <-- knee" : "");
+  }
+  return 0;
+}

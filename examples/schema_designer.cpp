@@ -1,0 +1,61 @@
+// Schema designer: physical database design for a whole warehouse schema.
+//
+// Given several indexed attributes with different cardinalities and query
+// frequencies and ONE global disk budget (in bitmaps), picks an index
+// design per attribute minimizing total weighted expected bitmap scans —
+// the multi-attribute extension of the paper's Section 8 problem.
+//
+//   ./examples/schema_designer [total_bitmap_budget]   (default 120)
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "core/design_allocator.h"
+
+int main(int argc, char** argv) {
+  using namespace bix;
+
+  int64_t budget = 120;
+  if (argc > 1) budget = std::atoll(argv[1]);
+
+  // A lineitem-flavored schema: cardinality and query weight per attribute.
+  std::vector<AttributeSpec> schema = {
+      {"l_quantity", 50, 3.0},     {"l_discount", 11, 2.0},
+      {"l_shipdate", 2406, 4.0},   {"l_returnflag", 3, 1.0},
+      {"l_linestatus", 2, 0.5},    {"l_extendedprice", 1000, 1.5},
+  };
+
+  std::printf("schema of %zu attributes, global budget = %lld bitmaps\n\n",
+              schema.size(), static_cast<long long>(budget));
+
+  AllocationResult exact = AllocateBitmapBudget(schema, budget);
+  if (!exact.feasible) {
+    int64_t minimum = 0;
+    for (const AttributeSpec& s : schema) minimum += MaxComponents(s.cardinality);
+    std::printf("infeasible: the schema needs at least %lld bitmaps "
+                "(all-base-2 everywhere)\n", static_cast<long long>(minimum));
+    return 1;
+  }
+
+  std::printf("%-16s %6s %7s | %-22s %7s %9s\n", "attribute", "C", "weight",
+              "chosen base", "bitmaps", "time");
+  for (const AttributeAllocation& a : exact.allocations) {
+    std::printf("%-16s %6u %7.1f | %-22s %7lld %9.3f\n", a.spec.name.c_str(),
+                a.spec.cardinality, a.spec.weight,
+                a.design.base.ToString().c_str(),
+                static_cast<long long>(a.design.space), a.design.time);
+  }
+  std::printf("\ntotal: %lld bitmaps, weighted expected scans = %.3f\n",
+              static_cast<long long>(exact.total_space),
+              exact.total_weighted_time);
+
+  AllocationResult greedy = AllocateBitmapBudgetGreedy(schema, budget);
+  std::printf("greedy baseline:       %lld bitmaps, weighted scans = %.3f "
+              "(%+.2f%% vs exact)\n",
+              static_cast<long long>(greedy.total_space),
+              greedy.total_weighted_time,
+              100.0 * (greedy.total_weighted_time - exact.total_weighted_time) /
+                  exact.total_weighted_time);
+  return 0;
+}

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Full local check: configure, build, run the test suite, and smoke-run
+# every benchmark binary (scaled-down data where supported).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+# Heavy benches accept a divisor argument for quick smoke runs.
+./build/bench/bench_table1_worst_case
+./build/bench/bench_fig8_eval_algorithms
+./build/bench/bench_fig9_encoding_tradeoff
+./build/bench/bench_fig10_fig11_optimal_indexes
+./build/bench/bench_table2_heuristic
+./build/bench/bench_fig15_candidate_space
+./build/bench/bench_table3_table4_compression 10
+./build/bench/bench_fig16_storage_schemes 10
+./build/bench/bench_fig17_buffering
+./build/bench/bench_intro_ridlist_crossover
+./build/bench/bench_plan_comparison
+./build/bench/bench_knee_ablation
+./build/bench/bench_wah_ablation
+./build/bench/bench_workload_mix_ablation
+./build/bench/bench_scaling
+./build/bench/bench_micro_bitvector --benchmark_min_time=0.01
+./build/bench/bench_micro_codec --benchmark_min_time=0.01
+
+echo "ALL CHECKS PASSED"

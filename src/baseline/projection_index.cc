@@ -1,0 +1,51 @@
+#include "baseline/projection_index.h"
+
+#include "core/bitmap_index.h"
+#include "core/check.h"
+
+namespace bix {
+
+ProjectionIndex ProjectionIndex::Build(std::span<const uint32_t> values,
+                                       uint32_t cardinality) {
+  BIX_CHECK(cardinality >= 1);
+  ProjectionIndex out;
+  out.cardinality_ = cardinality;
+  out.num_records_ = values.size();
+  int bits = 1;
+  while ((uint64_t{1} << bits) < cardinality) ++bits;
+  out.bits_per_value_ = bits;
+  out.packed_.assign((values.size() * static_cast<size_t>(bits) + 7) / 8, 0);
+  out.non_null_ = Bitvector(values.size());
+  for (size_t r = 0; r < values.size(); ++r) {
+    if (values[r] == kNullValue) continue;
+    BIX_CHECK(values[r] < cardinality);
+    out.non_null_.Set(r);
+    uint64_t bit = r * static_cast<size_t>(bits);
+    for (int k = 0; k < bits; ++k, ++bit) {
+      if ((values[r] >> k) & 1) out.packed_[bit >> 3] |= uint8_t{1} << (bit & 7);
+    }
+  }
+  return out;
+}
+
+uint32_t ProjectionIndex::Get(size_t r) const {
+  BIX_CHECK(r < num_records_);
+  if (!non_null_.Get(r)) return kNullValue;
+  uint32_t v = 0;
+  uint64_t bit = r * static_cast<size_t>(bits_per_value_);
+  for (int k = 0; k < bits_per_value_; ++k, ++bit) {
+    v |= static_cast<uint32_t>((packed_[bit >> 3] >> (bit & 7)) & 1) << k;
+  }
+  return v;
+}
+
+Bitvector ProjectionIndex::Evaluate(CompareOp op, int64_t v) const {
+  Bitvector out(num_records_);
+  for (size_t r = 0; r < num_records_; ++r) {
+    if (!non_null_.Get(r)) continue;
+    if (EvalScalar(static_cast<int64_t>(Get(r)), op, v)) out.Set(r);
+  }
+  return out;
+}
+
+}  // namespace bix

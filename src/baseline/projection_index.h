@@ -1,0 +1,54 @@
+// Projection index baseline (O'Neil & Quass; paper Section 9.1).
+//
+// The projection of the indexed attribute in RID order, stored fixed-width.
+// The paper notes that the index-level storage (IS) of a maximal-component
+// bitmap index is exactly a projection index; this standalone version backs
+// that observation and serves as a scan-style baseline.
+
+#ifndef BIX_BASELINE_PROJECTION_INDEX_H_
+#define BIX_BASELINE_PROJECTION_INDEX_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bitmap/bitvector.h"
+#include "core/predicate.h"
+
+namespace bix {
+
+class ProjectionIndex {
+ public:
+  /// Builds over value ranks in [0, cardinality); kNullValue allowed.
+  static ProjectionIndex Build(std::span<const uint32_t> values,
+                               uint32_t cardinality);
+
+  uint32_t cardinality() const { return cardinality_; }
+  size_t num_records() const { return num_records_; }
+  int bits_per_value() const { return bits_per_value_; }
+
+  /// Value rank of record `r` (kNullValue if NULL).
+  uint32_t Get(size_t r) const;
+
+  /// Evaluates `A op v` by scanning the packed projection.
+  Bitvector Evaluate(CompareOp op, int64_t v) const;
+
+  /// Packed size: ceil(N * bits_per_value / 8) bytes.
+  int64_t SizeInBytes() const {
+    return static_cast<int64_t>(
+        (num_records_ * static_cast<size_t>(bits_per_value_) + 7) / 8);
+  }
+
+ private:
+  ProjectionIndex() = default;
+
+  uint32_t cardinality_ = 0;
+  size_t num_records_ = 0;
+  int bits_per_value_ = 0;
+  std::vector<uint8_t> packed_;
+  Bitvector non_null_;
+};
+
+}  // namespace bix
+
+#endif  // BIX_BASELINE_PROJECTION_INDEX_H_

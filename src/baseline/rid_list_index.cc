@@ -1,0 +1,68 @@
+#include "baseline/rid_list_index.h"
+
+#include <algorithm>
+
+#include "core/bitmap_index.h"
+#include "core/check.h"
+
+namespace bix {
+
+RidListIndex RidListIndex::Build(std::span<const uint32_t> values,
+                                 uint32_t cardinality) {
+  BIX_CHECK(cardinality >= 1);
+  std::vector<std::vector<uint32_t>> lists(cardinality);
+  for (size_t r = 0; r < values.size(); ++r) {
+    if (values[r] == kNullValue) continue;
+    BIX_CHECK(values[r] < cardinality);
+    lists[values[r]].push_back(static_cast<uint32_t>(r));
+  }
+  return RidListIndex(std::move(lists));
+}
+
+std::vector<uint32_t> RidListIndex::Evaluate(CompareOp op, int64_t v,
+                                             int64_t* rids_scanned) const {
+  const int64_t c = cardinality();
+  int64_t lo = 0;
+  int64_t hi = c - 1;  // inclusive qualifying value range
+  bool complement = false;
+  switch (op) {
+    case CompareOp::kLt: hi = v - 1; break;
+    case CompareOp::kLe: hi = v; break;
+    case CompareOp::kGt: lo = v + 1; break;
+    case CompareOp::kGe: lo = v; break;
+    case CompareOp::kEq: lo = hi = v; break;
+    case CompareOp::kNe:
+      lo = hi = v;
+      complement = true;
+      break;
+  }
+  lo = std::max<int64_t>(lo, 0);
+  hi = std::min<int64_t>(hi, c - 1);
+
+  std::vector<uint32_t> out;
+  auto scan_value = [&](int64_t value) {
+    const std::vector<uint32_t>& rids = lists_[static_cast<size_t>(value)];
+    if (rids_scanned != nullptr) {
+      *rids_scanned += static_cast<int64_t>(rids.size());
+    }
+    out.insert(out.end(), rids.begin(), rids.end());
+  };
+  if (!complement) {
+    for (int64_t value = lo; value <= hi; ++value) scan_value(value);
+  } else {
+    for (int64_t value = 0; value < c; ++value) {
+      if (value == v) continue;
+      scan_value(value);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+int64_t RidListIndex::SizeInBytes() const {
+  int64_t rids = 0;
+  for (const auto& l : lists_) rids += static_cast<int64_t>(l.size());
+  return rids * 4;
+}
+
+}  // namespace bix

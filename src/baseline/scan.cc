@@ -1,0 +1,17 @@
+#include "baseline/scan.h"
+
+#include "core/bitmap_index.h"
+
+namespace bix {
+
+Bitvector ScanEvaluate(std::span<const uint32_t> values, CompareOp op,
+                       int64_t v) {
+  Bitvector out(values.size());
+  for (size_t r = 0; r < values.size(); ++r) {
+    if (values[r] == kNullValue) continue;
+    if (EvalScalar(static_cast<int64_t>(values[r]), op, v)) out.Set(r);
+  }
+  return out;
+}
+
+}  // namespace bix

@@ -1,0 +1,22 @@
+// Full-scan predicate evaluation: the plan-(P1) baseline and the
+// correctness oracle for every index in the test suite.
+
+#ifndef BIX_BASELINE_SCAN_H_
+#define BIX_BASELINE_SCAN_H_
+
+#include <cstdint>
+#include <span>
+
+#include "bitmap/bitvector.h"
+#include "core/predicate.h"
+
+namespace bix {
+
+/// Evaluates `A op v` by scanning the column; kNullValue rows never
+/// qualify.  Returns the foundset bitmap.
+Bitvector ScanEvaluate(std::span<const uint32_t> values, CompareOp op,
+                       int64_t v);
+
+}  // namespace bix
+
+#endif  // BIX_BASELINE_SCAN_H_

@@ -1,0 +1,141 @@
+// Dense bit-vector substrate for bitmap indexes.
+//
+// A Bitvector is a fixed-length sequence of bits packed into 64-bit words.
+// It supports the four logical operations the paper relies on (AND, OR, XOR,
+// NOT) both in place and as copying operators, population count, set-bit
+// iteration, and (de)serialization to a byte buffer for the physical storage
+// schemes.  All binary operations require operands of equal length.
+
+#ifndef BIX_BITMAP_BITVECTOR_H_
+#define BIX_BITMAP_BITVECTOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/check.h"
+
+namespace bix {
+
+class Bitvector {
+ public:
+  /// Creates an empty (zero-length) bitvector.
+  Bitvector() = default;
+
+  /// Creates a bitvector of `num_bits` bits, all set to `value`.
+  explicit Bitvector(size_t num_bits, bool value = false);
+
+  Bitvector(const Bitvector&) = default;
+  Bitvector& operator=(const Bitvector&) = default;
+  Bitvector(Bitvector&&) noexcept = default;
+  Bitvector& operator=(Bitvector&&) noexcept = default;
+
+  /// Convenience factories mirroring the paper's B0 / B1 bitmaps.
+  static Bitvector Zeros(size_t num_bits) { return Bitvector(num_bits, false); }
+  static Bitvector Ones(size_t num_bits) { return Bitvector(num_bits, true); }
+
+  size_t size() const { return num_bits_; }
+  bool empty() const { return num_bits_ == 0; }
+
+  bool Get(size_t i) const {
+    BIX_DCHECK(i < num_bits_);
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  void Set(size_t i, bool value = true) {
+    BIX_DCHECK(i < num_bits_);
+    uint64_t mask = uint64_t{1} << (i & 63);
+    if (value) {
+      words_[i >> 6] |= mask;
+    } else {
+      words_[i >> 6] &= ~mask;
+    }
+  }
+
+  /// Grows or shrinks to `num_bits`; new bits are zero.
+  void Resize(size_t num_bits);
+
+  /// Appends one bit at index size().
+  void PushBack(bool value) {
+    Resize(num_bits_ + 1);
+    if (value) Set(num_bits_ - 1);
+  }
+
+  /// In-place logical operations; `other.size()` must equal `size()`.
+  void AndWith(const Bitvector& other);
+  void OrWith(const Bitvector& other);
+  void XorWith(const Bitvector& other);
+  void AndNotWith(const Bitvector& other);  // this &= ~other
+  void NotInPlace();
+
+  /// Number of set bits.
+  size_t Count() const;
+
+  bool Any() const;
+  bool None() const { return !Any(); }
+  bool All() const;
+
+  /// Index of the first set bit at or after `from`, or `size()` if none.
+  size_t NextSetBit(size_t from) const;
+
+  /// Invokes `fn(i)` for every set bit index i in ascending order.
+  template <typename Fn>
+  void ForEachSetBit(Fn&& fn) const {
+    for (size_t w = 0; w < words_.size(); ++w) {
+      uint64_t word = words_[w];
+      while (word != 0) {
+        int bit = __builtin_ctzll(word);
+        fn(static_cast<size_t>((w << 6) + bit));
+        word &= word - 1;
+      }
+    }
+  }
+
+  /// Returns the indices of all set bits (a RID list).
+  std::vector<uint32_t> ToSetBitIndices() const;
+
+  /// Packs the bits into ceil(size()/8) bytes, little-endian within bytes.
+  std::vector<uint8_t> ToBytes() const;
+
+  /// Reconstructs a bitvector of `num_bits` bits from `ToBytes()` output.
+  /// Aborts if `bytes` is shorter than ceil(num_bits/8).
+  static Bitvector FromBytes(std::span<const uint8_t> bytes, size_t num_bits);
+
+  /// Raw word access (for benchmarks and serialization internals).  The bits
+  /// past `size()` in the last word are always zero.
+  std::span<const uint64_t> words() const { return words_; }
+
+  friend bool operator==(const Bitvector& a, const Bitvector& b) {
+    return a.num_bits_ == b.num_bits_ && a.words_ == b.words_;
+  }
+
+  friend Bitvector operator&(Bitvector a, const Bitvector& b) {
+    a.AndWith(b);
+    return a;
+  }
+  friend Bitvector operator|(Bitvector a, const Bitvector& b) {
+    a.OrWith(b);
+    return a;
+  }
+  friend Bitvector operator^(Bitvector a, const Bitvector& b) {
+    a.XorWith(b);
+    return a;
+  }
+  friend Bitvector operator~(Bitvector a) {
+    a.NotInPlace();
+    return a;
+  }
+
+ private:
+  // Zeroes any bits in the final word beyond num_bits_ so that Count(),
+  // operator== and serialization stay canonical after NOT.
+  void ClearTail();
+
+  size_t num_bits_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace bix
+
+#endif  // BIX_BITMAP_BITVECTOR_H_

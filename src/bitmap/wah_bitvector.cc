@@ -1,0 +1,247 @@
+#include "bitmap/wah_bitvector.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "core/check.h"
+
+namespace bix {
+
+namespace {
+
+constexpr uint32_t kGroupBits = 31;
+constexpr uint32_t kLiteralMask = 0x7FFFFFFFu;
+constexpr uint32_t kFillFlag = 0x80000000u;
+constexpr uint32_t kFillValueFlag = 0x40000000u;
+constexpr uint32_t kMaxFillCount = 0x3FFFFFFFu;
+
+bool IsFill(uint32_t word) { return (word & kFillFlag) != 0; }
+bool FillValue(uint32_t word) { return (word & kFillValueFlag) != 0; }
+uint32_t FillCount(uint32_t word) { return word & kMaxFillCount; }
+
+// Sequential reader over the code words, exposing one run at a time.
+class RunDecoder {
+ public:
+  explicit RunDecoder(const std::vector<uint32_t>& words) : words_(words) {
+    Advance();
+  }
+
+  bool done() const { return done_; }
+  bool is_fill() const { return is_fill_; }
+  bool fill_value() const { return fill_value_; }
+  uint64_t groups_left() const { return groups_left_; }
+  uint32_t literal() const { return literal_; }
+
+  // Consumes `n` groups of the current run (n == groups_left() for
+  // literals, n <= groups_left() for fills).
+  void Consume(uint64_t n) {
+    BIX_DCHECK(n <= groups_left_);
+    groups_left_ -= n;
+    if (groups_left_ == 0) Advance();
+  }
+
+ private:
+  void Advance() {
+    if (index_ == words_.size()) {
+      done_ = true;
+      return;
+    }
+    uint32_t word = words_[index_++];
+    if (IsFill(word)) {
+      is_fill_ = true;
+      fill_value_ = FillValue(word);
+      groups_left_ = FillCount(word);
+    } else {
+      is_fill_ = false;
+      literal_ = word;
+      groups_left_ = 1;
+    }
+  }
+
+  const std::vector<uint32_t>& words_;
+  size_t index_ = 0;
+  bool done_ = false;
+  bool is_fill_ = false;
+  bool fill_value_ = false;
+  uint64_t groups_left_ = 0;
+  uint32_t literal_ = 0;
+};
+
+}  // namespace
+
+void WahBitvector::AppendLiteral(uint32_t group) {
+  BIX_DCHECK((group & kFillFlag) == 0);
+  if (group == 0) {
+    AppendFill(false, 1);
+  } else if (group == kLiteralMask) {
+    AppendFill(true, 1);
+  } else {
+    words_.push_back(group);
+  }
+}
+
+void WahBitvector::AppendFill(bool value, uint64_t count) {
+  while (count > 0) {
+    if (!words_.empty() && IsFill(words_.back()) &&
+        FillValue(words_.back()) == value &&
+        FillCount(words_.back()) < kMaxFillCount) {
+      uint64_t room = kMaxFillCount - FillCount(words_.back());
+      uint64_t take = std::min(room, count);
+      words_.back() += static_cast<uint32_t>(take);
+      count -= take;
+    } else {
+      uint32_t take = static_cast<uint32_t>(
+          std::min<uint64_t>(count, kMaxFillCount));
+      words_.push_back(kFillFlag | (value ? kFillValueFlag : 0) | take);
+      count -= take;
+    }
+  }
+}
+
+WahBitvector WahBitvector::FromBitvector(const Bitvector& dense) {
+  WahBitvector out;
+  out.num_bits_ = dense.size();
+  size_t groups = (dense.size() + kGroupBits - 1) / kGroupBits;
+  for (size_t g = 0; g < groups; ++g) {
+    uint32_t group = 0;
+    size_t start = g * kGroupBits;
+    size_t end = std::min(start + kGroupBits, dense.size());
+    for (size_t i = start; i < end; ++i) {
+      if (dense.Get(i)) group |= uint32_t{1} << (i - start);
+    }
+    out.AppendLiteral(group);
+  }
+  return out;
+}
+
+Bitvector WahBitvector::ToBitvector() const {
+  Bitvector out(num_bits_);
+  size_t bit = 0;
+  for (uint32_t word : words_) {
+    if (IsFill(word)) {
+      if (FillValue(word)) {
+        size_t span = static_cast<size_t>(FillCount(word)) * kGroupBits;
+        size_t end = std::min(bit + span, num_bits_);
+        for (size_t i = bit; i < end; ++i) out.Set(i);
+        bit += span;
+      } else {
+        bit += static_cast<size_t>(FillCount(word)) * kGroupBits;
+      }
+    } else {
+      for (uint32_t k = 0; k < kGroupBits; ++k) {
+        if ((word >> k) & 1) {
+          BIX_DCHECK(bit + k < num_bits_);
+          out.Set(bit + k);
+        }
+      }
+      bit += kGroupBits;
+    }
+  }
+  return out;
+}
+
+size_t WahBitvector::Count() const {
+  size_t count = 0;
+  size_t bit = 0;
+  for (uint32_t word : words_) {
+    if (IsFill(word)) {
+      size_t span = static_cast<size_t>(FillCount(word)) * kGroupBits;
+      if (FillValue(word)) {
+        // A ones-fill never covers bits past num_bits_ (tails are kept
+        // zero), so the whole span counts.
+        count += std::min(span, num_bits_ - bit);
+      }
+      bit += span;
+    } else {
+      count += static_cast<size_t>(std::popcount(word));
+      bit += kGroupBits;
+    }
+  }
+  return count;
+}
+
+template <typename GroupOp>
+WahBitvector WahBitvector::BinaryOp(const WahBitvector& a,
+                                    const WahBitvector& b, GroupOp op) {
+  BIX_CHECK(a.num_bits_ == b.num_bits_);
+  WahBitvector out;
+  out.num_bits_ = a.num_bits_;
+  RunDecoder x(a.words_);
+  RunDecoder y(b.words_);
+  while (!x.done() && !y.done()) {
+    if (x.is_fill() && y.is_fill()) {
+      uint64_t n = std::min(x.groups_left(), y.groups_left());
+      uint32_t xg = x.fill_value() ? kLiteralMask : 0;
+      uint32_t yg = y.fill_value() ? kLiteralMask : 0;
+      uint32_t rg = op(xg, yg) & kLiteralMask;
+      // A bitwise group op on two fills is itself a fill.
+      BIX_DCHECK(rg == 0 || rg == kLiteralMask);
+      out.AppendFill(rg == kLiteralMask, n);
+      x.Consume(n);
+      y.Consume(n);
+    } else {
+      uint32_t xg = x.is_fill() ? (x.fill_value() ? kLiteralMask : 0)
+                                : x.literal();
+      uint32_t yg = y.is_fill() ? (y.fill_value() ? kLiteralMask : 0)
+                                : y.literal();
+      out.AppendLiteral(op(xg, yg) & kLiteralMask);
+      x.Consume(1);
+      y.Consume(1);
+    }
+  }
+  BIX_CHECK(x.done() && y.done());
+  return out;
+}
+
+WahBitvector WahBitvector::And(const WahBitvector& a, const WahBitvector& b) {
+  return BinaryOp(a, b, [](uint32_t x, uint32_t y) { return x & y; });
+}
+
+WahBitvector WahBitvector::Or(const WahBitvector& a, const WahBitvector& b) {
+  return BinaryOp(a, b, [](uint32_t x, uint32_t y) { return x | y; });
+}
+
+WahBitvector WahBitvector::Xor(const WahBitvector& a, const WahBitvector& b) {
+  return BinaryOp(a, b, [](uint32_t x, uint32_t y) { return x ^ y; });
+}
+
+WahBitvector WahBitvector::AndNot(const WahBitvector& a,
+                                  const WahBitvector& b) {
+  return BinaryOp(a, b, [](uint32_t x, uint32_t y) { return x & ~y; });
+}
+
+WahBitvector WahBitvector::Not() const {
+  WahBitvector out;
+  out.num_bits_ = num_bits_;
+  for (uint32_t word : words_) {
+    if (IsFill(word)) {
+      out.AppendFill(!FillValue(word), FillCount(word));
+    } else {
+      out.AppendLiteral(~word & kLiteralMask);
+    }
+  }
+  out.ClearTail();
+  return out;
+}
+
+void WahBitvector::ClearTail() {
+  uint32_t tail_bits = static_cast<uint32_t>(num_bits_ % kGroupBits);
+  if (tail_bits == 0 || words_.empty()) return;
+  uint32_t mask = (uint32_t{1} << tail_bits) - 1;
+  uint32_t last = words_.back();
+  if (IsFill(last)) {
+    if (!FillValue(last)) return;  // zero fill: tail already clear
+    // Peel the final group off the ones-fill and mask it.
+    if (FillCount(last) == 1) {
+      words_.pop_back();
+    } else {
+      words_.back() = last - 1;
+    }
+    AppendLiteral(kLiteralMask & mask);
+  } else {
+    words_.pop_back();
+    AppendLiteral(last & mask);
+  }
+}
+
+}  // namespace bix

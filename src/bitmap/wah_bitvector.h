@@ -1,0 +1,76 @@
+// Word-Aligned Hybrid (WAH) compressed bitvector.
+//
+// The paper compresses bitmaps only on disk and decompresses them before
+// operating; the line of work it seeded (verbatim bitmap indexes with
+// compressed in-memory execution, e.g. FastBit) operates directly on a
+// word-aligned compressed form.  This class provides that substrate as an
+// ablation companion to the dense Bitvector: logical AND/OR/XOR/NOT run on
+// the compressed representation without materializing the dense form.
+//
+// Encoding: the bit sequence is split into 31-bit groups; each 32-bit code
+// word is either a literal (MSB 0, 31 payload bits) or a fill (MSB 1, bit
+// 30 the fill bit, low 30 bits a count of consecutive identical groups).
+// All-zero / all-one literals are canonicalized into fills, so equal bit
+// contents always have equal encodings.
+
+#ifndef BIX_BITMAP_WAH_BITVECTOR_H_
+#define BIX_BITMAP_WAH_BITVECTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "bitmap/bitvector.h"
+
+namespace bix {
+
+class WahBitvector {
+ public:
+  /// Empty, zero-length vector.
+  WahBitvector() = default;
+
+  /// Compresses a dense bitvector.
+  static WahBitvector FromBitvector(const Bitvector& dense);
+
+  /// Materializes the dense form.
+  Bitvector ToBitvector() const;
+
+  size_t size() const { return num_bits_; }
+  bool empty() const { return num_bits_ == 0; }
+
+  /// Compressed size (code words * 4 bytes).
+  size_t SizeInBytes() const { return words_.size() * sizeof(uint32_t); }
+
+  /// Number of set bits, computed on the compressed form.
+  size_t Count() const;
+
+  /// Logical operations on the compressed form; operand sizes must match.
+  static WahBitvector And(const WahBitvector& a, const WahBitvector& b);
+  static WahBitvector Or(const WahBitvector& a, const WahBitvector& b);
+  static WahBitvector Xor(const WahBitvector& a, const WahBitvector& b);
+  static WahBitvector AndNot(const WahBitvector& a, const WahBitvector& b);
+  WahBitvector Not() const;
+
+  friend bool operator==(const WahBitvector& a, const WahBitvector& b) {
+    return a.num_bits_ == b.num_bits_ && a.words_ == b.words_;
+  }
+
+  /// Raw code words (for tests and size accounting).
+  const std::vector<uint32_t>& code_words() const { return words_; }
+
+ private:
+  template <typename GroupOp>
+  static WahBitvector BinaryOp(const WahBitvector& a, const WahBitvector& b,
+                               GroupOp op);
+
+  void AppendLiteral(uint32_t group);
+  void AppendFill(bool value, uint64_t count);
+  // Zeroes bits past num_bits_ in the final partial group (after NOT).
+  void ClearTail();
+
+  size_t num_bits_ = 0;
+  std::vector<uint32_t> words_;
+};
+
+}  // namespace bix
+
+#endif  // BIX_BITMAP_WAH_BITVECTOR_H_

@@ -1,0 +1,135 @@
+#include "buffer/buffering.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "core/advisor.h"
+#include "core/check.h"
+#include "core/cost_model.h"
+
+namespace bix {
+
+namespace {
+
+void CheckAssignment(const BaseSequence& base,
+                     const BufferAssignment& assignment) {
+  BIX_CHECK(static_cast<int>(assignment.pinned.size()) ==
+            base.num_components());
+  for (int i = 0; i < base.num_components(); ++i) {
+    BIX_CHECK_MSG(assignment.pinned[static_cast<size_t>(i)] <= base.base(i) - 1,
+                  "assignment pins more bitmaps than the component stores");
+  }
+}
+
+}  // namespace
+
+double BufferedAnalyticTime(const BaseSequence& base,
+                            const BufferAssignment& assignment) {
+  CheckAssignment(base, assignment);
+  const int n = base.num_components();
+  double sum = 0;
+  for (int i = 0; i < n; ++i) {
+    sum += (1.0 + assignment.pinned[static_cast<size_t>(i)]) / base.base(i);
+  }
+  double u1 = (1.0 + assignment.pinned[0]) / base.base(0);
+  return 2.0 * (n - sum) - (2.0 / 3.0) * (1.0 - u1);
+}
+
+BufferAssignment OptimalBufferAssignment(const BaseSequence& base,
+                                         int64_t budget) {
+  const int n = base.num_components();
+  BufferAssignment assignment;
+  assignment.pinned.assign(static_cast<size_t>(n), 0);
+  // Marginal gain of pinning one more bitmap is constant per component:
+  // (4/3)/b_1 for component 1, 2/b_i otherwise (Theorem 10.1's priority
+  // classes follow: a component i > 1 outranks component 1 iff
+  // 2 b_i <= 3 b_1, and smaller bases outrank larger ones).
+  std::vector<int> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  auto gain = [&](int i) {
+    return i == 0 ? (4.0 / 3.0) / base.base(0) : 2.0 / base.base(i);
+  };
+  std::sort(order.begin(), order.end(),
+            [&](int a, int b) { return gain(a) > gain(b); });
+  int64_t remaining = budget;
+  for (int i : order) {
+    if (remaining <= 0) break;
+    int64_t take = std::min<int64_t>(remaining, base.base(i) - 1);
+    assignment.pinned[static_cast<size_t>(i)] = static_cast<uint32_t>(take);
+    remaining -= take;
+  }
+  return assignment;
+}
+
+BufferedDesign BufferedTimeOptimal(uint32_t cardinality, int64_t buffered) {
+  BufferedDesign out;
+  int n = 1;
+  if (buffered > 0) {
+    n = static_cast<int>(
+        std::min<int64_t>(buffered, MaxComponents(cardinality)));
+  }
+  out.base = TimeOptimalBase(cardinality, n);
+  out.assignment = OptimalBufferAssignment(out.base, buffered);
+  out.space = SpaceInBitmaps(out.base, Encoding::kRange);
+  out.time = BufferedAnalyticTime(out.base, out.assignment);
+  return out;
+}
+
+std::vector<BufferedDesign> BufferedFrontier(uint32_t cardinality,
+                                             int64_t buffered) {
+  std::vector<BufferedDesign> all;
+  EnumerateTightBases(cardinality, /*max_components=*/0,
+                      [&](const BaseSequence& base) {
+                        BufferedDesign d;
+                        d.base = base;
+                        d.assignment = OptimalBufferAssignment(base, buffered);
+                        d.space = SpaceInBitmaps(base, Encoding::kRange);
+                        d.time = BufferedAnalyticTime(base, d.assignment);
+                        all.push_back(std::move(d));
+                      });
+  std::sort(all.begin(), all.end(),
+            [](const BufferedDesign& a, const BufferedDesign& b) {
+              if (a.space != b.space) return a.space < b.space;
+              return a.time < b.time;
+            });
+  std::vector<BufferedDesign> frontier;
+  double best = std::numeric_limits<double>::infinity();
+  for (BufferedDesign& d : all) {
+    if (!frontier.empty() && frontier.back().space == d.space) continue;
+    if (d.time < best) {
+      best = d.time;
+      frontier.push_back(std::move(d));
+    }
+  }
+  return frontier;
+}
+
+BufferedSource::BufferedSource(const BitmapSource& inner,
+                               const BufferAssignment& assignment)
+    : inner_(inner) {
+  CheckAssignment(inner.base(), assignment);
+  const int n = inner.base().num_components();
+  pinned_.resize(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    uint32_t stored = NumStoredBitmaps(inner.encoding(), inner.base().base(i));
+    auto& flags = pinned_[static_cast<size_t>(i)];
+    flags.assign(stored, false);
+    uint32_t f = assignment.pinned[static_cast<size_t>(i)];
+    // Spread pinned slots evenly across the component.
+    for (uint32_t k = 0; k < f; ++k) {
+      flags[static_cast<size_t>(k) * stored / f] = true;
+    }
+  }
+}
+
+Bitvector BufferedSource::Fetch(int component, uint32_t slot,
+                                EvalStats* stats) const {
+  if (pinned_[static_cast<size_t>(component)][slot]) {
+    if (stats != nullptr) ++stats->buffer_hits;
+    return inner_.Fetch(component, slot, nullptr);
+  }
+  return inner_.Fetch(component, slot, stats);
+}
+
+}  // namespace bix

@@ -1,0 +1,90 @@
+// Bitmap buffering and its effect on the space-time tradeoff
+// (paper Section 10).
+//
+// The unit of buffering is a bitmap.  A buffer assignment <f_n, ..., f_1>
+// pins f_i bitmaps of component i in memory; under the paper's
+// uniform-reference assumption a fetch in component i hits the buffer with
+// probability f_i / (b_i - 1), giving (Eq. 6, re-derived; see DESIGN.md §5)
+//
+//   Time(I, f) = 2(n - sum_i (1+f_i)/b_i) - (2/3)(1 - (1+f_1)/b_1)
+//
+// for range-encoded indexes under RangeEval-Opt.  Theorem 10.1's optimal
+// buffering policy is implemented as the equivalent greedy on exact
+// marginal gains (component 1 gains (4/3)/b_1 per pinned bitmap, component
+// i > 1 gains 2/b_i); Theorem 10.2 gives the buffered time-optimal index.
+// A BufferedSource wrapper simulates pinning over any BitmapSource so the
+// analytic hit model can be validated against measured scans.
+
+#ifndef BIX_BUFFER_BUFFERING_H_
+#define BIX_BUFFER_BUFFERING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/base_sequence.h"
+#include "core/bitmap_source.h"
+
+namespace bix {
+
+/// Bitmaps pinned per component (least-significant component first).
+/// Well defined when 0 <= f_i <= b_i - 1 (a range-encoded component stores
+/// b_i - 1 bitmaps).
+struct BufferAssignment {
+  std::vector<uint32_t> pinned;
+
+  int64_t total() const {
+    int64_t t = 0;
+    for (uint32_t f : pinned) t += f;
+    return t;
+  }
+};
+
+/// Expected scans under the assignment (range encoding, RangeEval-Opt).
+double BufferedAnalyticTime(const BaseSequence& base,
+                            const BufferAssignment& assignment);
+
+/// Theorem 10.1: an optimal assignment of `budget` pinned bitmaps, greedy
+/// on per-bitmap marginal gain.  Pins min(budget, Space(I)) bitmaps.
+BufferAssignment OptimalBufferAssignment(const BaseSequence& base,
+                                         int64_t budget);
+
+struct BufferedDesign {
+  BaseSequence base;
+  BufferAssignment assignment;
+  int64_t space = 0;  // stored bitmaps
+  double time = 0;    // expected scans with the assignment
+};
+
+/// Theorem 10.2: with m > 0 buffered bitmaps, the time-optimal index is the
+/// min(m, max-components)-component index <2, ..., 2, ceil(C/2^{m-1})> with
+/// the base-2 components fully pinned and one pinned bitmap in component 1.
+BufferedDesign BufferedTimeOptimal(uint32_t cardinality, int64_t buffered);
+
+/// The optimal space-time frontier when every design may pin up to
+/// `buffered` bitmaps under its optimal assignment (Fig. 17 series).
+std::vector<BufferedDesign> BufferedFrontier(uint32_t cardinality,
+                                             int64_t buffered);
+
+/// Wraps a BitmapSource, serving pinned bitmaps from memory: a Fetch of a
+/// pinned slot counts a buffer hit instead of a bitmap scan.  Pinned slots
+/// are spread evenly across each component's stored bitmaps.
+class BufferedSource final : public BitmapSource {
+ public:
+  BufferedSource(const BitmapSource& inner, const BufferAssignment& assignment);
+
+  const BaseSequence& base() const override { return inner_.base(); }
+  Encoding encoding() const override { return inner_.encoding(); }
+  size_t num_records() const override { return inner_.num_records(); }
+  uint32_t cardinality() const override { return inner_.cardinality(); }
+  const Bitvector& non_null() const override { return inner_.non_null(); }
+  Bitvector Fetch(int component, uint32_t slot,
+                  EvalStats* stats) const override;
+
+ private:
+  const BitmapSource& inner_;
+  std::vector<std::vector<bool>> pinned_;  // [component][slot]
+};
+
+}  // namespace bix
+
+#endif  // BIX_BUFFER_BUFFERING_H_

@@ -1,0 +1,254 @@
+#include "compress/codec.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "compress/huffman.h"
+
+namespace bix {
+
+namespace {
+
+// --- LZ77 ---------------------------------------------------------------
+
+constexpr size_t kMinMatch = 4;
+constexpr size_t kMaxShortMatch = 0x7E + kMinMatch;  // 130, control < 0xFF
+constexpr size_t kMaxMatch = size_t{1} << 24;        // long-match cap
+constexpr size_t kMaxDistance = 0xFFFF;
+constexpr size_t kMaxLiteralRun = 0x80;
+constexpr int kMaxChainDepth = 64;
+constexpr size_t kHashBits = 15;
+constexpr size_t kHashSize = size_t{1} << kHashBits;
+
+uint32_t Hash4(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+void FlushLiterals(const uint8_t* data, size_t start, size_t end,
+                   std::vector<uint8_t>* out) {
+  while (start < end) {
+    size_t run = std::min(end - start, kMaxLiteralRun);
+    out->push_back(static_cast<uint8_t>(run - 1));
+    out->insert(out->end(), data + start, data + start + run);
+    start += run;
+  }
+}
+
+// --- RLE token constants ------------------------------------------------
+
+constexpr uint8_t kRleZeroBase = 0x80;   // 0x80..0xBE: 1..63 zero bytes
+constexpr uint8_t kRleZeroVar = 0xBF;    // LEB128 length follows
+constexpr uint8_t kRleOnesBase = 0xC0;   // 0xC0..0xFE: 1..63 0xFF bytes
+constexpr uint8_t kRleOnesVar = 0xFF;    // LEB128 length follows
+constexpr size_t kRleShortFillMax = 63;
+
+// Hard ceiling on any decoded output (defense against corrupt or
+// adversarial streams demanding absurd allocations).
+constexpr uint64_t kMaxDecodedBytes = uint64_t{1} << 32;
+
+void PutVarint(uint64_t v, std::vector<uint8_t>* out) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out->push_back(static_cast<uint8_t>(v));
+}
+
+bool GetVarint(std::span<const uint8_t> data, size_t* pos, uint64_t* v) {
+  uint64_t result = 0;
+  int shift = 0;
+  while (*pos < data.size() && shift < 64) {
+    uint8_t byte = data[(*pos)++];
+    result |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      *v = result;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<uint8_t> Lz77Codec::Compress(std::span<const uint8_t> data) const {
+  std::vector<uint8_t> out;
+  const size_t n = data.size();
+  if (n == 0) return out;
+  out.reserve(n / 2 + 16);
+
+  std::vector<int64_t> head(kHashSize, -1);
+  std::vector<int64_t> prev(n, -1);
+
+  size_t literal_start = 0;
+  size_t pos = 0;
+  while (pos < n) {
+    size_t best_len = 0;
+    size_t best_dist = 0;
+    if (pos + kMinMatch <= n) {
+      uint32_t h = Hash4(data.data() + pos);
+      int64_t cand = head[h];
+      int depth = 0;
+      const size_t max_len = std::min(kMaxMatch, n - pos);
+      while (cand >= 0 && depth < kMaxChainDepth &&
+             pos - static_cast<size_t>(cand) <= kMaxDistance) {
+        const uint8_t* a = data.data() + pos;
+        const uint8_t* b = data.data() + cand;
+        size_t len = 0;
+        while (len < max_len && a[len] == b[len]) ++len;
+        if (len > best_len) {
+          best_len = len;
+          best_dist = pos - static_cast<size_t>(cand);
+          if (len == max_len) break;
+        }
+        cand = prev[static_cast<size_t>(cand)];
+        ++depth;
+      }
+    }
+
+    if (best_len >= kMinMatch) {
+      FlushLiterals(data.data(), literal_start, pos, &out);
+      if (best_len <= kMaxShortMatch) {
+        out.push_back(static_cast<uint8_t>(0x80 | (best_len - kMinMatch)));
+      } else {
+        out.push_back(0xFF);
+        PutVarint(best_len - kMaxShortMatch - 1, &out);
+      }
+      out.push_back(static_cast<uint8_t>(best_dist & 0xFF));
+      out.push_back(static_cast<uint8_t>(best_dist >> 8));
+      // Insert every covered position into the hash chains so later matches
+      // can start inside this one.
+      size_t end = pos + best_len;
+      for (; pos < end && pos + kMinMatch <= n; ++pos) {
+        uint32_t h = Hash4(data.data() + pos);
+        prev[pos] = head[h];
+        head[h] = static_cast<int64_t>(pos);
+      }
+      pos = end;
+      literal_start = pos;
+    } else {
+      if (pos + kMinMatch <= n) {
+        uint32_t h = Hash4(data.data() + pos);
+        prev[pos] = head[h];
+        head[h] = static_cast<int64_t>(pos);
+      }
+      ++pos;
+    }
+  }
+  FlushLiterals(data.data(), literal_start, n, &out);
+  return out;
+}
+
+bool Lz77Codec::Decompress(std::span<const uint8_t> data,
+                           std::vector<uint8_t>* out) const {
+  out->clear();
+  size_t pos = 0;
+  while (pos < data.size()) {
+    uint8_t c = data[pos++];
+    if (c < 0x80) {
+      size_t run = static_cast<size_t>(c) + 1;
+      if (pos + run > data.size()) return false;
+      out->insert(out->end(), data.begin() + static_cast<ptrdiff_t>(pos),
+                  data.begin() + static_cast<ptrdiff_t>(pos + run));
+      pos += run;
+    } else {
+      size_t len;
+      if (c == 0xFF) {
+        uint64_t extra;
+        if (!GetVarint(data, &pos, &extra)) return false;
+        if (extra > kMaxMatch) return false;
+        len = kMaxShortMatch + 1 + static_cast<size_t>(extra);
+      } else {
+        len = static_cast<size_t>(c & 0x7F) + kMinMatch;
+      }
+      if (pos + 2 > data.size()) return false;
+      size_t dist = static_cast<size_t>(data[pos]) |
+                    (static_cast<size_t>(data[pos + 1]) << 8);
+      pos += 2;
+      if (dist == 0 || dist > out->size()) return false;
+      if (out->size() + len > kMaxDecodedBytes) return false;
+      // Byte-by-byte copy supports overlapping matches (run extension).
+      size_t src = out->size() - dist;
+      for (size_t i = 0; i < len; ++i) out->push_back((*out)[src + i]);
+    }
+  }
+  return true;
+}
+
+std::vector<uint8_t> RunLengthCodec::Compress(
+    std::span<const uint8_t> data) const {
+  std::vector<uint8_t> out;
+  const size_t n = data.size();
+  out.reserve(n / 4 + 16);
+  size_t pos = 0;
+  size_t literal_start = 0;
+  while (pos < n) {
+    uint8_t byte = data[pos];
+    if (byte == 0x00 || byte == 0xFF) {
+      size_t run = 1;
+      while (pos + run < n && data[pos + run] == byte) ++run;
+      if (run >= 2) {  // single fill bytes ride along in literal runs
+        FlushLiterals(data.data(), literal_start, pos, &out);
+        if (run <= kRleShortFillMax) {
+          uint8_t base = byte == 0x00 ? kRleZeroBase : kRleOnesBase;
+          out.push_back(static_cast<uint8_t>(base + run - 1));
+        } else {
+          out.push_back(byte == 0x00 ? kRleZeroVar : kRleOnesVar);
+          PutVarint(run, &out);
+        }
+        pos += run;
+        literal_start = pos;
+        continue;
+      }
+    }
+    ++pos;
+  }
+  FlushLiterals(data.data(), literal_start, n, &out);
+  return out;
+}
+
+bool RunLengthCodec::Decompress(std::span<const uint8_t> data,
+                                std::vector<uint8_t>* out) const {
+  out->clear();
+  size_t pos = 0;
+  while (pos < data.size()) {
+    uint8_t c = data[pos++];
+    if (c < 0x80) {
+      size_t run = static_cast<size_t>(c) + 1;
+      if (pos + run > data.size()) return false;
+      out->insert(out->end(), data.begin() + static_cast<ptrdiff_t>(pos),
+                  data.begin() + static_cast<ptrdiff_t>(pos + run));
+      pos += run;
+    } else if (c == kRleZeroVar || c == kRleOnesVar) {
+      uint64_t run;
+      if (!GetVarint(data, &pos, &run)) return false;
+      if (run > kMaxDecodedBytes || out->size() + run > kMaxDecodedBytes) {
+        return false;
+      }
+      out->insert(out->end(), run, c == kRleZeroVar ? 0x00 : 0xFF);
+    } else if (c >= kRleOnesBase) {
+      out->insert(out->end(), static_cast<size_t>(c - kRleOnesBase) + 1, 0xFF);
+    } else {
+      out->insert(out->end(), static_cast<size_t>(c - kRleZeroBase) + 1, 0x00);
+    }
+  }
+  return true;
+}
+
+const Codec* CodecByName(std::string_view name) {
+  static const NullCodec* null_codec = new NullCodec();
+  static const Lz77Codec* lz77_codec = new Lz77Codec();
+  static const RunLengthCodec* rle_codec = new RunLengthCodec();
+  static const HuffmanCodec* huffman_codec = new HuffmanCodec();
+  static const DeflateLikeCodec* deflate_codec = new DeflateLikeCodec();
+  if (name == "none") return null_codec;
+  if (name == "lz77") return lz77_codec;
+  if (name == "rle") return rle_codec;
+  if (name == "huffman") return huffman_codec;
+  if (name == "deflate") return deflate_codec;
+  return nullptr;
+}
+
+}  // namespace bix

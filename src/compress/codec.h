@@ -1,0 +1,79 @@
+// Byte-stream compression codecs for bitmap storage (paper Section 9).
+//
+// The paper compressed bitmap files with zlib (an LZ77 "deflation" variant).
+// zlib is not rebuilt here; instead Lz77Codec is a from-scratch LZ77 coder
+// (hash-chain matching, byte-aligned literal/match tokens, no entropy stage)
+// that exploits the same run/repeat redundancy — see DESIGN.md §4 for the
+// substitution rationale.  RunLengthCodec is a byte-aligned fill/literal
+// coder in the spirit of bitmap-specific schemes (BBC/WAH), used for
+// ablations beyond the paper.
+
+#ifndef BIX_COMPRESS_CODEC_H_
+#define BIX_COMPRESS_CODEC_H_
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace bix {
+
+class Codec {
+ public:
+  virtual ~Codec() = default;
+
+  virtual std::string_view name() const = 0;
+
+  /// Compresses `data`; the result is self-delimiting given its own size.
+  virtual std::vector<uint8_t> Compress(std::span<const uint8_t> data) const = 0;
+
+  /// Decompresses into `*out` (replaced).  Returns false on corrupt input.
+  virtual bool Decompress(std::span<const uint8_t> data,
+                          std::vector<uint8_t>* out) const = 0;
+};
+
+/// Identity codec (uncompressed storage).
+class NullCodec final : public Codec {
+ public:
+  std::string_view name() const override { return "none"; }
+  std::vector<uint8_t> Compress(std::span<const uint8_t> data) const override {
+    return {data.begin(), data.end()};
+  }
+  bool Decompress(std::span<const uint8_t> data,
+                  std::vector<uint8_t>* out) const override {
+    out->assign(data.begin(), data.end());
+    return true;
+  }
+};
+
+/// LZ77 with a 64 KiB window, hash-chain match search, and byte-aligned
+/// tokens: control byte c < 0x80 emits a literal run of c+1 bytes;
+/// c in [0x80, 0xFE] emits a match of length (c - 0x80) + 4 at a 16-bit
+/// distance; c == 0xFF emits a long match whose extra length (beyond 130)
+/// follows as a LEB128 varint before the distance.
+class Lz77Codec final : public Codec {
+ public:
+  std::string_view name() const override { return "lz77"; }
+  std::vector<uint8_t> Compress(std::span<const uint8_t> data) const override;
+  bool Decompress(std::span<const uint8_t> data,
+                  std::vector<uint8_t>* out) const override;
+};
+
+/// Byte-aligned run-length coder: fills of 0x00 / 0xFF bytes and literal
+/// runs.  Very fast; effective on sparse or clustered bitmaps.
+class RunLengthCodec final : public Codec {
+ public:
+  std::string_view name() const override { return "rle"; }
+  std::vector<uint8_t> Compress(std::span<const uint8_t> data) const override;
+  bool Decompress(std::span<const uint8_t> data,
+                  std::vector<uint8_t>* out) const override;
+};
+
+/// Looks up a codec singleton by name ("none", "lz77", "rle", "huffman",
+/// "deflate"); returns nullptr for unknown names.  The latter two live in
+/// compress/huffman.h.
+const Codec* CodecByName(std::string_view name);
+
+}  // namespace bix
+
+#endif  // BIX_COMPRESS_CODEC_H_

@@ -1,0 +1,290 @@
+#include "compress/huffman.h"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "core/check.h"
+
+namespace bix {
+
+namespace {
+
+constexpr int kNumSymbols = 256;
+constexpr int kMaxCodeLength = 15;
+constexpr uint8_t kMarkerRaw = 0;
+constexpr uint8_t kMarkerHuffman = 1;
+
+// Computes Huffman code lengths for `freq`, limited to kMaxCodeLength by
+// iteratively halving frequencies (a standard, slightly suboptimal but
+// simple length-limiting scheme).
+void ComputeCodeLengths(std::span<const uint64_t> freq_in,
+                        std::array<uint8_t, kNumSymbols>* lengths) {
+  std::array<uint64_t, kNumSymbols> freq;
+  std::copy(freq_in.begin(), freq_in.end(), freq.begin());
+
+  while (true) {
+    lengths->fill(0);
+    // Node pool: leaves 0..255, internal nodes appended.
+    struct Node {
+      uint64_t weight;
+      int left = -1, right = -1;
+      int symbol = -1;
+    };
+    std::vector<Node> nodes;
+    using HeapEntry = std::pair<uint64_t, int>;  // (weight, node index)
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                        std::greater<HeapEntry>>
+        heap;
+    for (int s = 0; s < kNumSymbols; ++s) {
+      if (freq[static_cast<size_t>(s)] > 0) {
+        nodes.push_back({freq[static_cast<size_t>(s)], -1, -1, s});
+        heap.emplace(nodes.back().weight, static_cast<int>(nodes.size()) - 1);
+      }
+    }
+    if (heap.empty()) return;  // empty input: all lengths zero
+    if (heap.size() == 1) {
+      // A single distinct symbol still needs one bit.
+      (*lengths)[static_cast<size_t>(nodes[0].symbol)] = 1;
+      return;
+    }
+    while (heap.size() > 1) {
+      auto [w1, a] = heap.top();
+      heap.pop();
+      auto [w2, b] = heap.top();
+      heap.pop();
+      nodes.push_back({w1 + w2, a, b, -1});
+      heap.emplace(w1 + w2, static_cast<int>(nodes.size()) - 1);
+    }
+    // Depth-first assignment of depths as code lengths.
+    int root = heap.top().second;
+    int max_len = 0;
+    std::vector<std::pair<int, int>> stack = {{root, 0}};
+    while (!stack.empty()) {
+      auto [idx, depth] = stack.back();
+      stack.pop_back();
+      const Node& node = nodes[static_cast<size_t>(idx)];
+      if (node.symbol >= 0) {
+        (*lengths)[static_cast<size_t>(node.symbol)] =
+            static_cast<uint8_t>(std::max(depth, 1));
+        max_len = std::max(max_len, std::max(depth, 1));
+      } else {
+        stack.emplace_back(node.left, depth + 1);
+        stack.emplace_back(node.right, depth + 1);
+      }
+    }
+    if (max_len <= kMaxCodeLength) return;
+    // Flatten the distribution and retry until the tree is shallow enough.
+    for (uint64_t& f : freq) {
+      if (f > 0) f = (f + 1) / 2;
+    }
+  }
+}
+
+// Canonical codes (MSB-first) from lengths.
+void AssignCanonicalCodes(const std::array<uint8_t, kNumSymbols>& lengths,
+                          std::array<uint16_t, kNumSymbols>* codes) {
+  std::array<int, kMaxCodeLength + 1> count{};
+  for (uint8_t l : lengths) {
+    if (l > 0) ++count[l];
+  }
+  std::array<uint16_t, kMaxCodeLength + 2> next{};
+  uint16_t code = 0;
+  for (int len = 1; len <= kMaxCodeLength; ++len) {
+    code = static_cast<uint16_t>((code + count[len - 1]) << 1);
+    next[len] = code;
+  }
+  for (int s = 0; s < kNumSymbols; ++s) {
+    uint8_t l = lengths[static_cast<size_t>(s)];
+    if (l > 0) (*codes)[static_cast<size_t>(s)] = next[l]++;
+  }
+}
+
+class BitWriter {
+ public:
+  explicit BitWriter(std::vector<uint8_t>* out) : out_(out) {}
+
+  void Write(uint32_t bits, int count) {  // MSB-first
+    for (int i = count - 1; i >= 0; --i) {
+      current_ = static_cast<uint8_t>((current_ << 1) | ((bits >> i) & 1));
+      if (++filled_ == 8) {
+        out_->push_back(current_);
+        current_ = 0;
+        filled_ = 0;
+      }
+    }
+  }
+
+  void Flush() {
+    if (filled_ > 0) {
+      out_->push_back(static_cast<uint8_t>(current_ << (8 - filled_)));
+      filled_ = 0;
+      current_ = 0;
+    }
+  }
+
+ private:
+  std::vector<uint8_t>* out_;
+  uint8_t current_ = 0;
+  int filled_ = 0;
+};
+
+
+}  // namespace
+
+std::vector<uint8_t> HuffmanCodec::Compress(
+    std::span<const uint8_t> data) const {
+  std::array<uint64_t, kNumSymbols> freq{};
+  for (uint8_t b : data) ++freq[b];
+
+  std::array<uint8_t, kNumSymbols> lengths{};
+  ComputeCodeLengths(freq, &lengths);
+  std::array<uint16_t, kNumSymbols> codes{};
+  AssignCanonicalCodes(lengths, &codes);
+
+  uint64_t coded_bits = 0;
+  for (int s = 0; s < kNumSymbols; ++s) {
+    coded_bits += freq[static_cast<size_t>(s)] * lengths[static_cast<size_t>(s)];
+  }
+  // Header: marker + 8-byte raw size + 128 bytes of packed lengths.
+  uint64_t huffman_total = 1 + 8 + kNumSymbols / 2 + (coded_bits + 7) / 8;
+  if (huffman_total >= data.size() + 1) {
+    std::vector<uint8_t> out;
+    out.reserve(data.size() + 1);
+    out.push_back(kMarkerRaw);
+    out.insert(out.end(), data.begin(), data.end());
+    return out;
+  }
+
+  std::vector<uint8_t> out;
+  out.reserve(static_cast<size_t>(huffman_total));
+  out.push_back(kMarkerHuffman);
+  uint64_t raw_size = data.size();
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<uint8_t>(raw_size >> (8 * i)));
+  }
+  for (int s = 0; s < kNumSymbols; s += 2) {
+    out.push_back(static_cast<uint8_t>(
+        lengths[static_cast<size_t>(s)] |
+        (lengths[static_cast<size_t>(s + 1)] << 4)));
+  }
+  BitWriter writer(&out);
+  for (uint8_t b : data) {
+    writer.Write(codes[b], lengths[b]);
+  }
+  writer.Flush();
+  return out;
+}
+
+bool HuffmanCodec::Decompress(std::span<const uint8_t> data,
+                              std::vector<uint8_t>* out) const {
+  out->clear();
+  if (data.empty()) return false;
+  if (data[0] == kMarkerRaw) {
+    out->assign(data.begin() + 1, data.end());
+    return true;
+  }
+  if (data[0] != kMarkerHuffman) return false;
+  if (data.size() < 1 + 8 + kNumSymbols / 2) return false;
+
+  uint64_t raw_size = 0;
+  for (int i = 0; i < 8; ++i) {
+    raw_size |= uint64_t{data[1 + static_cast<size_t>(i)]} << (8 * i);
+  }
+  // Every symbol costs at least one bit, so a valid header can never claim
+  // more than 8 output bytes per payload byte (guards reserve() against
+  // corrupt headers).
+  if (raw_size > 8 * data.size()) return false;
+  std::array<uint8_t, kNumSymbols> lengths{};
+  for (int s = 0; s < kNumSymbols; s += 2) {
+    uint8_t packed = data[9 + static_cast<size_t>(s / 2)];
+    lengths[static_cast<size_t>(s)] = packed & 0x0F;
+    lengths[static_cast<size_t>(s + 1)] = packed >> 4;
+  }
+
+  // Table-driven canonical decoding: a 2^kMaxCodeLength-entry LUT maps the
+  // next kMaxCodeLength bits (MSB-first) to (symbol, code length) in one
+  // lookup — the standard fast-inflate technique.
+  bool any = false;
+  for (uint8_t l : lengths) any |= (l > 0);
+  if (!any) return raw_size == 0;
+
+  // A corrupt header can carry a length table violating the Kraft
+  // inequality, whose canonical codes would overflow the lookup table.
+  {
+    uint64_t kraft = 0;
+    for (uint8_t l : lengths) {
+      if (l > 0) kraft += uint64_t{1} << (kMaxCodeLength - l);
+    }
+    if (kraft > (uint64_t{1} << kMaxCodeLength)) return false;
+  }
+
+  std::array<uint16_t, kNumSymbols> codes{};
+  AssignCanonicalCodes(lengths, &codes);
+  constexpr uint32_t kTableBits = kMaxCodeLength;
+  struct Entry {
+    uint8_t symbol;
+    uint8_t length;  // 0 marks an invalid (non-code) prefix
+  };
+  std::vector<Entry> table(size_t{1} << kTableBits, Entry{0, 0});
+  for (int s = 0; s < kNumSymbols; ++s) {
+    uint8_t l = lengths[static_cast<size_t>(s)];
+    if (l == 0) continue;
+    uint32_t start = static_cast<uint32_t>(codes[static_cast<size_t>(s)])
+                     << (kTableBits - l);
+    uint32_t span = uint32_t{1} << (kTableBits - l);
+    for (uint32_t k = 0; k < span; ++k) {
+      table[start + k] = Entry{static_cast<uint8_t>(s), l};
+    }
+  }
+
+  const size_t payload_start = 1 + 8 + kNumSymbols / 2;
+  const uint64_t total_bits = (data.size() - payload_start) * 8;
+  uint64_t bit_pos = 0;
+  uint64_t buffer = 0;  // holds the next bits, left-aligned consumption
+  int buffered = 0;
+  size_t byte_pos = payload_start;
+
+  out->resize(raw_size);
+  uint8_t* dst = out->data();
+  for (uint64_t produced = 0; produced < raw_size; ++produced) {
+    while (buffered < static_cast<int>(kTableBits) &&
+           byte_pos < data.size()) {
+      buffer = (buffer << 8) | data[byte_pos++];
+      buffered += 8;
+    }
+    uint32_t peek;
+    if (buffered >= static_cast<int>(kTableBits)) {
+      peek = static_cast<uint32_t>(buffer >> (buffered - kTableBits)) &
+             ((uint32_t{1} << kTableBits) - 1);
+    } else {
+      // Tail: pad with zeros; a valid stream still resolves its last codes.
+      peek = static_cast<uint32_t>(buffer << (kTableBits - buffered)) &
+             ((uint32_t{1} << kTableBits) - 1);
+    }
+    Entry e = table[peek];
+    if (e.length == 0) return false;
+    if (bit_pos + e.length > total_bits) return false;
+    bit_pos += e.length;
+    buffered -= e.length;
+    dst[produced] = e.symbol;
+  }
+  return true;
+}
+
+std::vector<uint8_t> DeflateLikeCodec::Compress(
+    std::span<const uint8_t> data) const {
+  return huffman_.Compress(lz77_.Compress(data));
+}
+
+bool DeflateLikeCodec::Decompress(std::span<const uint8_t> data,
+                                  std::vector<uint8_t>* out) const {
+  std::vector<uint8_t> tokens;
+  if (!huffman_.Decompress(data, &tokens)) return false;
+  return lz77_.Decompress(tokens, out);
+}
+
+}  // namespace bix

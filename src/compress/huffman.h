@@ -1,0 +1,41 @@
+// Static (two-pass) canonical Huffman coding over bytes, and its
+// composition with LZ77 — the closest from-scratch analogue of zlib's
+// "deflation" (LZ77 + Huffman), which the paper used for its Section 9
+// compression study.
+
+#ifndef BIX_COMPRESS_HUFFMAN_H_
+#define BIX_COMPRESS_HUFFMAN_H_
+
+#include "compress/codec.h"
+
+namespace bix {
+
+/// Order-0 canonical Huffman coder.  The header stores the 256 code
+/// lengths (4 bits each, max length 15 via package-merge-free length
+/// limiting) followed by the bit stream.  Inputs whose entropy coding
+/// would not shrink them are stored raw with a 1-byte marker.
+class HuffmanCodec final : public Codec {
+ public:
+  std::string_view name() const override { return "huffman"; }
+  std::vector<uint8_t> Compress(std::span<const uint8_t> data) const override;
+  bool Decompress(std::span<const uint8_t> data,
+                  std::vector<uint8_t>* out) const override;
+};
+
+/// LZ77 followed by Huffman coding of the token stream — the library's
+/// deflate stand-in ("lz77+huffman").
+class DeflateLikeCodec final : public Codec {
+ public:
+  std::string_view name() const override { return "deflate"; }
+  std::vector<uint8_t> Compress(std::span<const uint8_t> data) const override;
+  bool Decompress(std::span<const uint8_t> data,
+                  std::vector<uint8_t>* out) const override;
+
+ private:
+  Lz77Codec lz77_;
+  HuffmanCodec huffman_;
+};
+
+}  // namespace bix
+
+#endif  // BIX_COMPRESS_HUFFMAN_H_

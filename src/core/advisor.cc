@@ -1,0 +1,458 @@
+#include "core/advisor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/check.h"
+#include "core/cost_model.h"
+
+namespace bix {
+
+namespace {
+
+constexpr uint64_t kSaturated = uint64_t{1} << 62;
+
+uint64_t SatMul(uint64_t a, uint64_t b) {
+  if (a == 0 || b == 0) return 0;
+  if (a > kSaturated / b) return kSaturated;
+  return a * b;
+}
+
+uint64_t SatPow(uint64_t b, int e) {
+  uint64_t r = 1;
+  for (int i = 0; i < e; ++i) r = SatMul(r, b);
+  return r;
+}
+
+uint64_t CeilDiv(uint64_t a, uint64_t b) { return (a + b - 1) / b; }
+
+// Builds the least-significant-first arrangement that is time-best for a
+// multiset: largest base at component 1, the rest in descending order (the
+// closed-form Time depends only on the multiset and on b_1).
+BaseSequence ArrangeLargestFirst(std::vector<uint32_t> bases) {
+  std::sort(bases.begin(), bases.end(), std::greater<uint32_t>());
+  return BaseSequence::FromLsbFirst(std::move(bases));
+}
+
+}  // namespace
+
+IndexDesign MakeDesign(const BaseSequence& base, Encoding encoding) {
+  return IndexDesign{base, SpaceInBitmaps(base, encoding),
+                     AnalyticTime(base, encoding)};
+}
+
+int MaxComponents(uint32_t cardinality) {
+  BIX_CHECK(cardinality >= 1);
+  if (cardinality <= 2) return 1;
+  int n = 0;
+  uint64_t capacity = 1;
+  while (capacity < cardinality) {
+    capacity *= 2;
+    ++n;
+  }
+  return n;
+}
+
+BaseSequence SpaceOptimalBase(uint32_t cardinality, int n) {
+  BIX_CHECK(cardinality >= 2);
+  BIX_CHECK(n >= 1 && n <= MaxComponents(cardinality));
+  // b = ceil(C^{1/n}): the smallest b with b^n >= C.
+  uint32_t b = 2;
+  while (SatPow(b, n) < cardinality) ++b;
+  // r = smallest positive integer with b^r (b-1)^{n-r} >= C.
+  int r = n;
+  for (int k = 1; k <= n; ++k) {
+    if (b == 2 && k < n) continue;  // base-1 components are not well defined
+    if (SatMul(SatPow(b, k), SatPow(b - 1, n - k)) >= cardinality) {
+      r = k;
+      break;
+    }
+  }
+  // Least-significant first: r components of base b, then n-r of base b-1
+  // (larger bases at the cheap low positions).
+  std::vector<uint32_t> bases;
+  bases.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < r; ++i) bases.push_back(b);
+  for (int i = r; i < n; ++i) bases.push_back(b - 1);
+  return BaseSequence::FromLsbFirst(std::move(bases));
+}
+
+int64_t SpaceOptimalBitmaps(uint32_t cardinality, int n) {
+  return SpaceInBitmaps(SpaceOptimalBase(cardinality, n), Encoding::kRange);
+}
+
+BaseSequence TimeOptimalBase(uint32_t cardinality, int n) {
+  BIX_CHECK(cardinality >= 2);
+  BIX_CHECK(n >= 1 && n <= MaxComponents(cardinality));
+  uint64_t denom = uint64_t{1} << (n - 1);
+  uint32_t k = static_cast<uint32_t>(CeilDiv(cardinality, denom));
+  BIX_CHECK(k >= 2);
+  std::vector<uint32_t> bases(static_cast<size_t>(n), 2);
+  bases[0] = k;
+  return BaseSequence::FromLsbFirst(std::move(bases));
+}
+
+BaseSequence BestSpaceOptimalBase(uint32_t cardinality, int n) {
+  const int64_t target_space = SpaceOptimalBitmaps(cardinality, n);
+  const int64_t base_sum = target_space + n;  // sum(b_i) with space fixed
+
+  std::vector<uint32_t> current;
+  std::vector<uint32_t> best;
+  double best_time = std::numeric_limits<double>::infinity();
+
+  // Enumerate non-decreasing multisets of n bases >= 2 with the exact base
+  // sum; keep the one whose best arrangement minimizes closed-form Time.
+  auto recurse = [&](auto&& self, int slots_left, uint32_t min_b,
+                     int64_t sum_left, uint64_t prod) -> void {
+    if (slots_left == 0) {
+      if (sum_left != 0 || prod < cardinality) return;
+      BaseSequence candidate = ArrangeLargestFirst(current);
+      double t = AnalyticTime(candidate, Encoding::kRange);
+      if (t < best_time) {
+        best_time = t;
+        best = current;
+      }
+      return;
+    }
+    int64_t max_b = sum_left - 2 * (slots_left - 1);
+    for (int64_t b = min_b; b <= max_b; ++b) {
+      // Upper bound on the final product from this branch.
+      if (SatMul(prod, SatPow(static_cast<uint64_t>(max_b), slots_left)) <
+          cardinality) {
+        break;
+      }
+      current.push_back(static_cast<uint32_t>(b));
+      self(self, slots_left - 1, static_cast<uint32_t>(b), sum_left - b,
+           SatMul(prod, static_cast<uint64_t>(b)));
+      current.pop_back();
+    }
+  };
+  recurse(recurse, n, 2, base_sum, 1);
+  BIX_CHECK(!best.empty());
+  return ArrangeLargestFirst(best);
+}
+
+BaseSequence KneeBase(uint32_t cardinality) {
+  BIX_CHECK(cardinality >= 4);  // a 2-component index needs capacity >= 4
+  uint64_t c = cardinality;
+  uint32_t b1 = static_cast<uint32_t>(std::ceil(std::sqrt(static_cast<double>(c))));
+  while (SatMul(b1, b1) < c) ++b1;
+  while (b1 > 2 && SatMul(b1 - 1, b1 - 1) >= c) --b1;
+  uint32_t b2 = static_cast<uint32_t>(CeilDiv(c, b1));
+  if (b2 < 2) b2 = 2;
+  // Largest delta with (b2 - delta)(b1 + delta) >= C; the product is
+  // decreasing in delta, so scan down from the cap.
+  uint32_t delta = 0;
+  for (uint32_t d = b2 >= 2 ? b2 - 2 : 0;; --d) {
+    if (static_cast<uint64_t>(b2 - d) * (b1 + d) >= c) {
+      delta = d;
+      break;
+    }
+    if (d == 0) break;
+  }
+  return BaseSequence::FromLsbFirst({b1 + delta, b2 - delta});
+}
+
+void EnumerateTightBases(uint32_t cardinality, int max_components,
+                         const std::function<void(const BaseSequence&)>& fn) {
+  BIX_CHECK(cardinality >= 2);
+  std::vector<uint32_t> prefix;
+  auto recurse = [&](auto&& self, uint64_t prod, uint32_t min_b) -> void {
+    // Close the multiset with the unique tight largest base ceil(C/prod).
+    uint64_t leaf = CeilDiv(cardinality, prod);
+    if (leaf >= std::max<uint64_t>(min_b, 2)) {
+      std::vector<uint32_t> bases;
+      bases.reserve(prefix.size() + 1);
+      bases.push_back(static_cast<uint32_t>(leaf));  // largest at component 1
+      for (size_t i = prefix.size(); i-- > 0;) bases.push_back(prefix[i]);
+      fn(BaseSequence::FromLsbFirst(std::move(bases)));
+    }
+    if (max_components > 0 &&
+        static_cast<int>(prefix.size()) + 1 >= max_components) {
+      return;
+    }
+    // Extend with a non-final base (product still short of C).
+    uint64_t max_b = (cardinality - 1) / prod;
+    for (uint64_t b = min_b; b <= max_b; ++b) {
+      prefix.push_back(static_cast<uint32_t>(b));
+      self(self, prod * b, static_cast<uint32_t>(b));
+      prefix.pop_back();
+    }
+  };
+  recurse(recurse, 1, 2);
+}
+
+std::vector<IndexDesign> OptimalFrontier(uint32_t cardinality,
+                                         Encoding encoding) {
+  std::vector<IndexDesign> all;
+  EnumerateTightBases(cardinality, /*max_components=*/0,
+                      [&](const BaseSequence& base) {
+                        all.push_back(MakeDesign(base, encoding));
+                      });
+  std::sort(all.begin(), all.end(), [](const IndexDesign& a,
+                                       const IndexDesign& b) {
+    if (a.space != b.space) return a.space < b.space;
+    return a.time < b.time;
+  });
+  std::vector<IndexDesign> frontier;
+  double best_time = std::numeric_limits<double>::infinity();
+  for (IndexDesign& d : all) {
+    if (!frontier.empty() && frontier.back().space == d.space) continue;
+    if (d.time < best_time) {
+      best_time = d.time;
+      frontier.push_back(std::move(d));
+    }
+  }
+  return frontier;
+}
+
+int DefinitionalKneeIndex(const std::vector<IndexDesign>& frontier) {
+  const int p = static_cast<int>(frontier.size());
+  if (p < 3) return -1;
+  const double f = static_cast<double>(frontier.back().space) /
+                   frontier.front().time;
+  int knee = -1;
+  double best_ratio = -1;
+  for (int j = 1; j + 1 < p; ++j) {
+    const IndexDesign& prev = frontier[static_cast<size_t>(j - 1)];
+    const IndexDesign& cur = frontier[static_cast<size_t>(j)];
+    const IndexDesign& next = frontier[static_cast<size_t>(j + 1)];
+    double lg = (prev.time - cur.time) /
+                static_cast<double>(cur.space - prev.space) * f;
+    double rg = (cur.time - next.time) /
+                static_cast<double>(next.space - cur.space) * f;
+    if (lg > 1 && rg < 1 && rg > 0) {
+      double ratio = lg / rg;
+      if (ratio > best_ratio) {
+        best_ratio = ratio;
+        knee = j;
+      }
+    }
+  }
+  return knee;
+}
+
+namespace {
+
+// Enumerates every k-component tight multiset with space <= M and reports
+// the time-best design; also optionally counts all (not only tight)
+// k-component multisets within the space budget (for CandidateSetSize).
+void ForEachTightWithSpaceCap(uint32_t cardinality, int k, int64_t max_bitmaps,
+                              const std::function<void(const BaseSequence&)>& fn) {
+  std::vector<uint32_t> prefix;
+  auto recurse = [&](auto&& self, int depth, uint32_t min_b, uint64_t prod,
+                     int64_t space_used) -> void {
+    if (depth == k - 1) {
+      uint64_t leaf = CeilDiv(cardinality, prod);
+      if (leaf < std::max<uint64_t>(min_b, 2)) return;
+      if (space_used + static_cast<int64_t>(leaf) - 1 > max_bitmaps) return;
+      std::vector<uint32_t> bases;
+      bases.reserve(static_cast<size_t>(k));
+      bases.push_back(static_cast<uint32_t>(leaf));
+      for (size_t i = prefix.size(); i-- > 0;) bases.push_back(prefix[i]);
+      fn(BaseSequence::FromLsbFirst(std::move(bases)));
+      return;
+    }
+    int slots_after = k - depth - 1;
+    for (uint32_t b = min_b;; ++b) {
+      // Space lower bound: every remaining base is >= b.
+      if (space_used + static_cast<int64_t>(b - 1) * (slots_after + 1) >
+          max_bitmaps) {
+        break;
+      }
+      prefix.push_back(b);
+      self(self, depth + 1, b, SatMul(prod, b),
+           space_used + static_cast<int64_t>(b) - 1);
+      prefix.pop_back();
+    }
+  };
+  recurse(recurse, 0, 2, 1, 0);
+}
+
+int64_t CountBasesWithSpaceCap(uint32_t cardinality, int k,
+                               int64_t max_bitmaps) {
+  int64_t count = 0;
+  auto recurse = [&](auto&& self, int depth, uint32_t min_b, uint64_t prod,
+                     int64_t space_used) -> void {
+    if (depth == k) {
+      if (prod >= cardinality) ++count;
+      return;
+    }
+    int slots_after = k - depth - 1;
+    for (uint32_t b = min_b;; ++b) {
+      if (space_used + static_cast<int64_t>(b - 1) * (slots_after + 1) >
+          max_bitmaps) {
+        break;
+      }
+      self(self, depth + 1, b, SatMul(prod, b),
+           space_used + static_cast<int64_t>(b) - 1);
+    }
+  };
+  recurse(recurse, 0, 2, 1, 0);
+  return count;
+}
+
+// Steps 1-3 shared by TimeOptAlg, TimeOptHeur bookkeeping and Fig. 15.
+struct ConstraintBounds {
+  bool feasible = false;
+  int n0 = 0;       // least components with space-optimal space <= M
+  int n_prime = 0;  // least n >= n0 with time-optimal space <= M
+  bool shortcut = false;  // time-optimal n0-component index already fits
+};
+
+ConstraintBounds ComputeBounds(uint32_t cardinality, int64_t max_bitmaps) {
+  ConstraintBounds out;
+  int max_n = MaxComponents(cardinality);
+  for (int n = 1; n <= max_n; ++n) {
+    if (SpaceOptimalBitmaps(cardinality, n) <= max_bitmaps) {
+      out.feasible = true;
+      out.n0 = n;
+      break;
+    }
+  }
+  if (!out.feasible) return out;
+  if (SpaceInBitmaps(TimeOptimalBase(cardinality, out.n0), Encoding::kRange) <=
+      max_bitmaps) {
+    out.shortcut = true;
+    out.n_prime = out.n0;
+    return out;
+  }
+  for (int n = out.n0 + 1; n <= max_n; ++n) {
+    if (SpaceInBitmaps(TimeOptimalBase(cardinality, n), Encoding::kRange) <=
+        max_bitmaps) {
+      out.n_prime = n;
+      return out;
+    }
+  }
+  // Unreachable: the all-base-2 index (n = max_n) is both space- and
+  // time-optimal at that component count and fits whenever feasible.
+  BIX_CHECK(false);
+  return out;
+}
+
+}  // namespace
+
+ConstrainedResult TimeOptAlg(uint32_t cardinality, int64_t max_bitmaps) {
+  ConstrainedResult result;
+  ConstraintBounds bounds = ComputeBounds(cardinality, max_bitmaps);
+  if (!bounds.feasible) return result;
+  result.feasible = true;
+  if (bounds.shortcut) {
+    result.design = MakeDesign(TimeOptimalBase(cardinality, bounds.n0));
+    return result;
+  }
+  IndexDesign best = MakeDesign(TimeOptimalBase(cardinality, bounds.n_prime));
+  for (int k = bounds.n0; k < bounds.n_prime; ++k) {
+    ForEachTightWithSpaceCap(cardinality, k, max_bitmaps,
+                             [&](const BaseSequence& base) {
+                               IndexDesign d = MakeDesign(base);
+                               if (d.time < best.time) best = d;
+                             });
+  }
+  result.design = best;
+  return result;
+}
+
+std::pair<int, BaseSequence> FindSmallestN(uint32_t cardinality,
+                                           int64_t max_bitmaps) {
+  int max_n = MaxComponents(cardinality);
+  if (max_bitmaps < max_n) return {0, BaseSequence()};
+  for (int n = 1; n <= max_n; ++n) {
+    uint64_t b = static_cast<uint64_t>(max_bitmaps + n) / n;
+    uint64_t r = static_cast<uint64_t>(max_bitmaps + n) % n;
+    if (b < 2) continue;
+    if (SatMul(SatPow(b + 1, static_cast<int>(r)),
+               SatPow(b, n - static_cast<int>(r))) < cardinality) {
+      continue;
+    }
+    // r components of base b+1 (low positions), n-r of base b; Space == M.
+    std::vector<uint32_t> bases;
+    bases.reserve(static_cast<size_t>(n));
+    for (uint64_t i = 0; i < r; ++i) bases.push_back(static_cast<uint32_t>(b + 1));
+    for (int i = static_cast<int>(r); i < n; ++i) {
+      bases.push_back(static_cast<uint32_t>(b));
+    }
+    return {n, BaseSequence::FromLsbFirst(std::move(bases))};
+  }
+  return {0, BaseSequence()};
+}
+
+BaseSequence RefineIndex(const BaseSequence& base, uint32_t cardinality) {
+  const int n = base.num_components();
+  std::vector<uint32_t> seq(base.bases_lsb_first().begin(),
+                            base.bases_lsb_first().end());
+  std::sort(seq.begin(), seq.end());
+  std::vector<uint32_t> assigned;  // bases fixed for components n..2
+
+  for (int round = 0; round < n - 1; ++round) {
+    uint32_t bp = seq.front();
+    seq.erase(seq.begin());
+    if (bp > 2 && !seq.empty()) {
+      uint32_t bq = seq.front();
+      // Product of every other component (assigned + rest of seq).
+      uint64_t others = 1;
+      for (uint32_t a : assigned) others = SatMul(others, a);
+      for (size_t i = 1; i < seq.size(); ++i) others = SatMul(others, seq[i]);
+      // Largest delta <= bp - 2 preserving capacity; the pair product
+      // (bp - d)(bq + d) is non-increasing in d here since bp <= bq.
+      uint32_t delta = 0;
+      for (uint32_t d = bp - 2;; --d) {
+        if (SatMul(SatMul(bp - d, bq + d), others) >=
+            static_cast<uint64_t>(cardinality)) {
+          delta = d;
+          break;
+        }
+        if (d == 0) break;
+      }
+      if (delta > 0) {
+        bp -= delta;
+        seq.erase(seq.begin());
+        seq.insert(std::lower_bound(seq.begin(), seq.end(), bq + delta),
+                   bq + delta);
+      }
+    }
+    assigned.push_back(bp);
+  }
+
+  // Component 1 absorbs the residual capacity requirement.
+  uint64_t rest = 1;
+  for (uint32_t a : assigned) rest = SatMul(rest, a);
+  uint32_t b1 = static_cast<uint32_t>(
+      std::max<uint64_t>(2, CeilDiv(cardinality, rest)));
+
+  std::vector<uint32_t> bases;
+  bases.reserve(static_cast<size_t>(n));
+  bases.push_back(b1);
+  // Larger refined bases at lower positions.
+  std::sort(assigned.begin(), assigned.end(), std::greater<uint32_t>());
+  for (uint32_t a : assigned) bases.push_back(a);
+  return BaseSequence::FromLsbFirst(std::move(bases));
+}
+
+ConstrainedResult TimeOptHeur(uint32_t cardinality, int64_t max_bitmaps) {
+  ConstrainedResult result;
+  auto [n, seed] = FindSmallestN(cardinality, max_bitmaps);
+  if (n == 0) return result;
+  result.feasible = true;
+  if (SpaceInBitmaps(TimeOptimalBase(cardinality, n), Encoding::kRange) <=
+      max_bitmaps) {
+    result.design = MakeDesign(TimeOptimalBase(cardinality, n));
+    return result;
+  }
+  result.design = MakeDesign(RefineIndex(seed, cardinality));
+  return result;
+}
+
+int64_t CandidateSetSize(uint32_t cardinality, int64_t max_bitmaps) {
+  ConstraintBounds bounds = ComputeBounds(cardinality, max_bitmaps);
+  if (!bounds.feasible) return 0;
+  if (bounds.shortcut) return 1;
+  int64_t total = 1;  // the n'-component time-optimal index
+  for (int k = bounds.n0; k < bounds.n_prime; ++k) {
+    total += CountBasesWithSpaceCap(cardinality, k, max_bitmaps);
+  }
+  return total;
+}
+
+}  // namespace bix

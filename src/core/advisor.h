@@ -1,0 +1,120 @@
+// Design-space optimization for range-encoded bitmap indexes
+// (paper Sections 6-8).
+//
+// Implements, over the space of well-defined base sequences:
+//  * Theorem 6.1: the n-component space-optimal and time-optimal bases.
+//  * Theorem 7.1: the knee of the space-time tradeoff (closed form), plus
+//    its definitional counterpart computed from the optimal frontier.
+//  * Section 8: TimeOptAlg (exhaustive) and TimeOptHeur (FindSmallestN +
+//    RefineIndex, Theorem 8.1) for the time-optimal index under a
+//    disk-space constraint, and the candidate-set size |I| (Fig. 15).
+//
+// All ranking uses the closed-form Time of core/cost_model.h (as the paper
+// does); the design space is enumerated through its finite canonical core of
+// "tight" base multisets — multisets in which no base number can be lowered
+// without losing capacity C.  Every non-tight index is dominated in both
+// space and time by a tight one, so frontiers and optima are unaffected.
+// Within a multiset the time-best arrangement places the largest base at
+// component 1 (it benefits from the cheaper range-path scans there).
+
+#ifndef BIX_CORE_ADVISOR_H_
+#define BIX_CORE_ADVISOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "core/base_sequence.h"
+#include "core/predicate.h"
+
+namespace bix {
+
+/// A candidate index design with its cost-model coordinates.
+struct IndexDesign {
+  BaseSequence base;
+  int64_t space = 0;  // stored bitmaps
+  double time = 0;    // expected bitmap scans (closed form)
+};
+
+/// Builds an IndexDesign for a base under the given encoding (default:
+/// range, the paper's focus from Section 5 on).
+IndexDesign MakeDesign(const BaseSequence& base,
+                       Encoding encoding = Encoding::kRange);
+
+/// Largest meaningful component count for cardinality C (all-base-2).
+int MaxComponents(uint32_t cardinality);
+
+/// Theorem 6.1(1): an n-component space-optimal base, built as
+/// <b-1, ..., b-1, b, ..., b> with b = ceil(C^{1/n}) and r trailing b's,
+/// r minimal with b^r (b-1)^{n-r} >= C.  Requires 1 <= n <= MaxComponents.
+BaseSequence SpaceOptimalBase(uint32_t cardinality, int n);
+
+/// Number of bitmaps in the n-component space-optimal index: n(b-2) + r.
+int64_t SpaceOptimalBitmaps(uint32_t cardinality, int n);
+
+/// Theorem 6.1(3): the n-component time-optimal base
+/// <2, ..., 2, ceil(C / 2^{n-1})>.
+BaseSequence TimeOptimalBase(uint32_t cardinality, int n);
+
+/// The most time-efficient index among all n-component space-optimal
+/// indexes (the space-optimal index is generally not unique; the paper's
+/// plots and the knee use this representative).  Found by exhaustive search
+/// over equal-space multisets.
+BaseSequence BestSpaceOptimalBase(uint32_t cardinality, int n);
+
+/// Theorem 7.1 (closed form): the knee index — the most time-efficient
+/// 2-component space-optimal index, <b_2 - delta, b_1 + delta> with
+/// b_1 = ceil(sqrt(C)), b_2 = ceil(C/b_1) and delta the largest shift
+/// keeping (b_2 - delta)(b_1 + delta) >= C.
+BaseSequence KneeBase(uint32_t cardinality);
+
+/// Enumerates all tight base multisets for cardinality C (bases listed
+/// least-significant first, largest base first, i.e. in the time-best
+/// arrangement).  `max_components` <= 0 means no limit.
+void EnumerateTightBases(uint32_t cardinality, int max_components,
+                         const std::function<void(const BaseSequence&)>& fn);
+
+/// The set S of optimal indexes: designs not dominated in both space and
+/// time, sorted by increasing space (decreasing time).
+std::vector<IndexDesign> OptimalFrontier(uint32_t cardinality,
+                                         Encoding encoding = Encoding::kRange);
+
+/// The paper's Section 7 definitional knee over a frontier: the index with
+/// LG > 1, RG < 1 maximizing LG/RG under normalized gradients.  Returns an
+/// index into `frontier`, or -1 if the frontier has fewer than 3 points.
+int DefinitionalKneeIndex(const std::vector<IndexDesign>& frontier);
+
+/// Result of a constrained optimization; `feasible` is false when even the
+/// most space-efficient index exceeds M bitmaps.
+struct ConstrainedResult {
+  bool feasible = false;
+  IndexDesign design;
+};
+
+/// Section 8.1, Algorithm TimeOptAlg: the exact time-optimal index using at
+/// most M bitmaps (exhaustive over the bounded candidate set).
+ConstrainedResult TimeOptAlg(uint32_t cardinality, int64_t max_bitmaps);
+
+/// Section 8.2, Algorithm TimeOptHeur: near-optimal heuristic
+/// (FindSmallestN seed + RefineIndex improvement).
+ConstrainedResult TimeOptHeur(uint32_t cardinality, int64_t max_bitmaps);
+
+/// Algorithm FindSmallestN: the least component count n such that an
+/// n-component index with exactly M bitmaps covers C, and such an index
+/// (bases balanced; Space == M).  Returns {0, {}} if infeasible.
+std::pair<int, BaseSequence> FindSmallestN(uint32_t cardinality,
+                                           int64_t max_bitmaps);
+
+/// Algorithm RefineIndex (Theorem 8.1): improves the time-efficiency of an
+/// index without increasing its space, by repeatedly shrinking the smallest
+/// base toward 2 while growing the next-smallest, subject to capacity.
+BaseSequence RefineIndex(const BaseSequence& base, uint32_t cardinality);
+
+/// Size of TimeOptAlg's candidate set I as a function of M (Fig. 15);
+/// counts base multisets.  Returns 0 when infeasible.
+int64_t CandidateSetSize(uint32_t cardinality, int64_t max_bitmaps);
+
+}  // namespace bix
+
+#endif  // BIX_CORE_ADVISOR_H_

@@ -1,0 +1,164 @@
+#include "core/aggregate.h"
+
+#include "core/check.h"
+
+namespace bix {
+
+namespace {
+
+// Bitmap of records whose component-`c` digit equals `d`, derived from the
+// stored bitmaps.  May include NULL rows (equality base-2 digit 0 and
+// range top digit come from complements); callers AND with a
+// non-null-masked foundset.
+Bitvector DigitBitmap(const BitmapIndex& index, int c, uint32_t d) {
+  const IndexComponent& comp = index.component(c);
+  uint32_t b = comp.base();
+  if (comp.encoding() == Encoding::kEquality) {
+    if (b == 2) {
+      Bitvector e1 = comp.stored(0);
+      if (d == 0) e1.NotInPlace();
+      return e1;
+    }
+    return comp.stored(d);
+  }
+  // Range encoding: digit == d  <=>  B^d AND NOT B^{d-1}.
+  if (d == b - 1) {
+    Bitvector top = comp.stored(b - 2);
+    top.NotInPlace();
+    return top;
+  }
+  Bitvector eq = comp.stored(d);
+  if (d > 0) eq.AndNotWith(comp.stored(d - 1));
+  return eq;
+}
+
+}  // namespace
+
+int64_t CountAggregate(const BitmapIndex& index, const Bitvector& foundset) {
+  BIX_CHECK(foundset.size() == index.num_records());
+  Bitvector masked = foundset;
+  masked.AndWith(index.non_null());
+  return static_cast<int64_t>(masked.Count());
+}
+
+int64_t SumAggregate(const BitmapIndex& index, const Bitvector& foundset) {
+  BIX_CHECK(foundset.size() == index.num_records());
+  Bitvector masked = foundset;
+  masked.AndWith(index.non_null());
+  const int64_t total = static_cast<int64_t>(masked.Count());
+  if (total == 0) return 0;
+
+  int64_t sum = 0;
+  int64_t weight = 1;  // W_i = product of lower bases
+  for (int c = 0; c < index.base().num_components(); ++c) {
+    const IndexComponent& comp = index.component(c);
+    uint32_t b = comp.base();
+    int64_t digit_sum = 0;
+    if (comp.encoding() == Encoding::kRange) {
+      // sum of digits = sum over d < b-1 of #(digit > d)
+      //               = sum over d of (total - popcount(B^d AND F)).
+      for (uint32_t d = 0; d + 1 < b; ++d) {
+        Bitvector le = comp.stored(d);
+        le.AndWith(masked);
+        digit_sum += total - static_cast<int64_t>(le.Count());
+      }
+    } else if (b == 2) {
+      Bitvector e1 = comp.stored(0);
+      e1.AndWith(masked);
+      digit_sum = static_cast<int64_t>(e1.Count());
+    } else {
+      for (uint32_t d = 1; d < b; ++d) {
+        Bitvector eq = comp.stored(d);
+        eq.AndWith(masked);
+        digit_sum += static_cast<int64_t>(d) *
+                     static_cast<int64_t>(eq.Count());
+      }
+    }
+    sum += weight * digit_sum;
+    weight *= b;
+  }
+  return sum;
+}
+
+std::optional<double> AvgAggregate(const BitmapIndex& index,
+                                   const Bitvector& foundset) {
+  int64_t count = CountAggregate(index, foundset);
+  if (count == 0) return std::nullopt;
+  return static_cast<double>(SumAggregate(index, foundset)) /
+         static_cast<double>(count);
+}
+
+namespace {
+
+std::optional<uint32_t> Extreme(const BitmapIndex& index,
+                                const Bitvector& foundset, bool minimum) {
+  Bitvector remaining = foundset;
+  remaining.AndWith(index.non_null());
+  if (remaining.None()) return std::nullopt;
+
+  uint64_t value = 0;
+  // Walk from the most significant component down, fixing one digit per
+  // level to the smallest (largest) digit with survivors.
+  for (int c = index.base().num_components() - 1; c >= 0; --c) {
+    uint32_t b = index.component(c).base();
+    bool fixed = false;
+    for (uint32_t step = 0; step < b; ++step) {
+      uint32_t d = minimum ? step : b - 1 - step;
+      Bitvector candidate = DigitBitmap(index, c, d);
+      candidate.AndWith(remaining);
+      if (candidate.Any()) {
+        value = value * b + d;
+        remaining = std::move(candidate);
+        fixed = true;
+        break;
+      }
+    }
+    BIX_CHECK(fixed);
+  }
+  return static_cast<uint32_t>(value);
+}
+
+}  // namespace
+
+std::optional<uint32_t> MinAggregate(const BitmapIndex& index,
+                                     const Bitvector& foundset) {
+  return Extreme(index, foundset, /*minimum=*/true);
+}
+
+std::optional<uint32_t> MaxAggregate(const BitmapIndex& index,
+                                     const Bitvector& foundset) {
+  return Extreme(index, foundset, /*minimum=*/false);
+}
+
+std::vector<int64_t> GroupedCounts(const BitmapIndex& index,
+                                   const Bitvector& foundset) {
+  BIX_CHECK(foundset.size() == index.num_records());
+  std::vector<int64_t> counts(index.cardinality(), 0);
+  Bitvector masked = foundset;
+  masked.AndWith(index.non_null());
+  if (masked.None()) return counts;
+
+  // Depth-first refinement from the most significant component; `prefix`
+  // is the value of the digits fixed so far.
+  auto recurse = [&](auto&& self, int c, uint64_t prefix,
+                     const Bitvector& remaining) -> void {
+    if (c < 0) {
+      if (prefix < counts.size()) {
+        counts[static_cast<size_t>(prefix)] +=
+            static_cast<int64_t>(remaining.Count());
+      }
+      return;
+    }
+    uint32_t b = index.component(c).base();
+    for (uint32_t d = 0; d < b; ++d) {
+      Bitvector branch = DigitBitmap(index, c, d);
+      branch.AndWith(remaining);
+      if (branch.None()) continue;
+      self(self, c - 1, prefix * b + d, branch);
+    }
+  };
+  recurse(recurse, index.base().num_components() - 1, 0, masked);
+  return counts;
+}
+
+}  // namespace bix

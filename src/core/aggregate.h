@@ -1,0 +1,56 @@
+// Bit-sliced aggregation over foundsets.
+//
+// The paper (Sections 1-2) cites the Bit-Sliced index's use for evaluating
+// aggregates (O'Neil & Quass; Sybase IQ).  Given a base-2 range- or
+// equality-encoded index — or any decomposition — aggregates over an
+// arbitrary foundset can be computed from the index bitmaps alone, without
+// touching the relation:
+//
+//   SUM(A | F)  =  sum over components i, digit-weights of
+//                  popcount(bitmap AND F) terms,
+//   COUNT, AVG, MIN, MAX analogously.
+//
+// For equality encoding the per-digit value is read off E^d directly; for
+// range encoding the digit weight d is recovered from B^d \ B^{d-1}.
+
+#ifndef BIX_CORE_AGGREGATE_H_
+#define BIX_CORE_AGGREGATE_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "bitmap/bitvector.h"
+#include "core/bitmap_index.h"
+
+namespace bix {
+
+/// Number of non-null records in the foundset.
+int64_t CountAggregate(const BitmapIndex& index, const Bitvector& foundset);
+
+/// Sum of the value ranks of the foundset's non-null records, computed
+/// from the index bitmaps (never from the base relation).
+int64_t SumAggregate(const BitmapIndex& index, const Bitvector& foundset);
+
+/// Average value rank over the foundset; nullopt on an empty foundset.
+std::optional<double> AvgAggregate(const BitmapIndex& index,
+                                   const Bitvector& foundset);
+
+/// Extreme value ranks over the foundset; nullopt on an empty foundset.
+/// Cost: one predicate-style pass over the components (binary search down
+/// the decomposition), not one probe per candidate value.
+std::optional<uint32_t> MinAggregate(const BitmapIndex& index,
+                                     const Bitvector& foundset);
+std::optional<uint32_t> MaxAggregate(const BitmapIndex& index,
+                                     const Bitvector& foundset);
+
+/// COUNT(*) GROUP BY A over the foundset: one count per value rank,
+/// computed by digit refinement over the components (branches whose
+/// intersection is already empty are pruned, so sparse foundsets touch few
+/// bitmaps).
+std::vector<int64_t> GroupedCounts(const BitmapIndex& index,
+                                   const Bitvector& foundset);
+
+}  // namespace bix
+
+#endif  // BIX_CORE_AGGREGATE_H_

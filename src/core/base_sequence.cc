@@ -1,0 +1,106 @@
+#include "core/base_sequence.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/check.h"
+
+namespace bix {
+
+namespace {
+constexpr uint64_t kCapacityCap = uint64_t{1} << 63;
+
+void CheckBases(std::span<const uint32_t> bases) {
+  BIX_CHECK_MSG(!bases.empty(), "base sequence must have >= 1 component");
+  for (uint32_t b : bases) {
+    BIX_CHECK_MSG(b >= 2, "every base number must be >= 2");
+  }
+}
+}  // namespace
+
+BaseSequence BaseSequence::FromMsbFirst(std::span<const uint32_t> bases) {
+  CheckBases(bases);
+  std::vector<uint32_t> lsb(bases.rbegin(), bases.rend());
+  return BaseSequence(std::move(lsb));
+}
+
+BaseSequence BaseSequence::FromMsbFirst(std::initializer_list<uint32_t> bases) {
+  return FromMsbFirst(std::span<const uint32_t>(bases.begin(), bases.size()));
+}
+
+BaseSequence BaseSequence::FromLsbFirst(std::vector<uint32_t> bases) {
+  CheckBases(bases);
+  return BaseSequence(std::move(bases));
+}
+
+BaseSequence BaseSequence::Uniform(uint32_t b, uint32_t cardinality) {
+  BIX_CHECK(b >= 2);
+  BIX_CHECK(cardinality >= 1);
+  std::vector<uint32_t> bases;
+  uint64_t capacity = 1;
+  while (capacity < cardinality) {
+    bases.push_back(b);
+    capacity *= b;
+  }
+  if (bases.empty()) bases.push_back(b);  // C == 1: one trivial component
+  return BaseSequence(std::move(bases));
+}
+
+BaseSequence BaseSequence::SingleComponent(uint32_t cardinality) {
+  return BaseSequence({std::max<uint32_t>(cardinality, 2)});
+}
+
+BaseSequence BaseSequence::BitSliced(uint32_t cardinality) {
+  return Uniform(2, cardinality);
+}
+
+uint64_t BaseSequence::capacity() const {
+  uint64_t product = 1;
+  for (uint32_t b : bases_) {
+    if (product > kCapacityCap / b) return kCapacityCap;
+    product *= b;
+  }
+  return product;
+}
+
+bool BaseSequence::IsWellDefinedFor(uint64_t cardinality) const {
+  if (bases_.empty()) return false;
+  return capacity() >= cardinality;
+}
+
+void BaseSequence::Decompose(uint64_t v, std::vector<uint32_t>* digits) const {
+  BIX_DCHECK(v < capacity());
+  digits->resize(bases_.size());
+  for (size_t i = 0; i < bases_.size(); ++i) {
+    (*digits)[i] = static_cast<uint32_t>(v % bases_[i]);
+    v /= bases_[i];
+  }
+}
+
+std::vector<uint32_t> BaseSequence::Decompose(uint64_t v) const {
+  std::vector<uint32_t> digits;
+  Decompose(v, &digits);
+  return digits;
+}
+
+uint64_t BaseSequence::Compose(std::span<const uint32_t> digits) const {
+  BIX_CHECK(digits.size() == bases_.size());
+  uint64_t v = 0;
+  for (size_t i = bases_.size(); i-- > 0;) {
+    BIX_DCHECK(digits[i] < bases_[i]);
+    v = v * bases_[i] + digits[i];
+  }
+  return v;
+}
+
+std::string BaseSequence::ToString() const {
+  std::string out = "<";
+  for (size_t i = bases_.size(); i-- > 0;) {
+    out += std::to_string(bases_[i]);
+    if (i != 0) out += ", ";
+  }
+  out += ">";
+  return out;
+}
+
+}  // namespace bix

@@ -1,0 +1,81 @@
+// Attribute value decomposition (paper Section 2, dimension 1).
+//
+// A BaseSequence <b_n, b_n-1, ..., b_1> defines a mixed-radix decomposition
+// of attribute values into n digits, one per index component.  Component 1
+// (the paper's b_1) holds the least-significant digit; internally components
+// are indexed 0-based from the least-significant side, i.e. component(0) is
+// the paper's component 1.
+
+#ifndef BIX_CORE_BASE_SEQUENCE_H_
+#define BIX_CORE_BASE_SEQUENCE_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace bix {
+
+class BaseSequence {
+ public:
+  BaseSequence() = default;
+
+  /// Constructs from bases listed most-significant first, the paper's
+  /// <b_n, ..., b_1> notation.  Every base must be >= 2.
+  static BaseSequence FromMsbFirst(std::span<const uint32_t> bases);
+  static BaseSequence FromMsbFirst(std::initializer_list<uint32_t> bases);
+
+  /// Constructs from bases listed least-significant first (b_1 first).
+  static BaseSequence FromLsbFirst(std::vector<uint32_t> bases);
+
+  /// The n-component uniform base-b sequence with capacity >= cardinality.
+  static BaseSequence Uniform(uint32_t b, uint32_t cardinality);
+
+  /// The single-component base-C sequence (Value-List / one digit).
+  static BaseSequence SingleComponent(uint32_t cardinality);
+
+  /// The maximal decomposition: base-2, ceil(log2(C)) components
+  /// (the binary / Bit-Sliced shape).
+  static BaseSequence BitSliced(uint32_t cardinality);
+
+  int num_components() const { return static_cast<int>(bases_.size()); }
+
+  /// Base of component `i`, 0-based from the least-significant digit;
+  /// base(0) is the paper's b_1.
+  uint32_t base(int i) const { return bases_[static_cast<size_t>(i)]; }
+
+  /// Bases least-significant first.
+  std::span<const uint32_t> bases_lsb_first() const { return bases_; }
+
+  /// Product of all bases, saturated at 2^63 to avoid overflow.  An index
+  /// over attribute cardinality C is well defined iff capacity() >= C.
+  uint64_t capacity() const;
+
+  /// True iff all bases are >= 2 and capacity() >= cardinality.
+  bool IsWellDefinedFor(uint64_t cardinality) const;
+
+  /// Digits of `v` (0 <= v < capacity()), least-significant first.
+  /// `digits` is resized to num_components().
+  void Decompose(uint64_t v, std::vector<uint32_t>* digits) const;
+  std::vector<uint32_t> Decompose(uint64_t v) const;
+
+  /// Inverse of Decompose.
+  uint64_t Compose(std::span<const uint32_t> digits) const;
+
+  /// Paper notation, e.g. "<3, 3, 2>" (most-significant first).
+  std::string ToString() const;
+
+  friend bool operator==(const BaseSequence& a, const BaseSequence& b) {
+    return a.bases_ == b.bases_;
+  }
+
+ private:
+  explicit BaseSequence(std::vector<uint32_t> bases_lsb_first)
+      : bases_(std::move(bases_lsb_first)) {}
+
+  std::vector<uint32_t> bases_;  // least-significant digit first
+};
+
+}  // namespace bix
+
+#endif  // BIX_CORE_BASE_SEQUENCE_H_

@@ -1,0 +1,90 @@
+#include "core/bitmap_index.h"
+
+#include <utility>
+
+#include "core/check.h"
+#include "core/eval.h"
+
+namespace bix {
+
+BitmapIndex BitmapIndex::Build(std::span<const uint32_t> values,
+                               uint32_t cardinality, const BaseSequence& base,
+                               Encoding encoding) {
+  BIX_CHECK(cardinality >= 1);
+  BIX_CHECK_MSG(base.IsWellDefinedFor(cardinality),
+                "base sequence capacity must cover the attribute cardinality");
+  size_t n = values.size();
+
+  Bitvector non_null(n);
+  for (size_t r = 0; r < n; ++r) {
+    if (values[r] != kNullValue) {
+      BIX_CHECK_MSG(values[r] < cardinality, "value rank out of range");
+      non_null.Set(r);
+    }
+  }
+
+  int num_components = base.num_components();
+  std::vector<IndexComponent> components;
+  components.reserve(static_cast<size_t>(num_components));
+  std::vector<uint32_t> digits(n, 0);
+  // Peeling one digit at a time keeps the build a single pass per component.
+  std::vector<uint64_t> remaining(n, 0);
+  for (size_t r = 0; r < n; ++r) {
+    remaining[r] = values[r] == kNullValue ? 0 : values[r];
+  }
+  for (int i = 0; i < num_components; ++i) {
+    uint32_t b = base.base(i);
+    for (size_t r = 0; r < n; ++r) {
+      digits[r] = static_cast<uint32_t>(remaining[r] % b);
+      remaining[r] /= b;
+    }
+    components.push_back(IndexComponent::Build(encoding, b, digits, non_null));
+  }
+  return BitmapIndex(cardinality, base, encoding, std::move(components),
+                     std::move(non_null));
+}
+
+Bitvector BitmapIndex::Fetch(int component, uint32_t slot,
+                             EvalStats* stats) const {
+  const IndexComponent& comp = components_[static_cast<size_t>(component)];
+  BIX_CHECK(slot < static_cast<uint32_t>(comp.num_stored_bitmaps()));
+  if (stats != nullptr) ++stats->bitmap_scans;
+  return comp.stored(slot);
+}
+
+Bitvector BitmapIndex::Evaluate(CompareOp op, int64_t v,
+                                EvalStats* stats) const {
+  return Evaluate(EvalAlgorithm::kAuto, op, v, stats);
+}
+
+Bitvector BitmapIndex::Evaluate(EvalAlgorithm algorithm, CompareOp op,
+                                int64_t v, EvalStats* stats) const {
+  return EvaluatePredicate(*this, algorithm, op, v, stats);
+}
+
+void BitmapIndex::Append(uint32_t value) {
+  bool is_null = value == kNullValue;
+  BIX_CHECK_MSG(is_null || value < cardinality_,
+                "appended value rank out of range");
+  non_null_.PushBack(!is_null);
+  uint64_t remaining = is_null ? 0 : value;
+  for (IndexComponent& comp : components_) {
+    uint32_t digit = static_cast<uint32_t>(remaining % comp.base());
+    remaining /= comp.base();
+    comp.AppendDigit(digit, is_null);
+  }
+}
+
+int64_t BitmapIndex::TotalStoredBitmaps() const {
+  int64_t total = 0;
+  for (const IndexComponent& c : components_) total += c.num_stored_bitmaps();
+  return total;
+}
+
+int64_t BitmapIndex::SizeInBytes() const {
+  int64_t total = 0;
+  for (const IndexComponent& c : components_) total += c.SizeInBytes();
+  return total;
+}
+
+}  // namespace bix

@@ -1,0 +1,56 @@
+// Abstract supplier of index bitmaps for the evaluation algorithms.
+//
+// The same evaluation code runs over an in-memory BitmapIndex, a disk-backed
+// StoredIndex (any physical storage scheme), or a buffered wrapper; each is a
+// BitmapSource.  Fetch() is the unit the paper's time metric counts: one call
+// equals one bitmap scan.
+//
+// Stored-slot numbering per encoding, for a component with base b:
+//  * range:    slots 0..b-2 hold B^0..B^{b-2}; B^{b-1} (all ones) is implicit
+//              and never fetched.
+//  * equality: b > 2: slots 0..b-1 hold E^0..E^{b-1};
+//              b == 2: only slot 0 is stored and holds E^1 (E^0 is its
+//              complement, derived with a NOT operation).
+
+#ifndef BIX_CORE_BITMAP_SOURCE_H_
+#define BIX_CORE_BITMAP_SOURCE_H_
+
+#include <cstdint>
+
+#include "bitmap/bitvector.h"
+#include "core/base_sequence.h"
+#include "core/eval_stats.h"
+#include "core/predicate.h"
+
+namespace bix {
+
+/// Number of physically stored bitmaps in one component.
+constexpr uint32_t NumStoredBitmaps(Encoding encoding, uint32_t base) {
+  if (encoding == Encoding::kRange) return base - 1;
+  return base > 2 ? base : 1;
+}
+
+class BitmapSource {
+ public:
+  virtual ~BitmapSource() = default;
+
+  virtual const BaseSequence& base() const = 0;
+  virtual Encoding encoding() const = 0;
+  /// Number of records N (every bitmap has this many bits).
+  virtual size_t num_records() const = 0;
+  /// Attribute cardinality C (distinct values are 0..C-1).
+  virtual uint32_t cardinality() const = 0;
+  /// The paper's B_nn: records with a non-null indexed value.  Access to
+  /// B_nn is not counted as a bitmap scan (it is shared query machinery).
+  virtual const Bitvector& non_null() const = 0;
+
+  /// Fetches stored bitmap `slot` of component `component` (0-based from the
+  /// least-significant digit).  Counts one bitmap scan in `stats` if
+  /// non-null.
+  virtual Bitvector Fetch(int component, uint32_t slot,
+                          EvalStats* stats) const = 0;
+};
+
+}  // namespace bix
+
+#endif  // BIX_CORE_BITMAP_SOURCE_H_

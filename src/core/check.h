@@ -1,0 +1,47 @@
+// Lightweight runtime invariant checks for the bix library.
+//
+// The library is exception-free (Google style); violated preconditions are
+// programming errors and abort the process with a diagnostic.  BIX_CHECK is
+// always on; BIX_DCHECK compiles away in NDEBUG builds and guards
+// per-bit/per-word hot paths.
+
+#ifndef BIX_CORE_CHECK_H_
+#define BIX_CORE_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace bix::internal {
+
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "BIX_CHECK failed: %s at %s:%d%s%s\n", expr, file, line,
+               msg[0] ? ": " : "", msg);
+  std::abort();
+}
+
+}  // namespace bix::internal
+
+#define BIX_CHECK(cond)                                              \
+  do {                                                               \
+    if (!(cond)) {                                                   \
+      ::bix::internal::CheckFailed(#cond, __FILE__, __LINE__, "");   \
+    }                                                                \
+  } while (0)
+
+#define BIX_CHECK_MSG(cond, msg)                                      \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::bix::internal::CheckFailed(#cond, __FILE__, __LINE__, (msg)); \
+    }                                                                 \
+  } while (0)
+
+#ifdef NDEBUG
+#define BIX_DCHECK(cond) \
+  do {                   \
+  } while (0)
+#else
+#define BIX_DCHECK(cond) BIX_CHECK(cond)
+#endif
+
+#endif  // BIX_CORE_CHECK_H_

@@ -1,0 +1,69 @@
+#include "core/component.h"
+
+#include "core/bitmap_source.h"
+#include "core/check.h"
+
+namespace bix {
+
+IndexComponent IndexComponent::Build(Encoding encoding, uint32_t base,
+                                     std::span<const uint32_t> digits,
+                                     const Bitvector& non_null) {
+  BIX_CHECK(base >= 2);
+  BIX_CHECK(digits.size() == non_null.size());
+  size_t n = digits.size();
+  uint32_t num_stored = NumStoredBitmaps(encoding, base);
+  std::vector<Bitvector> bitmaps(num_stored, Bitvector::Zeros(n));
+
+  if (encoding == Encoding::kEquality && base == 2) {
+    // Single stored bitmap: E^1.
+    for (size_t r = 0; r < n; ++r) {
+      if (non_null.Get(r) && digits[r] == 1) bitmaps[0].Set(r);
+    }
+    return IndexComponent(encoding, base, std::move(bitmaps));
+  }
+
+  // Scatter pass: set the bit of each record's digit value.  For range
+  // encoding the bitmap for digit b-1 has no stored slot, so such records
+  // are skipped here and materialize via the implicit all-ones B^{b-1}.
+  for (size_t r = 0; r < n; ++r) {
+    if (!non_null.Get(r)) continue;
+    uint32_t d = digits[r];
+    BIX_DCHECK(d < base);
+    if (d < num_stored) bitmaps[d].Set(r);
+  }
+
+  if (encoding == Encoding::kRange) {
+    // Prefix-OR: turn equality bitmaps into range bitmaps B^v (digit <= v).
+    for (uint32_t v = 1; v < num_stored; ++v) {
+      bitmaps[v].OrWith(bitmaps[v - 1]);
+    }
+  }
+  return IndexComponent(encoding, base, std::move(bitmaps));
+}
+
+void IndexComponent::AppendDigit(uint32_t digit, bool is_null) {
+  BIX_DCHECK(is_null || digit < base_);
+  if (encoding_ == Encoding::kEquality && base_ == 2) {
+    bitmaps_[0].PushBack(!is_null && digit == 1);
+    return;
+  }
+  for (size_t slot = 0; slot < bitmaps_.size(); ++slot) {
+    bool bit;
+    if (is_null) {
+      bit = false;
+    } else if (encoding_ == Encoding::kRange) {
+      bit = digit <= slot;
+    } else {
+      bit = digit == slot;
+    }
+    bitmaps_[slot].PushBack(bit);
+  }
+}
+
+int64_t IndexComponent::SizeInBytes() const {
+  int64_t bytes_per_bitmap =
+      static_cast<int64_t>((bitmaps_.empty() ? 0 : bitmaps_[0].size() + 7) / 8);
+  return bytes_per_bitmap * static_cast<int64_t>(bitmaps_.size());
+}
+
+}  // namespace bix

@@ -1,0 +1,55 @@
+// One component of a decomposed bitmap index (paper Section 2).
+//
+// A component indexes a single digit of the decomposed attribute value under
+// one of the two encoding schemes.  It owns the physically stored bitmaps;
+// slot semantics are documented in core/bitmap_source.h.
+
+#ifndef BIX_CORE_COMPONENT_H_
+#define BIX_CORE_COMPONENT_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bitmap/bitvector.h"
+#include "core/predicate.h"
+
+namespace bix {
+
+class IndexComponent {
+ public:
+  /// Builds the component for `digits` (one digit per record, in RID order).
+  /// Records whose bit is clear in `non_null` contribute no set bits; their
+  /// digit entries are ignored.
+  static IndexComponent Build(Encoding encoding, uint32_t base,
+                              std::span<const uint32_t> digits,
+                              const Bitvector& non_null);
+
+  Encoding encoding() const { return encoding_; }
+  uint32_t base() const { return base_; }
+  int num_stored_bitmaps() const { return static_cast<int>(bitmaps_.size()); }
+
+  const Bitvector& stored(uint32_t slot) const {
+    return bitmaps_[static_cast<size_t>(slot)];
+  }
+
+  /// Appends one record with the given digit (`is_null` suppresses all
+  /// bits); every stored bitmap grows by one bit.
+  void AppendDigit(uint32_t digit, bool is_null);
+
+  /// Total bytes across the component's bitmaps (uncompressed, bit-packed).
+  int64_t SizeInBytes() const;
+
+ private:
+  IndexComponent(Encoding encoding, uint32_t base,
+                 std::vector<Bitvector> bitmaps)
+      : encoding_(encoding), base_(base), bitmaps_(std::move(bitmaps)) {}
+
+  Encoding encoding_;
+  uint32_t base_;
+  std::vector<Bitvector> bitmaps_;
+};
+
+}  // namespace bix
+
+#endif  // BIX_CORE_COMPONENT_H_

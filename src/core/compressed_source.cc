@@ -1,0 +1,47 @@
+#include "core/compressed_source.h"
+
+namespace bix {
+
+WahCompressedSource::WahCompressedSource(const BitmapIndex& index)
+    : cardinality_(index.cardinality()),
+      base_(index.base()),
+      encoding_(index.encoding()),
+      non_null_(index.non_null()) {
+  components_.resize(static_cast<size_t>(base_.num_components()));
+  for (int c = 0; c < base_.num_components(); ++c) {
+    const IndexComponent& comp = index.component(c);
+    auto& out = components_[static_cast<size_t>(c)];
+    out.reserve(static_cast<size_t>(comp.num_stored_bitmaps()));
+    for (int j = 0; j < comp.num_stored_bitmaps(); ++j) {
+      out.push_back(WahBitvector::FromBitvector(
+          comp.stored(static_cast<uint32_t>(j))));
+    }
+  }
+}
+
+Bitvector WahCompressedSource::Fetch(int component, uint32_t slot,
+                                     EvalStats* stats) const {
+  if (stats != nullptr) ++stats->bitmap_scans;
+  return components_[static_cast<size_t>(component)][slot].ToBitvector();
+}
+
+int64_t WahCompressedSource::CompressedBytes() const {
+  int64_t total = 0;
+  for (const auto& comp : components_) {
+    for (const WahBitvector& bm : comp) {
+      total += static_cast<int64_t>(bm.SizeInBytes());
+    }
+  }
+  return total;
+}
+
+int64_t WahCompressedSource::UncompressedBytes() const {
+  int64_t per_bitmap = static_cast<int64_t>((non_null_.size() + 7) / 8);
+  int64_t count = 0;
+  for (const auto& comp : components_) {
+    count += static_cast<int64_t>(comp.size());
+  }
+  return per_bitmap * count;
+}
+
+}  // namespace bix

@@ -1,0 +1,147 @@
+#include "core/design_allocator.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/check.h"
+
+namespace bix {
+
+namespace {
+
+// Per-attribute frontier points, capped at the budget (space <= M).
+std::vector<std::vector<IndexDesign>> Frontiers(
+    std::span<const AttributeSpec> specs, int64_t budget) {
+  std::vector<std::vector<IndexDesign>> frontiers;
+  frontiers.reserve(specs.size());
+  for (const AttributeSpec& spec : specs) {
+    BIX_CHECK(spec.cardinality >= 2);
+    std::vector<IndexDesign> frontier = OptimalFrontier(spec.cardinality);
+    std::erase_if(frontier,
+                  [budget](const IndexDesign& d) { return d.space > budget; });
+    frontiers.push_back(std::move(frontier));
+  }
+  return frontiers;
+}
+
+}  // namespace
+
+AllocationResult AllocateBitmapBudget(std::span<const AttributeSpec> specs,
+                                      int64_t total_bitmaps) {
+  AllocationResult result;
+  if (specs.empty()) {
+    result.feasible = true;
+    return result;
+  }
+  std::vector<std::vector<IndexDesign>> frontiers =
+      Frontiers(specs, total_bitmaps);
+
+  const size_t budget = static_cast<size_t>(std::max<int64_t>(total_bitmaps, 0));
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  // dp[j] = least weighted time using exactly <= j bitmaps for the
+  // attributes processed so far; choice[k][j] = frontier index picked.
+  std::vector<double> dp(budget + 1, kInf);
+  dp[0] = 0;
+  std::vector<std::vector<int>> choice(
+      specs.size(), std::vector<int>(budget + 1, -1));
+
+  for (size_t k = 0; k < specs.size(); ++k) {
+    std::vector<double> next(budget + 1, kInf);
+    const double weight = specs[k].weight;
+    for (size_t j = 0; j <= budget; ++j) {
+      if (dp[j] == kInf) continue;
+      for (size_t f = 0; f < frontiers[k].size(); ++f) {
+        const IndexDesign& d = frontiers[k][f];
+        size_t spent = j + static_cast<size_t>(d.space);
+        if (spent > budget) continue;
+        double total = dp[j] + weight * d.time;
+        if (total < next[spent]) {
+          next[spent] = total;
+          choice[k][spent] = static_cast<int>(f);
+        }
+      }
+    }
+    dp = std::move(next);
+  }
+
+  // Best end state.
+  size_t best_j = 0;
+  double best = kInf;
+  for (size_t j = 0; j <= budget; ++j) {
+    if (dp[j] < best) {
+      best = dp[j];
+      best_j = j;
+    }
+  }
+  if (best == kInf) return result;  // infeasible
+
+  result.feasible = true;
+  result.total_weighted_time = best;
+  result.allocations.resize(specs.size());
+  size_t j = best_j;
+  for (size_t k = specs.size(); k-- > 0;) {
+    int f = choice[k][j];
+    BIX_CHECK(f >= 0);
+    const IndexDesign& d = frontiers[k][static_cast<size_t>(f)];
+    result.allocations[k] = AttributeAllocation{specs[k], d};
+    result.total_space += d.space;
+    j -= static_cast<size_t>(d.space);
+  }
+  return result;
+}
+
+AllocationResult AllocateBitmapBudgetGreedy(
+    std::span<const AttributeSpec> specs, int64_t total_bitmaps) {
+  AllocationResult result;
+  if (specs.empty()) {
+    result.feasible = true;
+    return result;
+  }
+  std::vector<std::vector<IndexDesign>> frontiers =
+      Frontiers(specs, total_bitmaps);
+
+  // Start every attribute at its smallest design; walk the steepest
+  // weighted-time descent while bitmaps remain.
+  std::vector<size_t> position(specs.size(), 0);
+  int64_t used = 0;
+  for (size_t k = 0; k < specs.size(); ++k) {
+    if (frontiers[k].empty()) return result;  // infeasible
+    used += frontiers[k][0].space;
+  }
+  if (used > total_bitmaps) return result;
+
+  while (true) {
+    double best_rate = 0;
+    size_t best_k = specs.size();
+    for (size_t k = 0; k < specs.size(); ++k) {
+      size_t p = position[k];
+      if (p + 1 >= frontiers[k].size()) continue;
+      const IndexDesign& cur = frontiers[k][p];
+      const IndexDesign& nxt = frontiers[k][p + 1];
+      int64_t extra = nxt.space - cur.space;
+      if (used + extra > total_bitmaps) continue;
+      double rate =
+          specs[k].weight * (cur.time - nxt.time) / static_cast<double>(extra);
+      if (rate > best_rate) {
+        best_rate = rate;
+        best_k = k;
+      }
+    }
+    if (best_k == specs.size()) break;
+    used += frontiers[best_k][position[best_k] + 1].space -
+            frontiers[best_k][position[best_k]].space;
+    ++position[best_k];
+  }
+
+  result.feasible = true;
+  result.allocations.resize(specs.size());
+  for (size_t k = 0; k < specs.size(); ++k) {
+    const IndexDesign& d = frontiers[k][position[k]];
+    result.allocations[k] = AttributeAllocation{specs[k], d};
+    result.total_space += d.space;
+    result.total_weighted_time += specs[k].weight * d.time;
+  }
+  return result;
+}
+
+}  // namespace bix

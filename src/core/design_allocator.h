@@ -1,0 +1,58 @@
+// Multi-attribute physical design under a global disk budget.
+//
+// The paper studies the time-optimal index for ONE attribute under a space
+// constraint (Section 8) and motivates the problem with warehouse schemas
+// holding many indexed attributes.  This allocator extends Section 8 to a
+// whole schema: given per-attribute cardinalities, query weights, and one
+// global budget of M bitmaps, it picks one index design per attribute
+// minimizing the weighted sum of expected bitmap scans.
+//
+// Solved exactly by dynamic programming over the per-attribute optimal
+// frontiers (every candidate worth choosing is a frontier point).
+
+#ifndef BIX_CORE_DESIGN_ALLOCATOR_H_
+#define BIX_CORE_DESIGN_ALLOCATOR_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/advisor.h"
+
+namespace bix {
+
+struct AttributeSpec {
+  std::string name;
+  uint32_t cardinality = 0;
+  /// Relative query frequency; expected scans are weighted by this.
+  double weight = 1.0;
+};
+
+struct AttributeAllocation {
+  AttributeSpec spec;
+  IndexDesign design;
+};
+
+struct AllocationResult {
+  bool feasible = false;
+  std::vector<AttributeAllocation> allocations;
+  int64_t total_space = 0;     // bitmaps used
+  double total_weighted_time = 0;
+};
+
+/// Exact optimum: one frontier design per attribute, sum of spaces at most
+/// `total_bitmaps`, minimizing sum of weight * Time.  Infeasible when even
+/// the all-base-2 designs exceed the budget.
+AllocationResult AllocateBitmapBudget(std::span<const AttributeSpec> specs,
+                                      int64_t total_bitmaps);
+
+/// Greedy baseline for comparison: repeatedly spends the next bitmap where
+/// the weighted-time reduction per bitmap is largest (steepest-descent
+/// along each attribute's frontier).
+AllocationResult AllocateBitmapBudgetGreedy(
+    std::span<const AttributeSpec> specs, int64_t total_bitmaps);
+
+}  // namespace bix
+
+#endif  // BIX_CORE_DESIGN_ALLOCATOR_H_

@@ -1,0 +1,40 @@
+// Cost accounting for predicate evaluations.
+//
+// The paper's time metric is the number of bitmap scans (I/O proxy); the
+// number of bitmap operations is its CPU-cost companion (Table 1, Fig. 8).
+// Every evaluation algorithm in this library is instrumented through this
+// struct so that measured counts can be checked against the analytic cost
+// model.
+
+#ifndef BIX_CORE_EVAL_STATS_H_
+#define BIX_CORE_EVAL_STATS_H_
+
+#include <cstdint>
+
+namespace bix {
+
+struct EvalStats {
+  int64_t bitmap_scans = 0;  // bitmaps fetched from the index/storage
+  int64_t and_ops = 0;
+  int64_t or_ops = 0;
+  int64_t xor_ops = 0;
+  int64_t not_ops = 0;
+  int64_t bytes_read = 0;    // filled in by storage-backed sources
+  int64_t buffer_hits = 0;   // filled in by buffered sources
+
+  int64_t TotalOps() const { return and_ops + or_ops + xor_ops + not_ops; }
+
+  void Add(const EvalStats& other) {
+    bitmap_scans += other.bitmap_scans;
+    and_ops += other.and_ops;
+    or_ops += other.or_ops;
+    xor_ops += other.xor_ops;
+    not_ops += other.not_ops;
+    bytes_read += other.bytes_read;
+    buffer_hits += other.buffer_hits;
+  }
+};
+
+}  // namespace bix
+
+#endif  // BIX_CORE_EVAL_STATS_H_

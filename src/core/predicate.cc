@@ -1,0 +1,35 @@
+#include "core/predicate.h"
+
+namespace bix {
+
+std::string_view ToString(CompareOp op) {
+  switch (op) {
+    case CompareOp::kLt: return "<";
+    case CompareOp::kLe: return "<=";
+    case CompareOp::kGt: return ">";
+    case CompareOp::kGe: return ">=";
+    case CompareOp::kEq: return "=";
+    case CompareOp::kNe: return "!=";
+  }
+  return "?";
+}
+
+std::string_view ToString(Encoding encoding) {
+  switch (encoding) {
+    case Encoding::kEquality: return "equality";
+    case Encoding::kRange: return "range";
+  }
+  return "?";
+}
+
+std::string_view ToString(EvalAlgorithm algorithm) {
+  switch (algorithm) {
+    case EvalAlgorithm::kAuto: return "Auto";
+    case EvalAlgorithm::kRangeEval: return "RangeEval";
+    case EvalAlgorithm::kRangeEvalOpt: return "RangeEval-Opt";
+    case EvalAlgorithm::kEqualityEval: return "EqualityEval";
+  }
+  return "?";
+}
+
+}  // namespace bix

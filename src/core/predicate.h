@@ -1,0 +1,74 @@
+// Selection-predicate vocabulary shared across the library.
+//
+// The paper studies selection queries `A op v` with the six comparison
+// operators; this header defines the operator enum, the two bitmap encoding
+// schemes, the evaluation-algorithm selector, and a scalar reference
+// evaluator used as the correctness oracle in tests.
+
+#ifndef BIX_CORE_PREDICATE_H_
+#define BIX_CORE_PREDICATE_H_
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace bix {
+
+/// The six comparison operators of the query space Q (paper Section 2).
+enum class CompareOp {
+  kLt,  // A <  v
+  kLe,  // A <= v
+  kGt,  // A >  v
+  kGe,  // A >= v
+  kEq,  // A == v
+  kNe,  // A != v
+};
+
+/// All six operators, in a fixed order convenient for sweeps.
+inline constexpr std::array<CompareOp, 6> kAllCompareOps = {
+    CompareOp::kLt, CompareOp::kLe, CompareOp::kGt,
+    CompareOp::kGe, CompareOp::kEq, CompareOp::kNe};
+
+/// True iff `op` is one of the four range operators {<, <=, >, >=}.
+constexpr bool IsRangeOp(CompareOp op) {
+  return op == CompareOp::kLt || op == CompareOp::kLe ||
+         op == CompareOp::kGt || op == CompareOp::kGe;
+}
+
+std::string_view ToString(CompareOp op);
+
+/// Scalar reference semantics of `value op v` (the correctness oracle).
+constexpr bool EvalScalar(int64_t value, CompareOp op, int64_t v) {
+  switch (op) {
+    case CompareOp::kLt: return value < v;
+    case CompareOp::kLe: return value <= v;
+    case CompareOp::kGt: return value > v;
+    case CompareOp::kGe: return value >= v;
+    case CompareOp::kEq: return value == v;
+    case CompareOp::kNe: return value != v;
+  }
+  return false;
+}
+
+/// The two bitmap encoding schemes of the design space (paper Section 2).
+enum class Encoding {
+  kEquality,  // one bitmap per digit value; bit set iff digit == value
+  kRange,     // bitmap B^v set iff digit <= v; B^{b-1} implicit (all ones)
+};
+
+std::string_view ToString(Encoding encoding);
+
+/// Evaluation algorithm selector.  kAuto picks RangeEval-Opt for
+/// range-encoded indexes and EqualityEval for equality-encoded ones.
+enum class EvalAlgorithm {
+  kAuto,
+  kRangeEval,     // O'Neil & Quass Algorithm 4.3 (paper Fig. 6, left)
+  kRangeEvalOpt,  // the paper's improved algorithm (Fig. 6, right)
+  kEqualityEval,  // digit-recursive evaluation for equality encoding
+};
+
+std::string_view ToString(EvalAlgorithm algorithm);
+
+}  // namespace bix
+
+#endif  // BIX_CORE_PREDICATE_H_

@@ -1,0 +1,26 @@
+#include "core/status.h"
+
+namespace bix {
+
+namespace {
+std::string_view CodeName(Status::Code code) {
+  switch (code) {
+    case Status::Code::kOk: return "OK";
+    case Status::Code::kIoError: return "IoError";
+    case Status::Code::kCorruption: return "Corruption";
+    case Status::Code::kInvalidArgument: return "InvalidArgument";
+    case Status::Code::kNotFound: return "NotFound";
+  }
+  return "Unknown";
+}
+}  // namespace
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(CodeName(code_));
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+}  // namespace bix

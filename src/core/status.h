@@ -1,0 +1,57 @@
+// Minimal error-status type for fallible operations (file I/O, decoding).
+//
+// The library does not use exceptions; operations that can fail at runtime
+// for environmental reasons return Status (or fill an out-parameter and
+// return Status).  Programming errors use BIX_CHECK instead.
+
+#ifndef BIX_CORE_STATUS_H_
+#define BIX_CORE_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace bix {
+
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kIoError,
+    kCorruption,
+    kInvalidArgument,
+    kNotFound,
+  };
+
+  Status() : code_(Code::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status IoError(std::string msg) {
+    return Status(Code::kIoError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(Code::kCorruption, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  std::string_view message() const { return message_; }
+
+  std::string ToString() const;
+
+ private:
+  Status(Code code, std::string msg) : code_(code), message_(std::move(msg)) {}
+
+  Code code_;
+  std::string message_;
+};
+
+}  // namespace bix
+
+#endif  // BIX_CORE_STATUS_H_

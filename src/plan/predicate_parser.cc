@@ -1,0 +1,85 @@
+#include "plan/predicate_parser.h"
+
+#include <charconv>
+
+namespace bix {
+
+namespace {
+
+std::string_view TrimLeft(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  return s;
+}
+
+std::string_view TrimRight(std::string_view s) {
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' ||
+                        s.back() == '\r' || s.back() == '\n')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+bool IsIdentChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_' || c == '.';
+}
+
+}  // namespace
+
+Status ParsePredicate(std::string_view text, ParsedPredicate* out) {
+  std::string_view s = TrimRight(TrimLeft(text));
+  if (s.empty()) return Status::InvalidArgument("empty predicate");
+
+  // Optional attribute identifier (must not start with a digit, '-', or an
+  // operator character).
+  out->attribute.clear();
+  if (IsIdentChar(s.front()) && !(s.front() >= '0' && s.front() <= '9')) {
+    size_t len = 0;
+    while (len < s.size() && IsIdentChar(s[len])) ++len;
+    out->attribute = std::string(s.substr(0, len));
+    s = TrimLeft(s.substr(len));
+  }
+
+  // Operator.
+  struct OpToken {
+    std::string_view token;
+    CompareOp op;
+  };
+  // Longest-match first.
+  static constexpr OpToken kOps[] = {
+      {"<=", CompareOp::kLe}, {">=", CompareOp::kGe}, {"==", CompareOp::kEq},
+      {"!=", CompareOp::kNe}, {"<>", CompareOp::kNe}, {"<", CompareOp::kLt},
+      {">", CompareOp::kGt},  {"=", CompareOp::kEq},
+  };
+  bool matched = false;
+  for (const OpToken& candidate : kOps) {
+    if (s.substr(0, candidate.token.size()) == candidate.token) {
+      out->op = candidate.op;
+      s = TrimLeft(s.substr(candidate.token.size()));
+      matched = true;
+      break;
+    }
+  }
+  if (!matched) {
+    return Status::InvalidArgument("expected a comparison operator in '" +
+                                   std::string(text) + "'");
+  }
+
+  // Integer constant.
+  if (s.empty()) {
+    return Status::InvalidArgument("missing constant in '" +
+                                   std::string(text) + "'");
+  }
+  int64_t value = 0;
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc() || ptr != s.data() + s.size()) {
+    return Status::InvalidArgument("bad integer constant in '" +
+                                   std::string(text) + "'");
+  }
+  out->value = value;
+  return Status::OK();
+}
+
+}  // namespace bix

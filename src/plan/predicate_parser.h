@@ -1,0 +1,32 @@
+// Textual selection-predicate parsing for tools and examples.
+//
+// Grammar (whitespace-insensitive):
+//   predicate := [identifier] op integer
+//   op        := "<" | "<=" | ">" | ">=" | "=" | "==" | "!=" | "<>"
+// e.g. "quantity <= 24", "<= 24", "A != 3".
+
+#ifndef BIX_PLAN_PREDICATE_PARSER_H_
+#define BIX_PLAN_PREDICATE_PARSER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "core/predicate.h"
+#include "core/status.h"
+
+namespace bix {
+
+struct ParsedPredicate {
+  std::string attribute;  // empty when the predicate names no attribute
+  CompareOp op = CompareOp::kEq;
+  int64_t value = 0;
+};
+
+/// Parses one predicate; returns InvalidArgument with a human-readable
+/// message on malformed input.
+Status ParsePredicate(std::string_view text, ParsedPredicate* out);
+
+}  // namespace bix
+
+#endif  // BIX_PLAN_PREDICATE_PARSER_H_

@@ -1,0 +1,94 @@
+// The three conjunctive-selection plans of the paper's Section 1 and a
+// byte-cost-based planner that chooses among them.
+//
+//  (P1) full relation scan;
+//  (P2) index scan on the most selective predicate, then a partial relation
+//       scan over the qualifying tuples to filter the remaining predicates;
+//  (P3) one index scan per predicate, results merged (bitmap AND, or
+//       RID-list intersection when using conventional indexes).
+//
+// The cost model follows the paper: a bitmap scan reads N/8 bytes, a
+// RID-list entry 4 bytes, and a materialized tuple tuple_bytes(); plan
+// choice uses estimated foundset sizes from a uniform-value assumption.
+// The executor reports actual bytes so estimates can be audited.
+
+#ifndef BIX_PLAN_SELECTION_PLAN_H_
+#define BIX_PLAN_SELECTION_PLAN_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "bitmap/bitvector.h"
+#include "core/predicate.h"
+#include "plan/table.h"
+
+namespace bix {
+
+struct Predicate {
+  int attribute;
+  CompareOp op;
+  int64_t v;
+};
+
+/// A conjunction of selection predicates over one table.
+using ConjunctiveQuery = std::vector<Predicate>;
+
+enum class PlanKind {
+  kFullScan,        // P1
+  kIndexFilter,     // P2
+  kIndexMerge,      // P3
+};
+
+std::string_view ToString(PlanKind kind);
+
+struct PlanEstimate {
+  PlanKind kind = PlanKind::kFullScan;
+  /// Attribute driving P2 (ignored for other plans).
+  int driver_attribute = -1;
+  /// Estimated bytes read under the paper's cost model.
+  double estimated_bytes = 0;
+};
+
+struct ExecutionResult {
+  Bitvector foundset;
+  int64_t bytes_read = 0;    // actual bytes under the same cost model
+  int64_t bitmap_scans = 0;  // bitmap fetches (P3 over bitmap indexes)
+  int64_t rids_read = 0;     // RID entries read (P2/P3 over RID indexes)
+  int64_t tuples_read = 0;   // tuples materialized from the relation
+};
+
+/// Uniform-assumption selectivity of `pred` on `table` in [0, 1].
+double EstimateSelectivity(const Table& table, const Predicate& pred);
+
+class SelectionPlanner {
+ public:
+  explicit SelectionPlanner(const Table& table) : table_(table) {}
+
+  /// Cost estimates for every applicable plan, cheapest first.  P2/P3
+  /// require the involved attributes to carry an index (bitmap or RID).
+  std::vector<PlanEstimate> EnumeratePlans(const ConjunctiveQuery& query) const;
+
+  /// The cheapest applicable plan.
+  PlanEstimate Choose(const ConjunctiveQuery& query) const;
+
+  /// Executes `plan` and returns the foundset with actual-cost accounting.
+  ExecutionResult Execute(const ConjunctiveQuery& query,
+                          const PlanEstimate& plan) const;
+
+ private:
+  ExecutionResult ExecuteFullScan(const ConjunctiveQuery& query) const;
+  ExecutionResult ExecuteIndexFilter(const ConjunctiveQuery& query,
+                                     int driver) const;
+  ExecutionResult ExecuteIndexMerge(const ConjunctiveQuery& query) const;
+
+  // Evaluates one predicate through the attribute's index (bitmap
+  // preferred, RID fallback), charging bytes into `result`.
+  Bitvector IndexProbe(const Predicate& pred, ExecutionResult* result) const;
+
+  const Table& table_;
+};
+
+}  // namespace bix
+
+#endif  // BIX_PLAN_SELECTION_PLAN_H_

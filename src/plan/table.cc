@@ -1,0 +1,32 @@
+#include "plan/table.h"
+
+#include "core/check.h"
+
+namespace bix {
+
+int Table::AddColumn(std::string name, std::vector<uint32_t> values,
+                     uint32_t cardinality) {
+  BIX_CHECK(values.size() == num_rows_);
+  BIX_CHECK(cardinality >= 1);
+  Column column;
+  column.name = std::move(name);
+  column.values = std::move(values);
+  column.cardinality = cardinality;
+  columns_.push_back(std::move(column));
+  return static_cast<int>(columns_.size()) - 1;
+}
+
+void Table::BuildBitmapIndex(int attribute, const BaseSequence& base,
+                             Encoding encoding) {
+  Column& column = columns_[static_cast<size_t>(attribute)];
+  column.bitmap_index = std::make_unique<BitmapIndex>(BitmapIndex::Build(
+      column.values, column.cardinality, base, encoding));
+}
+
+void Table::BuildRidIndex(int attribute) {
+  Column& column = columns_[static_cast<size_t>(attribute)];
+  column.rid_index = std::make_unique<RidListIndex>(
+      RidListIndex::Build(column.values, column.cardinality));
+}
+
+}  // namespace bix

@@ -1,0 +1,82 @@
+// Minimal column-store relation substrate for the Section 1 plan study.
+//
+// A Table is a set of equal-length rank-encoded columns; each column can
+// carry a bitmap index (any design) and/or a RID-list index.  It provides
+// the tuple-fetch and full-scan primitives the three selection plans are
+// built from, with byte-level I/O accounting per the paper's cost model.
+
+#ifndef BIX_PLAN_TABLE_H_
+#define BIX_PLAN_TABLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "baseline/rid_list_index.h"
+#include "core/base_sequence.h"
+#include "core/bitmap_index.h"
+#include "core/predicate.h"
+
+namespace bix {
+
+class Table {
+ public:
+  /// Creates a table with `num_rows` rows and no columns yet.
+  explicit Table(size_t num_rows) : num_rows_(num_rows) {}
+
+  Table(Table&&) noexcept = default;
+  Table& operator=(Table&&) noexcept = default;
+
+  /// Adds a column of value ranks in [0, cardinality) (kNullValue allowed).
+  /// Returns the attribute id used in predicates.
+  int AddColumn(std::string name, std::vector<uint32_t> values,
+                uint32_t cardinality);
+
+  /// Builds a bitmap index on `attribute` with the given design.
+  void BuildBitmapIndex(int attribute, const BaseSequence& base,
+                        Encoding encoding = Encoding::kRange);
+
+  /// Builds a RID-list index on `attribute`.
+  void BuildRidIndex(int attribute);
+
+  size_t num_rows() const { return num_rows_; }
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+  const std::string& column_name(int attribute) const {
+    return columns_[static_cast<size_t>(attribute)].name;
+  }
+  uint32_t cardinality(int attribute) const {
+    return columns_[static_cast<size_t>(attribute)].cardinality;
+  }
+  std::span<const uint32_t> column(int attribute) const {
+    return columns_[static_cast<size_t>(attribute)].values;
+  }
+  const BitmapIndex* bitmap_index(int attribute) const {
+    return columns_[static_cast<size_t>(attribute)].bitmap_index.get();
+  }
+  const RidListIndex* rid_index(int attribute) const {
+    return columns_[static_cast<size_t>(attribute)].rid_index.get();
+  }
+
+  /// Width of one materialized tuple in bytes (4 bytes per column), the
+  /// unit the plan cost model charges for relation-scan I/O.
+  int64_t tuple_bytes() const { return 4 * num_columns(); }
+
+ private:
+  struct Column {
+    std::string name;
+    std::vector<uint32_t> values;
+    uint32_t cardinality = 0;
+    std::unique_ptr<BitmapIndex> bitmap_index;
+    std::unique_ptr<RidListIndex> rid_index;
+  };
+
+  size_t num_rows_;
+  std::vector<Column> columns_;
+};
+
+}  // namespace bix
+
+#endif  // BIX_PLAN_TABLE_H_

@@ -1,0 +1,424 @@
+#include "storage/stored_index.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/bitmap_source.h"
+#include "core/check.h"
+#include "core/eval.h"
+
+namespace bix {
+
+namespace {
+
+constexpr char kMagic[4] = {'B', 'I', 'X', 'F'};
+constexpr const char* kMetaFile = "index.meta";
+constexpr const char* kNonNullFile = "nonnull.bm";
+
+std::string BitmapFileName(int component, uint32_t slot) {
+  return "c" + std::to_string(component) + "_b" + std::to_string(slot) + ".bm";
+}
+
+std::string ComponentFileName(int component) {
+  return "c" + std::to_string(component) + ".bm";
+}
+
+constexpr const char* kIndexFileName = "index.bm";
+
+// Writes raw_size + payload with a small header; payload is already encoded.
+Status WriteFile(const std::filesystem::path& path,
+                 std::span<const uint8_t> payload, uint64_t raw_size) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) return Status::IoError("cannot open for write: " + path.string());
+  f.write(kMagic, 4);
+  f.write(reinterpret_cast<const char*>(&raw_size), sizeof(raw_size));
+  f.write(reinterpret_cast<const char*>(payload.data()),
+          static_cast<std::streamsize>(payload.size()));
+  if (!f) return Status::IoError("write failed: " + path.string());
+  return Status::OK();
+}
+
+Status ReadFile(const std::filesystem::path& path, std::vector<uint8_t>* payload,
+                uint64_t* raw_size) {
+  std::ifstream f(path, std::ios::binary | std::ios::ate);
+  if (!f) return Status::IoError("cannot open: " + path.string());
+  std::streamsize total = f.tellg();
+  if (total < 12) return Status::Corruption("short file: " + path.string());
+  f.seekg(0);
+  char magic[4];
+  f.read(magic, 4);
+  if (std::memcmp(magic, kMagic, 4) != 0) {
+    return Status::Corruption("bad magic: " + path.string());
+  }
+  f.read(reinterpret_cast<char*>(raw_size), sizeof(*raw_size));
+  payload->resize(static_cast<size_t>(total - 12));
+  f.read(reinterpret_cast<char*>(payload->data()),
+         static_cast<std::streamsize>(payload->size()));
+  if (!f) return Status::IoError("read failed: " + path.string());
+  return Status::OK();
+}
+
+// Encodes + writes one logical blob; accumulates compressed/raw sizes.
+Status WriteBlob(const std::filesystem::path& path, const Codec& codec,
+                 std::span<const uint8_t> raw, int64_t* stored,
+                 int64_t* uncompressed) {
+  std::vector<uint8_t> payload = codec.Compress(raw);
+  *stored += static_cast<int64_t>(payload.size());
+  *uncompressed += static_cast<int64_t>(raw.size());
+  return WriteFile(path, payload, raw.size());
+}
+
+// Reads + decodes one blob, tracking bytes read and inflate time.
+Status ReadBlob(const std::filesystem::path& path, const Codec& codec,
+                std::vector<uint8_t>* raw, EvalStats* stats,
+                double* decompress_seconds) {
+  std::vector<uint8_t> payload;
+  uint64_t raw_size = 0;
+  Status s = ReadFile(path, &payload, &raw_size);
+  if (!s.ok()) return s;
+  if (stats != nullptr) stats->bytes_read += static_cast<int64_t>(payload.size());
+  auto start = std::chrono::steady_clock::now();
+  if (!codec.Decompress(payload, raw)) {
+    return Status::Corruption("decode failed: " + path.string());
+  }
+  if (decompress_seconds != nullptr) {
+    *decompress_seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+  }
+  if (raw->size() != raw_size) {
+    return Status::Corruption("size mismatch: " + path.string());
+  }
+  return Status::OK();
+}
+
+// Packs rows of `width` bits per record, bit j of record r taken from
+// stored bitmap j of `index` component `component` (or, for IS, from the
+// global slot layout).  Used for the row-major CS and IS payloads.
+std::vector<uint8_t> PackRowMajor(const BitmapIndex& index, int first_component,
+                                  int last_component, uint32_t width) {
+  const size_t n = index.num_records();
+  std::vector<uint8_t> raw((n * width + 7) / 8, 0);
+  uint64_t bit = 0;
+  std::vector<const Bitvector*> columns;
+  for (int c = first_component; c <= last_component; ++c) {
+    const IndexComponent& comp = index.component(c);
+    for (int j = 0; j < comp.num_stored_bitmaps(); ++j) {
+      columns.push_back(&comp.stored(static_cast<uint32_t>(j)));
+    }
+  }
+  BIX_CHECK(columns.size() == width);
+  for (size_t r = 0; r < n; ++r) {
+    for (uint32_t j = 0; j < width; ++j, ++bit) {
+      if (columns[j]->Get(r)) raw[bit >> 3] |= uint8_t{1} << (bit & 7);
+    }
+  }
+  return raw;
+}
+
+Bitvector ExtractColumn(const std::vector<uint8_t>& raw, size_t num_records,
+                        uint32_t stride, uint32_t column) {
+  Bitvector out(num_records);
+  uint64_t bit = column;
+  for (size_t r = 0; r < num_records; ++r, bit += stride) {
+    if ((raw[bit >> 3] >> (bit & 7)) & 1) out.Set(r);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string_view ToString(StorageScheme scheme) {
+  switch (scheme) {
+    case StorageScheme::kBitmapLevel: return "BS";
+    case StorageScheme::kComponentLevel: return "CS";
+    case StorageScheme::kIndexLevel: return "IS";
+  }
+  return "?";
+}
+
+// Per-query view over a StoredIndex.  For CS/IS the constructor eagerly
+// reads and inflates every index file (the paper's access-path model);
+// for BS each Fetch reads exactly one bitmap file.
+class StoredQuerySource final : public BitmapSource {
+ public:
+  StoredQuerySource(const StoredIndex& index, EvalStats* stats,
+                    double* decompress_seconds)
+      : index_(index), stats_(stats), decompress_seconds_(decompress_seconds) {
+    if (index_.scheme_ == StorageScheme::kComponentLevel) {
+      raw_.resize(static_cast<size_t>(index_.base().num_components()));
+      for (int c = 0; c < index_.base().num_components(); ++c) {
+        status_ = ReadBlob(index_.dir_ / ComponentFileName(c), index_.codec(),
+                           &raw_[static_cast<size_t>(c)], stats_,
+                           decompress_seconds_);
+        if (!status_.ok()) return;
+        uint32_t stride =
+            NumStoredBitmaps(index_.encoding(), index_.base().base(c));
+        EnsureMatrixSize(&raw_[static_cast<size_t>(c)], stride);
+        if (!status_.ok()) return;
+      }
+    } else if (index_.scheme_ == StorageScheme::kIndexLevel) {
+      raw_.resize(1);
+      status_ = ReadBlob(index_.dir_ / kIndexFileName, index_.codec(), &raw_[0],
+                         stats_, decompress_seconds_);
+      if (status_.ok()) EnsureMatrixSize(&raw_[0], index_.row_stride_);
+    }
+  }
+
+  // Validates (and zero-pads, so extraction stays in bounds) a row-major
+  // bit-matrix buffer of N rows x `stride` bits.
+  void EnsureMatrixSize(std::vector<uint8_t>* raw, uint32_t stride) {
+    size_t expected =
+        (index_.num_records() * static_cast<size_t>(stride) + 7) / 8;
+    if (raw->size() < expected) {
+      status_ = Status::Corruption("row-major index file shorter than N*n bits");
+      raw->resize(expected, 0);
+    }
+  }
+
+  const Status& status() const { return status_; }
+
+  const BaseSequence& base() const override { return index_.base(); }
+  Encoding encoding() const override { return index_.encoding(); }
+  size_t num_records() const override { return index_.num_records(); }
+  uint32_t cardinality() const override { return index_.cardinality(); }
+  const Bitvector& non_null() const override { return index_.non_null_; }
+
+  Bitvector Fetch(int component, uint32_t slot,
+                  EvalStats* stats) const override {
+    if (stats != nullptr) ++stats->bitmap_scans;
+    switch (index_.scheme_) {
+      case StorageScheme::kBitmapLevel: {
+        std::vector<uint8_t> raw;
+        Status s = ReadBlob(index_.dir_ / BitmapFileName(component, slot),
+                            index_.codec(), &raw, stats_, decompress_seconds_);
+        if (!s.ok()) {
+          // Remember the first failure; the query completes with empty
+          // bitmaps and the caller sees the status.
+          if (status_.ok()) status_ = std::move(s);
+          return Bitvector::Zeros(index_.num_records());
+        }
+        if (raw.size() < (index_.num_records() + 7) / 8) {
+          if (status_.ok()) {
+            status_ = Status::Corruption("bitmap file shorter than N bits");
+          }
+          return Bitvector::Zeros(index_.num_records());
+        }
+        return Bitvector::FromBytes(raw, index_.num_records());
+      }
+      case StorageScheme::kComponentLevel: {
+        uint32_t stride = NumStoredBitmaps(index_.encoding(),
+                                           index_.base().base(component));
+        return ExtractColumn(raw_[static_cast<size_t>(component)],
+                             index_.num_records(), stride, slot);
+      }
+      case StorageScheme::kIndexLevel: {
+        uint32_t column =
+            index_.slot_offsets_[static_cast<size_t>(component)] + slot;
+        return ExtractColumn(raw_[0], index_.num_records(), index_.row_stride_,
+                             column);
+      }
+    }
+    BIX_CHECK(false);
+    return Bitvector();
+  }
+
+ private:
+  const StoredIndex& index_;
+  EvalStats* stats_;
+  double* decompress_seconds_;
+  std::vector<std::vector<uint8_t>> raw_;
+  mutable Status status_;
+};
+
+Status StoredIndex::Write(const BitmapIndex& index,
+                          const std::filesystem::path& dir,
+                          StorageScheme scheme, const Codec& codec,
+                          std::unique_ptr<StoredIndex>* out) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return Status::IoError("cannot create directory: " + dir.string());
+
+  int64_t stored = 0;
+  int64_t uncompressed = 0;
+  Status s;
+  const int n = index.base().num_components();
+
+  switch (scheme) {
+    case StorageScheme::kBitmapLevel: {
+      for (int c = 0; c < n && s.ok(); ++c) {
+        const IndexComponent& comp = index.component(c);
+        for (int j = 0; j < comp.num_stored_bitmaps() && s.ok(); ++j) {
+          std::vector<uint8_t> raw =
+              comp.stored(static_cast<uint32_t>(j)).ToBytes();
+          s = WriteBlob(dir / BitmapFileName(c, static_cast<uint32_t>(j)),
+                        codec, raw, &stored, &uncompressed);
+        }
+      }
+      break;
+    }
+    case StorageScheme::kComponentLevel: {
+      for (int c = 0; c < n && s.ok(); ++c) {
+        uint32_t width = static_cast<uint32_t>(
+            index.component(c).num_stored_bitmaps());
+        std::vector<uint8_t> raw = PackRowMajor(index, c, c, width);
+        s = WriteBlob(dir / ComponentFileName(c), codec, raw, &stored,
+                      &uncompressed);
+      }
+      break;
+    }
+    case StorageScheme::kIndexLevel: {
+      uint32_t width = 0;
+      for (int c = 0; c < n; ++c) {
+        width += static_cast<uint32_t>(index.component(c).num_stored_bitmaps());
+      }
+      std::vector<uint8_t> raw = PackRowMajor(index, 0, n - 1, width);
+      s = WriteBlob(dir / kIndexFileName, codec, raw, &stored, &uncompressed);
+      break;
+    }
+  }
+  if (!s.ok()) return s;
+
+  // The shared non-null bitmap is stored uncompressed and excluded from the
+  // index size accounting (it is common to every candidate design).
+  {
+    std::vector<uint8_t> raw = index.non_null().ToBytes();
+    s = WriteFile(dir / kNonNullFile, raw, raw.size());
+    if (!s.ok()) return s;
+  }
+
+  // Metadata.
+  {
+    std::ostringstream meta;
+    meta << "bix_index_meta_v1\n";
+    meta << "records " << index.num_records() << "\n";
+    meta << "cardinality " << index.cardinality() << "\n";
+    meta << "encoding "
+         << (index.encoding() == Encoding::kRange ? "range" : "equality")
+         << "\n";
+    meta << "scheme " << ToString(scheme) << "\n";
+    meta << "codec " << codec.name() << "\n";
+    meta << "stored_bytes " << stored << "\n";
+    meta << "uncompressed_bytes " << uncompressed << "\n";
+    meta << "bases_lsb";
+    for (uint32_t b : index.base().bases_lsb_first()) meta << " " << b;
+    meta << "\n";
+    std::ofstream f(dir / kMetaFile, std::ios::trunc);
+    if (!f) return Status::IoError("cannot write metadata");
+    f << meta.str();
+    if (!f) return Status::IoError("metadata write failed");
+  }
+
+  return Open(dir, out);
+}
+
+Status StoredIndex::Open(const std::filesystem::path& dir,
+                         std::unique_ptr<StoredIndex>* out) {
+  auto index = std::unique_ptr<StoredIndex>(new StoredIndex());
+  index->dir_ = dir;
+  Status s = index->LoadMeta(dir);
+  if (!s.ok()) return s;
+  *out = std::move(index);
+  return Status::OK();
+}
+
+Status StoredIndex::LoadMeta(const std::filesystem::path& dir) {
+  std::ifstream f(dir / kMetaFile);
+  if (!f) return Status::IoError("cannot open metadata in " + dir.string());
+  std::string header;
+  std::getline(f, header);
+  if (header != "bix_index_meta_v1") {
+    return Status::Corruption("unknown metadata header");
+  }
+  std::string key;
+  std::vector<uint32_t> bases;
+  std::string codec_name;
+  std::string scheme_name;
+  std::string encoding_name;
+  while (f >> key) {
+    if (key == "records") {
+      f >> num_records_;
+    } else if (key == "cardinality") {
+      f >> cardinality_;
+    } else if (key == "encoding") {
+      f >> encoding_name;
+    } else if (key == "scheme") {
+      f >> scheme_name;
+    } else if (key == "codec") {
+      f >> codec_name;
+    } else if (key == "stored_bytes") {
+      f >> stored_bytes_;
+    } else if (key == "uncompressed_bytes") {
+      f >> uncompressed_bytes_;
+    } else if (key == "bases_lsb") {
+      std::string rest;
+      std::getline(f, rest);
+      std::istringstream line(rest);
+      uint32_t b;
+      while (line >> b) bases.push_back(b);
+    } else {
+      return Status::Corruption("unknown metadata key: " + key);
+    }
+  }
+  if (bases.empty()) return Status::Corruption("metadata missing bases");
+  base_ = BaseSequence::FromLsbFirst(std::move(bases));
+  if (encoding_name == "range") {
+    encoding_ = Encoding::kRange;
+  } else if (encoding_name == "equality") {
+    encoding_ = Encoding::kEquality;
+  } else {
+    return Status::Corruption("bad encoding: " + encoding_name);
+  }
+  if (scheme_name == "BS") {
+    scheme_ = StorageScheme::kBitmapLevel;
+  } else if (scheme_name == "CS") {
+    scheme_ = StorageScheme::kComponentLevel;
+  } else if (scheme_name == "IS") {
+    scheme_ = StorageScheme::kIndexLevel;
+  } else {
+    return Status::Corruption("bad scheme: " + scheme_name);
+  }
+  codec_ = CodecByName(codec_name);
+  if (codec_ == nullptr) return Status::Corruption("bad codec: " + codec_name);
+
+  // Non-null bitmap.
+  {
+    std::vector<uint8_t> raw;
+    uint64_t raw_size = 0;
+    Status s = ReadFile(dir / kNonNullFile, &raw, &raw_size);
+    if (!s.ok()) return s;
+    non_null_ = Bitvector::FromBytes(raw, num_records_);
+  }
+
+  slot_offsets_.clear();
+  row_stride_ = 0;
+  for (int c = 0; c < base_.num_components(); ++c) {
+    slot_offsets_.push_back(row_stride_);
+    row_stride_ += NumStoredBitmaps(encoding_, base_.base(c));
+  }
+  return Status::OK();
+}
+
+Bitvector StoredIndex::Evaluate(EvalAlgorithm algorithm, CompareOp op,
+                                int64_t v, EvalStats* stats,
+                                double* decompress_seconds,
+                                Status* status) const {
+  StoredQuerySource source(*this, stats, decompress_seconds);
+  Bitvector result;
+  if (source.status().ok()) {
+    result = EvaluatePredicate(source, algorithm, op, v, stats);
+  }
+  if (status != nullptr) {
+    *status = source.status();
+    if (!status->ok()) return Bitvector();
+    return result;
+  }
+  BIX_CHECK_MSG(source.status().ok(), "stored index read failed");
+  return result;
+}
+
+}  // namespace bix

@@ -1,0 +1,109 @@
+// Physical bitmap-index storage schemes (paper Section 9.1).
+//
+// Three organizations of an index's (N x n) bit-matrix on disk:
+//  * BS (bitmap-level):    one file per bitmap (column-major; N bits each).
+//                          A query reads only the bitmaps it needs.
+//  * CS (component-level): one file per component, row-major — record r's
+//                          n_i component bits are adjacent.  A query must
+//                          read every component file and pay CPU to extract
+//                          the relevant bitmap columns.
+//  * IS (index-level):     the whole index row-major in one file; the
+//                          max-component IS index is a projection index.
+//
+// Every file may be compressed with a Codec ("cBS"/"cCS"/"cIS" in the
+// paper's naming).  StoredIndex materializes an in-memory BitmapIndex to a
+// directory, reopens it later, and evaluates predicates with the shared
+// algorithms, accounting bytes read and decompression time.
+
+#ifndef BIX_STORAGE_STORED_INDEX_H_
+#define BIX_STORAGE_STORED_INDEX_H_
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "bitmap/bitvector.h"
+#include "compress/codec.h"
+#include "core/base_sequence.h"
+#include "core/bitmap_index.h"
+#include "core/eval_stats.h"
+#include "core/predicate.h"
+#include "core/status.h"
+
+namespace bix {
+
+enum class StorageScheme {
+  kBitmapLevel,     // BS
+  kComponentLevel,  // CS
+  kIndexLevel,      // IS
+};
+
+std::string_view ToString(StorageScheme scheme);
+
+class StoredIndex {
+ public:
+  /// Writes `index` to `dir` (created if missing; existing index files are
+  /// overwritten) and returns an open handle through `*out`.
+  static Status Write(const BitmapIndex& index,
+                      const std::filesystem::path& dir, StorageScheme scheme,
+                      const Codec& codec, std::unique_ptr<StoredIndex>* out);
+
+  /// Opens an index previously materialized with Write.
+  static Status Open(const std::filesystem::path& dir,
+                     std::unique_ptr<StoredIndex>* out);
+
+  const BaseSequence& base() const { return base_; }
+  Encoding encoding() const { return encoding_; }
+  StorageScheme scheme() const { return scheme_; }
+  const Codec& codec() const { return *codec_; }
+  size_t num_records() const { return num_records_; }
+  uint32_t cardinality() const { return cardinality_; }
+
+  /// Total on-disk payload bytes of the index bitmap files (compressed
+  /// size; excludes the metadata and the shared non-null bitmap).
+  int64_t stored_bytes() const { return stored_bytes_; }
+  /// Size the same bitmaps occupy uncompressed (the BS baseline numerator
+  /// of the paper's Table 4 percentages).
+  int64_t uncompressed_bytes() const { return uncompressed_bytes_; }
+
+  /// Evaluates `A op v`, reading from disk along the scheme's access path:
+  /// BS fetches only the needed bitmap files; CS/IS read every file of the
+  /// index once per query and extract bitmap columns from the row-major
+  /// payload.  `stats->bytes_read` accumulates compressed payload bytes;
+  /// `*decompress_seconds` (if non-null) accumulates time spent inflating.
+  ///
+  /// On a read or corruption failure the error is reported through
+  /// `*status` (and an empty bitvector returned); when `status` is null
+  /// such failures abort via BIX_CHECK.
+  Bitvector Evaluate(EvalAlgorithm algorithm, CompareOp op, int64_t v,
+                     EvalStats* stats = nullptr,
+                     double* decompress_seconds = nullptr,
+                     Status* status = nullptr) const;
+
+ private:
+  StoredIndex() = default;
+
+  Status LoadMeta(const std::filesystem::path& dir);
+
+  friend class StoredQuerySource;
+
+  std::filesystem::path dir_;
+  BaseSequence base_;
+  Encoding encoding_ = Encoding::kRange;
+  StorageScheme scheme_ = StorageScheme::kBitmapLevel;
+  const Codec* codec_ = nullptr;
+  size_t num_records_ = 0;
+  uint32_t cardinality_ = 0;
+  Bitvector non_null_;
+  int64_t stored_bytes_ = 0;
+  int64_t uncompressed_bytes_ = 0;
+  // Stored-slot offset of each component within an IS row.
+  std::vector<uint32_t> slot_offsets_;
+  uint32_t row_stride_ = 0;  // total stored bitmaps (IS row width)
+};
+
+}  // namespace bix
+
+#endif  // BIX_STORAGE_STORED_INDEX_H_

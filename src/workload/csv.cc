@@ -1,0 +1,94 @@
+#include "workload/csv.h"
+
+#include <charconv>
+#include <fstream>
+#include <string>
+
+namespace bix {
+
+namespace {
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t' ||
+                        s.front() == '\r')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' ||
+                        s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+// Extracts field `index` of a comma-separated line, or nullopt if the line
+// has too few fields.
+std::optional<std::string_view> Field(std::string_view line, int index) {
+  int current = 0;
+  size_t start = 0;
+  for (size_t i = 0; i <= line.size(); ++i) {
+    if (i == line.size() || line[i] == ',') {
+      if (current == index) return line.substr(start, i - start);
+      ++current;
+      start = i + 1;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+bool ParseCsvField(std::string_view field, std::optional<int64_t>* out) {
+  field = Trim(field);
+  if (field.empty()) {
+    *out = std::nullopt;
+    return true;
+  }
+  int64_t value = 0;
+  auto [ptr, ec] = std::from_chars(field.data(), field.data() + field.size(),
+                                   value);
+  if (ec != std::errc() || ptr != field.data() + field.size()) return false;
+  *out = value;
+  return true;
+}
+
+Status ReadCsvColumn(const std::filesystem::path& path, int column_index,
+                     CsvColumn* out) {
+  if (column_index < 0) {
+    return Status::InvalidArgument("column index must be >= 0");
+  }
+  std::ifstream file(path);
+  if (!file) return Status::IoError("cannot open " + path.string());
+
+  out->values.clear();
+  out->name.clear();
+  std::string line;
+  bool first = true;
+  size_t line_number = 0;
+  while (std::getline(file, line)) {
+    ++line_number;
+    if (line.empty() || (line.size() == 1 && line[0] == '\r')) continue;
+    std::optional<std::string_view> field = Field(line, column_index);
+    if (!field.has_value()) {
+      return Status::Corruption("line " + std::to_string(line_number) +
+                                " has fewer than " +
+                                std::to_string(column_index + 1) + " fields");
+    }
+    std::optional<int64_t> value;
+    if (!ParseCsvField(*field, &value)) {
+      if (first) {
+        // Non-numeric first row: header.
+        out->name = std::string(Trim(*field));
+        first = false;
+        continue;
+      }
+      return Status::Corruption("line " + std::to_string(line_number) +
+                                ": non-integer field '" +
+                                std::string(*field) + "'");
+    }
+    first = false;
+    out->values.push_back(value);
+  }
+  return Status::OK();
+}
+
+}  // namespace bix

@@ -1,0 +1,40 @@
+// Minimal CSV column reader for loading real data into indexes.
+//
+// Supports integer-valued columns (the library indexes value ranks; raw
+// integers are mapped through ValueMap), comma separation, optional
+// header detection, and empty fields as NULLs.
+
+#ifndef BIX_WORKLOAD_CSV_H_
+#define BIX_WORKLOAD_CSV_H_
+
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "core/status.h"
+
+namespace bix {
+
+struct CsvColumn {
+  /// Raw values; entries without a value (empty field) are std::nullopt.
+  std::vector<std::optional<int64_t>> values;
+  /// Column name if the file had a (non-numeric) header row.
+  std::string name;
+};
+
+/// Reads column `column_index` (0-based) of a comma-separated file.  The
+/// first row is treated as a header when its target field does not parse
+/// as an integer.  Returns an error for missing files, rows without enough
+/// fields, or non-integer non-empty fields.
+Status ReadCsvColumn(const std::filesystem::path& path, int column_index,
+                     CsvColumn* out);
+
+/// Parses one integer field; empty or whitespace-only means NULL.
+/// Returns false for malformed input.
+bool ParseCsvField(std::string_view field, std::optional<int64_t>* out);
+
+}  // namespace bix
+
+#endif  // BIX_WORKLOAD_CSV_H_

@@ -1,0 +1,67 @@
+#include "workload/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+#include "core/check.h"
+
+namespace bix {
+
+std::vector<uint32_t> GenerateUniform(size_t num_records, uint32_t cardinality,
+                                      uint64_t seed) {
+  BIX_CHECK(cardinality >= 1);
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<uint32_t> dist(0, cardinality - 1);
+  std::vector<uint32_t> out(num_records);
+  for (uint32_t& v : out) v = dist(rng);
+  return out;
+}
+
+std::vector<uint32_t> GenerateZipf(size_t num_records, uint32_t cardinality,
+                                   double skew, uint64_t seed) {
+  BIX_CHECK(cardinality >= 1);
+  BIX_CHECK(skew > 0);
+  // Inverse-CDF sampling over the finite Zipf distribution.
+  std::vector<double> cdf(cardinality);
+  double total = 0;
+  for (uint32_t r = 0; r < cardinality; ++r) {
+    total += 1.0 / std::pow(static_cast<double>(r + 1), skew);
+    cdf[r] = total;
+  }
+  for (double& c : cdf) c /= total;
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> uni(0.0, 1.0);
+  std::vector<uint32_t> out(num_records);
+  for (uint32_t& v : out) {
+    double u = uni(rng);
+    v = static_cast<uint32_t>(
+        std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin());
+    if (v >= cardinality) v = cardinality - 1;
+  }
+  return out;
+}
+
+std::vector<uint32_t> GenerateSorted(size_t num_records, uint32_t cardinality,
+                                     uint64_t seed) {
+  std::vector<uint32_t> out = GenerateUniform(num_records, cardinality, seed);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<uint32_t> GenerateClustered(size_t num_records,
+                                        uint32_t cardinality,
+                                        size_t run_length, uint64_t seed) {
+  BIX_CHECK(run_length >= 1);
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<uint32_t> dist(0, cardinality - 1);
+  std::vector<uint32_t> out(num_records);
+  size_t i = 0;
+  while (i < num_records) {
+    uint32_t v = dist(rng);
+    for (size_t k = 0; k < run_length && i < num_records; ++k) out[i++] = v;
+  }
+  return out;
+}
+
+}  // namespace bix

@@ -1,0 +1,34 @@
+// Synthetic column generators for experiments and tests.
+//
+// All generators are deterministic given a seed and produce value ranks in
+// [0, cardinality).
+
+#ifndef BIX_WORKLOAD_GENERATORS_H_
+#define BIX_WORKLOAD_GENERATORS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace bix {
+
+/// Independent uniform ranks.
+std::vector<uint32_t> GenerateUniform(size_t num_records, uint32_t cardinality,
+                                      uint64_t seed);
+
+/// Zipf-distributed ranks (rank 0 most frequent) with exponent `skew` > 0.
+std::vector<uint32_t> GenerateZipf(size_t num_records, uint32_t cardinality,
+                                   double skew, uint64_t seed);
+
+/// Uniform ranks sorted ascending (models a clustered / ordered relation).
+std::vector<uint32_t> GenerateSorted(size_t num_records, uint32_t cardinality,
+                                     uint64_t seed);
+
+/// Uniform ranks emitted in runs of `run_length` equal values.
+std::vector<uint32_t> GenerateClustered(size_t num_records,
+                                        uint32_t cardinality,
+                                        size_t run_length, uint64_t seed);
+
+}  // namespace bix
+
+#endif  // BIX_WORKLOAD_GENERATORS_H_

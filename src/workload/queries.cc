@@ -1,0 +1,27 @@
+#include "workload/queries.h"
+
+namespace bix {
+
+std::vector<Query> AllSelectionQueries(uint32_t cardinality) {
+  std::vector<Query> out;
+  out.reserve(static_cast<size_t>(cardinality) * kAllCompareOps.size());
+  for (CompareOp op : kAllCompareOps) {
+    for (uint32_t v = 0; v < cardinality; ++v) {
+      out.push_back(Query{op, static_cast<int64_t>(v)});
+    }
+  }
+  return out;
+}
+
+std::vector<Query> RestrictedSelectionQueries(uint32_t cardinality) {
+  std::vector<Query> out;
+  out.reserve(static_cast<size_t>(cardinality) * 2);
+  for (CompareOp op : {CompareOp::kLe, CompareOp::kEq}) {
+    for (uint32_t v = 0; v < cardinality; ++v) {
+      out.push_back(Query{op, static_cast<int64_t>(v)});
+    }
+  }
+  return out;
+}
+
+}  // namespace bix

@@ -1,0 +1,26 @@
+// Selection-query workloads over the paper's query space Q.
+
+#ifndef BIX_WORKLOAD_QUERIES_H_
+#define BIX_WORKLOAD_QUERIES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/predicate.h"
+
+namespace bix {
+
+struct Query {
+  CompareOp op;
+  int64_t v;
+};
+
+/// The full uniform query space Q: all 6 operators x all C constants.
+std::vector<Query> AllSelectionQueries(uint32_t cardinality);
+
+/// The paper's Section 9 restricted workload: {<=, =} x all C constants.
+std::vector<Query> RestrictedSelectionQueries(uint32_t cardinality);
+
+}  // namespace bix
+
+#endif  // BIX_WORKLOAD_QUERIES_H_

@@ -1,0 +1,25 @@
+#include "workload/tpcd.h"
+
+#include "workload/generators.h"
+
+namespace bix {
+
+DataSet MakeLineitemQuantity(size_t num_records, uint64_t seed) {
+  DataSet ds;
+  ds.relation = "Lineitem";
+  ds.attribute = "Quantity";
+  ds.cardinality = kQuantityCardinality;
+  ds.ranks = GenerateUniform(num_records, ds.cardinality, seed);
+  return ds;
+}
+
+DataSet MakeOrderOrderdate(size_t num_records, uint64_t seed) {
+  DataSet ds;
+  ds.relation = "Order";
+  ds.attribute = "OrderDate";
+  ds.cardinality = kOrderdateCardinality;
+  ds.ranks = GenerateUniform(num_records, ds.cardinality, seed);
+  return ds;
+}
+
+}  // namespace bix

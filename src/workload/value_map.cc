@@ -1,0 +1,77 @@
+#include "workload/value_map.h"
+
+#include <algorithm>
+
+#include "core/check.h"
+
+namespace bix {
+
+ValueMap ValueMap::FromColumn(std::span<const int64_t> raw_values) {
+  ValueMap map;
+  map.sorted_values_.assign(raw_values.begin(), raw_values.end());
+  std::sort(map.sorted_values_.begin(), map.sorted_values_.end());
+  map.sorted_values_.erase(
+      std::unique(map.sorted_values_.begin(), map.sorted_values_.end()),
+      map.sorted_values_.end());
+  BIX_CHECK_MSG(!map.sorted_values_.empty(), "empty column");
+  return map;
+}
+
+uint32_t ValueMap::RankOf(int64_t value) const {
+  auto it =
+      std::lower_bound(sorted_values_.begin(), sorted_values_.end(), value);
+  BIX_CHECK_MSG(it != sorted_values_.end() && *it == value,
+                "value not present in the indexed column");
+  return static_cast<uint32_t>(it - sorted_values_.begin());
+}
+
+int64_t ValueMap::FloorRankOf(int64_t value) const {
+  auto it =
+      std::upper_bound(sorted_values_.begin(), sorted_values_.end(), value);
+  return static_cast<int64_t>(it - sorted_values_.begin()) - 1;
+}
+
+int64_t ValueMap::ValueOf(uint32_t rank) const {
+  BIX_CHECK(rank < sorted_values_.size());
+  return sorted_values_[rank];
+}
+
+std::vector<uint32_t> ValueMap::ToRanks(
+    std::span<const int64_t> raw_values) const {
+  std::vector<uint32_t> out;
+  out.reserve(raw_values.size());
+  for (int64_t v : raw_values) out.push_back(RankOf(v));
+  return out;
+}
+
+void TranslateRawPredicate(const ValueMap& map, CompareOp op, int64_t raw,
+                           CompareOp* rank_op, int64_t* rank_v) {
+  switch (op) {
+    case CompareOp::kLe:
+    case CompareOp::kLt: {
+      // A <= raw  <=>  rank <= floor(raw);  A < raw  <=>  rank <= floor(raw-1).
+      *rank_op = CompareOp::kLe;
+      *rank_v = map.FloorRankOf(op == CompareOp::kLe ? raw : raw - 1);
+      return;
+    }
+    case CompareOp::kGt:
+    case CompareOp::kGe: {
+      *rank_op = CompareOp::kGt;
+      *rank_v = map.FloorRankOf(op == CompareOp::kGt ? raw : raw - 1);
+      return;
+    }
+    case CompareOp::kEq:
+    case CompareOp::kNe: {
+      int64_t floor_rank = map.FloorRankOf(raw);
+      bool present = floor_rank >= 0 &&
+                     map.ValueOf(static_cast<uint32_t>(floor_rank)) == raw;
+      *rank_op = op;
+      // Absent constant: `=` matches nothing and `!=` matches every
+      // non-null record; rank -1 has exactly those semantics.
+      *rank_v = present ? floor_rank : -1;
+      return;
+    }
+  }
+}
+
+}  // namespace bix

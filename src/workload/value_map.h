@@ -1,0 +1,57 @@
+// Mapping between raw attribute values and dense ranks (paper Section 2).
+//
+// Bitmap indexes in this library operate on consecutive value ranks
+// 0..C-1.  When actual attribute values are not consecutive integers, a
+// ValueMap (the paper's "lookup table") maps each actual value to its rank
+// and back.
+
+#ifndef BIX_WORKLOAD_VALUE_MAP_H_
+#define BIX_WORKLOAD_VALUE_MAP_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/predicate.h"
+
+namespace bix {
+
+class ValueMap {
+ public:
+  /// Builds the map from a column of raw values (duplicates allowed; order
+  /// preserved by value, so rank order equals value order).
+  static ValueMap FromColumn(std::span<const int64_t> raw_values);
+
+  uint32_t cardinality() const {
+    return static_cast<uint32_t>(sorted_values_.size());
+  }
+
+  /// Rank of `value`; aborts if the value was not in the column.
+  uint32_t RankOf(int64_t value) const;
+
+  /// Largest rank whose value is <= `value`, or -1 if `value` is below the
+  /// smallest.  Lets callers translate raw-domain range predicates into
+  /// rank-domain ones even for constants absent from the column.
+  int64_t FloorRankOf(int64_t value) const;
+
+  /// Raw value of `rank`.
+  int64_t ValueOf(uint32_t rank) const;
+
+  /// Maps a raw column to ranks.
+  std::vector<uint32_t> ToRanks(std::span<const int64_t> raw_values) const;
+
+ private:
+  std::vector<int64_t> sorted_values_;
+};
+
+/// Translates a raw-domain predicate `A op raw` into an equivalent
+/// rank-domain predicate over this map's dense ranks (correct even for
+/// constants absent from the indexed column: `<= raw` becomes
+/// `rank <= FloorRankOf(raw)`, an absent `= raw` becomes the empty
+/// `rank = -1`, etc.).
+void TranslateRawPredicate(const ValueMap& map, CompareOp op, int64_t raw,
+                           CompareOp* rank_op, int64_t* rank_v);
+
+}  // namespace bix
+
+#endif  // BIX_WORKLOAD_VALUE_MAP_H_

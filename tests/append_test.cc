@@ -1,0 +1,89 @@
+// Incremental-load path: appending records to a live index is equivalent
+// to rebuilding from scratch, for every encoding and across null values.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baseline/scan.h"
+#include "core/bitmap_index.h"
+#include "workload/generators.h"
+#include "workload/queries.h"
+
+namespace bix {
+namespace {
+
+TEST(BitvectorResizeTest, GrowAndShrink) {
+  Bitvector bv(10);
+  bv.Set(3);
+  bv.Set(9);
+  bv.Resize(100);
+  EXPECT_EQ(bv.size(), 100u);
+  EXPECT_TRUE(bv.Get(3));
+  EXPECT_TRUE(bv.Get(9));
+  EXPECT_FALSE(bv.Get(10));
+  EXPECT_EQ(bv.Count(), 2u);
+  bv.Resize(4);
+  EXPECT_EQ(bv.size(), 4u);
+  EXPECT_EQ(bv.Count(), 1u);  // bit 9 dropped, tail cleared
+  bv.Resize(64);
+  EXPECT_EQ(bv.Count(), 1u);
+}
+
+TEST(BitvectorResizeTest, PushBackAcrossWordBoundaries) {
+  Bitvector bv;
+  for (size_t i = 0; i < 200; ++i) bv.PushBack(i % 3 == 0);
+  EXPECT_EQ(bv.size(), 200u);
+  for (size_t i = 0; i < 200; ++i) EXPECT_EQ(bv.Get(i), i % 3 == 0) << i;
+}
+
+class AppendEquivalenceTest : public ::testing::TestWithParam<Encoding> {};
+
+TEST_P(AppendEquivalenceTest, AppendEqualsRebuild) {
+  const Encoding encoding = GetParam();
+  const uint32_t c = 45;
+  std::vector<uint32_t> all = GenerateUniform(800, c, 21);
+  all[5] = kNullValue;
+  all[700] = kNullValue;
+
+  const size_t initial = 500;
+  BitmapIndex incremental = BitmapIndex::Build(
+      std::span<const uint32_t>(all).first(initial), c,
+      BaseSequence::FromMsbFirst({5, 9}), encoding);
+  for (size_t r = initial; r < all.size(); ++r) incremental.Append(all[r]);
+  EXPECT_EQ(incremental.num_records(), all.size());
+
+  BitmapIndex rebuilt = BitmapIndex::Build(
+      all, c, BaseSequence::FromMsbFirst({5, 9}), encoding);
+  for (const Query& q : AllSelectionQueries(c)) {
+    ASSERT_EQ(incremental.Evaluate(q.op, q.v), rebuilt.Evaluate(q.op, q.v))
+        << ToString(q.op) << " " << q.v;
+  }
+}
+
+TEST_P(AppendEquivalenceTest, AppendFromEmpty) {
+  const Encoding encoding = GetParam();
+  const uint32_t c = 9;
+  BitmapIndex index =
+      BitmapIndex::Build(std::span<const uint32_t>(), c,
+                         BaseSequence::FromMsbFirst({3, 3}), encoding);
+  std::vector<uint32_t> values = {4, 0, 8, kNullValue, 2, 8};
+  for (uint32_t v : values) index.Append(v);
+  for (const Query& q : AllSelectionQueries(c)) {
+    ASSERT_EQ(index.Evaluate(q.op, q.v), ScanEvaluate(values, q.op, q.v));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Encodings, AppendEquivalenceTest,
+                         ::testing::Values(Encoding::kRange,
+                                           Encoding::kEquality));
+
+TEST(AppendTest, RejectsOutOfRangeRank) {
+  BitmapIndex index =
+      BitmapIndex::Build(std::span<const uint32_t>(), 9,
+                         BaseSequence::FromMsbFirst({3, 3}), Encoding::kRange);
+  EXPECT_DEATH(index.Append(9), "out of range");
+}
+
+}  // namespace
+}  // namespace bix

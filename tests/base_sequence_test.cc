@@ -1,0 +1,97 @@
+#include "core/base_sequence.h"
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+namespace bix {
+namespace {
+
+TEST(BaseSequenceTest, MsbFirstOrdering) {
+  BaseSequence base = BaseSequence::FromMsbFirst({3, 3, 2});
+  ASSERT_EQ(base.num_components(), 3);
+  // Component 0 is the least-significant digit = the last listed base.
+  EXPECT_EQ(base.base(0), 2u);
+  EXPECT_EQ(base.base(1), 3u);
+  EXPECT_EQ(base.base(2), 3u);
+  EXPECT_EQ(base.capacity(), 18u);
+  EXPECT_EQ(base.ToString(), "<3, 3, 2>");
+}
+
+TEST(BaseSequenceTest, PaperExampleBase33) {
+  // The paper's Figure 3: a base-<3,3> index for C = 9; value 7 = <2,1>.
+  BaseSequence base = BaseSequence::FromMsbFirst({3, 3});
+  std::vector<uint32_t> digits = base.Decompose(7);
+  ASSERT_EQ(digits.size(), 2u);
+  EXPECT_EQ(digits[0], 1u);  // v_1
+  EXPECT_EQ(digits[1], 2u);  // v_2
+  EXPECT_EQ(base.Compose(digits), 7u);
+}
+
+TEST(BaseSequenceTest, UniformFactory) {
+  BaseSequence base = BaseSequence::Uniform(10, 1000);
+  EXPECT_EQ(base.num_components(), 3);
+  EXPECT_EQ(base.capacity(), 1000u);
+  EXPECT_TRUE(base.IsWellDefinedFor(1000));
+  EXPECT_FALSE(base.IsWellDefinedFor(1001));
+
+  BaseSequence one = BaseSequence::Uniform(5, 1);
+  EXPECT_EQ(one.num_components(), 1);
+}
+
+TEST(BaseSequenceTest, SingleComponentAndBitSliced) {
+  BaseSequence vl = BaseSequence::SingleComponent(9);
+  EXPECT_EQ(vl.num_components(), 1);
+  EXPECT_EQ(vl.base(0), 9u);
+
+  BaseSequence bs = BaseSequence::BitSliced(9);
+  EXPECT_EQ(bs.num_components(), 4);  // 2^4 = 16 >= 9
+  for (int i = 0; i < bs.num_components(); ++i) EXPECT_EQ(bs.base(i), 2u);
+}
+
+TEST(BaseSequenceTest, DecomposeComposeRoundTripRandomBases) {
+  std::mt19937_64 rng(3);
+  for (int trial = 0; trial < 200; ++trial) {
+    int n = 1 + static_cast<int>(rng() % 5);
+    std::vector<uint32_t> bases;
+    for (int i = 0; i < n; ++i) {
+      bases.push_back(2 + static_cast<uint32_t>(rng() % 12));
+    }
+    BaseSequence base = BaseSequence::FromLsbFirst(bases);
+    uint64_t capacity = base.capacity();
+    for (int q = 0; q < 20; ++q) {
+      uint64_t v = rng() % capacity;
+      EXPECT_EQ(base.Compose(base.Decompose(v)), v);
+    }
+    // Digits enumerate values in lexicographic order of the mixed radix.
+    EXPECT_EQ(base.Compose(base.Decompose(0)), 0u);
+    EXPECT_EQ(base.Compose(base.Decompose(capacity - 1)), capacity - 1);
+  }
+}
+
+TEST(BaseSequenceTest, DigitsAreInRange) {
+  BaseSequence base = BaseSequence::FromMsbFirst({5, 3, 4});
+  for (uint64_t v = 0; v < base.capacity(); ++v) {
+    std::vector<uint32_t> digits = base.Decompose(v);
+    for (int i = 0; i < base.num_components(); ++i) {
+      EXPECT_LT(digits[static_cast<size_t>(i)], base.base(i));
+    }
+  }
+}
+
+TEST(BaseSequenceTest, CapacitySaturatesInsteadOfOverflowing) {
+  std::vector<uint32_t> bases(64, 1000);
+  BaseSequence base = BaseSequence::FromLsbFirst(bases);
+  EXPECT_GE(base.capacity(), uint64_t{1} << 62);
+  EXPECT_TRUE(base.IsWellDefinedFor(uint32_t{4000000000u}));
+}
+
+TEST(BaseSequenceTest, EqualityOperator) {
+  EXPECT_TRUE(BaseSequence::FromMsbFirst({3, 2}) ==
+              BaseSequence::FromMsbFirst({3, 2}));
+  EXPECT_FALSE(BaseSequence::FromMsbFirst({3, 2}) ==
+               BaseSequence::FromMsbFirst({2, 3}));
+}
+
+}  // namespace
+}  // namespace bix

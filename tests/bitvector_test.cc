@@ -1,0 +1,142 @@
+#include "bitmap/bitvector.h"
+
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace bix {
+namespace {
+
+TEST(BitvectorTest, DefaultIsEmpty) {
+  Bitvector bv;
+  EXPECT_EQ(bv.size(), 0u);
+  EXPECT_TRUE(bv.empty());
+  EXPECT_TRUE(bv.None());
+  EXPECT_TRUE(bv.All());
+}
+
+TEST(BitvectorTest, ZerosAndOnes) {
+  Bitvector zeros = Bitvector::Zeros(100);
+  EXPECT_EQ(zeros.Count(), 0u);
+  EXPECT_TRUE(zeros.None());
+  EXPECT_FALSE(zeros.All());
+
+  Bitvector ones = Bitvector::Ones(100);
+  EXPECT_EQ(ones.Count(), 100u);
+  EXPECT_TRUE(ones.All());
+  EXPECT_TRUE(ones.Any());
+}
+
+TEST(BitvectorTest, SetAndGet) {
+  Bitvector bv(130);
+  bv.Set(0);
+  bv.Set(63);
+  bv.Set(64);
+  bv.Set(129);
+  EXPECT_TRUE(bv.Get(0));
+  EXPECT_TRUE(bv.Get(63));
+  EXPECT_TRUE(bv.Get(64));
+  EXPECT_TRUE(bv.Get(129));
+  EXPECT_FALSE(bv.Get(1));
+  EXPECT_FALSE(bv.Get(128));
+  EXPECT_EQ(bv.Count(), 4u);
+  bv.Set(63, false);
+  EXPECT_FALSE(bv.Get(63));
+  EXPECT_EQ(bv.Count(), 3u);
+}
+
+TEST(BitvectorTest, NotClearsTailBits) {
+  // NOT on a non-word-multiple length must not leak set bits past size().
+  Bitvector bv(70);
+  bv.NotInPlace();
+  EXPECT_EQ(bv.Count(), 70u);
+  EXPECT_TRUE(bv.All());
+  bv.NotInPlace();
+  EXPECT_EQ(bv.Count(), 0u);
+}
+
+TEST(BitvectorTest, LogicalOpsMatchScalarSemantics) {
+  std::mt19937_64 rng(7);
+  const size_t n = 257;
+  std::vector<bool> a_ref(n), b_ref(n);
+  Bitvector a(n), b(n);
+  for (size_t i = 0; i < n; ++i) {
+    a_ref[i] = rng() & 1;
+    b_ref[i] = rng() & 1;
+    if (a_ref[i]) a.Set(i);
+    if (b_ref[i]) b.Set(i);
+  }
+  Bitvector and_v = a & b;
+  Bitvector or_v = a | b;
+  Bitvector xor_v = a ^ b;
+  Bitvector not_v = ~a;
+  Bitvector andnot_v = a;
+  andnot_v.AndNotWith(b);
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(and_v.Get(i), a_ref[i] && b_ref[i]) << i;
+    EXPECT_EQ(or_v.Get(i), a_ref[i] || b_ref[i]) << i;
+    EXPECT_EQ(xor_v.Get(i), a_ref[i] != b_ref[i]) << i;
+    EXPECT_EQ(not_v.Get(i), !a_ref[i]) << i;
+    EXPECT_EQ(andnot_v.Get(i), a_ref[i] && !b_ref[i]) << i;
+  }
+}
+
+TEST(BitvectorTest, NextSetBit) {
+  Bitvector bv(200);
+  bv.Set(5);
+  bv.Set(64);
+  bv.Set(199);
+  EXPECT_EQ(bv.NextSetBit(0), 5u);
+  EXPECT_EQ(bv.NextSetBit(5), 5u);
+  EXPECT_EQ(bv.NextSetBit(6), 64u);
+  EXPECT_EQ(bv.NextSetBit(65), 199u);
+  EXPECT_EQ(bv.NextSetBit(200), 200u);
+  EXPECT_EQ(Bitvector(64).NextSetBit(0), 64u);
+}
+
+TEST(BitvectorTest, ForEachSetBitAndIndices) {
+  Bitvector bv(150);
+  std::vector<uint32_t> expected = {0, 1, 63, 64, 65, 127, 149};
+  for (uint32_t i : expected) bv.Set(i);
+  EXPECT_EQ(bv.ToSetBitIndices(), expected);
+  std::vector<uint32_t> seen;
+  bv.ForEachSetBit([&](size_t i) { seen.push_back(static_cast<uint32_t>(i)); });
+  EXPECT_EQ(seen, expected);
+}
+
+TEST(BitvectorTest, BytesRoundTrip) {
+  std::mt19937_64 rng(11);
+  for (size_t n : {0u, 1u, 7u, 8u, 9u, 63u, 64u, 65u, 1000u}) {
+    Bitvector bv(n);
+    for (size_t i = 0; i < n; ++i) {
+      if (rng() & 1) bv.Set(i);
+    }
+    std::vector<uint8_t> bytes = bv.ToBytes();
+    EXPECT_EQ(bytes.size(), (n + 7) / 8);
+    Bitvector back = Bitvector::FromBytes(bytes, n);
+    EXPECT_EQ(back, bv) << "n=" << n;
+  }
+}
+
+TEST(BitvectorTest, EqualityIncludesLength) {
+  Bitvector a(10), b(11);
+  EXPECT_FALSE(a == b);
+  Bitvector c(10);
+  EXPECT_TRUE(a == c);
+  c.Set(3);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(BitvectorTest, CountAcrossManyWords) {
+  Bitvector bv(64 * 10);
+  size_t expected = 0;
+  for (size_t i = 0; i < bv.size(); i += 3) {
+    bv.Set(i);
+    ++expected;
+  }
+  EXPECT_EQ(bv.Count(), expected);
+}
+
+}  // namespace
+}  // namespace bix

@@ -1,0 +1,179 @@
+// Section 10: the buffered cost model, the optimality of the greedy buffer
+// assignment (Theorem 10.1), the buffered time-optimal index (Theorem
+// 10.2), and validation of the analytic hit model against a simulated
+// pinned-bitmap source.
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "buffer/buffering.h"
+#include "core/advisor.h"
+#include "core/bitmap_index.h"
+#include "core/eval.h"
+#include "core/cost_model.h"
+#include "workload/generators.h"
+#include "workload/queries.h"
+
+namespace bix {
+namespace {
+
+// Exhaustive minimum of the buffered time over all well-defined
+// assignments of `budget` bitmaps.
+double BruteForceBestTime(const BaseSequence& base, int64_t budget) {
+  const int n = base.num_components();
+  BufferAssignment assignment;
+  assignment.pinned.assign(static_cast<size_t>(n), 0);
+  double best = std::numeric_limits<double>::infinity();
+  auto recurse = [&](auto&& self, int i, int64_t left) -> void {
+    if (i == n) {
+      if (left == 0) {
+        best = std::min(best, BufferedAnalyticTime(base, assignment));
+      }
+      return;
+    }
+    int64_t cap = std::min<int64_t>(left, base.base(i) - 1);
+    for (int64_t f = 0; f <= cap; ++f) {
+      assignment.pinned[static_cast<size_t>(i)] = static_cast<uint32_t>(f);
+      self(self, i + 1, left - f);
+    }
+    assignment.pinned[static_cast<size_t>(i)] = 0;
+  };
+  int64_t total_capacity = SpaceInBitmaps(base, Encoding::kRange);
+  recurse(recurse, 0, std::min(budget, total_capacity));
+  return best;
+}
+
+TEST(BufferingTest, ZeroBufferReducesToUnbufferedTime) {
+  for (auto bases : {std::vector<uint32_t>{10, 10}, std::vector<uint32_t>{50},
+                     std::vector<uint32_t>{2, 2, 17}}) {
+    BaseSequence base = BaseSequence::FromMsbFirst(bases);
+    BufferAssignment none;
+    none.pinned.assign(static_cast<size_t>(base.num_components()), 0);
+    EXPECT_NEAR(BufferedAnalyticTime(base, none),
+                AnalyticTime(base, Encoding::kRange), 1e-12);
+  }
+}
+
+TEST(BufferingTest, FullyBufferedIndexScansNothing) {
+  BaseSequence base = BaseSequence::FromMsbFirst({4, 5});
+  BufferAssignment all;
+  all.pinned = {4, 3};  // (b-1) per component, LSB first
+  EXPECT_NEAR(BufferedAnalyticTime(base, all), 0.0, 1e-12);
+}
+
+TEST(BufferingTest, GreedyAssignmentIsOptimal) {
+  // Theorem 10.1's policy equals brute force on every tested shape/budget.
+  for (auto bases :
+       {std::vector<uint32_t>{10, 10}, std::vector<uint32_t>{2, 3, 8},
+        std::vector<uint32_t>{5, 4, 3, 2}, std::vector<uint32_t>{6, 6, 6},
+        std::vector<uint32_t>{2, 2, 17}}) {
+    BaseSequence base = BaseSequence::FromMsbFirst(bases);
+    int64_t capacity = SpaceInBitmaps(base, Encoding::kRange);
+    for (int64_t m = 0; m <= capacity + 2; ++m) {
+      BufferAssignment greedy = OptimalBufferAssignment(base, m);
+      EXPECT_EQ(greedy.total(), std::min(m, capacity));
+      EXPECT_NEAR(BufferedAnalyticTime(base, greedy),
+                  BruteForceBestTime(base, m), 1e-9)
+          << base.ToString() << " m=" << m;
+    }
+  }
+}
+
+TEST(BufferingTest, BufferingPrefersSmallBasesExceptComponent1Discount) {
+  // Components with base < (3/2) b_1 outrank component 1 (Theorem 10.1).
+  BaseSequence base = BaseSequence::FromMsbFirst({4, 10});  // b_1=10, b_2=4
+  BufferAssignment a = OptimalBufferAssignment(base, 3);
+  EXPECT_EQ(a.pinned[1], 3u);  // all three pinned bitmaps go to base-4 comp
+  EXPECT_EQ(a.pinned[0], 0u);
+
+  // With b_2 > (3/2) b_1 the discounted component 1 wins instead.
+  BaseSequence skew = BaseSequence::FromMsbFirst({16, 10});
+  BufferAssignment b = OptimalBufferAssignment(skew, 3);
+  EXPECT_EQ(b.pinned[0], 3u);
+  EXPECT_EQ(b.pinned[1], 0u);
+}
+
+TEST(BufferingTest, BufferedTimeOptimalMatchesSearch) {
+  // Theorem 10.2 versus brute force over every tight design with its
+  // optimal assignment.
+  for (uint32_t c : {100u, 1000u}) {
+    for (int64_t m : {int64_t{1}, int64_t{2}, int64_t{3}, int64_t{5}}) {
+      BufferedDesign theorem = BufferedTimeOptimal(c, m);
+      double best = std::numeric_limits<double>::infinity();
+      EnumerateTightBases(c, 0, [&](const BaseSequence& base) {
+        BufferAssignment a = OptimalBufferAssignment(base, m);
+        best = std::min(best, BufferedAnalyticTime(base, a));
+      });
+      EXPECT_NEAR(theorem.time, best, 1e-9)
+          << "C=" << c << " m=" << m << " base=" << theorem.base.ToString();
+    }
+  }
+}
+
+TEST(BufferingTest, MoreBufferNeverHurtsTheOptimum) {
+  double prev = std::numeric_limits<double>::infinity();
+  for (int64_t m = 0; m <= 16; ++m) {
+    double t = BufferedTimeOptimal(1000, m).time;
+    EXPECT_LE(t, prev + 1e-12) << "m=" << m;
+    prev = t;
+  }
+}
+
+TEST(BufferingTest, BufferedFrontierImprovesWithBudget) {
+  std::vector<BufferedDesign> f0 = BufferedFrontier(100, 0);
+  std::vector<BufferedDesign> f4 = BufferedFrontier(100, 4);
+  ASSERT_FALSE(f0.empty());
+  ASSERT_FALSE(f4.empty());
+  // For every unbuffered frontier point there is a buffered design at most
+  // as large and at least as fast.
+  for (const BufferedDesign& d : f0) {
+    bool dominated = false;
+    for (const BufferedDesign& e : f4) {
+      if (e.space <= d.space && e.time <= d.time + 1e-12) {
+        dominated = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(dominated) << d.base.ToString();
+  }
+}
+
+TEST(BufferingTest, SimulatedPinnedSourceMatchesAnalyticModel) {
+  // Run the full query space through a BufferedSource and compare the
+  // measured average scans with Eq. 6.  The pinned slots are spread evenly,
+  // and the reference distribution is only approximately uniform, so allow
+  // a modest tolerance.
+  const uint32_t c = 1000;
+  std::vector<uint32_t> values = GenerateUniform(500, c, 41);
+  BaseSequence base = BaseSequence::FromMsbFirst({10, 10, 10});
+  BitmapIndex index = BitmapIndex::Build(values, c, base, Encoding::kRange);
+  BufferAssignment assignment = OptimalBufferAssignment(base, 9);
+  BufferedSource source(index, assignment);
+
+  EvalStats stats;
+  std::vector<Query> queries = AllSelectionQueries(c);
+  for (const Query& q : queries) {
+    Bitvector got = EvaluatePredicate(source, EvalAlgorithm::kAuto, q.op, q.v,
+                                      &stats);
+    // Results are unaffected by buffering.
+    ASSERT_EQ(got, index.Evaluate(q.op, q.v));
+  }
+  double measured = static_cast<double>(stats.bitmap_scans) /
+                    static_cast<double>(queries.size());
+  double model = BufferedAnalyticTime(base, assignment);
+  EXPECT_NEAR(measured, model, 0.25);
+  EXPECT_GT(stats.buffer_hits, 0);
+}
+
+TEST(BufferingTest, AssignmentValidation) {
+  BaseSequence base = BaseSequence::FromMsbFirst({4, 5});
+  BufferAssignment bad;
+  bad.pinned = {5, 1};  // component 1 stores only 4 bitmaps
+  EXPECT_DEATH(BufferedAnalyticTime(base, bad), "pins more bitmaps");
+}
+
+}  // namespace
+}  // namespace bix

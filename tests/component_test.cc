@@ -1,0 +1,99 @@
+#include "core/component.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/bitmap_source.h"
+
+namespace bix {
+namespace {
+
+Bitvector AllOnes(size_t n) { return Bitvector::Ones(n); }
+
+TEST(ComponentTest, EqualityEncodingBitmaps) {
+  // Digits 0..3 cycling over 8 records, base 4.
+  std::vector<uint32_t> digits = {0, 1, 2, 3, 0, 1, 2, 3};
+  IndexComponent comp = IndexComponent::Build(Encoding::kEquality, 4, digits,
+                                              AllOnes(digits.size()));
+  EXPECT_EQ(comp.num_stored_bitmaps(), 4);
+  for (uint32_t v = 0; v < 4; ++v) {
+    const Bitvector& bm = comp.stored(v);
+    for (size_t r = 0; r < digits.size(); ++r) {
+      EXPECT_EQ(bm.Get(r), digits[r] == v) << "v=" << v << " r=" << r;
+    }
+  }
+}
+
+TEST(ComponentTest, EqualityBase2StoresOnlyE1) {
+  std::vector<uint32_t> digits = {0, 1, 1, 0, 1};
+  IndexComponent comp = IndexComponent::Build(Encoding::kEquality, 2, digits,
+                                              AllOnes(digits.size()));
+  EXPECT_EQ(comp.num_stored_bitmaps(), 1);
+  const Bitvector& e1 = comp.stored(0);
+  for (size_t r = 0; r < digits.size(); ++r) {
+    EXPECT_EQ(e1.Get(r), digits[r] == 1);
+  }
+}
+
+TEST(ComponentTest, RangeEncodingBitmaps) {
+  // Range-encoded B^v has a 1 wherever digit <= v; B^{b-1} is implicit.
+  std::vector<uint32_t> digits = {0, 1, 2, 3, 4, 2, 0};
+  IndexComponent comp = IndexComponent::Build(Encoding::kRange, 5, digits,
+                                              AllOnes(digits.size()));
+  EXPECT_EQ(comp.num_stored_bitmaps(), 4);
+  for (uint32_t v = 0; v < 4; ++v) {
+    const Bitvector& bm = comp.stored(v);
+    for (size_t r = 0; r < digits.size(); ++r) {
+      EXPECT_EQ(bm.Get(r), digits[r] <= v) << "v=" << v << " r=" << r;
+    }
+  }
+}
+
+TEST(ComponentTest, RangeBitmapsAreNested) {
+  std::vector<uint32_t> digits;
+  for (uint32_t i = 0; i < 100; ++i) digits.push_back(i % 7);
+  IndexComponent comp = IndexComponent::Build(Encoding::kRange, 7, digits,
+                                              AllOnes(digits.size()));
+  for (int v = 0; v + 1 < comp.num_stored_bitmaps(); ++v) {
+    // B^v implies B^{v+1} at every position.
+    Bitvector diff = comp.stored(static_cast<uint32_t>(v));
+    diff.AndNotWith(comp.stored(static_cast<uint32_t>(v + 1)));
+    EXPECT_TRUE(diff.None()) << "v=" << v;
+  }
+}
+
+TEST(ComponentTest, NullRecordsContributeNoBits) {
+  std::vector<uint32_t> digits = {0, 1, 2, 1, 0};
+  Bitvector non_null(5);
+  non_null.Set(0);
+  non_null.Set(2);  // records 1, 3, 4 are NULL
+  for (Encoding enc : {Encoding::kEquality, Encoding::kRange}) {
+    IndexComponent comp = IndexComponent::Build(enc, 3, digits, non_null);
+    for (int j = 0; j < comp.num_stored_bitmaps(); ++j) {
+      const Bitvector& bm = comp.stored(static_cast<uint32_t>(j));
+      EXPECT_FALSE(bm.Get(1));
+      EXPECT_FALSE(bm.Get(3));
+      EXPECT_FALSE(bm.Get(4));
+    }
+  }
+}
+
+TEST(ComponentTest, NumStoredBitmapsRule) {
+  EXPECT_EQ(NumStoredBitmaps(Encoding::kRange, 2), 1u);
+  EXPECT_EQ(NumStoredBitmaps(Encoding::kRange, 9), 8u);
+  EXPECT_EQ(NumStoredBitmaps(Encoding::kEquality, 2), 1u);
+  EXPECT_EQ(NumStoredBitmaps(Encoding::kEquality, 3), 3u);
+  EXPECT_EQ(NumStoredBitmaps(Encoding::kEquality, 9), 9u);
+}
+
+TEST(ComponentTest, SizeInBytes) {
+  std::vector<uint32_t> digits(100, 1);
+  IndexComponent comp = IndexComponent::Build(Encoding::kRange, 5, digits,
+                                              AllOnes(digits.size()));
+  // 4 bitmaps of ceil(100/8) = 13 bytes.
+  EXPECT_EQ(comp.SizeInBytes(), 4 * 13);
+}
+
+}  // namespace
+}  // namespace bix

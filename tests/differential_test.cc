@@ -1,0 +1,106 @@
+// Randomized differential testing: for random designs, data, and queries,
+// every path to an answer — in-memory index (both algorithms where
+// applicable), WAH-compressed source, buffered source, disk-resident index
+// under a random scheme and codec, RID-list baseline, projection index,
+// and the scan oracle — must agree exactly.
+
+#include <cstdlib>
+#include <unistd.h>
+#include <filesystem>
+#include <memory>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baseline/projection_index.h"
+#include "baseline/rid_list_index.h"
+#include "baseline/scan.h"
+#include "buffer/buffering.h"
+#include "core/bitmap_index.h"
+#include "core/compressed_source.h"
+#include "core/eval.h"
+#include "storage/stored_index.h"
+#include "workload/generators.h"
+
+namespace bix {
+namespace {
+
+TEST(DifferentialTest, AllAnswerPathsAgree) {
+  std::mt19937_64 rng(20260705);
+  std::filesystem::path dir =
+      std::filesystem::temp_directory_path() /
+      ("bix_differential_" + std::to_string(::getpid()));
+
+  const char* codecs[] = {"none", "lz77", "rle", "deflate"};
+  const StorageScheme schemes[] = {StorageScheme::kBitmapLevel,
+                                   StorageScheme::kComponentLevel,
+                                   StorageScheme::kIndexLevel};
+
+  for (int trial = 0; trial < 12; ++trial) {
+    // Random design.
+    int n = 1 + static_cast<int>(rng() % 4);
+    std::vector<uint32_t> bases;
+    uint64_t capacity = 1;
+    for (int i = 0; i < n; ++i) {
+      uint32_t b = 2 + static_cast<uint32_t>(rng() % 9);
+      bases.push_back(b);
+      capacity *= b;
+    }
+    uint32_t cardinality =
+        static_cast<uint32_t>(1 + rng() % std::min<uint64_t>(capacity, 200));
+    Encoding encoding = rng() % 2 ? Encoding::kRange : Encoding::kEquality;
+    BaseSequence base = BaseSequence::FromLsbFirst(bases);
+
+    // Random data with nulls and skew.
+    size_t rows = 200 + rng() % 800;
+    std::vector<uint32_t> values =
+        rng() % 2 ? GenerateUniform(rows, cardinality, rng())
+                  : GenerateZipf(rows, cardinality, 1.1, rng());
+    for (size_t i = 0; i < rows; i += 11) values[i] = kNullValue;
+
+    BitmapIndex index = BitmapIndex::Build(values, cardinality, base, encoding);
+    WahCompressedSource wah(index);
+    BufferedSource buffered(
+        index, OptimalBufferAssignment(
+                   base, encoding == Encoding::kRange
+                             ? 1 + static_cast<int64_t>(rng() % 4)
+                             : 0));
+    const Codec* codec = CodecByName(codecs[rng() % 4]);
+    StorageScheme scheme = schemes[rng() % 3];
+    std::unique_ptr<StoredIndex> stored;
+    ASSERT_TRUE(
+        StoredIndex::Write(index, dir, scheme, *codec, &stored).ok());
+    RidListIndex rid = RidListIndex::Build(values, cardinality);
+    ProjectionIndex projection = ProjectionIndex::Build(values, cardinality);
+
+    for (int q = 0; q < 40; ++q) {
+      CompareOp op = kAllCompareOps[rng() % 6];
+      int64_t v = static_cast<int64_t>(rng() % (cardinality + 4)) - 2;
+      Bitvector expected = ScanEvaluate(values, op, v);
+      SCOPED_TRACE(std::string(ToString(op)) + " " + std::to_string(v) +
+                   " base=" + base.ToString() + " C=" +
+                   std::to_string(cardinality) + " enc=" +
+                   std::string(ToString(encoding)));
+
+      ASSERT_EQ(index.Evaluate(op, v), expected);
+      if (encoding == Encoding::kRange) {
+        ASSERT_EQ(index.Evaluate(EvalAlgorithm::kRangeEval, op, v), expected);
+      }
+      ASSERT_EQ(EvaluatePredicate(wah, EvalAlgorithm::kAuto, op, v), expected);
+      if (encoding == Encoding::kRange) {
+        ASSERT_EQ(EvaluatePredicate(buffered, EvalAlgorithm::kAuto, op, v),
+                  expected);
+      }
+      ASSERT_EQ(stored->Evaluate(EvalAlgorithm::kAuto, op, v), expected);
+      ASSERT_EQ(projection.Evaluate(op, v), expected);
+      std::vector<uint32_t> rids = rid.Evaluate(op, v);
+      ASSERT_EQ(rids, expected.ToSetBitIndices());
+    }
+  }
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+}
+
+}  // namespace
+}  // namespace bix

@@ -1,0 +1,145 @@
+// Worst-case operation/scan counts (paper Table 1) and the headline claims
+// of Section 3: RangeEval-Opt needs ~40-50% fewer bitmap operations and one
+// fewer bitmap scan per range predicate than RangeEval.
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/bitmap_index.h"
+#include "core/eval.h"
+#include "workload/generators.h"
+#include "workload/queries.h"
+
+namespace bix {
+namespace {
+
+class WorstCaseStatsTest : public ::testing::TestWithParam<int> {
+ protected:
+  // A uniform base-10 index with n components over C = 10^n, evaluated at a
+  // predicate constant whose digits are all "middle" (0 < v_i < b_i - 1) —
+  // the worst (and most probable) case of Table 1.
+  BitmapIndex MakeIndex(int n) const {
+    uint32_t c = 1;
+    for (int i = 0; i < n; ++i) c *= 10;
+    std::vector<uint32_t> values = GenerateUniform(200, c, 7);
+    return BitmapIndex::Build(values, c, BaseSequence::Uniform(10, c),
+                              Encoding::kRange);
+  }
+
+  // v = 55...5 (n fives): every digit is 5.
+  int64_t MiddleConstant(int n) const {
+    int64_t v = 0;
+    for (int i = 0; i < n; ++i) v = v * 10 + 5;
+    return v;
+  }
+};
+
+TEST_P(WorstCaseStatsTest, Table1RangeEvalOpt) {
+  const int n = GetParam();
+  BitmapIndex index = MakeIndex(n);
+  const int64_t mid = MiddleConstant(n);
+
+  struct Expected {
+    CompareOp op;
+    int64_t v;
+    int64_t scans, total_ops;
+  };
+  // {<=, >} at v = mid; {<, >=} at v = mid + 1 so the bound w = v - 1 = mid.
+  const Expected cases[] = {
+      {CompareOp::kLe, mid, 2 * n - 1, 2 * n - 1},
+      {CompareOp::kLt, mid + 1, 2 * n - 1, 2 * n - 1},
+      {CompareOp::kGt, mid, 2 * n - 1, 2 * n},
+      {CompareOp::kGe, mid + 1, 2 * n - 1, 2 * n},
+      {CompareOp::kEq, mid, 2 * n, 2 * n + 1},
+      {CompareOp::kNe, mid, 2 * n, 2 * n + 2},
+  };
+  for (const Expected& e : cases) {
+    EvalStats stats;
+    index.Evaluate(EvalAlgorithm::kRangeEvalOpt, e.op, e.v, &stats);
+    EXPECT_EQ(stats.bitmap_scans, e.scans) << ToString(e.op);
+    EXPECT_EQ(stats.TotalOps(), e.total_ops) << ToString(e.op);
+  }
+}
+
+TEST_P(WorstCaseStatsTest, Table1RangeEval) {
+  const int n = GetParam();
+  BitmapIndex index = MakeIndex(n);
+  const int64_t mid = MiddleConstant(n);
+
+  struct Expected {
+    CompareOp op;
+    int64_t scans, total_ops;
+  };
+  const Expected cases[] = {
+      {CompareOp::kLt, 2 * n, 4 * n},      // LT side + EQ threading
+      {CompareOp::kLe, 2 * n, 4 * n + 1},  // + final OR
+      {CompareOp::kGt, 2 * n, 5 * n},      // GT side costs an extra NOT
+      {CompareOp::kGe, 2 * n, 5 * n + 1},
+      {CompareOp::kEq, 2 * n, 2 * n},
+      {CompareOp::kNe, 2 * n, 2 * n + 2},
+  };
+  for (const Expected& e : cases) {
+    EvalStats stats;
+    index.Evaluate(EvalAlgorithm::kRangeEval, e.op, mid, &stats);
+    EXPECT_EQ(stats.bitmap_scans, e.scans) << ToString(e.op);
+    EXPECT_EQ(stats.TotalOps(), e.total_ops) << ToString(e.op);
+  }
+}
+
+TEST_P(WorstCaseStatsTest, OptSavesOneScanAndHalvesOpsOnRangePredicates) {
+  const int n = GetParam();
+  BitmapIndex index = MakeIndex(n);
+  const int64_t mid = MiddleConstant(n);
+  for (CompareOp op : {CompareOp::kLt, CompareOp::kLe, CompareOp::kGt,
+                       CompareOp::kGe}) {
+    EvalStats original, improved;
+    index.Evaluate(EvalAlgorithm::kRangeEval, op, mid, &original);
+    index.Evaluate(EvalAlgorithm::kRangeEvalOpt, op, mid, &improved);
+    EXPECT_EQ(improved.bitmap_scans, original.bitmap_scans - 1)
+        << ToString(op);
+    double ratio = static_cast<double>(improved.TotalOps()) /
+                   static_cast<double>(original.TotalOps());
+    EXPECT_LE(ratio, 0.62) << ToString(op);  // ~40-50% reduction
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Components, WorstCaseStatsTest,
+                         ::testing::Values(1, 2, 3, 4));
+
+TEST(AverageStatsTest, OptReducesAverageOpsByroughlyHalf) {
+  // Average over the whole query space for C = 100, base <10, 10>.
+  const uint32_t c = 100;
+  std::vector<uint32_t> values = GenerateUniform(300, c, 11);
+  BitmapIndex index = BitmapIndex::Build(values, c, BaseSequence::Uniform(10, c),
+                                         Encoding::kRange);
+  EvalStats original, improved;
+  for (const Query& q : AllSelectionQueries(c)) {
+    index.Evaluate(EvalAlgorithm::kRangeEval, q.op, q.v, &original);
+    index.Evaluate(EvalAlgorithm::kRangeEvalOpt, q.op, q.v, &improved);
+  }
+  EXPECT_LT(improved.bitmap_scans, original.bitmap_scans);
+  double op_ratio = static_cast<double>(improved.TotalOps()) /
+                    static_cast<double>(original.TotalOps());
+  EXPECT_GT(op_ratio, 0.35);
+  EXPECT_LT(op_ratio, 0.75);
+}
+
+TEST(AverageStatsTest, EqualityPredicatesCostTheSameInBothAlgorithms) {
+  const uint32_t c = 1000;
+  std::vector<uint32_t> values = GenerateUniform(200, c, 13);
+  BitmapIndex index = BitmapIndex::Build(values, c, BaseSequence::Uniform(10, c),
+                                         Encoding::kRange);
+  for (uint32_t v = 0; v < c; v += 17) {
+    for (CompareOp op : {CompareOp::kEq, CompareOp::kNe}) {
+      EvalStats a, b;
+      index.Evaluate(EvalAlgorithm::kRangeEval, op, v, &a);
+      index.Evaluate(EvalAlgorithm::kRangeEvalOpt, op, v, &b);
+      EXPECT_EQ(a.bitmap_scans, b.bitmap_scans) << ToString(op) << " " << v;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bix

@@ -1,0 +1,125 @@
+#include "compress/huffman.h"
+
+#include <numeric>
+#include <random>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace bix {
+namespace {
+
+std::vector<uint8_t> SkewedBytes(size_t n, uint64_t seed) {
+  // Geometric-ish distribution over a few symbols: highly compressible by
+  // entropy coding alone.
+  std::mt19937_64 rng(seed);
+  std::vector<uint8_t> out(n);
+  for (uint8_t& b : out) {
+    uint64_t r = rng() % 16;
+    b = r < 8 ? 0 : (r < 12 ? 1 : (r < 14 ? 2 : static_cast<uint8_t>(rng())));
+  }
+  return out;
+}
+
+TEST(HuffmanTest, RoundTripsEverything) {
+  const HuffmanCodec codec;
+  std::mt19937_64 rng(5);
+  for (size_t n : {size_t{0}, size_t{1}, size_t{2}, size_t{255}, size_t{4096},
+                   size_t{100000}}) {
+    for (int kind = 0; kind < 4; ++kind) {
+      std::vector<uint8_t> data(n);
+      switch (kind) {
+        case 0: break;  // zeros
+        case 1:
+          for (uint8_t& b : data) b = static_cast<uint8_t>(rng());
+          break;
+        case 2:
+          data = SkewedBytes(n, rng());
+          break;
+        case 3:
+          std::iota(data.begin(), data.end(), uint8_t{0});
+          break;
+      }
+      std::vector<uint8_t> compressed = codec.Compress(data);
+      std::vector<uint8_t> restored;
+      ASSERT_TRUE(codec.Decompress(compressed, &restored))
+          << "n=" << n << " kind=" << kind;
+      ASSERT_EQ(restored, data) << "n=" << n << " kind=" << kind;
+    }
+  }
+}
+
+TEST(HuffmanTest, SkewedDataShrinks) {
+  const HuffmanCodec codec;
+  std::vector<uint8_t> data = SkewedBytes(100000, 3);
+  std::vector<uint8_t> compressed = codec.Compress(data);
+  // Entropy of the mixture is well under 3 bits/byte.
+  EXPECT_LT(compressed.size(), data.size() * 2 / 5);
+}
+
+TEST(HuffmanTest, RandomDataFallsBackToRaw) {
+  const HuffmanCodec codec;
+  std::mt19937_64 rng(9);
+  std::vector<uint8_t> data(50000);
+  for (uint8_t& b : data) b = static_cast<uint8_t>(rng());
+  std::vector<uint8_t> compressed = codec.Compress(data);
+  EXPECT_LE(compressed.size(), data.size() + 1);  // raw marker only
+}
+
+TEST(HuffmanTest, SingleSymbolInput) {
+  const HuffmanCodec codec;
+  std::vector<uint8_t> data(10000, 0xAB);
+  std::vector<uint8_t> compressed = codec.Compress(data);
+  EXPECT_LT(compressed.size(), 1500u);  // ~1 bit per byte + header
+  std::vector<uint8_t> restored;
+  ASSERT_TRUE(codec.Decompress(compressed, &restored));
+  EXPECT_EQ(restored, data);
+}
+
+TEST(HuffmanTest, RejectsCorruptHeaders) {
+  const HuffmanCodec codec;
+  std::vector<uint8_t> out;
+  EXPECT_FALSE(codec.Decompress({}, &out));
+  std::vector<uint8_t> bad_marker = {9, 1, 2, 3};
+  EXPECT_FALSE(codec.Decompress(bad_marker, &out));
+  std::vector<uint8_t> short_header = {1, 5, 0, 0};
+  EXPECT_FALSE(codec.Decompress(short_header, &out));
+  // A valid stream truncated mid-payload must fail, not crash.
+  std::vector<uint8_t> data = SkewedBytes(10000, 1);
+  std::vector<uint8_t> compressed = codec.Compress(data);
+  compressed.resize(compressed.size() / 2);
+  EXPECT_FALSE(codec.Decompress(compressed, &out));
+}
+
+TEST(DeflateLikeTest, RoundTripsAndBeatsPlainLz77OnStructuredData) {
+  const DeflateLikeCodec deflate;
+  const Lz77Codec lz77;
+  // Periodic + skewed payload, similar to a CS component file.
+  std::vector<uint8_t> data(120000);
+  std::mt19937_64 rng(11);
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = (i % 7 == 0) ? static_cast<uint8_t>(rng() % 4)
+                           : static_cast<uint8_t>(0xF0 | (i % 3));
+  }
+  std::vector<uint8_t> a = deflate.Compress(data);
+  std::vector<uint8_t> b = lz77.Compress(data);
+  std::vector<uint8_t> restored;
+  ASSERT_TRUE(deflate.Decompress(a, &restored));
+  ASSERT_EQ(restored, data);
+  EXPECT_LT(a.size(), b.size());
+}
+
+TEST(DeflateLikeTest, RegisteredInCodecRegistry) {
+  ASSERT_NE(CodecByName("deflate"), nullptr);
+  ASSERT_NE(CodecByName("huffman"), nullptr);
+  EXPECT_EQ(CodecByName("deflate")->name(), "deflate");
+  std::vector<uint8_t> data(1000, 42);
+  std::vector<uint8_t> out;
+  ASSERT_TRUE(CodecByName("deflate")->Decompress(
+      CodecByName("deflate")->Compress(data), &out));
+  EXPECT_EQ(out, data);
+}
+
+}  // namespace
+}  // namespace bix

@@ -1,0 +1,164 @@
+// End-to-end scenarios stitching the substrates together: raw-domain
+// columns through ValueMap, advisor-chosen designs built and queried on
+// TPC-D-shaped data, disk round trips, and the Section 1 multi-attribute
+// conjunctive plan (P3).
+
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baseline/rid_list_index.h"
+#include "baseline/scan.h"
+#include "buffer/buffering.h"
+#include "core/advisor.h"
+#include "core/bitmap_index.h"
+#include "core/cost_model.h"
+#include "core/eval.h"
+#include "storage/stored_index.h"
+#include "workload/generators.h"
+#include "workload/queries.h"
+#include "workload/tpcd.h"
+#include "workload/value_map.h"
+
+namespace bix {
+namespace {
+
+TEST(IntegrationTest, RawDomainQueriesThroughValueMap) {
+  // Sparse raw domain (prices); range predicates with constants that are
+  // absent from the column still translate via FloorRankOf.
+  std::vector<int64_t> raw = {199, 999, 499, 199, 2999, 999, 499, 199};
+  ValueMap map = ValueMap::FromColumn(raw);
+  std::vector<uint32_t> ranks = map.ToRanks(raw);
+  BitmapIndex index = BitmapIndex::Build(
+      ranks, map.cardinality(), KneeBase(std::max(map.cardinality(), 4u)),
+      Encoding::kRange);
+
+  // price <= 500  ->  rank <= FloorRankOf(500).
+  Bitvector got = index.Evaluate(CompareOp::kLe, map.FloorRankOf(500));
+  std::vector<uint32_t> expected;
+  for (uint32_t r = 0; r < raw.size(); ++r) {
+    if (raw[r] <= 500) expected.push_back(r);
+  }
+  EXPECT_EQ(got.ToSetBitIndices(), expected);
+
+  // price <= 100: below the smallest value -> empty.
+  EXPECT_TRUE(index.Evaluate(CompareOp::kLe, map.FloorRankOf(100)).None());
+}
+
+TEST(IntegrationTest, AdvisorDesignsWorkOnTpcdData) {
+  DataSet quantity = MakeLineitemQuantity(20000, 5);
+  const uint32_t c = quantity.cardinality;
+
+  for (const BaseSequence& base :
+       {SpaceOptimalBase(c, 3), TimeOptimalBase(c, 2), KneeBase(c),
+        TimeOptHeur(c, 20).design.base}) {
+    BitmapIndex index =
+        BitmapIndex::Build(quantity.ranks, c, base, Encoding::kRange);
+    EXPECT_EQ(index.TotalStoredBitmaps(),
+              SpaceInBitmaps(base, Encoding::kRange));
+    for (int64_t v : {int64_t{0}, int64_t{24}, int64_t{49}}) {
+      for (CompareOp op : kAllCompareOps) {
+        ASSERT_EQ(index.Evaluate(op, v),
+                  ScanEvaluate(quantity.ranks, op, v))
+            << base.ToString() << ToString(op) << v;
+      }
+    }
+  }
+}
+
+TEST(IntegrationTest, ConjunctivePlanP3WithTwoIndexes) {
+  // SELECT ... WHERE quantity <= 10 AND orderdate >= 2000, evaluated as
+  // plan (P3): one bitmap index per predicate, results ANDed.
+  const size_t n = 30000;
+  DataSet quantity = MakeLineitemQuantity(n, 6);
+  std::vector<uint32_t> dates = GenerateUniform(n, 2406, 7);
+
+  BitmapIndex quantity_index = BitmapIndex::Build(
+      quantity.ranks, quantity.cardinality, KneeBase(quantity.cardinality),
+      Encoding::kRange);
+  BitmapIndex date_index = BitmapIndex::Build(dates, 2406, KneeBase(2406),
+                                              Encoding::kRange);
+
+  Bitvector found = quantity_index.Evaluate(CompareOp::kLe, 10);
+  found.AndWith(date_index.Evaluate(CompareOp::kGe, 2000));
+
+  Bitvector expected = ScanEvaluate(quantity.ranks, CompareOp::kLe, 10);
+  expected.AndWith(ScanEvaluate(dates, CompareOp::kGe, 2000));
+  EXPECT_EQ(found, expected);
+  EXPECT_GT(found.Count(), 0u);
+
+  // Cross-check the foundset against the RID-list baseline plan.
+  RidListIndex rid_quantity = RidListIndex::Build(quantity.ranks, 50);
+  std::vector<uint32_t> rids = rid_quantity.Evaluate(CompareOp::kLe, 10);
+  Bitvector from_rids(n);
+  for (uint32_t r : rids) from_rids.Set(r);
+  from_rids.AndWith(date_index.Evaluate(CompareOp::kGe, 2000));
+  EXPECT_EQ(from_rids, found);
+}
+
+TEST(IntegrationTest, DiskRoundTripUnderAllSchemesOnTpcdSample) {
+  DataSet quantity = MakeLineitemQuantity(5000, 8);
+  const uint32_t c = quantity.cardinality;
+  BitmapIndex index = BitmapIndex::Build(quantity.ranks, c,
+                                         SpaceOptimalBase(c, 2),
+                                         Encoding::kRange);
+  std::string tmpl = (std::filesystem::temp_directory_path() /
+                      "bix_integration_XXXXXX")
+                         .string();
+  std::vector<char> buf(tmpl.begin(), tmpl.end());
+  buf.push_back('\0');
+  std::filesystem::path dir = mkdtemp(buf.data());
+
+  const Lz77Codec lz77;
+  for (StorageScheme scheme :
+       {StorageScheme::kBitmapLevel, StorageScheme::kComponentLevel,
+        StorageScheme::kIndexLevel}) {
+    std::unique_ptr<StoredIndex> stored;
+    ASSERT_TRUE(StoredIndex::Write(index, dir / ToString(scheme), scheme,
+                                   lz77, &stored)
+                    .ok());
+    for (const Query& q : RestrictedSelectionQueries(c)) {
+      ASSERT_EQ(stored->Evaluate(EvalAlgorithm::kAuto, q.op, q.v),
+                index.Evaluate(q.op, q.v))
+          << ToString(scheme) << ToString(q.op) << q.v;
+    }
+  }
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+}
+
+TEST(IntegrationTest, BufferedEvaluationMatchesUnbuffered) {
+  DataSet quantity = MakeLineitemQuantity(8000, 9);
+  const uint32_t c = quantity.cardinality;
+  BaseSequence base = KneeBase(c);
+  BitmapIndex index =
+      BitmapIndex::Build(quantity.ranks, c, base, Encoding::kRange);
+  BufferedSource buffered(index, OptimalBufferAssignment(base, 5));
+  EvalStats stats;
+  for (const Query& q : AllSelectionQueries(c)) {
+    ASSERT_EQ(EvaluatePredicate(buffered, EvalAlgorithm::kAuto, q.op, q.v,
+                                &stats),
+              index.Evaluate(q.op, q.v));
+  }
+  EXPECT_GT(stats.buffer_hits, 0);
+}
+
+TEST(IntegrationTest, FrontierDesignsAreBuildable) {
+  // Every design on the C = 60 optimal frontier builds and answers a probe
+  // query correctly — the advisor never emits an unusable base sequence.
+  const uint32_t c = 60;
+  std::vector<uint32_t> values = GenerateUniform(500, c, 10);
+  Bitvector expected = ScanEvaluate(values, CompareOp::kGt, 30);
+  for (const IndexDesign& d : OptimalFrontier(c)) {
+    BitmapIndex index = BitmapIndex::Build(values, c, d.base, Encoding::kRange);
+    EXPECT_EQ(index.TotalStoredBitmaps(), d.space) << d.base.ToString();
+    EXPECT_EQ(index.Evaluate(CompareOp::kGt, 30), expected)
+        << d.base.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace bix

@@ -1,0 +1,249 @@
+// Physical storage schemes: round-trip persistence, query equivalence with
+// the in-memory index across all scheme x codec combinations, and the
+// Section 9 size/access-path characteristics.
+
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/bitmap_index.h"
+#include "core/cost_model.h"
+#include "storage/stored_index.h"
+#include "workload/generators.h"
+#include "workload/queries.h"
+
+namespace bix {
+namespace {
+
+class TempDir {
+ public:
+  TempDir() {
+    std::string tmpl = (std::filesystem::temp_directory_path() /
+                        "bix_storage_test_XXXXXX")
+                           .string();
+    std::vector<char> buf(tmpl.begin(), tmpl.end());
+    buf.push_back('\0');
+    path_ = mkdtemp(buf.data());
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+  const std::filesystem::path& path() const { return path_; }
+
+ private:
+  std::filesystem::path path_;
+};
+
+class StorageSweepTest
+    : public ::testing::TestWithParam<
+          std::tuple<StorageScheme, std::string, Encoding>> {};
+
+TEST_P(StorageSweepTest, StoredQueriesMatchInMemoryIndex) {
+  const auto& [scheme, codec_name, encoding] = GetParam();
+  const Codec* codec = CodecByName(codec_name);
+  ASSERT_NE(codec, nullptr);
+
+  const uint32_t c = 20;
+  std::vector<uint32_t> values = GenerateUniform(700, c, 17);
+  values[3] = kNullValue;
+  values[600] = kNullValue;
+  BaseSequence base = BaseSequence::FromMsbFirst({4, 5});
+  BitmapIndex index = BitmapIndex::Build(values, c, base, encoding);
+
+  TempDir dir;
+  std::unique_ptr<StoredIndex> stored;
+  Status s = StoredIndex::Write(index, dir.path() / "idx", scheme, *codec,
+                                &stored);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  ASSERT_EQ(stored->scheme(), scheme);
+  ASSERT_EQ(stored->encoding(), encoding);
+  ASSERT_TRUE(stored->base() == base);
+  ASSERT_EQ(stored->num_records(), values.size());
+
+  for (const Query& q : AllSelectionQueries(c)) {
+    EvalStats mem_stats, disk_stats;
+    Bitvector expected = index.Evaluate(q.op, q.v, &mem_stats);
+    Bitvector got = stored->Evaluate(EvalAlgorithm::kAuto, q.op, q.v,
+                                     &disk_stats);
+    ASSERT_EQ(got, expected) << ToString(q.op) << " " << q.v;
+    // Logical scan counts are identical regardless of the physical scheme.
+    EXPECT_EQ(disk_stats.bitmap_scans, mem_stats.bitmap_scans);
+    if (q.op == CompareOp::kEq && q.v == 5) {
+      // Access-path shape: BS reads only what it scans; CS/IS read the
+      // entire index once per query.
+      if (scheme == StorageScheme::kBitmapLevel) {
+        EXPECT_GT(disk_stats.bytes_read, 0);
+        EXPECT_LE(disk_stats.bytes_read, stored->stored_bytes());
+      } else {
+        EXPECT_EQ(disk_stats.bytes_read, stored->stored_bytes());
+      }
+    }
+  }
+}
+
+TEST_P(StorageSweepTest, ReopenedIndexIsIdentical) {
+  const auto& [scheme, codec_name, encoding] = GetParam();
+  const Codec* codec = CodecByName(codec_name);
+  const uint32_t c = 9;
+  std::vector<uint32_t> values = GenerateUniform(300, c, 23);
+  BitmapIndex index = BitmapIndex::Build(values, c,
+                                         BaseSequence::FromMsbFirst({3, 3}),
+                                         encoding);
+  TempDir dir;
+  std::unique_ptr<StoredIndex> written;
+  ASSERT_TRUE(StoredIndex::Write(index, dir.path() / "idx", scheme, *codec,
+                                 &written)
+                  .ok());
+  std::unique_ptr<StoredIndex> reopened;
+  ASSERT_TRUE(StoredIndex::Open(dir.path() / "idx", &reopened).ok());
+  EXPECT_EQ(reopened->stored_bytes(), written->stored_bytes());
+  EXPECT_EQ(reopened->uncompressed_bytes(), written->uncompressed_bytes());
+  for (const Query& q : AllSelectionQueries(c)) {
+    EXPECT_EQ(reopened->Evaluate(EvalAlgorithm::kAuto, q.op, q.v),
+              index.Evaluate(q.op, q.v));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SchemesAndCodecs, StorageSweepTest,
+    ::testing::Combine(::testing::Values(StorageScheme::kBitmapLevel,
+                                         StorageScheme::kComponentLevel,
+                                         StorageScheme::kIndexLevel),
+                       ::testing::Values("none", "lz77", "rle", "deflate"),
+                       ::testing::Values(Encoding::kRange,
+                                         Encoding::kEquality)));
+
+TEST(StorageTest, CorruptionIsReportedNotFatal) {
+  const uint32_t c = 12;
+  std::vector<uint32_t> values = GenerateUniform(500, c, 19);
+  BitmapIndex index = BitmapIndex::Build(
+      values, c, BaseSequence::FromMsbFirst({3, 4}), Encoding::kRange);
+  const Lz77Codec lz77;
+  for (StorageScheme scheme :
+       {StorageScheme::kBitmapLevel, StorageScheme::kComponentLevel,
+        StorageScheme::kIndexLevel}) {
+    TempDir dir;
+    std::unique_ptr<StoredIndex> stored;
+    ASSERT_TRUE(
+        StoredIndex::Write(index, dir.path() / "idx", scheme, lz77, &stored)
+            .ok());
+    // Truncate every .bm payload (keep only the 12-byte header + 1 byte).
+    for (const auto& entry :
+         std::filesystem::directory_iterator(dir.path() / "idx")) {
+      if (entry.path().extension() == ".bm" &&
+          entry.path().filename() != "nonnull.bm") {
+        std::filesystem::resize_file(entry.path(), 13);
+      }
+    }
+    Status status;
+    Bitvector result = stored->Evaluate(EvalAlgorithm::kAuto, CompareOp::kLe,
+                                        5, nullptr, nullptr, &status);
+    EXPECT_FALSE(status.ok()) << ToString(scheme);
+    EXPECT_TRUE(result.empty()) << ToString(scheme);
+  }
+}
+
+TEST(StorageTest, MissingBitmapFileIsReported) {
+  const uint32_t c = 10;
+  std::vector<uint32_t> values = GenerateUniform(200, c, 23);
+  BitmapIndex index = BitmapIndex::Build(
+      values, c, BaseSequence::SingleComponent(c), Encoding::kRange);
+  const NullCodec none;
+  TempDir dir;
+  std::unique_ptr<StoredIndex> stored;
+  ASSERT_TRUE(StoredIndex::Write(index, dir.path() / "idx",
+                                 StorageScheme::kBitmapLevel, none, &stored)
+                  .ok());
+  std::filesystem::remove(dir.path() / "idx" / "c0_b5.bm");
+  Status status;
+  stored->Evaluate(EvalAlgorithm::kAuto, CompareOp::kLe, 5, nullptr, nullptr,
+                   &status);
+  EXPECT_FALSE(status.ok());
+  // Queries that never touch the missing bitmap still succeed.
+  Status ok_status;
+  Bitvector got = stored->Evaluate(EvalAlgorithm::kAuto, CompareOp::kLe, 2,
+                                   nullptr, nullptr, &ok_status);
+  EXPECT_TRUE(ok_status.ok());
+  EXPECT_EQ(got, index.Evaluate(CompareOp::kLe, 2));
+}
+
+TEST(StorageTest, OpenMissingDirectoryFails) {
+  std::unique_ptr<StoredIndex> out;
+  Status s = StoredIndex::Open("/nonexistent/bix/path", &out);
+  EXPECT_FALSE(s.ok());
+}
+
+TEST(StorageTest, UncompressedSizesMatchTheBitMatrix) {
+  // All three uncompressed schemes store the same N x n bit-matrix, so
+  // their raw payload sizes agree up to per-file byte padding.
+  const uint32_t c = 50;
+  const size_t n_records = 1000;
+  std::vector<uint32_t> values = GenerateUniform(n_records, c, 29);
+  BitmapIndex index = BitmapIndex::Build(values, c,
+                                         BaseSequence::FromMsbFirst({8, 7}),
+                                         Encoding::kRange);
+  const NullCodec codec;
+  TempDir dir;
+  int64_t sizes[3];
+  int i = 0;
+  for (StorageScheme scheme :
+       {StorageScheme::kBitmapLevel, StorageScheme::kComponentLevel,
+        StorageScheme::kIndexLevel}) {
+    std::unique_ptr<StoredIndex> stored;
+    ASSERT_TRUE(StoredIndex::Write(index, dir.path() / ToString(scheme),
+                                   scheme, codec, &stored)
+                    .ok());
+    sizes[i++] = stored->stored_bytes();
+  }
+  int64_t total_bitmaps = SpaceInBitmaps(index.base(), Encoding::kRange);
+  int64_t matrix_bits = total_bitmaps * static_cast<int64_t>(n_records);
+  for (int64_t size : sizes) {
+    EXPECT_GE(size, matrix_bits / 8);
+    EXPECT_LE(size, matrix_bits / 8 + total_bitmaps);  // padding slack
+  }
+}
+
+TEST(StorageTest, ComponentLevelCompressesBestOnRangeEncodedData) {
+  // Paper Table 4: row-major CS files (each row a 1...10...0 step pattern)
+  // compress better than the value-dependent BS bitmaps.
+  const uint32_t c = 50;
+  std::vector<uint32_t> values = GenerateUniform(20000, c, 31);
+  BitmapIndex index = BitmapIndex::Build(
+      values, c, BaseSequence::SingleComponent(c), Encoding::kRange);
+  const Lz77Codec lz77;
+  TempDir dir;
+  std::unique_ptr<StoredIndex> bs, cs;
+  ASSERT_TRUE(StoredIndex::Write(index, dir.path() / "bs",
+                                 StorageScheme::kBitmapLevel, lz77, &bs)
+                  .ok());
+  ASSERT_TRUE(StoredIndex::Write(index, dir.path() / "cs",
+                                 StorageScheme::kComponentLevel, lz77, &cs)
+                  .ok());
+  EXPECT_LT(cs->stored_bytes(), bs->stored_bytes());
+  EXPECT_LT(cs->stored_bytes(), cs->uncompressed_bytes());
+}
+
+TEST(StorageTest, DecompressionTimeIsAccounted) {
+  const uint32_t c = 16;
+  std::vector<uint32_t> values = GenerateUniform(5000, c, 37);
+  BitmapIndex index = BitmapIndex::Build(
+      values, c, BaseSequence::SingleComponent(c), Encoding::kRange);
+  const Lz77Codec lz77;
+  TempDir dir;
+  std::unique_ptr<StoredIndex> stored;
+  ASSERT_TRUE(StoredIndex::Write(index, dir.path() / "idx",
+                                 StorageScheme::kComponentLevel, lz77, &stored)
+                  .ok());
+  double seconds = 0;
+  stored->Evaluate(EvalAlgorithm::kAuto, CompareOp::kLe, 7, nullptr, &seconds);
+  EXPECT_GT(seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace bix

@@ -1,0 +1,109 @@
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "workload/generators.h"
+#include "workload/queries.h"
+#include "workload/tpcd.h"
+#include "workload/value_map.h"
+
+namespace bix {
+namespace {
+
+TEST(GeneratorsTest, UniformIsDeterministicAndInRange) {
+  std::vector<uint32_t> a = GenerateUniform(5000, 50, 7);
+  std::vector<uint32_t> b = GenerateUniform(5000, 50, 7);
+  EXPECT_EQ(a, b);
+  std::vector<uint32_t> c = GenerateUniform(5000, 50, 8);
+  EXPECT_NE(a, c);
+  for (uint32_t v : a) EXPECT_LT(v, 50u);
+  // All 50 values should appear in 5000 uniform draws.
+  std::set<uint32_t> distinct(a.begin(), a.end());
+  EXPECT_EQ(distinct.size(), 50u);
+}
+
+TEST(GeneratorsTest, ZipfIsSkewedTowardLowRanks) {
+  std::vector<uint32_t> z = GenerateZipf(20000, 100, 1.2, 3);
+  size_t low = 0;
+  for (uint32_t v : z) {
+    ASSERT_LT(v, 100u);
+    if (v < 10) ++low;
+  }
+  EXPECT_GT(low, z.size() / 2);  // heavy head
+}
+
+TEST(GeneratorsTest, SortedIsSorted) {
+  std::vector<uint32_t> s = GenerateSorted(1000, 30, 5);
+  EXPECT_TRUE(std::is_sorted(s.begin(), s.end()));
+}
+
+TEST(GeneratorsTest, ClusteredHasRuns) {
+  std::vector<uint32_t> c = GenerateClustered(1000, 100, 10, 5);
+  for (size_t i = 0; i + 9 < c.size(); i += 10) {
+    for (size_t k = 1; k < 10; ++k) EXPECT_EQ(c[i + k], c[i]);
+  }
+}
+
+TEST(QueriesTest, FullAndRestrictedSpaces) {
+  std::vector<Query> all = AllSelectionQueries(10);
+  EXPECT_EQ(all.size(), 60u);
+  std::vector<Query> restricted = RestrictedSelectionQueries(10);
+  EXPECT_EQ(restricted.size(), 20u);
+  for (const Query& q : restricted) {
+    EXPECT_TRUE(q.op == CompareOp::kLe || q.op == CompareOp::kEq);
+    EXPECT_GE(q.v, 0);
+    EXPECT_LT(q.v, 10);
+  }
+}
+
+TEST(TpcdTest, DataSetShapesMatchTable3) {
+  DataSet quantity = MakeLineitemQuantity(10000, 1);
+  EXPECT_EQ(quantity.relation, "Lineitem");
+  EXPECT_EQ(quantity.cardinality, 50u);
+  EXPECT_EQ(quantity.ranks.size(), 10000u);
+  for (uint32_t v : quantity.ranks) EXPECT_LT(v, 50u);
+
+  DataSet orderdate = MakeOrderOrderdate(10000, 2);
+  EXPECT_EQ(orderdate.relation, "Order");
+  EXPECT_EQ(orderdate.cardinality, 2406u);
+  for (uint32_t v : orderdate.ranks) EXPECT_LT(v, 2406u);
+}
+
+TEST(TpcdTest, DefaultsAreScaleFactorTenth) {
+  EXPECT_EQ(kLineitemRowsSf01, 600000u);
+  EXPECT_EQ(kOrderRowsSf01, 150000u);
+}
+
+TEST(ValueMapTest, RanksPreserveOrder) {
+  std::vector<int64_t> raw = {500, -3, 500, 77, 1000, -3};
+  ValueMap map = ValueMap::FromColumn(raw);
+  EXPECT_EQ(map.cardinality(), 4u);
+  EXPECT_EQ(map.RankOf(-3), 0u);
+  EXPECT_EQ(map.RankOf(77), 1u);
+  EXPECT_EQ(map.RankOf(500), 2u);
+  EXPECT_EQ(map.RankOf(1000), 3u);
+  EXPECT_EQ(map.ValueOf(2), 500);
+  std::vector<uint32_t> ranks = map.ToRanks(raw);
+  EXPECT_EQ(ranks, (std::vector<uint32_t>{2, 0, 2, 1, 3, 0}));
+}
+
+TEST(ValueMapTest, FloorRankForAbsentConstants) {
+  std::vector<int64_t> raw = {10, 20, 30};
+  ValueMap map = ValueMap::FromColumn(raw);
+  EXPECT_EQ(map.FloorRankOf(5), -1);
+  EXPECT_EQ(map.FloorRankOf(10), 0);
+  EXPECT_EQ(map.FloorRankOf(15), 0);
+  EXPECT_EQ(map.FloorRankOf(25), 1);
+  EXPECT_EQ(map.FloorRankOf(99), 2);
+}
+
+TEST(ValueMapTest, UnknownValueAborts) {
+  std::vector<int64_t> raw = {1, 2, 3};
+  ValueMap map = ValueMap::FromColumn(raw);
+  EXPECT_DEATH(map.RankOf(42), "not present");
+}
+
+}  // namespace
+}  // namespace bix

@@ -1,0 +1,331 @@
+// bixctl — command-line front end for building, inspecting, and querying
+// disk-resident bitmap indexes.
+//
+//   bixctl build  --csv data.csv --col 0 --dir ./idx
+//                 [--base "28,36"] [--budget M] [--encoding range|equality]
+//                 [--scheme bs|cs|is] [--codec none|lz77|rle|huffman|deflate]
+//   bixctl info   --dir ./idx
+//   bixctl query  --dir ./idx --pred "<= 24" [--limit 10]
+//   bixctl advise --cardinality 1000 [--budget 100]
+//
+// Raw attribute values from the CSV are mapped to dense ranks via a lookup
+// table (the paper's Section 2 value map) persisted next to the index, so
+// query constants are expressed in the raw domain.
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "compress/huffman.h"
+#include "core/advisor.h"
+#include "core/bitmap_index.h"
+#include "core/cost_model.h"
+#include "plan/predicate_parser.h"
+#include "storage/stored_index.h"
+#include "workload/csv.h"
+#include "workload/value_map.h"
+
+namespace bix::tool {
+namespace {
+
+constexpr const char* kValueMapFile = "values.map";
+
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    for (int i = 0; i + 1 < argc; i += 2) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0 || i + 1 >= argc) {
+        ok_ = false;
+        return;
+      }
+      values_[key.substr(2)] = argv[i + 1];
+    }
+    if (argc % 2 != 0) ok_ = false;
+  }
+
+  bool ok() const { return ok_; }
+  std::optional<std::string> Get(const std::string& key) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) return std::nullopt;
+    return it->second;
+  }
+  std::string GetOr(const std::string& key, std::string fallback) const {
+    return Get(key).value_or(std::move(fallback));
+  }
+  std::optional<int64_t> GetInt(const std::string& key) const {
+    auto v = Get(key);
+    if (!v.has_value()) return std::nullopt;
+    return std::atoll(v->c_str());
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  bool ok_ = true;
+};
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "bixctl: %s\n", message.c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  bixctl build  --csv F --col N --dir D [--base \"b,..\"] "
+               "[--budget M]\n"
+               "                [--encoding range|equality] [--scheme "
+               "bs|cs|is] [--codec NAME]\n"
+               "  bixctl info   --dir D\n"
+               "  bixctl query  --dir D --pred \"<= 24\" [--limit K]\n"
+               "  bixctl advise --cardinality C [--budget M]\n");
+  return 2;
+}
+
+Status WriteValueMap(const std::filesystem::path& dir, const ValueMap& map) {
+  std::ofstream f(dir / kValueMapFile, std::ios::trunc);
+  if (!f) return Status::IoError("cannot write value map");
+  for (uint32_t r = 0; r < map.cardinality(); ++r) {
+    f << map.ValueOf(r) << "\n";
+  }
+  return f ? Status::OK() : Status::IoError("value map write failed");
+}
+
+Status ReadValueMap(const std::filesystem::path& dir, ValueMap* out) {
+  std::ifstream f(dir / kValueMapFile);
+  if (!f) return Status::IoError("cannot open value map in " + dir.string());
+  std::vector<int64_t> values;
+  int64_t v;
+  while (f >> v) values.push_back(v);
+  if (values.empty()) return Status::Corruption("empty value map");
+  *out = ValueMap::FromColumn(values);
+  return Status::OK();
+}
+
+// Parses a comma-separated most-significant-first base list.
+bool ParseBase(const std::string& text, BaseSequence* out) {
+  std::vector<uint32_t> bases;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t comma = text.find(',', start);
+    std::string part = text.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start);
+    if (!part.empty()) {
+      int64_t b = std::atoll(part.c_str());
+      if (b < 2) return false;
+      bases.push_back(static_cast<uint32_t>(b));
+    }
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  if (bases.empty()) return false;
+  *out = BaseSequence::FromMsbFirst(bases);
+  return true;
+}
+
+int CmdBuild(const Flags& flags) {
+  auto csv = flags.Get("csv");
+  auto dir = flags.Get("dir");
+  if (!csv || !dir) return Usage();
+  int column_index = static_cast<int>(flags.GetInt("col").value_or(0));
+
+  CsvColumn column;
+  Status s = ReadCsvColumn(*csv, column_index, &column);
+  if (!s.ok()) return Fail(s.ToString());
+  if (column.values.empty()) return Fail("no rows in input column");
+
+  std::vector<int64_t> non_null;
+  for (const auto& v : column.values) {
+    if (v.has_value()) non_null.push_back(*v);
+  }
+  if (non_null.empty()) return Fail("column is entirely NULL");
+  ValueMap map = ValueMap::FromColumn(non_null);
+  std::vector<uint32_t> ranks;
+  ranks.reserve(column.values.size());
+  for (const auto& v : column.values) {
+    ranks.push_back(v.has_value() ? map.RankOf(*v) : kNullValue);
+  }
+
+  Encoding encoding = flags.GetOr("encoding", "range") == "equality"
+                          ? Encoding::kEquality
+                          : Encoding::kRange;
+  BaseSequence base;
+  if (auto base_flag = flags.Get("base")) {
+    if (!ParseBase(*base_flag, &base)) return Fail("bad --base");
+    if (!base.IsWellDefinedFor(map.cardinality())) {
+      return Fail("--base capacity " + std::to_string(base.capacity()) +
+                  " < attribute cardinality " +
+                  std::to_string(map.cardinality()));
+    }
+  } else if (auto budget = flags.GetInt("budget")) {
+    ConstrainedResult r = TimeOptHeur(map.cardinality(), *budget);
+    if (!r.feasible) return Fail("budget too small for this cardinality");
+    base = r.design.base;
+  } else if (map.cardinality() >= 4) {
+    base = KneeBase(map.cardinality());
+  } else {
+    base = BaseSequence::SingleComponent(map.cardinality());
+  }
+
+  std::string scheme_name = flags.GetOr("scheme", "bs");
+  StorageScheme scheme = StorageScheme::kBitmapLevel;
+  if (scheme_name == "cs") scheme = StorageScheme::kComponentLevel;
+  else if (scheme_name == "is") scheme = StorageScheme::kIndexLevel;
+  else if (scheme_name != "bs") return Fail("bad --scheme");
+
+  const Codec* codec = CodecByName(flags.GetOr("codec", "none"));
+  if (codec == nullptr) return Fail("unknown --codec");
+
+  BitmapIndex index =
+      BitmapIndex::Build(ranks, map.cardinality(), base, encoding);
+  std::unique_ptr<StoredIndex> stored;
+  s = StoredIndex::Write(index, *dir, scheme, *codec, &stored);
+  if (!s.ok()) return Fail(s.ToString());
+  s = WriteValueMap(*dir, map);
+  if (!s.ok()) return Fail(s.ToString());
+
+  std::printf("built %s index %s over %zu rows (C=%u%s), scheme %s, codec "
+              "%s\n  %lld bitmaps, %lld bytes on disk (%.1f%% of raw), "
+              "expected %.2f scans/query\n",
+              encoding == Encoding::kRange ? "range" : "equality",
+              base.ToString().c_str(), ranks.size(), map.cardinality(),
+              column.name.empty() ? "" : (", column '" + column.name + "'").c_str(),
+              std::string(ToString(scheme)).c_str(),
+              std::string(codec->name()).c_str(),
+              static_cast<long long>(index.TotalStoredBitmaps()),
+              static_cast<long long>(stored->stored_bytes()),
+              100.0 * static_cast<double>(stored->stored_bytes()) /
+                  static_cast<double>(stored->uncompressed_bytes()),
+              AnalyticTime(base, encoding));
+  return 0;
+}
+
+int CmdInfo(const Flags& flags) {
+  auto dir = flags.Get("dir");
+  if (!dir) return Usage();
+  std::unique_ptr<StoredIndex> stored;
+  Status s = StoredIndex::Open(*dir, &stored);
+  if (!s.ok()) return Fail(s.ToString());
+  ValueMap map;
+  bool have_map = ReadValueMap(*dir, &map).ok();
+
+  std::printf("records:       %zu\n", stored->num_records());
+  std::printf("cardinality:   %u\n", stored->cardinality());
+  std::printf("encoding:      %s\n",
+              std::string(ToString(stored->encoding())).c_str());
+  std::printf("base:          %s (%d components)\n",
+              stored->base().ToString().c_str(),
+              stored->base().num_components());
+  std::printf("scheme/codec:  %s / %s\n",
+              std::string(ToString(stored->scheme())).c_str(),
+              std::string(stored->codec().name()).c_str());
+  std::printf("bitmaps:       %lld\n",
+              static_cast<long long>(
+                  SpaceInBitmaps(stored->base(), stored->encoding())));
+  std::printf("bytes:         %lld stored / %lld raw\n",
+              static_cast<long long>(stored->stored_bytes()),
+              static_cast<long long>(stored->uncompressed_bytes()));
+  std::printf("expected scans:%8.3f per query\n",
+              AnalyticTime(stored->base(), stored->encoding()));
+  if (have_map) {
+    std::printf("value domain:  [%lld, %lld]\n",
+                static_cast<long long>(map.ValueOf(0)),
+                static_cast<long long>(map.ValueOf(map.cardinality() - 1)));
+  }
+  return 0;
+}
+
+int CmdQuery(const Flags& flags) {
+  auto dir = flags.Get("dir");
+  auto pred_text = flags.Get("pred");
+  if (!dir || !pred_text) return Usage();
+  int64_t limit = flags.GetInt("limit").value_or(10);
+
+  std::unique_ptr<StoredIndex> stored;
+  Status s = StoredIndex::Open(*dir, &stored);
+  if (!s.ok()) return Fail(s.ToString());
+  ValueMap map;
+  s = ReadValueMap(*dir, &map);
+  if (!s.ok()) return Fail(s.ToString());
+
+  ParsedPredicate parsed;
+  s = ParsePredicate(*pred_text, &parsed);
+  if (!s.ok()) return Fail(s.ToString());
+
+  CompareOp rank_op;
+  int64_t rank_v;
+  TranslateRawPredicate(map, parsed.op, parsed.value, &rank_op, &rank_v);
+
+  EvalStats stats;
+  double decompress_seconds = 0;
+  Bitvector found = stored->Evaluate(EvalAlgorithm::kAuto, rank_op, rank_v,
+                                     &stats, &decompress_seconds);
+  std::printf("A %s %lld: %zu of %zu records  (%lld bitmap scans, %lld "
+              "bytes read, %.2fms decompress)\n",
+              std::string(ToString(parsed.op)).c_str(),
+              static_cast<long long>(parsed.value), found.Count(),
+              stored->num_records(),
+              static_cast<long long>(stats.bitmap_scans),
+              static_cast<long long>(stats.bytes_read),
+              1000 * decompress_seconds);
+  if (limit > 0 && found.Any()) {
+    std::printf("first rows:");
+    int64_t shown = 0;
+    for (size_t r = found.NextSetBit(0);
+         r < found.size() && shown < limit;
+         r = found.NextSetBit(r + 1), ++shown) {
+      std::printf(" %zu", r);
+    }
+    std::printf("%s\n",
+                static_cast<int64_t>(found.Count()) > limit ? " ..." : "");
+  }
+  return 0;
+}
+
+int CmdAdvise(const Flags& flags) {
+  auto c_flag = flags.GetInt("cardinality");
+  if (!c_flag || *c_flag < 4) return Usage();
+  uint32_t c = static_cast<uint32_t>(*c_flag);
+  std::printf("%-28s %-22s %8s %8s\n", "design", "base", "bitmaps", "scans");
+  auto row = [&](const char* name, const BaseSequence& base) {
+    std::printf("%-28s %-22s %8lld %8.3f\n", name, base.ToString().c_str(),
+                static_cast<long long>(SpaceInBitmaps(base, Encoding::kRange)),
+                AnalyticTime(base, Encoding::kRange));
+  };
+  row("time-optimal", TimeOptimalBase(c, 1));
+  row("knee (Theorem 7.1)", KneeBase(c));
+  row("space-optimal", SpaceOptimalBase(c, MaxComponents(c)));
+  if (auto budget = flags.GetInt("budget")) {
+    ConstrainedResult r = TimeOptHeur(c, *budget);
+    if (r.feasible) {
+      row("budget-constrained (heur)", r.design.base);
+    } else {
+      std::printf("budget %lld is infeasible (minimum %d bitmaps)\n",
+                  static_cast<long long>(*budget), MaxComponents(c));
+    }
+  }
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string command = argv[1];
+  Flags flags(argc - 2, argv + 2);
+  if (!flags.ok()) return Usage();
+  if (command == "build") return CmdBuild(flags);
+  if (command == "info") return CmdInfo(flags);
+  if (command == "query") return CmdQuery(flags);
+  if (command == "advise") return CmdAdvise(flags);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace bix::tool
+
+int main(int argc, char** argv) { return bix::tool::Main(argc, argv); }

@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# End-to-end test of the bixctl CLI: build from CSV, inspect, query in the
+# raw value domain (including constants absent from the column), and the
+# advise subcommand.  Registered with ctest; $1 is the bixctl binary.
+set -euo pipefail
+
+BIXCTL="$1"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+cat > "$WORK/data.csv" <<EOF
+price
+199
+999
+499
+199
+2999
+999
+499
+199
+42
+EOF
+
+fail() { echo "bixctl_test FAILED: $1" >&2; exit 1; }
+
+"$BIXCTL" build --csv "$WORK/data.csv" --col 0 --dir "$WORK/idx" \
+    --codec deflate --scheme cs > "$WORK/build.out"
+grep -q "built range index" "$WORK/build.out" || fail "build output"
+
+"$BIXCTL" info --dir "$WORK/idx" > "$WORK/info.out"
+grep -q "cardinality:   5" "$WORK/info.out" || fail "info cardinality"
+grep -q "scheme/codec:  CS / deflate" "$WORK/info.out" || fail "info scheme"
+grep -q "value domain:  \[42, 2999\]" "$WORK/info.out" || fail "info domain"
+
+# <= 500 matches 42, 199 x3, 499 x2 = 6 rows (constant absent from column).
+"$BIXCTL" query --dir "$WORK/idx" --pred "<= 500" > "$WORK/q1.out"
+grep -q "6 of 9 records" "$WORK/q1.out" || fail "query <= 500"
+
+# = 300 matches nothing; != 199 matches 6 of 9.
+"$BIXCTL" query --dir "$WORK/idx" --pred "= 300" | grep -q "0 of 9" \
+    || fail "query = 300"
+"$BIXCTL" query --dir "$WORK/idx" --pred "!= 199" | grep -q "6 of 9" \
+    || fail "query != 199"
+"$BIXCTL" query --dir "$WORK/idx" --pred "> 999" | grep -q "1 of 9" \
+    || fail "query > 999"
+
+"$BIXCTL" advise --cardinality 1000 --budget 100 > "$WORK/advise.out"
+grep -q "knee (Theorem 7.1)" "$WORK/advise.out" || fail "advise knee"
+grep -q "<28, 36>" "$WORK/advise.out" || fail "advise knee base"
+
+# Error paths exit non-zero.
+"$BIXCTL" query --dir /nonexistent --pred "<= 1" > /dev/null 2>&1 \
+    && fail "missing dir should fail"
+"$BIXCTL" query --dir "$WORK/idx" --pred "oops" > /dev/null 2>&1 \
+    && fail "bad predicate should fail"
+"$BIXCTL" build --csv /nonexistent.csv --dir "$WORK/x" > /dev/null 2>&1 \
+    && fail "missing csv should fail"
+
+echo "bixctl_test PASSED"
