@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_fig11_optimal_indexes.dir/bench_fig10_fig11_optimal_indexes.cc.o"
+  "CMakeFiles/bench_fig10_fig11_optimal_indexes.dir/bench_fig10_fig11_optimal_indexes.cc.o.d"
+  "bench_fig10_fig11_optimal_indexes"
+  "bench_fig10_fig11_optimal_indexes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_fig11_optimal_indexes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

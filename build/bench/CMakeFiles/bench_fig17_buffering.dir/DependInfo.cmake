@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig17_buffering.cc" "bench/CMakeFiles/bench_fig17_buffering.dir/bench_fig17_buffering.cc.o" "gcc" "bench/CMakeFiles/bench_fig17_buffering.dir/bench_fig17_buffering.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bix_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/bitmap/CMakeFiles/bix_bitmap.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/bix_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/bix_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/buffer/CMakeFiles/bix_buffer.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/bix_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/bix_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/bix_plan.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_buffering.dir/bench_fig17_buffering.cc.o"
+  "CMakeFiles/bench_fig17_buffering.dir/bench_fig17_buffering.cc.o.d"
+  "bench_fig17_buffering"
+  "bench_fig17_buffering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_buffering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

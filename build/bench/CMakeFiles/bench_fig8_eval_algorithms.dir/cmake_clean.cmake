@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_eval_algorithms.dir/bench_fig8_eval_algorithms.cc.o"
+  "CMakeFiles/bench_fig8_eval_algorithms.dir/bench_fig8_eval_algorithms.cc.o.d"
+  "bench_fig8_eval_algorithms"
+  "bench_fig8_eval_algorithms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_eval_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

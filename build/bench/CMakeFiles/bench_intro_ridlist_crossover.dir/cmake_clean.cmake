@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_intro_ridlist_crossover.dir/bench_intro_ridlist_crossover.cc.o"
+  "CMakeFiles/bench_intro_ridlist_crossover.dir/bench_intro_ridlist_crossover.cc.o.d"
+  "bench_intro_ridlist_crossover"
+  "bench_intro_ridlist_crossover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_intro_ridlist_crossover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

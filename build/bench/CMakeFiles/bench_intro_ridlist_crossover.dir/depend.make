@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_intro_ridlist_crossover.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_knee_ablation.dir/bench_knee_ablation.cc.o"
+  "CMakeFiles/bench_knee_ablation.dir/bench_knee_ablation.cc.o.d"
+  "bench_knee_ablation"
+  "bench_knee_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_knee_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_bitvector.dir/bench_micro_bitvector.cc.o"
+  "CMakeFiles/bench_micro_bitvector.dir/bench_micro_bitvector.cc.o.d"
+  "bench_micro_bitvector"
+  "bench_micro_bitvector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_bitvector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

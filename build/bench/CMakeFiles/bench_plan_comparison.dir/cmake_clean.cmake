@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_plan_comparison.dir/bench_plan_comparison.cc.o"
+  "CMakeFiles/bench_plan_comparison.dir/bench_plan_comparison.cc.o.d"
+  "bench_plan_comparison"
+  "bench_plan_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_plan_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_heuristic.dir/bench_table2_heuristic.cc.o"
+  "CMakeFiles/bench_table2_heuristic.dir/bench_table2_heuristic.cc.o.d"
+  "bench_table2_heuristic"
+  "bench_table2_heuristic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_heuristic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_wah_ablation.dir/bench_wah_ablation.cc.o"
+  "CMakeFiles/bench_wah_ablation.dir/bench_wah_ablation.cc.o.d"
+  "bench_wah_ablation"
+  "bench_wah_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_wah_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_workload_mix_ablation.dir/bench_workload_mix_ablation.cc.o"
+  "CMakeFiles/bench_workload_mix_ablation.dir/bench_workload_mix_ablation.cc.o.d"
+  "bench_workload_mix_ablation"
+  "bench_workload_mix_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_workload_mix_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schema_designer.dir/schema_designer.cpp.o"
+  "CMakeFiles/schema_designer.dir/schema_designer.cpp.o.d"
+  "schema_designer"
+  "schema_designer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schema_designer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/projection_index.cc" "src/baseline/CMakeFiles/bix_baseline.dir/projection_index.cc.o" "gcc" "src/baseline/CMakeFiles/bix_baseline.dir/projection_index.cc.o.d"
+  "/root/repo/src/baseline/rid_list_index.cc" "src/baseline/CMakeFiles/bix_baseline.dir/rid_list_index.cc.o" "gcc" "src/baseline/CMakeFiles/bix_baseline.dir/rid_list_index.cc.o.d"
+  "/root/repo/src/baseline/scan.cc" "src/baseline/CMakeFiles/bix_baseline.dir/scan.cc.o" "gcc" "src/baseline/CMakeFiles/bix_baseline.dir/scan.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bix_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/bitmap/CMakeFiles/bix_bitmap.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bix_baseline.dir/projection_index.cc.o"
+  "CMakeFiles/bix_baseline.dir/projection_index.cc.o.d"
+  "CMakeFiles/bix_baseline.dir/rid_list_index.cc.o"
+  "CMakeFiles/bix_baseline.dir/rid_list_index.cc.o.d"
+  "CMakeFiles/bix_baseline.dir/scan.cc.o"
+  "CMakeFiles/bix_baseline.dir/scan.cc.o.d"
+  "libbix_baseline.a"
+  "libbix_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bix_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bix_bitmap.dir/bitvector.cc.o"
+  "CMakeFiles/bix_bitmap.dir/bitvector.cc.o.d"
+  "CMakeFiles/bix_bitmap.dir/wah_bitvector.cc.o"
+  "CMakeFiles/bix_bitmap.dir/wah_bitvector.cc.o.d"
+  "libbix_bitmap.a"
+  "libbix_bitmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bix_bitmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bix_buffer.dir/buffering.cc.o"
+  "CMakeFiles/bix_buffer.dir/buffering.cc.o.d"
+  "libbix_buffer.a"
+  "libbix_buffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bix_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bix_compress.dir/codec.cc.o"
+  "CMakeFiles/bix_compress.dir/codec.cc.o.d"
+  "CMakeFiles/bix_compress.dir/huffman.cc.o"
+  "CMakeFiles/bix_compress.dir/huffman.cc.o.d"
+  "libbix_compress.a"
+  "libbix_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bix_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

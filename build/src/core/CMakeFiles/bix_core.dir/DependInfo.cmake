@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/advisor.cc" "src/core/CMakeFiles/bix_core.dir/advisor.cc.o" "gcc" "src/core/CMakeFiles/bix_core.dir/advisor.cc.o.d"
+  "/root/repo/src/core/aggregate.cc" "src/core/CMakeFiles/bix_core.dir/aggregate.cc.o" "gcc" "src/core/CMakeFiles/bix_core.dir/aggregate.cc.o.d"
+  "/root/repo/src/core/base_sequence.cc" "src/core/CMakeFiles/bix_core.dir/base_sequence.cc.o" "gcc" "src/core/CMakeFiles/bix_core.dir/base_sequence.cc.o.d"
+  "/root/repo/src/core/bitmap_index.cc" "src/core/CMakeFiles/bix_core.dir/bitmap_index.cc.o" "gcc" "src/core/CMakeFiles/bix_core.dir/bitmap_index.cc.o.d"
+  "/root/repo/src/core/component.cc" "src/core/CMakeFiles/bix_core.dir/component.cc.o" "gcc" "src/core/CMakeFiles/bix_core.dir/component.cc.o.d"
+  "/root/repo/src/core/compressed_source.cc" "src/core/CMakeFiles/bix_core.dir/compressed_source.cc.o" "gcc" "src/core/CMakeFiles/bix_core.dir/compressed_source.cc.o.d"
+  "/root/repo/src/core/cost_model.cc" "src/core/CMakeFiles/bix_core.dir/cost_model.cc.o" "gcc" "src/core/CMakeFiles/bix_core.dir/cost_model.cc.o.d"
+  "/root/repo/src/core/design_allocator.cc" "src/core/CMakeFiles/bix_core.dir/design_allocator.cc.o" "gcc" "src/core/CMakeFiles/bix_core.dir/design_allocator.cc.o.d"
+  "/root/repo/src/core/eval.cc" "src/core/CMakeFiles/bix_core.dir/eval.cc.o" "gcc" "src/core/CMakeFiles/bix_core.dir/eval.cc.o.d"
+  "/root/repo/src/core/predicate.cc" "src/core/CMakeFiles/bix_core.dir/predicate.cc.o" "gcc" "src/core/CMakeFiles/bix_core.dir/predicate.cc.o.d"
+  "/root/repo/src/core/status.cc" "src/core/CMakeFiles/bix_core.dir/status.cc.o" "gcc" "src/core/CMakeFiles/bix_core.dir/status.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bitmap/CMakeFiles/bix_bitmap.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

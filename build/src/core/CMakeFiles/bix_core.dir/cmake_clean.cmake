@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bix_core.dir/advisor.cc.o"
+  "CMakeFiles/bix_core.dir/advisor.cc.o.d"
+  "CMakeFiles/bix_core.dir/aggregate.cc.o"
+  "CMakeFiles/bix_core.dir/aggregate.cc.o.d"
+  "CMakeFiles/bix_core.dir/base_sequence.cc.o"
+  "CMakeFiles/bix_core.dir/base_sequence.cc.o.d"
+  "CMakeFiles/bix_core.dir/bitmap_index.cc.o"
+  "CMakeFiles/bix_core.dir/bitmap_index.cc.o.d"
+  "CMakeFiles/bix_core.dir/component.cc.o"
+  "CMakeFiles/bix_core.dir/component.cc.o.d"
+  "CMakeFiles/bix_core.dir/compressed_source.cc.o"
+  "CMakeFiles/bix_core.dir/compressed_source.cc.o.d"
+  "CMakeFiles/bix_core.dir/cost_model.cc.o"
+  "CMakeFiles/bix_core.dir/cost_model.cc.o.d"
+  "CMakeFiles/bix_core.dir/design_allocator.cc.o"
+  "CMakeFiles/bix_core.dir/design_allocator.cc.o.d"
+  "CMakeFiles/bix_core.dir/eval.cc.o"
+  "CMakeFiles/bix_core.dir/eval.cc.o.d"
+  "CMakeFiles/bix_core.dir/predicate.cc.o"
+  "CMakeFiles/bix_core.dir/predicate.cc.o.d"
+  "CMakeFiles/bix_core.dir/status.cc.o"
+  "CMakeFiles/bix_core.dir/status.cc.o.d"
+  "libbix_core.a"
+  "libbix_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bix_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

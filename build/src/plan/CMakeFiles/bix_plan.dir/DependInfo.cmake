@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/plan/predicate_parser.cc" "src/plan/CMakeFiles/bix_plan.dir/predicate_parser.cc.o" "gcc" "src/plan/CMakeFiles/bix_plan.dir/predicate_parser.cc.o.d"
+  "/root/repo/src/plan/selection_plan.cc" "src/plan/CMakeFiles/bix_plan.dir/selection_plan.cc.o" "gcc" "src/plan/CMakeFiles/bix_plan.dir/selection_plan.cc.o.d"
+  "/root/repo/src/plan/table.cc" "src/plan/CMakeFiles/bix_plan.dir/table.cc.o" "gcc" "src/plan/CMakeFiles/bix_plan.dir/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bix_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/bix_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/bitmap/CMakeFiles/bix_bitmap.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bix_plan.dir/predicate_parser.cc.o"
+  "CMakeFiles/bix_plan.dir/predicate_parser.cc.o.d"
+  "CMakeFiles/bix_plan.dir/selection_plan.cc.o"
+  "CMakeFiles/bix_plan.dir/selection_plan.cc.o.d"
+  "CMakeFiles/bix_plan.dir/table.cc.o"
+  "CMakeFiles/bix_plan.dir/table.cc.o.d"
+  "libbix_plan.a"
+  "libbix_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bix_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bix_storage.dir/stored_index.cc.o"
+  "CMakeFiles/bix_storage.dir/stored_index.cc.o.d"
+  "libbix_storage.a"
+  "libbix_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bix_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/csv.cc" "src/workload/CMakeFiles/bix_workload.dir/csv.cc.o" "gcc" "src/workload/CMakeFiles/bix_workload.dir/csv.cc.o.d"
+  "/root/repo/src/workload/generators.cc" "src/workload/CMakeFiles/bix_workload.dir/generators.cc.o" "gcc" "src/workload/CMakeFiles/bix_workload.dir/generators.cc.o.d"
+  "/root/repo/src/workload/queries.cc" "src/workload/CMakeFiles/bix_workload.dir/queries.cc.o" "gcc" "src/workload/CMakeFiles/bix_workload.dir/queries.cc.o.d"
+  "/root/repo/src/workload/tpcd.cc" "src/workload/CMakeFiles/bix_workload.dir/tpcd.cc.o" "gcc" "src/workload/CMakeFiles/bix_workload.dir/tpcd.cc.o.d"
+  "/root/repo/src/workload/value_map.cc" "src/workload/CMakeFiles/bix_workload.dir/value_map.cc.o" "gcc" "src/workload/CMakeFiles/bix_workload.dir/value_map.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bix_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/bitmap/CMakeFiles/bix_bitmap.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bix_workload.dir/csv.cc.o"
+  "CMakeFiles/bix_workload.dir/csv.cc.o.d"
+  "CMakeFiles/bix_workload.dir/generators.cc.o"
+  "CMakeFiles/bix_workload.dir/generators.cc.o.d"
+  "CMakeFiles/bix_workload.dir/queries.cc.o"
+  "CMakeFiles/bix_workload.dir/queries.cc.o.d"
+  "CMakeFiles/bix_workload.dir/tpcd.cc.o"
+  "CMakeFiles/bix_workload.dir/tpcd.cc.o.d"
+  "CMakeFiles/bix_workload.dir/value_map.cc.o"
+  "CMakeFiles/bix_workload.dir/value_map.cc.o.d"
+  "libbix_workload.a"
+  "libbix_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bix_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/advisor_test.cc" "tests/CMakeFiles/bix_tests.dir/advisor_test.cc.o" "gcc" "tests/CMakeFiles/bix_tests.dir/advisor_test.cc.o.d"
+  "/root/repo/tests/aggregate_test.cc" "tests/CMakeFiles/bix_tests.dir/aggregate_test.cc.o" "gcc" "tests/CMakeFiles/bix_tests.dir/aggregate_test.cc.o.d"
+  "/root/repo/tests/append_test.cc" "tests/CMakeFiles/bix_tests.dir/append_test.cc.o" "gcc" "tests/CMakeFiles/bix_tests.dir/append_test.cc.o.d"
+  "/root/repo/tests/base_sequence_test.cc" "tests/CMakeFiles/bix_tests.dir/base_sequence_test.cc.o" "gcc" "tests/CMakeFiles/bix_tests.dir/base_sequence_test.cc.o.d"
+  "/root/repo/tests/baseline_test.cc" "tests/CMakeFiles/bix_tests.dir/baseline_test.cc.o" "gcc" "tests/CMakeFiles/bix_tests.dir/baseline_test.cc.o.d"
+  "/root/repo/tests/bitvector_test.cc" "tests/CMakeFiles/bix_tests.dir/bitvector_test.cc.o" "gcc" "tests/CMakeFiles/bix_tests.dir/bitvector_test.cc.o.d"
+  "/root/repo/tests/buffering_test.cc" "tests/CMakeFiles/bix_tests.dir/buffering_test.cc.o" "gcc" "tests/CMakeFiles/bix_tests.dir/buffering_test.cc.o.d"
+  "/root/repo/tests/codec_test.cc" "tests/CMakeFiles/bix_tests.dir/codec_test.cc.o" "gcc" "tests/CMakeFiles/bix_tests.dir/codec_test.cc.o.d"
+  "/root/repo/tests/component_test.cc" "tests/CMakeFiles/bix_tests.dir/component_test.cc.o" "gcc" "tests/CMakeFiles/bix_tests.dir/component_test.cc.o.d"
+  "/root/repo/tests/compressed_source_test.cc" "tests/CMakeFiles/bix_tests.dir/compressed_source_test.cc.o" "gcc" "tests/CMakeFiles/bix_tests.dir/compressed_source_test.cc.o.d"
+  "/root/repo/tests/cost_model_test.cc" "tests/CMakeFiles/bix_tests.dir/cost_model_test.cc.o" "gcc" "tests/CMakeFiles/bix_tests.dir/cost_model_test.cc.o.d"
+  "/root/repo/tests/csv_and_parser_test.cc" "tests/CMakeFiles/bix_tests.dir/csv_and_parser_test.cc.o" "gcc" "tests/CMakeFiles/bix_tests.dir/csv_and_parser_test.cc.o.d"
+  "/root/repo/tests/design_allocator_test.cc" "tests/CMakeFiles/bix_tests.dir/design_allocator_test.cc.o" "gcc" "tests/CMakeFiles/bix_tests.dir/design_allocator_test.cc.o.d"
+  "/root/repo/tests/differential_test.cc" "tests/CMakeFiles/bix_tests.dir/differential_test.cc.o" "gcc" "tests/CMakeFiles/bix_tests.dir/differential_test.cc.o.d"
+  "/root/repo/tests/eval_correctness_test.cc" "tests/CMakeFiles/bix_tests.dir/eval_correctness_test.cc.o" "gcc" "tests/CMakeFiles/bix_tests.dir/eval_correctness_test.cc.o.d"
+  "/root/repo/tests/eval_laws_test.cc" "tests/CMakeFiles/bix_tests.dir/eval_laws_test.cc.o" "gcc" "tests/CMakeFiles/bix_tests.dir/eval_laws_test.cc.o.d"
+  "/root/repo/tests/eval_stats_test.cc" "tests/CMakeFiles/bix_tests.dir/eval_stats_test.cc.o" "gcc" "tests/CMakeFiles/bix_tests.dir/eval_stats_test.cc.o.d"
+  "/root/repo/tests/huffman_test.cc" "tests/CMakeFiles/bix_tests.dir/huffman_test.cc.o" "gcc" "tests/CMakeFiles/bix_tests.dir/huffman_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/bix_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/bix_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/plan_test.cc" "tests/CMakeFiles/bix_tests.dir/plan_test.cc.o" "gcc" "tests/CMakeFiles/bix_tests.dir/plan_test.cc.o.d"
+  "/root/repo/tests/storage_test.cc" "tests/CMakeFiles/bix_tests.dir/storage_test.cc.o" "gcc" "tests/CMakeFiles/bix_tests.dir/storage_test.cc.o.d"
+  "/root/repo/tests/wah_bitvector_test.cc" "tests/CMakeFiles/bix_tests.dir/wah_bitvector_test.cc.o" "gcc" "tests/CMakeFiles/bix_tests.dir/wah_bitvector_test.cc.o.d"
+  "/root/repo/tests/workload_test.cc" "tests/CMakeFiles/bix_tests.dir/workload_test.cc.o" "gcc" "tests/CMakeFiles/bix_tests.dir/workload_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bix_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/bitmap/CMakeFiles/bix_bitmap.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/bix_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/bix_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/buffer/CMakeFiles/bix_buffer.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/bix_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/bix_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/bix_plan.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bixctl.dir/bixctl.cc.o"
+  "CMakeFiles/bixctl.dir/bixctl.cc.o.d"
+  "bixctl"
+  "bixctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bixctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

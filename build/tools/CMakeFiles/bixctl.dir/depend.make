@@ -1,0 +1,2 @@
+# Empty dependencies file for bixctl.
+# This may be replaced when dependencies are built.
