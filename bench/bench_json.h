@@ -1,0 +1,113 @@
+// Machine-readable benchmark output shared by every harness that emits it.
+//
+// One result is one flat row
+//
+//   {"bench": "...", "params": {...}, "metric": "...", "value": n,
+//    "unit": "..."}
+//
+// and a result file is a JSON array of rows.  The schema is deliberately
+// denormalized — one row per (benchmark, parameter point, metric) — so
+// downstream tooling can concatenate, filter, and plot files from different
+// harnesses without per-bench parsing.
+
+#ifndef BIX_BENCH_BENCH_JSON_H_
+#define BIX_BENCH_BENCH_JSON_H_
+
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace bix::bench {
+
+inline std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+inline std::string JsonNumber(double v) {
+  char buf[40];
+  // %.17g round-trips doubles; trim to something diff-friendly for the
+  // common small-integer case.
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return buf;
+}
+
+/// One key in a row's "params" object, value pre-rendered as JSON.
+struct BenchParam {
+  std::string key;
+  std::string value_json;
+
+  BenchParam(std::string k, int64_t v)
+      : key(std::move(k)), value_json(std::to_string(v)) {}
+  BenchParam(std::string k, int v)
+      : key(std::move(k)), value_json(std::to_string(v)) {}
+  BenchParam(std::string k, size_t v)
+      : key(std::move(k)), value_json(std::to_string(v)) {}
+  BenchParam(std::string k, double v)
+      : key(std::move(k)), value_json(JsonNumber(v)) {}
+  BenchParam(std::string k, const std::string& v)
+      : key(std::move(k)), value_json("\"" + JsonEscape(v) + "\"") {}
+  BenchParam(std::string k, const char* v)
+      : key(std::move(k)), value_json("\"" + JsonEscape(v) + "\"") {}
+};
+
+/// Accumulates rows, then writes them as one JSON array.
+class BenchJsonWriter {
+ public:
+  void Add(const std::string& bench, const std::vector<BenchParam>& params,
+           const std::string& metric, double value, const std::string& unit) {
+    std::string row = "{\"bench\":\"" + JsonEscape(bench) + "\",\"params\":{";
+    for (size_t i = 0; i < params.size(); ++i) {
+      if (i > 0) row += ",";
+      row += "\"" + JsonEscape(params[i].key) + "\":" + params[i].value_json;
+    }
+    row += "},\"metric\":\"" + JsonEscape(metric) + "\",\"value\":" +
+           JsonNumber(value) + ",\"unit\":\"" + JsonEscape(unit) + "\"}";
+    rows_.push_back(std::move(row));
+  }
+
+  size_t size() const { return rows_.size(); }
+
+  std::string ToJson() const {
+    std::string out = "[\n";
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      out += "  " + rows_[i] + (i + 1 < rows_.size() ? ",\n" : "\n");
+    }
+    out += "]\n";
+    return out;
+  }
+
+  bool WriteFile(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    std::string json = ToJson();
+    size_t written = std::fwrite(json.data(), 1, json.size(), f);
+    return std::fclose(f) == 0 && written == json.size();
+  }
+
+ private:
+  std::vector<std::string> rows_;
+};
+
+}  // namespace bix::bench
+
+#endif  // BIX_BENCH_BENCH_JSON_H_

@@ -1,10 +1,16 @@
 // Micro-benchmarks of the bitvector substrate: the logical operations every
 // predicate evaluation is built from, popcount, and (de)serialization.
+//
+// With BIX_BENCH_JSON=<path> in the environment, results are additionally
+// written to <path> in the shared one-row-per-metric schema (bench_json.h);
+// scripts/check.sh uses this to produce BENCH_obs.json companions.
 
+#include <cstdlib>
 #include <random>
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json.h"
 #include "bitmap/bitvector.h"
 
 namespace {
@@ -93,4 +99,62 @@ void BM_BitvectorSerialize(benchmark::State& state) {
 }
 BENCHMARK(BM_BitvectorSerialize);
 
+// Console reporter that also captures each result as a schema row.  The
+// benchmark name's slash-separated arguments become params {"arg0": ...}.
+// (Deriving from ConsoleReporter keeps this a display reporter — the
+// library insists on --benchmark_out when given a separate file reporter.)
+class SchemaJsonReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      std::vector<bix::bench::BenchParam> params;
+      const std::string& args = run.run_name.args;
+      size_t start = 0;
+      int arg_index = 0;
+      while (start < args.size()) {
+        size_t end = args.find('/', start);
+        if (end == std::string::npos) end = args.size();
+        params.emplace_back("arg" + std::to_string(arg_index++),
+                            args.substr(start, end - start));
+        start = end + 1;
+      }
+      const char* unit = benchmark::GetTimeUnitString(run.time_unit);
+      writer_.Add(run.run_name.function_name, params, "real_time",
+                  run.GetAdjustedRealTime(), unit);
+      writer_.Add(run.run_name.function_name, params, "cpu_time",
+                  run.GetAdjustedCPUTime(), unit);
+      auto bps = run.counters.find("bytes_per_second");
+      if (bps != run.counters.end()) {
+        writer_.Add(run.run_name.function_name, params, "bytes_per_second",
+                    bps->second, "bytes/s");
+      }
+    }
+  }
+
+  const bix::bench::BenchJsonWriter& writer() const { return writer_; }
+
+ private:
+  bix::bench::BenchJsonWriter writer_;
+};
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  const char* json_path = std::getenv("BIX_BENCH_JSON");
+  if (json_path != nullptr) {
+    SchemaJsonReporter rows;
+    benchmark::RunSpecifiedBenchmarks(&rows);
+    if (!rows.writer().WriteFile(json_path)) {
+      std::fprintf(stderr, "failed to write %s\n", json_path);
+      return 1;
+    }
+  } else {
+    benchmark::RunSpecifiedBenchmarks();
+  }
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,30 +1,62 @@
 #!/usr/bin/env bash
-# Full local check: configure, build, run the test suite, and smoke-run
-# every benchmark binary (scaled-down data where supported).
+# Full local check: configure, build, run the test suite, smoke-run every
+# benchmark binary (scaled-down data where supported), and repeat the test
+# suite under AddressSanitizer + UndefinedBehaviorSanitizer.
+#
+#   scripts/check.sh           everything (default)
+#   scripts/check.sh --fast    skip the sanitizer build
+#   scripts/check.sh --asan    sanitizer build + tests only
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cmake -B build -G Ninja
-cmake --build build
-ctest --test-dir build --output-on-failure
+RUN_MAIN=1
+RUN_ASAN=1
+case "${1:-}" in
+  --fast) RUN_ASAN=0 ;;
+  --asan) RUN_MAIN=0 ;;
+esac
 
-# Heavy benches accept a divisor argument for quick smoke runs.
-./build/bench/bench_table1_worst_case
-./build/bench/bench_fig8_eval_algorithms
-./build/bench/bench_fig9_encoding_tradeoff
-./build/bench/bench_fig10_fig11_optimal_indexes
-./build/bench/bench_table2_heuristic
-./build/bench/bench_fig15_candidate_space
-./build/bench/bench_table3_table4_compression 10
-./build/bench/bench_fig16_storage_schemes 10
-./build/bench/bench_fig17_buffering
-./build/bench/bench_intro_ridlist_crossover
-./build/bench/bench_plan_comparison
-./build/bench/bench_knee_ablation
-./build/bench/bench_wah_ablation
-./build/bench/bench_workload_mix_ablation
-./build/bench/bench_scaling
-./build/bench/bench_micro_bitvector --benchmark_min_time=0.01
-./build/bench/bench_micro_codec --benchmark_min_time=0.01
+if [[ "$RUN_MAIN" == 1 ]]; then
+  cmake -B build -G Ninja
+  cmake --build build
+  ctest --test-dir build --output-on-failure
+
+  # Heavy benches accept a divisor argument for quick smoke runs.
+  ./build/bench/bench_table1_worst_case
+  ./build/bench/bench_fig8_eval_algorithms
+  ./build/bench/bench_fig9_encoding_tradeoff
+  ./build/bench/bench_fig10_fig11_optimal_indexes
+  ./build/bench/bench_table2_heuristic
+  ./build/bench/bench_fig15_candidate_space
+  ./build/bench/bench_table3_table4_compression 10
+  ./build/bench/bench_fig16_storage_schemes 10
+  ./build/bench/bench_fig17_buffering
+  ./build/bench/bench_intro_ridlist_crossover
+  ./build/bench/bench_plan_comparison
+  ./build/bench/bench_knee_ablation
+  ./build/bench/bench_wah_ablation
+  ./build/bench/bench_workload_mix_ablation
+  ./build/bench/bench_scaling
+
+  # Machine-readable results: the obs bench writes BENCH_obs.json and the
+  # micro bench appends bitvector-kernel rows via BIX_BENCH_JSON (both use
+  # the shared {bench, params, metric, value, unit} schema of
+  # bench/bench_json.h).
+  ./build/bench/bench_obs BENCH_obs.json
+  BIX_BENCH_JSON=BENCH_micro_bitvector.json \
+      ./build/bench/bench_micro_bitvector --benchmark_min_time=0.01
+  ./build/bench/bench_micro_codec --benchmark_min_time=0.01
+fi
+
+if [[ "$RUN_ASAN" == 1 ]]; then
+  # Sanitizer pass: rebuild the library and tests with ASan + UBSan and run
+  # the full suite.  Benchmarks are excluded (timings are meaningless under
+  # instrumentation).
+  cmake -B build-asan -G Ninja \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"
+  cmake --build build-asan
+  ctest --test-dir build-asan --output-on-failure
+fi
 
 echo "ALL CHECKS PASSED"

@@ -7,6 +7,8 @@
 #include "core/advisor.h"
 #include "core/check.h"
 #include "core/cost_model.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace bix {
 
@@ -125,10 +127,20 @@ BufferedSource::BufferedSource(const BitmapSource& inner,
 
 Bitvector BufferedSource::Fetch(int component, uint32_t slot,
                                 EvalStats* stats) const {
-  if (pinned_[static_cast<size_t>(component)][slot]) {
+  auto& reg = obs::MetricsRegistry::Global();
+  static obs::Counter& hits = reg.GetCounter("buffer.hits");
+  static obs::Counter& misses = reg.GetCounter("buffer.misses");
+  const bool hit = pinned_[static_cast<size_t>(component)][slot];
+  obs::TraceSpan span("fetch", "buffered");
+  span.set_component(component);
+  span.set_slot(slot);
+  span.set_hit(hit);
+  if (hit) {
+    hits.Increment();
     if (stats != nullptr) ++stats->buffer_hits;
     return inner_.Fetch(component, slot, nullptr);
   }
+  misses.Increment();
   return inner_.Fetch(component, slot, stats);
 }
 

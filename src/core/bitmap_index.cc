@@ -4,6 +4,7 @@
 
 #include "core/check.h"
 #include "core/eval.h"
+#include "obs/trace.h"
 
 namespace bix {
 
@@ -49,6 +50,12 @@ Bitvector BitmapIndex::Fetch(int component, uint32_t slot,
   const IndexComponent& comp = components_[static_cast<size_t>(component)];
   BIX_CHECK(slot < static_cast<uint32_t>(comp.num_stored_bitmaps()));
   if (stats != nullptr) ++stats->bitmap_scans;
+  if (obs::Tracer::enabled()) {
+    obs::TraceSpan span("fetch", "memory");
+    span.set_component(component);
+    span.set_slot(slot);
+    span.set_bytes(static_cast<int64_t>((non_null_.size() + 7) / 8));
+  }
   return comp.stored(slot);
 }
 

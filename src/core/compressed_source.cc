@@ -1,5 +1,7 @@
 #include "core/compressed_source.h"
 
+#include "obs/trace.h"
+
 namespace bix {
 
 WahCompressedSource::WahCompressedSource(const BitmapIndex& index)
@@ -22,7 +24,13 @@ WahCompressedSource::WahCompressedSource(const BitmapIndex& index)
 Bitvector WahCompressedSource::Fetch(int component, uint32_t slot,
                                      EvalStats* stats) const {
   if (stats != nullptr) ++stats->bitmap_scans;
-  return components_[static_cast<size_t>(component)][slot].ToBitvector();
+  const WahBitvector& wah =
+      components_[static_cast<size_t>(component)][slot];
+  obs::TraceSpan span("fetch", "wah_inflate");
+  span.set_component(component);
+  span.set_slot(slot);
+  span.set_bytes(static_cast<int64_t>(wah.SizeInBytes()));
+  return wah.ToBitvector();
 }
 
 int64_t WahCompressedSource::CompressedBytes() const {

@@ -1,30 +1,66 @@
 #include "core/eval.h"
 
+#include <chrono>
 #include <utility>
 #include <vector>
 
 #include "core/check.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace bix {
 
 namespace {
 
-// Counts logical bitmap operations into an optional EvalStats.
+// Counts logical bitmap operations into an optional EvalStats, and emits an
+// instant trace event per operation when tracing is on (the disabled path is
+// one relaxed atomic load per operation).
 struct OpCounter {
   EvalStats* stats;
   void And() const {
     if (stats != nullptr) ++stats->and_ops;
+    if (obs::Tracer::enabled()) obs::RecordInstant("op", "AND");
   }
   void Or() const {
     if (stats != nullptr) ++stats->or_ops;
+    if (obs::Tracer::enabled()) obs::RecordInstant("op", "OR");
   }
   void Xor() const {
     if (stats != nullptr) ++stats->xor_ops;
+    if (obs::Tracer::enabled()) obs::RecordInstant("op", "XOR");
   }
   void Not() const {
     if (stats != nullptr) ++stats->not_ops;
+    if (obs::Tracer::enabled()) obs::RecordInstant("op", "NOT");
   }
 };
+
+// Folds one evaluation's stats delta and latency into the process-wide
+// metrics registry (a handful of relaxed atomic adds per query).
+void RecordQueryMetrics(const EvalStats& delta, int64_t latency_ns) {
+  auto& reg = obs::MetricsRegistry::Global();
+  static obs::Counter& queries = reg.GetCounter("eval.queries");
+  static obs::Counter& scans = reg.GetCounter("eval.bitmap_scans");
+  static obs::Counter& and_ops = reg.GetCounter("eval.and_ops");
+  static obs::Counter& or_ops = reg.GetCounter("eval.or_ops");
+  static obs::Counter& xor_ops = reg.GetCounter("eval.xor_ops");
+  static obs::Counter& not_ops = reg.GetCounter("eval.not_ops");
+  static obs::Counter& buffer_hits = reg.GetCounter("eval.buffer_hits");
+  static obs::Counter& bytes_read = reg.GetCounter("eval.bytes_read");
+  static obs::Histogram& latency = reg.GetHistogram("eval.latency_ns");
+  static obs::Histogram& scans_per_query =
+      reg.GetHistogram("eval.scans_per_query");
+  queries.Increment();
+  scans.Increment(delta.bitmap_scans);
+  and_ops.Increment(delta.and_ops);
+  or_ops.Increment(delta.or_ops);
+  xor_ops.Increment(delta.xor_ops);
+  not_ops.Increment(delta.not_ops);
+  buffer_hits.Increment(delta.buffer_hits);
+  bytes_read.Increment(delta.bytes_read);
+  latency.Observe(latency_ns);
+  scans_per_query.Observe(delta.bitmap_scans);
+}
 
 Bitvector TrivialResult(const BitmapSource& src, bool all) {
   return all ? src.non_null() : Bitvector::Zeros(src.num_records());
@@ -364,18 +400,47 @@ Bitvector EvaluatePredicate(const BitmapSource& source,
                     ? EvalAlgorithm::kRangeEvalOpt
                     : EvalAlgorithm::kEqualityEval;
   }
+  // Stats are always collected (into a local when the caller passed none) so
+  // the registry sees every evaluation; `before` isolates this query's delta
+  // when the caller accumulates across queries.
+  EvalStats local;
+  EvalStats* s = stats != nullptr ? stats : &local;
+  const EvalStats before = *s;
+
+  obs::TraceSpan span("eval", ToString(algorithm).data());
+  span.set_value(v);
+  if (span.active()) span.set_detail(std::string(ToString(op)));
+
+  const auto start = std::chrono::steady_clock::now();
+  Bitvector result;
   switch (algorithm) {
     case EvalAlgorithm::kRangeEval:
-      return RangeEval(source, op, v, stats);
-    case EvalAlgorithm::kRangeEvalOpt:
-      return RangeEvalOpt(source, op, v, stats);
-    case EvalAlgorithm::kEqualityEval:
-      return EqualityEval(source, op, v, stats);
-    case EvalAlgorithm::kAuto:
+      result = RangeEval(source, op, v, s);
       break;
+    case EvalAlgorithm::kRangeEvalOpt:
+      result = RangeEvalOpt(source, op, v, s);
+      break;
+    case EvalAlgorithm::kEqualityEval:
+      result = EqualityEval(source, op, v, s);
+      break;
+    case EvalAlgorithm::kAuto:
+      BIX_CHECK(false);
   }
-  BIX_CHECK(false);
-  return Bitvector();
+  const int64_t latency_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+
+  EvalStats delta = *s;
+  delta.bitmap_scans -= before.bitmap_scans;
+  delta.and_ops -= before.and_ops;
+  delta.or_ops -= before.or_ops;
+  delta.xor_ops -= before.xor_ops;
+  delta.not_ops -= before.not_ops;
+  delta.bytes_read -= before.bytes_read;
+  delta.buffer_hits -= before.buffer_hits;
+  RecordQueryMetrics(delta, latency_ns);
+  return result;
 }
 
 }  // namespace bix

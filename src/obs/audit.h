@@ -1,0 +1,93 @@
+// Cost-model audit: the paper's analytic predictions as a checked invariant.
+//
+// The library's central claim is that the closed-form cost model
+// (core/cost_model.h) predicts the *exact* number of bitmap scans every
+// evaluation algorithm performs.  This header turns that claim into a
+// continuously checkable property: given an executed query and its index
+// design, compare the measured EvalStats against the model's predictions
+// and report drift.  Predictions cover both the scan count (via the
+// closed-form ModelScans) and the full operation mix, obtained by a
+// structural replay of the evaluation algorithm over a 1-record dummy
+// source — the algorithms' control flow depends only on (base, cardinality,
+// op, v), never on bitmap contents, so the replay is exact by construction.
+
+#ifndef BIX_OBS_AUDIT_H_
+#define BIX_OBS_AUDIT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/base_sequence.h"
+#include "core/bitmap_source.h"
+#include "core/eval_stats.h"
+#include "core/predicate.h"
+
+namespace bix::obs {
+
+/// Exact per-query prediction of bitmap scans and bitwise operations for
+/// `A op v` under the given design, by structural replay of the evaluation
+/// algorithm (bytes_read / buffer_hits are storage properties and stay 0).
+/// The scan count always equals cost_model.h's ModelScans.
+EvalStats PredictStats(const BaseSequence& base, uint32_t cardinality,
+                       Encoding encoding, EvalAlgorithm algorithm,
+                       CompareOp op, int64_t v);
+
+/// Audit verdict for one executed query.
+struct QueryAudit {
+  CompareOp op = CompareOp::kEq;
+  int64_t v = 0;
+  EvalStats measured;
+  EvalStats predicted;
+
+  int64_t scan_drift() const {
+    return measured.bitmap_scans - predicted.bitmap_scans;
+  }
+  int64_t op_drift() const { return measured.TotalOps() - predicted.TotalOps(); }
+  /// True when measured scans and the full op mix match the model exactly.
+  /// Buffered sources satisfy scans + hits == predicted scans instead
+  /// (a hit replaces a scan); both forms are accepted.
+  bool ok() const {
+    bool scans_ok =
+        measured.bitmap_scans == predicted.bitmap_scans ||
+        measured.bitmap_scans + measured.buffer_hits == predicted.bitmap_scans;
+    return scans_ok && measured.and_ops == predicted.and_ops &&
+           measured.or_ops == predicted.or_ops &&
+           measured.xor_ops == predicted.xor_ops &&
+           measured.not_ops == predicted.not_ops;
+  }
+  std::string ToText() const;
+};
+
+/// Audits one executed query: pairs `measured` with the model prediction.
+QueryAudit AuditQuery(const BaseSequence& base, uint32_t cardinality,
+                      Encoding encoding, EvalAlgorithm algorithm, CompareOp op,
+                      int64_t v, const EvalStats& measured);
+
+/// Aggregate audit over a query sweep.
+struct AuditReport {
+  int64_t queries_checked = 0;
+  int64_t queries_failed = 0;
+  int64_t max_abs_scan_drift = 0;
+  int64_t max_abs_op_drift = 0;
+  double measured_mean_scans = 0;  // per-query average over the sweep
+  double expected_mean_scans = 0;  // cost_model ExactTime for the design
+  std::vector<QueryAudit> failures;  // first kMaxFailuresKept mismatches
+
+  static constexpr size_t kMaxFailuresKept = 16;
+
+  bool ok() const { return queries_failed == 0; }
+  std::string ToText() const;
+  std::string ToJson() const;
+};
+
+/// Evaluates every query of the paper's query space Q = {op, v} x
+/// [0, C) over `source` with `algorithm`, auditing each against the model.
+/// Runs 6C evaluations — intended for tests and offline checks, not for
+/// production query paths.
+AuditReport AuditSource(const BitmapSource& source,
+                        EvalAlgorithm algorithm = EvalAlgorithm::kAuto);
+
+}  // namespace bix::obs
+
+#endif  // BIX_OBS_AUDIT_H_

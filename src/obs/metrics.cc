@@ -1,0 +1,219 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/check.h"
+
+namespace bix::obs {
+
+int Histogram::BucketIndex(int64_t value) {
+  if (value <= 0) return 0;
+  int k = 64 - __builtin_clzll(static_cast<uint64_t>(value));  // floor(log2)+1
+  return std::min(k, kNumBuckets - 1);
+}
+
+int64_t Histogram::BucketUpperBound(int k) {
+  if (k <= 0) return 0;
+  if (k >= kNumBuckets - 1) return INT64_MAX;
+  return (int64_t{1} << k) - 1;
+}
+
+void Histogram::Observe(int64_t value) {
+  buckets_[static_cast<size_t>(BucketIndex(value))].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  int64_t prev = min_.load(std::memory_order_relaxed);
+  while (value < prev &&
+         !min_.compare_exchange_weak(prev, value, std::memory_order_relaxed)) {
+  }
+  prev = max_.load(std::memory_order_relaxed);
+  while (value > prev &&
+         !max_.compare_exchange_weak(prev, value, std::memory_order_relaxed)) {
+  }
+}
+
+int64_t Histogram::min() const {
+  int64_t v = min_.load(std::memory_order_relaxed);
+  return v == INT64_MAX ? 0 : v;
+}
+
+int64_t Histogram::max() const {
+  int64_t v = max_.load(std::memory_order_relaxed);
+  return v == INT64_MIN ? 0 : v;
+}
+
+int64_t Histogram::Quantile(double q) const {
+  int64_t total = count();
+  if (total == 0) return 0;
+  int64_t rank = static_cast<int64_t>(q * static_cast<double>(total - 1));
+  int64_t seen = 0;
+  for (int k = 0; k < kNumBuckets; ++k) {
+    seen += bucket(k);
+    if (seen > rank) return BucketUpperBound(k);
+  }
+  return BucketUpperBound(kNumBuckets - 1);
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(INT64_MAX, std::memory_order_relaxed);
+  max_.store(INT64_MIN, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+MetricsRegistry::Entry& MetricsRegistry::GetEntry(const std::string& name,
+                                                  Kind kind) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = metrics_.find(name);
+  if (it == metrics_.end()) {
+    Entry entry;
+    entry.kind = kind;
+    switch (kind) {
+      case Kind::kCounter:
+        entry.counter = std::make_unique<Counter>();
+        break;
+      case Kind::kGauge:
+        entry.gauge = std::make_unique<Gauge>();
+        break;
+      case Kind::kHistogram:
+        entry.histogram = std::make_unique<Histogram>();
+        break;
+    }
+    it = metrics_.emplace(name, std::move(entry)).first;
+  }
+  BIX_CHECK_MSG(it->second.kind == kind,
+                "metric re-registered with a different kind");
+  return it->second;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  return *GetEntry(name, Kind::kCounter).counter;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  return *GetEntry(name, Kind::kGauge).gauge;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name) {
+  return *GetEntry(name, Kind::kHistogram).histogram;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, entry] : metrics_) {  // std::map: name order
+    MetricSample s;
+    s.name = name;
+    switch (entry.kind) {
+      case Kind::kCounter:
+        s.kind = MetricSample::Kind::kCounter;
+        s.value = entry.counter->value();
+        break;
+      case Kind::kGauge:
+        s.kind = MetricSample::Kind::kGauge;
+        s.value = entry.gauge->value();
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = *entry.histogram;
+        s.kind = MetricSample::Kind::kHistogram;
+        s.value = h.count();
+        s.sum = h.sum();
+        s.min = h.min();
+        s.max = h.max();
+        s.p50 = h.Quantile(0.5);
+        s.p99 = h.Quantile(0.99);
+        for (int k = 0; k < Histogram::kNumBuckets; ++k) {
+          int64_t c = h.bucket(k);
+          if (c != 0) s.buckets.emplace_back(Histogram::BucketUpperBound(k), c);
+        }
+        break;
+      }
+    }
+    snap.samples.push_back(std::move(s));
+  }
+  return snap;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, entry] : metrics_) {
+    switch (entry.kind) {
+      case Kind::kCounter:
+        entry.counter->Reset();
+        break;
+      case Kind::kGauge:
+        entry.gauge->Reset();
+        break;
+      case Kind::kHistogram:
+        entry.histogram->Reset();
+        break;
+    }
+  }
+}
+
+const MetricSample* MetricsSnapshot::Find(const std::string& name) const {
+  for (const MetricSample& s : samples) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+std::string MetricsSnapshot::ToText() const {
+  std::ostringstream out;
+  for (const MetricSample& s : samples) {
+    switch (s.kind) {
+      case MetricSample::Kind::kCounter:
+      case MetricSample::Kind::kGauge:
+        out << s.name << " " << s.value << "\n";
+        break;
+      case MetricSample::Kind::kHistogram:
+        out << s.name << " count=" << s.value << " sum=" << s.sum
+            << " min=" << s.min << " p50<=" << s.p50 << " p99<=" << s.p99
+            << " max=" << s.max << "\n";
+        break;
+    }
+  }
+  return out.str();
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::ostringstream out;
+  out << "{";
+  bool first = true;
+  for (const MetricSample& s : samples) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << s.name << "\":";
+    switch (s.kind) {
+      case MetricSample::Kind::kCounter:
+      case MetricSample::Kind::kGauge:
+        out << s.value;
+        break;
+      case MetricSample::Kind::kHistogram: {
+        out << "{\"count\":" << s.value << ",\"sum\":" << s.sum
+            << ",\"min\":" << s.min << ",\"max\":" << s.max
+            << ",\"p50\":" << s.p50 << ",\"p99\":" << s.p99 << ",\"buckets\":[";
+        bool bfirst = true;
+        for (const auto& [ub, c] : s.buckets) {
+          if (!bfirst) out << ",";
+          bfirst = false;
+          out << "[" << ub << "," << c << "]";
+        }
+        out << "]}";
+        break;
+      }
+    }
+  }
+  out << "}";
+  return out.str();
+}
+
+}  // namespace bix::obs

@@ -1,0 +1,154 @@
+// Process-wide metrics registry (counters, gauges, histograms).
+//
+// The paper's evaluation discipline is counting — bitmap scans as the I/O
+// proxy, bitmap operations as the CPU proxy — but EvalStats only carries
+// counts for a single evaluation and is aggregated away by its caller.
+// The registry keeps named, process-lifetime aggregates with thread-safe
+// updates so any layer (eval, storage, buffer, planner, tools) can account
+// work without threading extra out-parameters through the stack.
+//
+// Metric kinds:
+//  * Counter   — monotonically increasing int64 (e.g. "eval.bitmap_scans").
+//  * Gauge     — last-set int64 (e.g. "index.stored_bytes").
+//  * Histogram — log2-bucketed distribution of non-negative values
+//                (latencies in nanoseconds, sizes in bytes).  Bucket k
+//                holds values in [2^(k-1), 2^k) with bucket 0 = {0};
+//                64 buckets cover the full int64 range.
+//
+// All mutation paths are lock-free atomics; registration takes a mutex
+// once per metric name.  Snapshots are deterministic: metrics are reported
+// in lexicographic name order, so text/JSON exports diff cleanly.
+
+#ifndef BIX_OBS_METRICS_H_
+#define BIX_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace bix::obs {
+
+class Counter {
+ public:
+  void Increment(int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Log-scale histogram over non-negative int64 values.  Negative
+/// observations clamp to bucket 0.
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 64;
+
+  /// Bucket index for `value`: 0 for values <= 0, else 1 + floor(log2(v)),
+  /// capped at kNumBuckets - 1.
+  static int BucketIndex(int64_t value);
+  /// Inclusive upper bound of bucket `k` (the largest value it admits).
+  static int64_t BucketUpperBound(int k);
+
+  void Observe(int64_t value);
+
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  int64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  int64_t min() const;  // 0 when empty
+  int64_t max() const;  // 0 when empty
+  int64_t bucket(int k) const {
+    return buckets_[static_cast<size_t>(k)].load(std::memory_order_relaxed);
+  }
+
+  /// Value at or below which `q` (in [0, 1]) of observations fall,
+  /// estimated as the upper bound of the containing bucket.
+  int64_t Quantile(double q) const;
+
+  void Reset();
+
+ private:
+  std::array<std::atomic<int64_t>, kNumBuckets> buckets_{};
+  std::atomic<int64_t> count_{0};
+  std::atomic<int64_t> sum_{0};
+  std::atomic<int64_t> min_{INT64_MAX};
+  std::atomic<int64_t> max_{INT64_MIN};
+};
+
+/// One metric's state at snapshot time.
+struct MetricSample {
+  enum class Kind { kCounter, kGauge, kHistogram };
+  std::string name;
+  Kind kind = Kind::kCounter;
+  int64_t value = 0;  // counter/gauge value; histogram count
+  // Histogram-only fields.
+  int64_t sum = 0;
+  int64_t min = 0;
+  int64_t max = 0;
+  int64_t p50 = 0;
+  int64_t p99 = 0;
+  std::vector<std::pair<int64_t, int64_t>> buckets;  // (upper_bound, count)
+};
+
+struct MetricsSnapshot {
+  std::vector<MetricSample> samples;  // lexicographic by name
+
+  /// Human-readable table, one metric per line.
+  std::string ToText() const;
+  /// JSON object {"name": value | {histogram object}} in name order.
+  std::string ToJson() const;
+  /// Sample lookup by exact name; nullptr if absent.
+  const MetricSample* Find(const std::string& name) const;
+};
+
+/// Named-metric registry.  Get*() registers on first use and returns a
+/// stable reference; the returned metric lives as long as the registry.
+/// Re-registering a name with a different kind aborts.
+class MetricsRegistry {
+ public:
+  /// The process-wide registry used by the library's instrumentation.
+  static MetricsRegistry& Global();
+
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  Histogram& GetHistogram(const std::string& name);
+
+  MetricsSnapshot Snapshot() const;
+  /// Zeroes every registered metric (registration survives).
+  void ResetAll();
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry& GetEntry(const std::string& name, Kind kind);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> metrics_;
+};
+
+}  // namespace bix::obs
+
+#endif  // BIX_OBS_METRICS_H_

@@ -1,0 +1,140 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace bix::obs {
+
+namespace {
+
+int64_t SteadyNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void AppendEscaped(std::ostringstream& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+std::atomic<bool> Tracer::enabled_{false};
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+void Tracer::Enable() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  epoch_ns_ = SteadyNowNs();
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::Disable() { enabled_.store(false, std::memory_order_relaxed); }
+
+int64_t Tracer::NowNs() const { return SteadyNowNs() - epoch_ns_; }
+
+void Tracer::Record(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(event));
+}
+
+size_t Tracer::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+}
+
+std::vector<TraceEvent> Tracer::Events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+std::string Tracer::ToChromeJson() const {
+  std::vector<TraceEvent> events = Events();
+  std::ostringstream out;
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"name\":\"";
+    AppendEscaped(out, e.name);
+    out << "\",\"cat\":\"";
+    AppendEscaped(out, e.category);
+    // chrome://tracing expects microsecond timestamps; keep nanosecond
+    // resolution with fractional microseconds.
+    out << "\",\"pid\":0,\"tid\":0,\"ts\":"
+        << static_cast<double>(e.ts_ns) / 1000.0;
+    if (e.dur_ns >= 0) {
+      out << ",\"ph\":\"X\",\"dur\":" << static_cast<double>(e.dur_ns) / 1000.0;
+    } else {
+      out << ",\"ph\":\"i\",\"s\":\"t\"";
+    }
+    out << ",\"args\":{";
+    bool first_arg = true;
+    auto arg = [&](const char* key, int64_t v) {
+      if (v < 0) return;
+      if (!first_arg) out << ",";
+      first_arg = false;
+      out << "\"" << key << "\":" << v;
+    };
+    arg("component", e.component);
+    arg("slot", e.slot);
+    arg("bytes", e.bytes);
+    arg("value", e.value);
+    arg("hit", e.hit);
+    if (!e.detail.empty()) {
+      if (!first_arg) out << ",";
+      first_arg = false;
+      out << "\"detail\":\"";
+      AppendEscaped(out, e.detail);
+      out << "\"";
+    }
+    out << "}}";
+  }
+  out << "],\"displayTimeUnit\":\"ns\"}";
+  return out.str();
+}
+
+bool Tracer::WriteChromeJson(const std::string& path) const {
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) return false;
+  f << ToChromeJson();
+  return static_cast<bool>(f);
+}
+
+void RecordInstant(const char* category, const char* name) {
+  TraceEvent e;
+  e.category = category;
+  e.name = name;
+  e.ts_ns = Tracer::Global().NowNs();
+  e.dur_ns = -1;
+  Tracer::Global().Record(std::move(e));
+}
+
+}  // namespace bix::obs

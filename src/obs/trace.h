@@ -1,0 +1,123 @@
+// Query-level event tracing.
+//
+// The tracer records what EvalStats can only count: *which* bitmap was
+// fetched (component, slot, bytes, buffer hit/miss, decode time), *which*
+// bitwise operation ran, and where wall-clock time went inside one
+// evaluation.  Events export as Chrome trace_event JSON ("Complete" and
+// "Instant" events), loadable in chrome://tracing or Perfetto, and as a
+// plain JSON array for programmatic consumers.
+//
+// Cost discipline: tracing is off by default and the disabled path is one
+// relaxed atomic load (see Tracer::enabled()); instrumentation sites must
+// check it before constructing events.  Enabled-path appends take a mutex —
+// tracing is a diagnosis tool, not a production counter (use obs/metrics.h
+// for always-on aggregates).
+
+#ifndef BIX_OBS_TRACE_H_
+#define BIX_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace bix::obs {
+
+/// One recorded event.  `dur_ns < 0` marks an instant event (a bitwise op);
+/// otherwise the event is a span.  Unused argument fields stay at -1 and
+/// are omitted from exports.
+struct TraceEvent {
+  const char* category = "";  // "eval", "fetch", "storage", "plan"
+  const char* name = "";      // static-storage strings only
+  int64_t ts_ns = 0;          // start, relative to Enable()
+  int64_t dur_ns = -1;
+  int64_t component = -1;
+  int64_t slot = -1;
+  int64_t bytes = -1;
+  int64_t value = -1;         // predicate constant / generic argument
+  int64_t hit = -1;           // buffer hit (1) / miss (0)
+  std::string detail;         // optional free-form annotation
+};
+
+class Tracer {
+ public:
+  /// The process-wide tracer used by the library's instrumentation.
+  static Tracer& Global();
+
+  /// True when events should be recorded.  This is the *only* check on the
+  /// hot path; a disabled tracer costs one relaxed atomic load.
+  static bool enabled() {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Starts recording (clears previously captured events).
+  void Enable();
+  void Disable();
+
+  /// Nanoseconds since Enable() (steady clock).
+  int64_t NowNs() const;
+
+  void Record(TraceEvent event);
+
+  size_t size() const;
+  void Clear();
+  std::vector<TraceEvent> Events() const;
+
+  /// Chrome trace_event JSON: {"traceEvents":[...]}.  Spans become "X"
+  /// (Complete) events, instants become "i"; timestamps are microseconds.
+  std::string ToChromeJson() const;
+  /// Writes ToChromeJson() to `path`; returns false on I/O failure.
+  bool WriteChromeJson(const std::string& path) const;
+
+ private:
+  static std::atomic<bool> enabled_;
+
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+  int64_t epoch_ns_ = 0;  // steady-clock origin set by Enable()
+};
+
+/// RAII span: captures the start time at construction and records a span
+/// event at destruction.  All work is skipped when tracing was disabled at
+/// construction time.
+class TraceSpan {
+ public:
+  TraceSpan(const char* category, const char* name) {
+    if (Tracer::enabled()) {
+      active_ = true;
+      event_.category = category;
+      event_.name = name;
+      event_.ts_ns = Tracer::Global().NowNs();
+    }
+  }
+  ~TraceSpan() {
+    if (active_) {
+      event_.dur_ns = Tracer::Global().NowNs() - event_.ts_ns;
+      Tracer::Global().Record(std::move(event_));
+    }
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  bool active() const { return active_; }
+  /// Argument setters are no-ops on an inactive span.
+  void set_component(int64_t c) { if (active_) event_.component = c; }
+  void set_slot(int64_t s) { if (active_) event_.slot = s; }
+  void set_bytes(int64_t b) { if (active_) event_.bytes = b; }
+  void set_value(int64_t v) { if (active_) event_.value = v; }
+  void set_hit(bool h) { if (active_) event_.hit = h ? 1 : 0; }
+  void set_detail(std::string d) { if (active_) event_.detail = std::move(d); }
+
+ private:
+  bool active_ = false;
+  TraceEvent event_;
+};
+
+/// Records an instant event (used for bitwise ops).  Call only after
+/// checking Tracer::enabled().
+void RecordInstant(const char* category, const char* name);
+
+}  // namespace bix::obs
+
+#endif  // BIX_OBS_TRACE_H_

@@ -1,10 +1,15 @@
 #include "plan/selection_plan.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdio>
 #include <limits>
+#include <sstream>
 
 #include "core/check.h"
 #include "core/cost_model.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace bix {
 
@@ -208,16 +213,73 @@ ExecutionResult SelectionPlanner::ExecuteIndexMerge(
 
 ExecutionResult SelectionPlanner::Execute(const ConjunctiveQuery& query,
                                           const PlanEstimate& plan) const {
+  obs::TraceSpan span("plan", ToString(plan.kind).data());
+  span.set_value(static_cast<int64_t>(plan.estimated_bytes));
+
+  ExecutionResult result;
   switch (plan.kind) {
     case PlanKind::kFullScan:
-      return ExecuteFullScan(query);
+      result = ExecuteFullScan(query);
+      break;
     case PlanKind::kIndexFilter:
-      return ExecuteIndexFilter(query, plan.driver_attribute);
+      result = ExecuteIndexFilter(query, plan.driver_attribute);
+      break;
     case PlanKind::kIndexMerge:
-      return ExecuteIndexMerge(query);
+      result = ExecuteIndexMerge(query);
+      break;
   }
-  BIX_CHECK(false);
-  return ExecutionResult{};
+  span.set_bytes(result.bytes_read);
+
+  auto& reg = obs::MetricsRegistry::Global();
+  static obs::Counter& executions = reg.GetCounter("plan.executions");
+  static obs::Counter& bytes = reg.GetCounter("plan.bytes_read");
+  static obs::Histogram& drift = reg.GetHistogram("plan.abs_bytes_drift");
+  executions.Increment();
+  bytes.Increment(result.bytes_read);
+  drift.Observe(static_cast<int64_t>(
+      std::abs(static_cast<double>(result.bytes_read) - plan.estimated_bytes)));
+  return result;
+}
+
+PlanExplain SelectionPlanner::Explain(const ConjunctiveQuery& query,
+                                      bool execute_all) const {
+  PlanExplain explain;
+  for (const PlanEstimate& estimate : EnumeratePlans(query)) {
+    PlanAudit audit;
+    audit.estimate = estimate;
+    explain.plans.push_back(std::move(audit));
+  }
+  explain.chosen = 0;
+  for (size_t i = 0; i < explain.plans.size(); ++i) {
+    if (i == explain.chosen || execute_all) {
+      explain.plans[i].actual = Execute(query, explain.plans[i].estimate);
+      explain.plans[i].executed = true;
+    }
+  }
+  return explain;
+}
+
+std::string PlanExplain::ToText() const {
+  std::ostringstream out;
+  out << "plan                driver  est_bytes     act_bytes     drift\n";
+  for (size_t i = 0; i < plans.size(); ++i) {
+    const PlanAudit& p = plans[i];
+    char line[160];
+    if (p.executed) {
+      std::snprintf(line, sizeof(line), "%-19s %6d  %12.0f  %12lld  %+.0f%s\n",
+                    std::string(ToString(p.estimate.kind)).c_str(),
+                    p.estimate.driver_attribute, p.estimate.estimated_bytes,
+                    static_cast<long long>(p.actual.bytes_read),
+                    p.bytes_drift(), i == chosen ? "  <-- chosen" : "");
+    } else {
+      std::snprintf(line, sizeof(line), "%-19s %6d  %12.0f  %12s  %s\n",
+                    std::string(ToString(p.estimate.kind)).c_str(),
+                    p.estimate.driver_attribute, p.estimate.estimated_bytes,
+                    "-", i == chosen ? "  <-- chosen" : "");
+    }
+    out << line;
+  }
+  return out.str();
 }
 
 }  // namespace bix

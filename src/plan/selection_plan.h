@@ -61,6 +61,31 @@ struct ExecutionResult {
 /// Uniform-assumption selectivity of `pred` on `table` in [0, 1].
 double EstimateSelectivity(const Table& table, const Predicate& pred);
 
+/// One plan's estimated cost paired with its measured execution — the
+/// planner's cost model audited the same way obs/audit.h audits the
+/// per-query scan model.
+struct PlanAudit {
+  PlanEstimate estimate;
+  bool executed = false;
+  ExecutionResult actual;  // meaningful only when `executed`
+
+  /// actual - estimated bytes (positive: the model under-estimated).
+  double bytes_drift() const {
+    return static_cast<double>(actual.bytes_read) - estimate.estimated_bytes;
+  }
+};
+
+/// EXPLAIN output: every applicable plan with estimates, the chosen one
+/// executed (all of them under `execute_all`), cheapest estimate first.
+struct PlanExplain {
+  std::vector<PlanAudit> plans;
+  size_t chosen = 0;  // index into `plans` (always 0 today; kept explicit)
+
+  /// Multi-line EXPLAIN-style dump: one row per plan with kind, driver,
+  /// estimated vs actual bytes and drift, marking the chosen plan.
+  std::string ToText() const;
+};
+
 class SelectionPlanner {
  public:
   explicit SelectionPlanner(const Table& table) : table_(table) {}
@@ -75,6 +100,11 @@ class SelectionPlanner {
   /// Executes `plan` and returns the foundset with actual-cost accounting.
   ExecutionResult Execute(const ConjunctiveQuery& query,
                           const PlanEstimate& plan) const;
+
+  /// Estimates every applicable plan and executes the chosen one (every
+  /// candidate when `execute_all`), pairing estimated with actual bytes.
+  PlanExplain Explain(const ConjunctiveQuery& query,
+                      bool execute_all = false) const;
 
  private:
   ExecutionResult ExecuteFullScan(const ConjunctiveQuery& query) const;

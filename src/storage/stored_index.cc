@@ -10,6 +10,8 @@
 #include "core/bitmap_source.h"
 #include "core/check.h"
 #include "core/eval.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace bix {
 
@@ -152,9 +154,14 @@ class StoredQuerySource final : public BitmapSource {
     if (index_.scheme_ == StorageScheme::kComponentLevel) {
       raw_.resize(static_cast<size_t>(index_.base().num_components()));
       for (int c = 0; c < index_.base().num_components(); ++c) {
+        obs::TraceSpan span("storage", "load_component");
+        span.set_component(c);
+        EvalStats io;
         status_ = ReadBlob(index_.dir_ / ComponentFileName(c), index_.codec(),
-                           &raw_[static_cast<size_t>(c)], stats_,
+                           &raw_[static_cast<size_t>(c)], &io,
                            decompress_seconds_);
+        span.set_bytes(io.bytes_read);
+        if (stats_ != nullptr) stats_->bytes_read += io.bytes_read;
         if (!status_.ok()) return;
         uint32_t stride =
             NumStoredBitmaps(index_.encoding(), index_.base().base(c));
@@ -163,8 +170,12 @@ class StoredQuerySource final : public BitmapSource {
       }
     } else if (index_.scheme_ == StorageScheme::kIndexLevel) {
       raw_.resize(1);
+      obs::TraceSpan span("storage", "load_index");
+      EvalStats io;
       status_ = ReadBlob(index_.dir_ / kIndexFileName, index_.codec(), &raw_[0],
-                         stats_, decompress_seconds_);
+                         &io, decompress_seconds_);
+      span.set_bytes(io.bytes_read);
+      if (stats_ != nullptr) stats_->bytes_read += io.bytes_read;
       if (status_.ok()) EnsureMatrixSize(&raw_[0], index_.row_stride_);
     }
   }
@@ -193,9 +204,16 @@ class StoredQuerySource final : public BitmapSource {
     if (stats != nullptr) ++stats->bitmap_scans;
     switch (index_.scheme_) {
       case StorageScheme::kBitmapLevel: {
+        obs::TraceSpan span("fetch", "BS_read");
+        span.set_component(component);
+        span.set_slot(slot);
+        span.set_hit(false);
         std::vector<uint8_t> raw;
+        EvalStats io;
         Status s = ReadBlob(index_.dir_ / BitmapFileName(component, slot),
-                            index_.codec(), &raw, stats_, decompress_seconds_);
+                            index_.codec(), &raw, &io, decompress_seconds_);
+        span.set_bytes(io.bytes_read);
+        if (stats_ != nullptr) stats_->bytes_read += io.bytes_read;
         if (!s.ok()) {
           // Remember the first failure; the query completes with empty
           // bitmaps and the caller sees the status.
@@ -211,12 +229,20 @@ class StoredQuerySource final : public BitmapSource {
         return Bitvector::FromBytes(raw, index_.num_records());
       }
       case StorageScheme::kComponentLevel: {
+        obs::TraceSpan span("fetch", "CS_extract");
+        span.set_component(component);
+        span.set_slot(slot);
+        span.set_hit(true);  // served from the per-query buffer, no I/O
         uint32_t stride = NumStoredBitmaps(index_.encoding(),
                                            index_.base().base(component));
         return ExtractColumn(raw_[static_cast<size_t>(component)],
                              index_.num_records(), stride, slot);
       }
       case StorageScheme::kIndexLevel: {
+        obs::TraceSpan span("fetch", "IS_extract");
+        span.set_component(component);
+        span.set_slot(slot);
+        span.set_hit(true);
         uint32_t column =
             index_.slot_offsets_[static_cast<size_t>(component)] + slot;
         return ExtractColumn(raw_[0], index_.num_records(), index_.row_stride_,
@@ -407,11 +433,37 @@ Bitvector StoredIndex::Evaluate(EvalAlgorithm algorithm, CompareOp op,
                                 int64_t v, EvalStats* stats,
                                 double* decompress_seconds,
                                 Status* status) const {
-  StoredQuerySource source(*this, stats, decompress_seconds);
+  obs::TraceSpan span("storage", "evaluate");
+  span.set_value(v);
+  if (span.active()) {
+    span.set_detail(std::string(ToString(scheme_)) + " " +
+                    std::string(ToString(op)));
+  }
+
+  EvalStats local;
+  EvalStats* s = stats != nullptr ? stats : &local;
+  const int64_t bytes_before = s->bytes_read;
+  double decompress_local = 0;
+  double* ds = decompress_seconds != nullptr ? decompress_seconds
+                                             : &decompress_local;
+  const double decompress_before = *ds;
+
+  StoredQuerySource source(*this, s, ds);
   Bitvector result;
   if (source.status().ok()) {
-    result = EvaluatePredicate(source, algorithm, op, v, stats);
+    result = EvaluatePredicate(source, algorithm, op, v, s);
   }
+
+  auto& reg = obs::MetricsRegistry::Global();
+  static obs::Counter& queries = reg.GetCounter("storage.queries");
+  static obs::Counter& bytes = reg.GetCounter("storage.bytes_read");
+  static obs::Histogram& decompress_ns =
+      reg.GetHistogram("storage.decompress_ns");
+  queries.Increment();
+  bytes.Increment(s->bytes_read - bytes_before);
+  decompress_ns.Observe(
+      static_cast<int64_t>((*ds - decompress_before) * 1e9));
+  span.set_bytes(s->bytes_read - bytes_before);
   if (status != nullptr) {
     *status = source.status();
     if (!status->ok()) return Bitvector();

@@ -37,7 +37,15 @@ TEST_P(CostModelSweep, SpaceFormulasMatchBuiltIndexes) {
 TEST_P(CostModelSweep, AnalyticEqualsExactWhenCapacityMatches) {
   const ModelCase& c = GetParam();
   BaseSequence base = BaseSequence::FromMsbFirst(c.bases_msb);
-  if (base.capacity() != c.cardinality) GTEST_SKIP();
+  if (base.capacity() != c.cardinality) {
+    // Intentional: AnalyticTime's closed forms assume every digit
+    // combination is a live attribute value, i.e. capacity(base) == C.
+    // For non-tight bases the top component is partially populated and the
+    // identity does not hold; those designs are covered by the exact model
+    // in ExactTimeEqualsMeasuredAverage instead.
+    GTEST_SKIP() << "analytic identity requires capacity == cardinality "
+                    "(non-tight base covered by the exact-model tests)";
+  }
   for (auto [enc, alg] :
        {std::pair{Encoding::kRange, EvalAlgorithm::kRangeEvalOpt},
         std::pair{Encoding::kRange, EvalAlgorithm::kRangeEval},

@@ -26,6 +26,10 @@
 #include "core/advisor.h"
 #include "core/bitmap_index.h"
 #include "core/cost_model.h"
+#include "core/eval_stats.h"
+#include "obs/audit.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "plan/predicate_parser.h"
 #include "storage/stored_index.h"
 #include "workload/csv.h"
@@ -38,19 +42,33 @@ constexpr const char* kValueMapFile = "values.map";
 
 class Flags {
  public:
+  // `--key value` pairs; boolean flags (only `--stats` today) may appear
+  // bare and store "1".  Any other `--key` without a value is a usage
+  // error — otherwise `--trace-out` at the end of the line would silently
+  // write to a file named "1".
   Flags(int argc, char** argv) {
-    for (int i = 0; i + 1 < argc; i += 2) {
+    int i = 0;
+    while (i < argc) {
       std::string key = argv[i];
-      if (key.rfind("--", 0) != 0 || i + 1 >= argc) {
+      if (key.rfind("--", 0) != 0) {
         ok_ = false;
         return;
       }
-      values_[key.substr(2)] = argv[i + 1];
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        values_[key.substr(2)] = argv[i + 1];
+        i += 2;
+      } else if (key == "--stats") {
+        values_[key.substr(2)] = "1";
+        i += 1;
+      } else {
+        ok_ = false;
+        return;
+      }
     }
-    if (argc % 2 != 0) ok_ = false;
   }
 
   bool ok() const { return ok_; }
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
   std::optional<std::string> Get(const std::string& key) const {
     auto it = values_.find(key);
     if (it == values_.end()) return std::nullopt;
@@ -78,13 +96,16 @@ int Fail(const std::string& message) {
 int Usage() {
   std::fprintf(stderr,
                "usage:\n"
-               "  bixctl build  --csv F --col N --dir D [--base \"b,..\"] "
+               "  bixctl build   --csv F --col N --dir D [--base \"b,..\"] "
                "[--budget M]\n"
-               "                [--encoding range|equality] [--scheme "
+               "                 [--encoding range|equality] [--scheme "
                "bs|cs|is] [--codec NAME]\n"
-               "  bixctl info   --dir D\n"
-               "  bixctl query  --dir D --pred \"<= 24\" [--limit K]\n"
-               "  bixctl advise --cardinality C [--budget M]\n");
+               "  bixctl info    --dir D\n"
+               "  bixctl query   --dir D --pred \"<= 24\" [--limit K] "
+               "[--stats]\n"
+               "                 [--trace-out FILE]\n"
+               "  bixctl explain --dir D --pred \"<= 24\"\n"
+               "  bixctl advise  --cardinality C [--budget M]\n");
   return 2;
 }
 
@@ -246,6 +267,7 @@ int CmdQuery(const Flags& flags) {
   auto pred_text = flags.Get("pred");
   if (!dir || !pred_text) return Usage();
   int64_t limit = flags.GetInt("limit").value_or(10);
+  auto trace_out = flags.Get("trace-out");
 
   std::unique_ptr<StoredIndex> stored;
   Status s = StoredIndex::Open(*dir, &stored);
@@ -262,10 +284,18 @@ int CmdQuery(const Flags& flags) {
   int64_t rank_v;
   TranslateRawPredicate(map, parsed.op, parsed.value, &rank_op, &rank_v);
 
+  if (trace_out) obs::Tracer::Global().Enable();
   EvalStats stats;
   double decompress_seconds = 0;
   Bitvector found = stored->Evaluate(EvalAlgorithm::kAuto, rank_op, rank_v,
                                      &stats, &decompress_seconds);
+  if (trace_out) {
+    obs::Tracer::Global().Disable();
+    if (!obs::Tracer::Global().WriteChromeJson(*trace_out)) {
+      return Fail("cannot write trace to " + *trace_out);
+    }
+  }
+
   std::printf("A %s %lld: %zu of %zu records  (%lld bitmap scans, %lld "
               "bytes read, %.2fms decompress)\n",
               std::string(ToString(parsed.op)).c_str(),
@@ -285,7 +315,99 @@ int CmdQuery(const Flags& flags) {
     std::printf("%s\n",
                 static_cast<int64_t>(found.Count()) > limit ? " ..." : "");
   }
+  if (flags.Has("stats")) {
+    std::printf("-- metrics --\n%s",
+                obs::MetricsRegistry::Global().Snapshot().ToText().c_str());
+  }
+  if (trace_out) {
+    std::printf("trace: %zu events -> %s (open in chrome://tracing)\n",
+                obs::Tracer::Global().size(), trace_out->c_str());
+  }
   return 0;
+}
+
+// EXPLAIN-style dump for a single-attribute predicate over a stored index:
+// the parsed and rank-translated predicate, the index design, the model's
+// per-query prediction, the byte estimate for the storage scheme, then the
+// executed actuals with the cost-model audit verdict.
+int CmdExplain(const Flags& flags) {
+  auto dir = flags.Get("dir");
+  auto pred_text = flags.Get("pred");
+  if (!dir || !pred_text) return Usage();
+
+  std::unique_ptr<StoredIndex> stored;
+  Status s = StoredIndex::Open(*dir, &stored);
+  if (!s.ok()) return Fail(s.ToString());
+  ValueMap map;
+  s = ReadValueMap(*dir, &map);
+  if (!s.ok()) return Fail(s.ToString());
+
+  ParsedPredicate parsed;
+  s = ParsePredicate(*pred_text, &parsed);
+  if (!s.ok()) return Fail(s.ToString());
+  CompareOp rank_op;
+  int64_t rank_v;
+  TranslateRawPredicate(map, parsed.op, parsed.value, &rank_op, &rank_v);
+
+  EvalAlgorithm algorithm = stored->encoding() == Encoding::kRange
+                                ? EvalAlgorithm::kRangeEvalOpt
+                                : EvalAlgorithm::kEqualityEval;
+  EvalStats predicted =
+      obs::PredictStats(stored->base(), stored->cardinality(),
+                        stored->encoding(), algorithm, rank_op, rank_v);
+
+  // Byte estimate along the scheme's access path: BS reads one file per
+  // scan (mean stored-bitmap size); CS/IS read every file of the index.
+  int64_t num_bitmaps = SpaceInBitmaps(stored->base(), stored->encoding());
+  double est_bytes =
+      stored->scheme() == StorageScheme::kBitmapLevel
+          ? static_cast<double>(predicted.bitmap_scans) *
+                static_cast<double>(stored->stored_bytes()) /
+                static_cast<double>(num_bitmaps)
+          : static_cast<double>(stored->stored_bytes());
+
+  std::printf("predicate:       A %s %lld  (rank form: A %s %lld)\n",
+              std::string(ToString(parsed.op)).c_str(),
+              static_cast<long long>(parsed.value),
+              std::string(ToString(rank_op)).c_str(),
+              static_cast<long long>(rank_v));
+  std::printf("index:           %s %s, scheme %s, codec %s, C=%u, N=%zu\n",
+              std::string(ToString(stored->encoding())).c_str(),
+              stored->base().ToString().c_str(),
+              std::string(ToString(stored->scheme())).c_str(),
+              std::string(stored->codec().name()).c_str(),
+              stored->cardinality(), stored->num_records());
+  std::printf("algorithm:       %s\n",
+              std::string(ToString(algorithm)).c_str());
+  std::printf("model:           %lld scans, %lld ops (AND %lld, OR %lld, "
+              "XOR %lld, NOT %lld)\n",
+              static_cast<long long>(predicted.bitmap_scans),
+              static_cast<long long>(predicted.TotalOps()),
+              static_cast<long long>(predicted.and_ops),
+              static_cast<long long>(predicted.or_ops),
+              static_cast<long long>(predicted.xor_ops),
+              static_cast<long long>(predicted.not_ops));
+  std::printf("est. bytes:      %.0f\n", est_bytes);
+
+  EvalStats measured;
+  double decompress_seconds = 0;
+  Bitvector found = stored->Evaluate(algorithm, rank_op, rank_v, &measured,
+                                     &decompress_seconds);
+  obs::QueryAudit audit =
+      obs::AuditQuery(stored->base(), stored->cardinality(),
+                      stored->encoding(), algorithm, rank_op, rank_v, measured);
+  std::printf("actual:          %lld scans, %lld ops, %lld bytes read, "
+              "%.2fms decompress, %zu rows\n",
+              static_cast<long long>(measured.bitmap_scans),
+              static_cast<long long>(measured.TotalOps()),
+              static_cast<long long>(measured.bytes_read),
+              1000 * decompress_seconds, found.Count());
+  std::printf("audit:           %s (scan drift %+lld, op drift %+lld)\n",
+              audit.ok() ? "OK — measured matches the cost model"
+                         : "DRIFT — measured diverges from the cost model",
+              static_cast<long long>(audit.scan_drift()),
+              static_cast<long long>(audit.op_drift()));
+  return audit.ok() ? 0 : 3;
 }
 
 int CmdAdvise(const Flags& flags) {
@@ -321,6 +443,7 @@ int Main(int argc, char** argv) {
   if (command == "build") return CmdBuild(flags);
   if (command == "info") return CmdInfo(flags);
   if (command == "query") return CmdQuery(flags);
+  if (command == "explain") return CmdExplain(flags);
   if (command == "advise") return CmdAdvise(flags);
   return Usage();
 }

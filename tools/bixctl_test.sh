@@ -44,6 +44,24 @@ grep -q "6 of 9 records" "$WORK/q1.out" || fail "query <= 500"
 "$BIXCTL" query --dir "$WORK/idx" --pred "> 999" | grep -q "1 of 9" \
     || fail "query > 999"
 
+# Observability: --stats prints a metrics snapshot, --trace-out writes a
+# Chrome trace, and explain audits measured counts against the cost model.
+"$BIXCTL" query --dir "$WORK/idx" --pred "<= 500" --stats \
+    --trace-out "$WORK/t.json" > "$WORK/q_obs.out"
+grep -q -- "-- metrics --" "$WORK/q_obs.out" || fail "query --stats header"
+grep -q "eval.bitmap_scans" "$WORK/q_obs.out" || fail "query --stats scans"
+grep -q "eval.latency_ns" "$WORK/q_obs.out" || fail "query --stats latency"
+grep -q '"traceEvents"' "$WORK/t.json" || fail "trace file content"
+if command -v python3 >/dev/null 2>&1; then
+  python3 -c "import json; json.load(open('$WORK/t.json'))" \
+      || fail "trace file is not valid JSON"
+fi
+
+"$BIXCTL" explain --dir "$WORK/idx" --pred "<= 500" > "$WORK/explain.out" \
+    || fail "explain exit code (audit drift?)"
+grep -q "algorithm:" "$WORK/explain.out" || fail "explain algorithm"
+grep -q "audit:           OK" "$WORK/explain.out" || fail "explain audit OK"
+
 "$BIXCTL" advise --cardinality 1000 --budget 100 > "$WORK/advise.out"
 grep -q "knee (Theorem 7.1)" "$WORK/advise.out" || fail "advise knee"
 grep -q "<28, 36>" "$WORK/advise.out" || fail "advise knee base"
