@@ -69,6 +69,33 @@ double MeasureWahAnd(const WahBitvector& a, const WahBitvector& b, int reps) {
   return guard == size_t(-1) ? -1 : 1e6 * s / reps;
 }
 
+// Count-only forms: WahBitvector::AndCount walks both run streams without
+// materializing the result; the dense counterpart is Bitvector::CountAnd.
+double MeasureWahAndCount(const WahBitvector& a, const WahBitvector& b,
+                          int reps) {
+  auto start = std::chrono::steady_clock::now();
+  size_t guard = 0;
+  for (int i = 0; i < reps; ++i) {
+    guard += WahBitvector::AndCount(a, b);
+  }
+  double s = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                           start)
+                 .count();
+  return guard == size_t(-1) ? -1 : 1e6 * s / reps;
+}
+
+double MeasureDenseAndCount(const Bitvector& a, const Bitvector& b, int reps) {
+  auto start = std::chrono::steady_clock::now();
+  size_t guard = 0;
+  for (int i = 0; i < reps; ++i) {
+    guard += Bitvector::CountAnd(a, b);
+  }
+  double s = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                           start)
+                 .count();
+  return guard == size_t(-1) ? -1 : 1e6 * s / reps;
+}
+
 }  // namespace
 
 int main() {
@@ -76,8 +103,9 @@ int main() {
   const int reps = 20;
   std::printf("WAH vs dense bitvector, %zu-bit bitmaps, AND of two "
               "operands\n\n", bits);
-  std::printf("%-22s | %12s %12s | %12s %12s\n", "bitmap shape", "dense KB",
-              "WAH KB", "dense us/op", "WAH us/op");
+  std::printf("%-22s | %12s %12s | %12s %12s | %12s %12s\n", "bitmap shape",
+              "dense KB", "WAH KB", "dense us/op", "WAH us/op",
+              "dense cnt us", "WAH cnt us");
 
   struct Shape {
     const char* name;
@@ -98,11 +126,13 @@ int main() {
     WahBitvector wb = WahBitvector::FromBitvector(s.b);
     double dense_us = MeasureDenseAnd(s.a, s.b, reps);
     double wah_us = MeasureWahAnd(wa, wb, reps);
-    std::printf("%-22s | %12.1f %12.1f | %12.1f %12.1f\n", s.name,
-                static_cast<double>(bits) / 8 / 1024,
+    double dense_cnt_us = MeasureDenseAndCount(s.a, s.b, reps);
+    double wah_cnt_us = MeasureWahAndCount(wa, wb, reps);
+    std::printf("%-22s | %12.1f %12.1f | %12.1f %12.1f | %12.1f %12.1f\n",
+                s.name, static_cast<double>(bits) / 8 / 1024,
                 static_cast<double>(wa.SizeInBytes() + wb.SizeInBytes()) / 2 /
                     1024,
-                dense_us, wah_us);
+                dense_us, wah_us, dense_cnt_us, wah_cnt_us);
   }
   std::printf("\nshape check: WAH dominates on sparse/clustered bitmaps and "
               "loses on dense 50%% noise.\n");

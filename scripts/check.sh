@@ -1,19 +1,23 @@
 #!/usr/bin/env bash
 # Full local check: configure, build, run the test suite, smoke-run every
-# benchmark binary (scaled-down data where supported), and repeat the test
-# suite under AddressSanitizer + UndefinedBehaviorSanitizer.
+# benchmark binary (scaled-down data where supported), repeat the test
+# suite under AddressSanitizer + UndefinedBehaviorSanitizer, and run the
+# concurrency-sensitive tests under ThreadSanitizer.
 #
 #   scripts/check.sh           everything (default)
-#   scripts/check.sh --fast    skip the sanitizer build
-#   scripts/check.sh --asan    sanitizer build + tests only
+#   scripts/check.sh --fast    skip the sanitizer builds
+#   scripts/check.sh --asan    ASan/UBSan build + tests only
+#   scripts/check.sh --tsan    TSan build + exec/pool tests only
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 RUN_MAIN=1
 RUN_ASAN=1
+RUN_TSAN=1
 case "${1:-}" in
-  --fast) RUN_ASAN=0 ;;
-  --asan) RUN_MAIN=0 ;;
+  --fast) RUN_ASAN=0; RUN_TSAN=0 ;;
+  --asan) RUN_MAIN=0; RUN_TSAN=0 ;;
+  --tsan) RUN_MAIN=0; RUN_ASAN=0 ;;
 esac
 
 if [[ "$RUN_MAIN" == 1 ]]; then
@@ -38,11 +42,10 @@ if [[ "$RUN_MAIN" == 1 ]]; then
   ./build/bench/bench_workload_mix_ablation
   ./build/bench/bench_scaling
 
-  # Machine-readable results: the obs bench writes BENCH_obs.json and the
-  # micro bench appends bitvector-kernel rows via BIX_BENCH_JSON (both use
-  # the shared {bench, params, metric, value, unit} schema of
-  # bench/bench_json.h).
+  # Machine-readable results: these benches write the shared
+  # {bench, params, metric, value, unit} schema of bench/bench_json.h.
   ./build/bench/bench_obs BENCH_obs.json
+  ./build/bench/bench_parallel_scaling BENCH_parallel_scaling.json
   BIX_BENCH_JSON=BENCH_micro_bitvector.json \
       ./build/bench/bench_micro_bitvector --benchmark_min_time=0.01
   ./build/bench/bench_micro_codec --benchmark_min_time=0.01
@@ -57,6 +60,21 @@ if [[ "$RUN_ASAN" == 1 ]]; then
       -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"
   cmake --build build-asan
   ctest --test-dir build-asan --output-on-failure
+fi
+
+if [[ "$RUN_TSAN" == 1 ]]; then
+  # ThreadSanitizer pass over the concurrency surface: the thread pool, the
+  # segmented executor, and the parallel planner merge.  The full suite is
+  # ~10x slower under TSan, so only the tests that actually spawn threads
+  # run here.
+  cmake -B build-tsan -G Ninja \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer"
+  cmake --build build-tsan --target bix_tests bench_parallel_scaling
+  ./build-tsan/tests/bix_tests \
+      --gtest_filter='ThreadPool*:*Segmented*:SelectionPlanTest*'
+  ./build-tsan/bench/bench_parallel_scaling --smoke \
+      build-tsan/BENCH_parallel_scaling_tsan.json
 fi
 
 echo "ALL CHECKS PASSED"

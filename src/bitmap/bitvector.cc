@@ -30,6 +30,8 @@ void Bitvector::Resize(size_t num_bits) {
   if (num_bits < old_bits) ClearTail();
 }
 
+void Bitvector::Reserve(size_t num_bits) { words_.reserve(NumWords(num_bits)); }
+
 void Bitvector::AndWith(const Bitvector& other) {
   BIX_CHECK(num_bits_ == other.num_bits_);
   for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];

@@ -56,10 +56,18 @@ class Bitvector {
   /// Grows or shrinks to `num_bits`; new bits are zero.
   void Resize(size_t num_bits);
 
-  /// Appends one bit at index size().
+  /// Pre-allocates word storage for `num_bits` bits without changing size();
+  /// a subsequent PushBack loop up to that length never reallocates.
+  void Reserve(size_t num_bits);
+
+  /// Appends one bit at index size().  Word storage grows geometrically (via
+  /// vector push_back), so building a bitvector bit-by-bit is amortized O(1)
+  /// per bit rather than the O(n) of an exact Resize per call.
   void PushBack(bool value) {
-    Resize(num_bits_ + 1);
-    if (value) Set(num_bits_ - 1);
+    size_t word = num_bits_ >> 6;
+    if (word == words_.size()) words_.push_back(0);
+    if (value) words_[word] |= uint64_t{1} << (num_bits_ & 63);
+    ++num_bits_;
   }
 
   /// In-place logical operations; `other.size()` must equal `size()`.
@@ -102,9 +110,26 @@ class Bitvector {
   /// Aborts if `bytes` is shorter than ceil(num_bits/8).
   static Bitvector FromBytes(std::span<const uint8_t> bytes, size_t num_bits);
 
+  /// Fused k-ary kernels (bitmap/bitvector_kernels.cc).  Each makes a single
+  /// blocked pass over the operands instead of materializing pairwise
+  /// temporaries; all operands must have equal length and `operands` must be
+  /// non-empty for the k-ary forms.
+  static Bitvector OrOfMany(std::span<const Bitvector* const> operands);
+  static Bitvector AndOfMany(std::span<const Bitvector* const> operands);
+
+  /// Popcount of a two-operand combination without materializing the result.
+  static size_t CountAnd(const Bitvector& a, const Bitvector& b);
+  static size_t CountOr(const Bitvector& a, const Bitvector& b);
+  static size_t AndNotCount(const Bitvector& a, const Bitvector& b);  // |a&~b|
+
   /// Raw word access (for benchmarks and serialization internals).  The bits
   /// past `size()` in the last word are always zero.
   std::span<const uint64_t> words() const { return words_; }
+
+  /// Mutable word access for the segmented executor (exec/segmented_eval.cc),
+  /// which writes results segment-at-a-time.  Callers must keep the tail
+  /// invariant: bits past `size()` in the last word stay zero.
+  std::span<uint64_t> mutable_words() { return words_; }
 
   friend bool operator==(const Bitvector& a, const Bitvector& b) {
     return a.num_bits_ == b.num_bits_ && a.words_ == b.words_;

@@ -1,0 +1,31 @@
+// Fused multi-operand kernels over the dense bitvector substrate.
+//
+// The evaluation algorithms and the selection planner both reduce to folds
+// over k equal-length bitmaps (the OR-side of EqualityEval, the conjunction
+// of per-attribute foundsets).  Folding pairwise materializes k-1 full-length
+// temporaries and streams the accumulator through memory k-1 times; the
+// kernels here instead make one blocked pass, keeping an 8 KB accumulator
+// window L1-resident while the k operand streams are each read once.  The
+// counting forms go further and never materialize the combination at all —
+// they reduce straight to a popcount.
+//
+// The kernels are declared as static members of Bitvector (they need word
+// access); this header adds the value-span conveniences used by callers that
+// hold `std::vector<Bitvector>` rather than pointer arrays.
+
+#ifndef BIX_BITMAP_BITVECTOR_KERNELS_H_
+#define BIX_BITMAP_BITVECTOR_KERNELS_H_
+
+#include <span>
+
+#include "bitmap/bitvector.h"
+
+namespace bix {
+
+/// OR / AND of `operands` (non-empty, equal lengths) in one blocked pass.
+Bitvector OrOfMany(std::span<const Bitvector> operands);
+Bitvector AndOfMany(std::span<const Bitvector> operands);
+
+}  // namespace bix
+
+#endif  // BIX_BITMAP_BITVECTOR_KERNELS_H_

@@ -193,6 +193,39 @@ WahBitvector WahBitvector::BinaryOp(const WahBitvector& a,
   return out;
 }
 
+size_t WahBitvector::AndCount(const WahBitvector& a, const WahBitvector& b) {
+  BIX_CHECK(a.num_bits_ == b.num_bits_);
+  RunDecoder x(a.words_);
+  RunDecoder y(b.words_);
+  size_t count = 0;
+  size_t bit = 0;
+  while (!x.done() && !y.done()) {
+    if (x.is_fill() && y.is_fill()) {
+      uint64_t n = std::min(x.groups_left(), y.groups_left());
+      if (x.fill_value() && y.fill_value()) {
+        // As in Count(): a ones-fill never covers bits past num_bits_, but
+        // clamp defensively so the tail can never over-count.
+        size_t span = static_cast<size_t>(n) * kGroupBits;
+        count += std::min(span, a.num_bits_ - bit);
+      }
+      bit += static_cast<size_t>(n) * kGroupBits;
+      x.Consume(n);
+      y.Consume(n);
+    } else {
+      uint32_t xg = x.is_fill() ? (x.fill_value() ? kLiteralMask : 0)
+                                : x.literal();
+      uint32_t yg = y.is_fill() ? (y.fill_value() ? kLiteralMask : 0)
+                                : y.literal();
+      count += static_cast<size_t>(std::popcount(xg & yg));
+      bit += kGroupBits;
+      x.Consume(1);
+      y.Consume(1);
+    }
+  }
+  BIX_CHECK(x.done() && y.done());
+  return count;
+}
+
 WahBitvector WahBitvector::And(const WahBitvector& a, const WahBitvector& b) {
   return BinaryOp(a, b, [](uint32_t x, uint32_t y) { return x & y; });
 }

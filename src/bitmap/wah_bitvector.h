@@ -43,6 +43,11 @@ class WahBitvector {
   /// Number of set bits, computed on the compressed form.
   size_t Count() const;
 
+  /// Popcount of `a AND b` computed run-at-a-time on the compressed forms,
+  /// without materializing the intersection.  Fill x fill runs contribute in
+  /// O(1); only literal groups are popcounted.  Sizes must match.
+  static size_t AndCount(const WahBitvector& a, const WahBitvector& b);
+
   /// Logical operations on the compressed form; operand sizes must match.
   static WahBitvector And(const WahBitvector& a, const WahBitvector& b);
   static WahBitvector Or(const WahBitvector& a, const WahBitvector& b);

@@ -36,9 +36,8 @@ Bitvector DigitBitmap(const BitmapIndex& index, int c, uint32_t d) {
 
 int64_t CountAggregate(const BitmapIndex& index, const Bitvector& foundset) {
   BIX_CHECK(foundset.size() == index.num_records());
-  Bitvector masked = foundset;
-  masked.AndWith(index.non_null());
-  return static_cast<int64_t>(masked.Count());
+  return static_cast<int64_t>(
+      Bitvector::CountAnd(foundset, index.non_null()));
 }
 
 int64_t SumAggregate(const BitmapIndex& index, const Bitvector& foundset) {
@@ -58,20 +57,17 @@ int64_t SumAggregate(const BitmapIndex& index, const Bitvector& foundset) {
       // sum of digits = sum over d < b-1 of #(digit > d)
       //               = sum over d of (total - popcount(B^d AND F)).
       for (uint32_t d = 0; d + 1 < b; ++d) {
-        Bitvector le = comp.stored(d);
-        le.AndWith(masked);
-        digit_sum += total - static_cast<int64_t>(le.Count());
+        digit_sum += total - static_cast<int64_t>(
+                                 Bitvector::CountAnd(comp.stored(d), masked));
       }
     } else if (b == 2) {
-      Bitvector e1 = comp.stored(0);
-      e1.AndWith(masked);
-      digit_sum = static_cast<int64_t>(e1.Count());
+      digit_sum =
+          static_cast<int64_t>(Bitvector::CountAnd(comp.stored(0), masked));
     } else {
       for (uint32_t d = 1; d < b; ++d) {
-        Bitvector eq = comp.stored(d);
-        eq.AndWith(masked);
         digit_sum += static_cast<int64_t>(d) *
-                     static_cast<int64_t>(eq.Count());
+                     static_cast<int64_t>(
+                         Bitvector::CountAnd(comp.stored(d), masked));
       }
     }
     sum += weight * digit_sum;

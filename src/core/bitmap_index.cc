@@ -47,6 +47,11 @@ BitmapIndex BitmapIndex::Build(std::span<const uint32_t> values,
 
 Bitvector BitmapIndex::Fetch(int component, uint32_t slot,
                              EvalStats* stats) const {
+  return *FetchView(component, slot, stats);
+}
+
+const Bitvector* BitmapIndex::FetchView(int component, uint32_t slot,
+                                        EvalStats* stats) const {
   const IndexComponent& comp = components_[static_cast<size_t>(component)];
   BIX_CHECK(slot < static_cast<uint32_t>(comp.num_stored_bitmaps()));
   if (stats != nullptr) ++stats->bitmap_scans;
@@ -56,7 +61,7 @@ Bitvector BitmapIndex::Fetch(int component, uint32_t slot,
     span.set_slot(slot);
     span.set_bytes(static_cast<int64_t>((non_null_.size() + 7) / 8));
   }
-  return comp.stored(slot);
+  return &comp.stored(slot);
 }
 
 Bitvector BitmapIndex::Evaluate(CompareOp op, int64_t v,
@@ -80,6 +85,11 @@ void BitmapIndex::Append(uint32_t value) {
     remaining /= comp.base();
     comp.AppendDigit(digit, is_null);
   }
+}
+
+void BitmapIndex::Reserve(size_t num_records) {
+  non_null_.Reserve(num_records);
+  for (IndexComponent& comp : components_) comp.Reserve(num_records);
 }
 
 int64_t BitmapIndex::TotalStoredBitmaps() const {

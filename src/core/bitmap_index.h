@@ -45,6 +45,8 @@ class BitmapIndex final : public BitmapSource {
   const Bitvector& non_null() const override { return non_null_; }
   Bitvector Fetch(int component, uint32_t slot,
                   EvalStats* stats) const override;
+  const Bitvector* FetchView(int component, uint32_t slot,
+                             EvalStats* stats) const override;
 
   /// Evaluates `A op v`, returning the foundset bitmap.  The default
   /// algorithm (kAuto) is RangeEval-Opt for range encoding and EqualityEval
@@ -61,6 +63,10 @@ class BitmapIndex final : public BitmapSource {
   /// Appends one record (value rank in [0, C) or kNullValue) — the
   /// read-mostly warehouse's incremental-load path.  O(total bitmaps).
   void Append(uint32_t value);
+
+  /// Pre-allocates all bitmaps for a total of `num_records` records so a
+  /// batch of Appends up to that size never reallocates mid-loop.
+  void Reserve(size_t num_records);
 
   /// Total number of stored bitmaps — the paper's Space(I) metric.
   int64_t TotalStoredBitmaps() const;

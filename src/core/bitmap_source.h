@@ -49,6 +49,20 @@ class BitmapSource {
   /// non-null.
   virtual Bitvector Fetch(int component, uint32_t slot,
                           EvalStats* stats) const = 0;
+
+  /// Zero-copy variant of Fetch for in-memory sources: returns a pointer to
+  /// the stored bitmap (owned by the source, valid while the source is
+  /// unmodified) and counts the same one bitmap scan; or nullptr when the
+  /// source cannot expose its storage directly (disk- or buffer-backed
+  /// sources), in which case the caller falls back to Fetch() and nothing
+  /// has been counted.
+  virtual const Bitvector* FetchView(int component, uint32_t slot,
+                                     EvalStats* stats) const {
+    (void)component;
+    (void)slot;
+    (void)stats;
+    return nullptr;
+  }
 };
 
 }  // namespace bix

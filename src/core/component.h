@@ -37,6 +37,12 @@ class IndexComponent {
   /// bits); every stored bitmap grows by one bit.
   void AppendDigit(uint32_t digit, bool is_null);
 
+  /// Pre-allocates every stored bitmap for `num_bits` total bits, so an
+  /// AppendDigit loop up to that length never reallocates.
+  void Reserve(size_t num_bits) {
+    for (Bitvector& b : bitmaps_) b.Reserve(num_bits);
+  }
+
   /// Total bytes across the component's bitmaps (uncompressed, bit-packed).
   int64_t SizeInBytes() const;
 

@@ -4,7 +4,9 @@
 #include <utility>
 #include <vector>
 
+#include "bitmap/bitvector_kernels.h"
 #include "core/check.h"
+#include "core/eval_algorithms.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -12,31 +14,42 @@ namespace bix {
 
 namespace {
 
-// Counts logical bitmap operations into an optional EvalStats, and emits an
-// instant trace event per operation when tracing is on (the disabled path is
-// one relaxed atomic load per operation).
-struct OpCounter {
-  EvalStats* stats;
-  void And() const {
-    if (stats != nullptr) ++stats->and_ops;
-    if (obs::Tracer::enabled()) obs::RecordInstant("op", "AND");
+// The sequential backend for the shared algorithm templates
+// (core/eval_algorithms.h): every operation runs immediately on a
+// full-length dense Bitvector.  OrMany fuses k-ary ORs into one blocked
+// pass (Bitvector::OrOfMany) instead of folding pairwise.
+class DenseEngine {
+ public:
+  using Vec = Bitvector;
+
+  DenseEngine(const BitmapSource& src, EvalStats* stats)
+      : src_(src), stats_(stats) {}
+
+  const BitmapSource& source() const { return src_; }
+  EvalStats* stats() const { return stats_; }
+
+  Bitvector Fetch(int component, uint32_t slot) {
+    return src_.Fetch(component, slot, stats_);
   }
-  void Or() const {
-    if (stats != nullptr) ++stats->or_ops;
-    if (obs::Tracer::enabled()) obs::RecordInstant("op", "OR");
+  Bitvector Zeros() const { return Bitvector::Zeros(src_.num_records()); }
+  Bitvector Ones() const { return Bitvector::Ones(src_.num_records()); }
+  Bitvector NonNull() const { return src_.non_null(); }
+
+  Bitvector OrMany(std::vector<Bitvector> operands) {
+    BIX_CHECK(!operands.empty());
+    if (operands.size() == 1) return std::move(operands[0]);
+    return OrOfMany(operands);
   }
-  void Xor() const {
-    if (stats != nullptr) ++stats->xor_ops;
-    if (obs::Tracer::enabled()) obs::RecordInstant("op", "XOR");
-  }
-  void Not() const {
-    if (stats != nullptr) ++stats->not_ops;
-    if (obs::Tracer::enabled()) obs::RecordInstant("op", "NOT");
-  }
+
+ private:
+  const BitmapSource& src_;
+  EvalStats* stats_;
 };
 
-// Folds one evaluation's stats delta and latency into the process-wide
-// metrics registry (a handful of relaxed atomic adds per query).
+}  // namespace
+
+namespace eval_internal {
+
 void RecordQueryMetrics(const EvalStats& delta, int64_t latency_ns) {
   auto& reg = obs::MetricsRegistry::Global();
   static obs::Counter& queries = reg.GetCounter("eval.queries");
@@ -62,334 +75,24 @@ void RecordQueryMetrics(const EvalStats& delta, int64_t latency_ns) {
   scans_per_query.Observe(delta.bitmap_scans);
 }
 
-Bitvector TrivialResult(const BitmapSource& src, bool all) {
-  return all ? src.non_null() : Bitvector::Zeros(src.num_records());
-}
-
-// Result for a predicate constant outside [0, C): every comparison is
-// decided without touching the index (0 scans, 0 operations).
-Bitvector OutOfDomainResult(const BitmapSource& src, CompareOp op, int64_t v) {
-  bool all;
-  if (v < 0) {
-    all = (op == CompareOp::kGt || op == CompareOp::kGe ||
-           op == CompareOp::kNe);
-  } else {  // v >= C
-    all = (op == CompareOp::kLt || op == CompareOp::kLe ||
-           op == CompareOp::kNe);
-  }
-  return TrivialResult(src, all);
-}
-
-bool InDomain(const BitmapSource& src, int64_t v) {
-  return v >= 0 && v < static_cast<int64_t>(src.cardinality());
-}
-
-// Fetches an equality-encoded digit bitmap E^d, deriving E^0 = NOT E^1 for
-// base-2 components (which store only E^1).
-Bitvector FetchEq(const BitmapSource& src, int component, uint32_t d,
-                  const OpCounter& ops, EvalStats* stats) {
-  uint32_t b = src.base().base(component);
-  if (b == 2) {
-    Bitvector e1 = src.Fetch(component, 0, stats);
-    if (d == 0) {
-      e1.NotInPlace();
-      ops.Not();
-    }
-    return e1;
-  }
-  return src.Fetch(component, d, stats);
-}
-
-}  // namespace
+}  // namespace eval_internal
 
 Bitvector RangeEvalOpt(const BitmapSource& src, CompareOp op, int64_t v,
                        EvalStats* stats) {
-  BIX_CHECK_MSG(src.encoding() == Encoding::kRange,
-                "RangeEval-Opt requires a range-encoded index");
-  if (!InDomain(src, v)) return OutOfDomainResult(src, op, v);
-  const BaseSequence& base = src.base();
-  const int n = base.num_components();
-  const size_t num_records = src.num_records();
-  OpCounter ops{stats};
-
-  Bitvector b;
-  bool negate;
-  if (IsRangeOp(op)) {
-    // Rewrite in terms of <=:  A < v == A <= v-1;  A > v == not(A <= v);
-    // A >= v == not(A <= v-1).
-    int64_t w = v;
-    if (op == CompareOp::kLt || op == CompareOp::kGe) --w;
-    negate = (op == CompareOp::kGt || op == CompareOp::kGe);
-    if (w < 0) {
-      // A <= -1 is empty: `<` yields nothing, `>=` yields all non-null rows.
-      return TrivialResult(src, negate);
-    }
-    std::vector<uint32_t> digits = base.Decompose(static_cast<uint64_t>(w));
-    b = Bitvector::Ones(num_records);
-    // Component 1 (least significant): B = B^{w_1} unless w_1 = b_1 - 1
-    // (implicit all-ones).  Assignment, not an operation.
-    if (digits[0] < base.base(0) - 1) b = src.Fetch(0, digits[0], stats);
-    for (int i = 1; i < n; ++i) {
-      uint32_t bi = base.base(i);
-      uint32_t wi = digits[static_cast<size_t>(i)];
-      if (wi != bi - 1) {
-        b.AndWith(src.Fetch(i, wi, stats));
-        ops.And();
-      }
-      if (wi != 0) {
-        b.OrWith(src.Fetch(i, wi - 1, stats));
-        ops.Or();
-      }
-    }
-  } else {
-    // Equality path: per component AND one digit-equality term.
-    negate = (op == CompareOp::kNe);
-    std::vector<uint32_t> digits = base.Decompose(static_cast<uint64_t>(v));
-    b = Bitvector::Ones(num_records);
-    for (int i = 0; i < n; ++i) {
-      uint32_t bi = base.base(i);
-      uint32_t vi = digits[static_cast<size_t>(i)];
-      if (vi == 0) {
-        b.AndWith(src.Fetch(i, 0, stats));
-        ops.And();
-      } else if (vi == bi - 1) {
-        Bitvector t = src.Fetch(i, bi - 2, stats);
-        t.NotInPlace();
-        ops.Not();
-        b.AndWith(t);
-        ops.And();
-      } else {
-        Bitvector hi = src.Fetch(i, vi, stats);
-        hi.XorWith(src.Fetch(i, vi - 1, stats));
-        ops.Xor();
-        b.AndWith(hi);
-        ops.And();
-      }
-    }
-  }
-
-  if (negate) {
-    b.NotInPlace();
-    ops.Not();
-  }
-  b.AndWith(src.non_null());
-  ops.And();
-  return b;
+  DenseEngine eng(src, stats);
+  return eval_detail::RangeEvalOptImpl(eng, op, v);
 }
 
 Bitvector RangeEval(const BitmapSource& src, CompareOp op, int64_t v,
                     EvalStats* stats) {
-  BIX_CHECK_MSG(src.encoding() == Encoding::kRange,
-                "RangeEval requires a range-encoded index");
-  if (!InDomain(src, v)) return OutOfDomainResult(src, op, v);
-  const BaseSequence& base = src.base();
-  const int n = base.num_components();
-  const size_t num_records = src.num_records();
-  OpCounter ops{stats};
-
-  const bool need_lt = (op == CompareOp::kLt || op == CompareOp::kLe);
-  const bool need_gt = (op == CompareOp::kGt || op == CompareOp::kGe);
-
-  std::vector<uint32_t> digits = base.Decompose(static_cast<uint64_t>(v));
-  Bitvector b_eq = src.non_null();  // line 2: B_EQ = B_nn (not a scan)
-  Bitvector b_lt = need_lt ? Bitvector::Zeros(num_records) : Bitvector();
-  Bitvector b_gt = need_gt ? Bitvector::Zeros(num_records) : Bitvector();
-
-  for (int i = n - 1; i >= 0; --i) {
-    uint32_t bi = base.base(i);
-    uint32_t vi = digits[static_cast<size_t>(i)];
-    if (vi > 0) {
-      // lo = B^{v_i - 1}, shared by the LT accumulation and the equality
-      // term (XOR when v_i < b_i - 1, complement otherwise); fetched once.
-      Bitvector lo = src.Fetch(i, vi - 1, stats);
-      if (need_lt) {
-        Bitvector t = lo;
-        t.AndWith(b_eq);
-        ops.And();
-        b_lt.OrWith(t);
-        ops.Or();
-      }
-      if (vi < bi - 1) {
-        Bitvector hi = src.Fetch(i, vi, stats);
-        if (need_gt) {
-          Bitvector t = hi;
-          t.NotInPlace();
-          ops.Not();
-          t.AndWith(b_eq);
-          ops.And();
-          b_gt.OrWith(t);
-          ops.Or();
-        }
-        hi.XorWith(lo);
-        ops.Xor();
-        b_eq.AndWith(hi);
-        ops.And();
-      } else {
-        // v_i == b_i - 1: equality term is NOT B^{b_i - 2} (== lo).
-        lo.NotInPlace();
-        ops.Not();
-        b_eq.AndWith(lo);
-        ops.And();
-      }
-    } else {  // v_i == 0
-      Bitvector z = src.Fetch(i, 0, stats);
-      if (need_gt) {
-        Bitvector t = z;
-        t.NotInPlace();
-        ops.Not();
-        t.AndWith(b_eq);
-        ops.And();
-        b_gt.OrWith(t);
-        ops.Or();
-      }
-      b_eq.AndWith(z);
-      ops.And();
-    }
-  }
-
-  switch (op) {
-    case CompareOp::kLt:
-      return b_lt;
-    case CompareOp::kLe:
-      b_lt.OrWith(b_eq);
-      ops.Or();
-      return b_lt;
-    case CompareOp::kGt:
-      return b_gt;
-    case CompareOp::kGe:
-      b_gt.OrWith(b_eq);
-      ops.Or();
-      return b_gt;
-    case CompareOp::kEq:
-      return b_eq;
-    case CompareOp::kNe:
-      b_eq.NotInPlace();
-      ops.Not();
-      b_eq.AndWith(src.non_null());
-      ops.And();
-      return b_eq;
-  }
-  BIX_CHECK(false);
-  return Bitvector();
+  DenseEngine eng(src, stats);
+  return eval_detail::RangeEvalImpl(eng, op, v);
 }
 
 Bitvector EqualityEval(const BitmapSource& src, CompareOp op, int64_t v,
                        EvalStats* stats) {
-  BIX_CHECK_MSG(src.encoding() == Encoding::kEquality,
-                "EqualityEval requires an equality-encoded index");
-  if (!InDomain(src, v)) return OutOfDomainResult(src, op, v);
-  const BaseSequence& base = src.base();
-  const int n = base.num_components();
-  const size_t num_records = src.num_records();
-  OpCounter ops{stats};
-
-  Bitvector b;
-  bool negate;
-  if (!IsRangeOp(op)) {
-    // Equality path: AND the per-digit equality bitmaps (1 scan/component).
-    negate = (op == CompareOp::kNe);
-    std::vector<uint32_t> digits = base.Decompose(static_cast<uint64_t>(v));
-    b = FetchEq(src, 0, digits[0], ops, stats);
-    for (int i = 1; i < n; ++i) {
-      b.AndWith(FetchEq(src, i, digits[static_cast<size_t>(i)], ops, stats));
-      ops.And();
-    }
-  } else {
-    // Range path via A <= w, digit-recursive: B := (digit_1 <= w_1);
-    // then B := LT_i OR (EQ_i AND B) for i = 2..n.  For each per-digit
-    // "less-than" the cheaper of the direct OR and the complemented OR of
-    // the opposite side is used (the complement side reuses the already
-    // fetched EQ bitmap), so a component costs 1 + min(d, b-1-d) scans.
-    int64_t w = v;
-    if (op == CompareOp::kLt || op == CompareOp::kGe) --w;
-    negate = (op == CompareOp::kGt || op == CompareOp::kGe);
-    if (w < 0) return TrivialResult(src, negate);
-    std::vector<uint32_t> digits = base.Decompose(static_cast<uint64_t>(w));
-
-    // Component 1: B = (digit <= w_1).
-    uint32_t b0 = base.base(0);
-    uint32_t d0 = digits[0];
-    if (d0 == b0 - 1) {
-      b = Bitvector::Ones(num_records);
-    } else if (b0 == 2) {
-      // d0 == 0: digit <= 0 is NOT E^1.
-      b = src.Fetch(0, 0, stats);
-      b.NotInPlace();
-      ops.Not();
-    } else if (d0 + 1 <= b0 - 1 - d0) {
-      b = src.Fetch(0, 0, stats);
-      for (uint32_t k = 1; k <= d0; ++k) {
-        b.OrWith(src.Fetch(0, k, stats));
-        ops.Or();
-      }
-    } else {
-      b = src.Fetch(0, d0 + 1, stats);
-      for (uint32_t k = d0 + 2; k < b0; ++k) {
-        b.OrWith(src.Fetch(0, k, stats));
-        ops.Or();
-      }
-      b.NotInPlace();
-      ops.Not();
-    }
-
-    for (int i = 1; i < n; ++i) {
-      uint32_t bi = base.base(i);
-      uint32_t d = digits[static_cast<size_t>(i)];
-      if (bi == 2) {
-        Bitvector e1 = src.Fetch(i, 0, stats);
-        if (d == 0) {
-          // LT empty; EQ = NOT E^1.
-          e1.NotInPlace();
-          ops.Not();
-          b.AndWith(e1);
-          ops.And();
-        } else {
-          // B = (NOT E^1) OR (E^1 AND B).
-          b.AndWith(e1);
-          ops.And();
-          e1.NotInPlace();
-          ops.Not();
-          b.OrWith(e1);
-          ops.Or();
-        }
-        continue;
-      }
-      Bitvector eq = src.Fetch(i, d, stats);
-      if (d == 0) {
-        b.AndWith(eq);
-        ops.And();
-        continue;
-      }
-      Bitvector lt;
-      if (d <= bi - 1 - d) {
-        lt = src.Fetch(i, 0, stats);
-        for (uint32_t k = 1; k < d; ++k) {
-          lt.OrWith(src.Fetch(i, k, stats));
-          ops.Or();
-        }
-      } else {
-        lt = eq;  // start GE accumulation from the shared EQ bitmap
-        for (uint32_t k = d + 1; k < bi; ++k) {
-          lt.OrWith(src.Fetch(i, k, stats));
-          ops.Or();
-        }
-        lt.NotInPlace();
-        ops.Not();
-      }
-      b.AndWith(eq);
-      ops.And();
-      b.OrWith(lt);
-      ops.Or();
-    }
-  }
-
-  if (negate) {
-    b.NotInPlace();
-    ops.Not();
-  }
-  b.AndWith(src.non_null());
-  ops.And();
-  return b;
+  DenseEngine eng(src, stats);
+  return eval_detail::EqualityEvalImpl(eng, op, v);
 }
 
 Bitvector EvaluatePredicate(const BitmapSource& source,
@@ -431,15 +134,7 @@ Bitvector EvaluatePredicate(const BitmapSource& source,
           std::chrono::steady_clock::now() - start)
           .count();
 
-  EvalStats delta = *s;
-  delta.bitmap_scans -= before.bitmap_scans;
-  delta.and_ops -= before.and_ops;
-  delta.or_ops -= before.or_ops;
-  delta.xor_ops -= before.xor_ops;
-  delta.not_ops -= before.not_ops;
-  delta.bytes_read -= before.bytes_read;
-  delta.buffer_hits -= before.buffer_hits;
-  RecordQueryMetrics(delta, latency_ns);
+  eval_internal::RecordQueryMetrics(EvalStats::Delta(*s, before), latency_ns);
   return result;
 }
 

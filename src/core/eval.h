@@ -38,6 +38,20 @@
 
 namespace bix {
 
+/// Execution knobs for the segmented parallel engine (exec/segmented_eval.h
+/// implements the overload of EvaluatePredicate that takes these; the plain
+/// overload below is always sequential).  `num_threads` is the total number
+/// of concurrent lanes (1 = sequential segment loop, no pool).
+/// `segment_bits` is log2 of the bits per segment; the default 16 gives 8 KB
+/// spans so a segment's whole operator chain runs in L1/L2.  Results are
+/// bit-identical to sequential evaluation and EvalStats counts are
+/// unchanged: segmentation reassociates the work, it never reorders the
+/// algorithm.
+struct ExecOptions {
+  int num_threads = 1;
+  uint32_t segment_bits = 16;
+};
+
 /// Evaluates `A op v` over `source` with the given algorithm (kAuto picks
 /// RangeEvalOpt or EqualityEval by the source's encoding).  Aborts if the
 /// algorithm does not match the encoding.  `v` may be any integer; values
@@ -53,6 +67,16 @@ Bitvector RangeEvalOpt(const BitmapSource& source, CompareOp op, int64_t v,
                        EvalStats* stats = nullptr);
 Bitvector EqualityEval(const BitmapSource& source, CompareOp op, int64_t v,
                        EvalStats* stats = nullptr);
+
+namespace eval_internal {
+
+/// Folds one evaluation's stats delta and latency into the process-wide
+/// metrics registry (a handful of relaxed atomic adds per query).  Shared by
+/// the sequential entry point above and the segmented one in exec/ so both
+/// feed the same eval.* metrics.
+void RecordQueryMetrics(const EvalStats& delta, int64_t latency_ns);
+
+}  // namespace eval_internal
 
 }  // namespace bix
 

@@ -24,6 +24,8 @@ struct EvalStats {
 
   int64_t TotalOps() const { return and_ops + or_ops + xor_ops + not_ops; }
 
+  friend bool operator==(const EvalStats&, const EvalStats&) = default;
+
   void Add(const EvalStats& other) {
     bitmap_scans += other.bitmap_scans;
     and_ops += other.and_ops;
@@ -32,6 +34,20 @@ struct EvalStats {
     not_ops += other.not_ops;
     bytes_read += other.bytes_read;
     buffer_hits += other.buffer_hits;
+  }
+
+  /// Field-wise `after - before`: the cost delta of one evaluation when the
+  /// caller accumulates stats across queries.
+  static EvalStats Delta(const EvalStats& after, const EvalStats& before) {
+    EvalStats d = after;
+    d.bitmap_scans -= before.bitmap_scans;
+    d.and_ops -= before.and_ops;
+    d.or_ops -= before.or_ops;
+    d.xor_ops -= before.xor_ops;
+    d.not_ops -= before.not_ops;
+    d.bytes_read -= before.bytes_read;
+    d.buffer_hits -= before.buffer_hits;
+    return d;
   }
 };
 

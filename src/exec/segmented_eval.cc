@@ -1,0 +1,450 @@
+#include "exec/segmented_eval.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <utility>
+
+#include "core/check.h"
+#include "core/eval_algorithms.h"
+#include "exec/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace bix::exec {
+
+namespace {
+
+using Op = EvalInstr::Op;
+
+class Recorder;
+
+// The recording engine's vector type: a handle that forwards the algorithm's
+// bitvector operations to the Recorder as emitted instructions instead of
+// executing them.  A handle is either a zero-copy reference to a fetched
+// input (copies are free; the first mutation loads it into a register) or a
+// virtual register of the program under construction.
+class RegHandle {
+ public:
+  RegHandle() = default;
+  RegHandle(Recorder* recorder, int32_t id, bool is_input)
+      : recorder_(recorder), id_(id), is_input_(is_input) {}
+
+  RegHandle(const RegHandle& other);
+  RegHandle& operator=(const RegHandle& other);
+  RegHandle(RegHandle&& other) noexcept { Steal(other); }
+  RegHandle& operator=(RegHandle&& other) noexcept {
+    if (this != &other) Steal(other);
+    return *this;
+  }
+
+  void AndWith(const RegHandle& other) { Apply(Op::kAnd, other); }
+  void OrWith(const RegHandle& other) { Apply(Op::kOr, other); }
+  void XorWith(const RegHandle& other) { Apply(Op::kXor, other); }
+  void NotInPlace();
+
+ private:
+  friend class Recorder;
+
+  void Steal(RegHandle& other) {
+    recorder_ = other.recorder_;
+    id_ = other.id_;
+    is_input_ = other.is_input_;
+    other.recorder_ = nullptr;
+    other.id_ = -1;
+  }
+
+  // Ensures this handle names a mutable register (loading the input it
+  // referenced, if any), then emits `op` against `other` as operand.
+  void Apply(Op op, const RegHandle& other);
+  void EnsureRegister();
+
+  Recorder* recorder_ = nullptr;
+  int32_t id_ = -1;
+  bool is_input_ = false;
+};
+
+// Engine backend for the algorithm templates (core/eval_algorithms.h) that
+// builds an EvalProgram instead of touching full-length bitmaps.  Scans are
+// counted here (by the underlying FetchView/Fetch), operations are counted
+// by the shared template code at emission time — so the recorded program's
+// EvalStats match the sequential engine's exactly.
+class Recorder {
+ public:
+  using Vec = RegHandle;
+
+  Recorder(const BitmapSource& src, EvalStats* stats)
+      : src_(src), stats_(stats) {
+    program_.num_bits = src.num_records();
+  }
+
+  const BitmapSource& source() const { return src_; }
+  EvalStats* stats() const { return stats_; }
+
+  Vec Fetch(int component, uint32_t slot) {
+    const Bitvector* view = src_.FetchView(component, slot, stats_);
+    if (view == nullptr) {
+      // Source cannot expose storage: stage one owned copy (still exactly
+      // one Fetch — one scan — per call).  deque keeps addresses stable.
+      program_.owned_inputs.push_back(src_.Fetch(component, slot, stats_));
+      view = &program_.owned_inputs.back();
+    }
+    return AddInput(view);
+  }
+
+  Vec Zeros() { return NewConst(Op::kZeros); }
+  Vec Ones() { return NewConst(Op::kOnes); }
+  Vec NonNull() { return AddInput(&src_.non_null()); }
+
+  Vec OrMany(std::vector<Vec> operands) {
+    BIX_CHECK(!operands.empty());
+    Vec acc = std::move(operands[0]);
+    for (size_t k = 1; k < operands.size(); ++k) acc.OrWith(operands[k]);
+    return acc;
+  }
+
+  /// Consumes the recording: finalizes (dead-code elimination + scratch-slot
+  /// assignment) and returns the program.
+  EvalProgram Finish(RegHandle result);
+
+  // RegHandle plumbing.
+  int32_t NewRegister() { return num_virtual_regs_++; }
+  void Emit(Op op, int32_t dst, int32_t src = -1, bool src_is_input = false) {
+    program_.instrs.push_back(EvalInstr{op, dst, src, src_is_input});
+  }
+
+ private:
+  Vec AddInput(const Bitvector* bitmap) {
+    program_.inputs.push_back(bitmap);
+    return Vec(this, static_cast<int32_t>(program_.inputs.size()) - 1, true);
+  }
+
+  Vec NewConst(Op op) {
+    int32_t reg = NewRegister();
+    Emit(op, reg);
+    return Vec(this, reg, false);
+  }
+
+  void Finalize(int32_t result_virtual_reg);
+
+  const BitmapSource& src_;
+  EvalStats* stats_;
+  EvalProgram program_;
+  int32_t num_virtual_regs_ = 0;
+};
+
+RegHandle::RegHandle(const RegHandle& other)
+    : recorder_(other.recorder_), id_(other.id_), is_input_(other.is_input_) {
+  // Copying an input reference is free; copying a register value must
+  // preserve the original, so it snapshots into a fresh register.
+  if (recorder_ != nullptr && !is_input_) {
+    int32_t reg = recorder_->NewRegister();
+    recorder_->Emit(Op::kMov, reg, id_, false);
+    id_ = reg;
+  }
+}
+
+[[maybe_unused]] RegHandle& RegHandle::operator=(const RegHandle& other) {
+  if (this == &other) return *this;
+  RegHandle copy(other);
+  Steal(copy);
+  return *this;
+}
+
+void RegHandle::EnsureRegister() {
+  BIX_CHECK(recorder_ != nullptr && id_ >= 0);
+  if (!is_input_) return;
+  int32_t reg = recorder_->NewRegister();
+  recorder_->Emit(Op::kLoad, reg, id_, true);
+  id_ = reg;
+  is_input_ = false;
+}
+
+void RegHandle::Apply(Op op, const RegHandle& other) {
+  BIX_CHECK(other.recorder_ == recorder_ && other.id_ >= 0);
+  EnsureRegister();
+  recorder_->Emit(op, id_, other.id_, other.is_input_);
+}
+
+void RegHandle::NotInPlace() {
+  EnsureRegister();
+  recorder_->Emit(Op::kNot, id_);
+}
+
+EvalProgram Recorder::Finish(RegHandle result) {
+  BIX_CHECK(result.recorder_ == this && result.id_ >= 0);
+  if (result.is_input_) {
+    program_.result_input = result.id_;
+    program_.instrs.clear();
+    program_.num_regs = 0;
+  } else {
+    Finalize(result.id_);
+  }
+  return std::move(program_);
+}
+
+// Two passes over the instruction list: backward liveness to drop emitted
+// but unused work (e.g. the provisional all-ones accumulator RangeEvalOpt
+// overwrites, or RangeEval's unreturned LT/GT side), then a forward
+// interval scan that packs virtual registers into the fewest scratch slots
+// so a lane's working set stays cache-sized regardless of query shape.
+void Recorder::Finalize(int32_t result_virtual_reg) {
+  std::vector<EvalInstr>& instrs = program_.instrs;
+  const size_t n = instrs.size();
+  const size_t num_virtual = static_cast<size_t>(num_virtual_regs_);
+
+  std::vector<char> live(num_virtual, 0);
+  std::vector<char> keep(n, 0);
+  live[static_cast<size_t>(result_virtual_reg)] = 1;
+  for (size_t i = n; i-- > 0;) {
+    const EvalInstr& ins = instrs[i];
+    if (!live[static_cast<size_t>(ins.dst)]) continue;
+    keep[i] = 1;
+    const bool overwrites_dst = ins.op == Op::kLoad || ins.op == Op::kZeros ||
+                                ins.op == Op::kOnes || ins.op == Op::kMov;
+    if (overwrites_dst) live[static_cast<size_t>(ins.dst)] = 0;
+    if (ins.src >= 0 && !ins.src_is_input) {
+      live[static_cast<size_t>(ins.src)] = 1;
+    }
+  }
+  std::vector<EvalInstr> kept;
+  kept.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (keep[i]) kept.push_back(instrs[i]);
+  }
+
+  // Interval end per virtual register (result lives past the last instr).
+  std::vector<int32_t> last_use(num_virtual, -1);
+  for (size_t i = 0; i < kept.size(); ++i) {
+    last_use[static_cast<size_t>(kept[i].dst)] = static_cast<int32_t>(i);
+    if (kept[i].src >= 0 && !kept[i].src_is_input) {
+      last_use[static_cast<size_t>(kept[i].src)] = static_cast<int32_t>(i);
+    }
+  }
+  last_use[static_cast<size_t>(result_virtual_reg)] =
+      static_cast<int32_t>(kept.size());
+
+  std::vector<int32_t> slot_of(num_virtual, -1);
+  std::vector<int32_t> free_slots;
+  int32_t num_slots = 0;
+  auto assign = [&](int32_t reg) {
+    if (slot_of[static_cast<size_t>(reg)] >= 0) return;
+    if (free_slots.empty()) {
+      slot_of[static_cast<size_t>(reg)] = num_slots++;
+    } else {
+      slot_of[static_cast<size_t>(reg)] = free_slots.back();
+      free_slots.pop_back();
+    }
+  };
+  for (size_t i = 0; i < kept.size(); ++i) {
+    EvalInstr& ins = kept[i];
+    const int32_t dst_reg = ins.dst;
+    const int32_t src_reg = (ins.src >= 0 && !ins.src_is_input) ? ins.src : -1;
+    assign(dst_reg);
+    if (src_reg >= 0) assign(src_reg);
+    ins.dst = slot_of[static_cast<size_t>(dst_reg)];
+    if (src_reg >= 0) ins.src = slot_of[static_cast<size_t>(src_reg)];
+    const int32_t pos = static_cast<int32_t>(i);
+    if (last_use[static_cast<size_t>(dst_reg)] == pos) {
+      free_slots.push_back(ins.dst);
+    }
+    if (src_reg >= 0 && src_reg != dst_reg &&
+        last_use[static_cast<size_t>(src_reg)] == pos) {
+      free_slots.push_back(ins.src);
+    }
+  }
+
+  program_.result_reg = slot_of[static_cast<size_t>(result_virtual_reg)];
+  program_.num_regs = num_slots;
+  instrs = std::move(kept);
+}
+
+// Replays the program over words [w0, w0 + len) using one lane's scratch.
+// `tail_mask` applies when this segment contains the vector's final partial
+// word — the same masking ClearTail performs sequentially, so NOT and ONES
+// leave identical tails.
+void RunSegment(const EvalProgram& p, uint64_t* scratch, size_t words_per_seg,
+                size_t w0, size_t len, bool has_tail, uint64_t tail_mask,
+                uint64_t* out_words) {
+  for (const EvalInstr& ins : p.instrs) {
+    uint64_t* dst = scratch + static_cast<size_t>(ins.dst) * words_per_seg;
+    const uint64_t* src = nullptr;
+    if (ins.src >= 0) {
+      src = ins.src_is_input
+                ? p.inputs[static_cast<size_t>(ins.src)]->words().data() + w0
+                : scratch + static_cast<size_t>(ins.src) * words_per_seg;
+    }
+    switch (ins.op) {
+      case Op::kLoad:
+      case Op::kMov:
+        std::memcpy(dst, src, len * sizeof(uint64_t));
+        break;
+      case Op::kZeros:
+        std::memset(dst, 0, len * sizeof(uint64_t));
+        break;
+      case Op::kOnes:
+        std::memset(dst, 0xFF, len * sizeof(uint64_t));
+        if (has_tail) dst[len - 1] = tail_mask;
+        break;
+      case Op::kAnd:
+        for (size_t w = 0; w < len; ++w) dst[w] &= src[w];
+        break;
+      case Op::kOr:
+        for (size_t w = 0; w < len; ++w) dst[w] |= src[w];
+        break;
+      case Op::kXor:
+        for (size_t w = 0; w < len; ++w) dst[w] ^= src[w];
+        break;
+      case Op::kNot:
+        for (size_t w = 0; w < len; ++w) dst[w] = ~dst[w];
+        if (has_tail) dst[len - 1] &= tail_mask;
+        break;
+    }
+  }
+  std::memcpy(out_words + w0,
+              scratch + static_cast<size_t>(p.result_reg) * words_per_seg,
+              len * sizeof(uint64_t));
+}
+
+int64_t ElapsedNs(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+EvalProgram RecordEvalProgram(const BitmapSource& source,
+                              EvalAlgorithm algorithm, CompareOp op, int64_t v,
+                              EvalStats* stats) {
+  if (algorithm == EvalAlgorithm::kAuto) {
+    algorithm = source.encoding() == Encoding::kRange
+                    ? EvalAlgorithm::kRangeEvalOpt
+                    : EvalAlgorithm::kEqualityEval;
+  }
+  Recorder recorder(source, stats);
+  RegHandle result;
+  switch (algorithm) {
+    case EvalAlgorithm::kRangeEval:
+      result = eval_detail::RangeEvalImpl(recorder, op, v);
+      break;
+    case EvalAlgorithm::kRangeEvalOpt:
+      result = eval_detail::RangeEvalOptImpl(recorder, op, v);
+      break;
+    case EvalAlgorithm::kEqualityEval:
+      result = eval_detail::EqualityEvalImpl(recorder, op, v);
+      break;
+    case EvalAlgorithm::kAuto:
+      BIX_CHECK(false);
+  }
+  return recorder.Finish(std::move(result));
+}
+
+Bitvector ExecuteProgram(const EvalProgram& p, const ExecOptions& options) {
+  // Trivial program: an input passes through untouched.
+  if (p.result_input >= 0) {
+    return *p.inputs[static_cast<size_t>(p.result_input)];
+  }
+  BIX_CHECK(p.result_reg >= 0 && p.num_regs > 0);
+  Bitvector out = Bitvector::Zeros(p.num_bits);
+  if (p.num_bits == 0) return out;
+
+  // Segment geometry.  8 <= segment_bits <= 30 keeps a segment between one
+  // cache line and 128 MB; the default 16 (8 KB spans) targets L1.
+  const uint32_t seg_bits = std::clamp(options.segment_bits, 8u, 30u);
+  const size_t words_per_seg = (size_t{1} << seg_bits) / 64;
+  const size_t num_words = out.mutable_words().size();
+  const size_t num_segments = (num_words + words_per_seg - 1) / words_per_seg;
+  const uint64_t tail_bits = p.num_bits & 63;
+  const uint64_t tail_mask =
+      tail_bits != 0 ? (uint64_t{1} << tail_bits) - 1 : ~uint64_t{0};
+  const int lanes = static_cast<int>(std::min<size_t>(
+      static_cast<size_t>(std::max(1, options.num_threads)), num_segments));
+
+  auto& registry = obs::MetricsRegistry::Global();
+  static obs::Counter& segments_counter =
+      registry.GetCounter("exec.segments");
+  static obs::Histogram& segment_ns =
+      registry.GetHistogram("exec.segment_ns");
+  static obs::Gauge& speedup_gauge =
+      registry.GetGauge("exec.parallel_speedup");
+
+  // Per-lane scratch: num_regs slots of one segment each, so a lane's whole
+  // working set is num_regs * 2^segment_bits / 8 bytes (a few slots after
+  // finalization — L1/L2 resident at the default segment size).
+  std::vector<uint64_t> scratch(static_cast<size_t>(lanes) *
+                                static_cast<size_t>(p.num_regs) *
+                                words_per_seg);
+  uint64_t* out_words = out.mutable_words().data();
+  std::atomic<int64_t> busy_ns{0};
+
+  auto run = [&](size_t seg, int lane) {
+    const auto seg_start = std::chrono::steady_clock::now();
+    const size_t w0 = seg * words_per_seg;
+    const size_t len = std::min(words_per_seg, num_words - w0);
+    const bool has_tail = tail_bits != 0 && w0 + len == num_words;
+    uint64_t* lane_scratch =
+        scratch.data() + static_cast<size_t>(lane) *
+                             static_cast<size_t>(p.num_regs) * words_per_seg;
+    RunSegment(p, lane_scratch, words_per_seg, w0, len, has_tail, tail_mask,
+               out_words);
+    const int64_t ns = ElapsedNs(seg_start);
+    segment_ns.Observe(ns);
+    busy_ns.fetch_add(ns, std::memory_order_relaxed);
+  };
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  if (lanes <= 1) {
+    for (size_t seg = 0; seg < num_segments; ++seg) run(seg, 0);
+  } else {
+    SharedPool(lanes - 1).ParallelFor(num_segments, lanes - 1, run);
+  }
+  const int64_t wall = std::max<int64_t>(1, ElapsedNs(wall_start));
+
+  segments_counter.Increment(static_cast<int64_t>(num_segments));
+  // Effective parallelism of this execution, in hundredths (e.g. 380 =
+  // 3.80x): total busy time across lanes over wall-clock time.
+  speedup_gauge.Set(100 * busy_ns.load(std::memory_order_relaxed) / wall);
+  return out;
+}
+
+}  // namespace bix::exec
+
+namespace bix {
+
+Bitvector EvaluatePredicate(const BitmapSource& source,
+                            EvalAlgorithm algorithm, CompareOp op, int64_t v,
+                            const ExecOptions& options, EvalStats* stats) {
+  if (algorithm == EvalAlgorithm::kAuto) {
+    algorithm = source.encoding() == Encoding::kRange
+                    ? EvalAlgorithm::kRangeEvalOpt
+                    : EvalAlgorithm::kEqualityEval;
+  }
+  // Same metrics envelope as the sequential entry point (core/eval.cc).
+  EvalStats local;
+  EvalStats* s = stats != nullptr ? stats : &local;
+  const EvalStats before = *s;
+
+  obs::TraceSpan span("eval", ToString(algorithm).data());
+  span.set_value(v);
+  if (span.active()) {
+    span.set_detail(std::string(ToString(op)) + " segmented x" +
+                    std::to_string(std::max(1, options.num_threads)));
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  exec::EvalProgram program =
+      exec::RecordEvalProgram(source, algorithm, op, v, s);
+  Bitvector result = exec::ExecuteProgram(program, options);
+  const int64_t latency_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+
+  eval_internal::RecordQueryMetrics(EvalStats::Delta(*s, before), latency_ns);
+  return result;
+}
+
+}  // namespace bix

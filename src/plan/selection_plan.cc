@@ -6,8 +6,10 @@
 #include <limits>
 #include <sstream>
 
+#include "bitmap/bitvector_kernels.h"
 #include "core/check.h"
 #include "core/cost_model.h"
+#include "exec/thread_pool.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -197,17 +199,33 @@ ExecutionResult SelectionPlanner::ExecuteIndexFilter(
 
 ExecutionResult SelectionPlanner::ExecuteIndexMerge(
     const ConjunctiveQuery& query) const {
-  ExecutionResult result;
-  bool first = true;
-  for (const Predicate& pred : query) {
-    Bitvector found = IndexProbe(pred, &result);
-    if (first) {
-      result.foundset = std::move(found);
-      first = false;
-    } else {
-      result.foundset.AndWith(found);
-    }
+  // P3's per-attribute probes are independent, so they can run concurrently;
+  // each probe charges its own ExecutionResult and the costs are summed
+  // afterwards, keeping the accounting identical to sequential execution.
+  std::vector<Bitvector> foundsets(query.size());
+  std::vector<ExecutionResult> partials(query.size());
+  const int lanes = static_cast<int>(std::min<size_t>(
+      static_cast<size_t>(std::max(1, exec_options_.num_threads)),
+      query.size()));
+  auto probe = [&](size_t i, int /*lane*/) {
+    foundsets[i] = IndexProbe(query[i], &partials[i]);
+  };
+  if (lanes <= 1) {
+    for (size_t i = 0; i < query.size(); ++i) probe(i, 0);
+  } else {
+    exec::SharedPool(lanes - 1).ParallelFor(query.size(), lanes - 1, probe);
   }
+
+  ExecutionResult result;
+  for (const ExecutionResult& partial : partials) {
+    result.bytes_read += partial.bytes_read;
+    result.bitmap_scans += partial.bitmap_scans;
+    result.rids_read += partial.rids_read;
+    result.tuples_read += partial.tuples_read;
+  }
+  // Conjunction via the fused k-ary AND: one blocked pass over all
+  // foundsets instead of a pairwise fold.
+  result.foundset = AndOfMany(foundsets);
   return result;
 }
 

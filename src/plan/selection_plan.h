@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "bitmap/bitvector.h"
+#include "core/eval.h"
 #include "core/predicate.h"
 #include "plan/table.h"
 
@@ -90,6 +91,14 @@ class SelectionPlanner {
  public:
   explicit SelectionPlanner(const Table& table) : table_(table) {}
 
+  /// Execution knobs.  With num_threads > 1, P3 probes its independent
+  /// per-attribute predicates concurrently on the shared pool; the probed
+  /// foundsets are always combined with the fused k-ary AND kernel
+  /// (Bitvector::AndOfMany).  Foundsets and cost accounting are identical
+  /// to sequential execution in either case.
+  void set_exec_options(const ExecOptions& options) { exec_options_ = options; }
+  const ExecOptions& exec_options() const { return exec_options_; }
+
   /// Cost estimates for every applicable plan, cheapest first.  P2/P3
   /// require the involved attributes to carry an index (bitmap or RID).
   std::vector<PlanEstimate> EnumeratePlans(const ConjunctiveQuery& query) const;
@@ -117,6 +126,7 @@ class SelectionPlanner {
   Bitvector IndexProbe(const Predicate& pred, ExecutionResult* result) const;
 
   const Table& table_;
+  ExecOptions exec_options_{};
 };
 
 }  // namespace bix

@@ -10,6 +10,7 @@
 #include "core/bitmap_source.h"
 #include "core/check.h"
 #include "core/eval.h"
+#include "exec/segmented_eval.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -432,7 +433,8 @@ Status StoredIndex::LoadMeta(const std::filesystem::path& dir) {
 Bitvector StoredIndex::Evaluate(EvalAlgorithm algorithm, CompareOp op,
                                 int64_t v, EvalStats* stats,
                                 double* decompress_seconds,
-                                Status* status) const {
+                                Status* status,
+                                const ExecOptions* exec) const {
   obs::TraceSpan span("storage", "evaluate");
   span.set_value(v);
   if (span.active()) {
@@ -451,7 +453,9 @@ Bitvector StoredIndex::Evaluate(EvalAlgorithm algorithm, CompareOp op,
   StoredQuerySource source(*this, s, ds);
   Bitvector result;
   if (source.status().ok()) {
-    result = EvaluatePredicate(source, algorithm, op, v, s);
+    result = exec != nullptr
+                 ? EvaluatePredicate(source, algorithm, op, v, *exec, s)
+                 : EvaluatePredicate(source, algorithm, op, v, s);
   }
 
   auto& reg = obs::MetricsRegistry::Global();

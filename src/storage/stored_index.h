@@ -28,6 +28,7 @@
 #include "compress/codec.h"
 #include "core/base_sequence.h"
 #include "core/bitmap_index.h"
+#include "core/eval.h"
 #include "core/eval_stats.h"
 #include "core/predicate.h"
 #include "core/status.h"
@@ -77,10 +78,15 @@ class StoredIndex {
   /// On a read or corruption failure the error is reported through
   /// `*status` (and an empty bitvector returned); when `status` is null
   /// such failures abort via BIX_CHECK.
+  ///
+  /// With non-null `exec`, the bitwise combining runs on the segmented
+  /// engine (exec/segmented_eval.h) with `exec->num_threads` lanes; bytes
+  /// read, EvalStats, and the result are identical to the default path.
   Bitvector Evaluate(EvalAlgorithm algorithm, CompareOp op, int64_t v,
                      EvalStats* stats = nullptr,
                      double* decompress_seconds = nullptr,
-                     Status* status = nullptr) const;
+                     Status* status = nullptr,
+                     const ExecOptions* exec = nullptr) const;
 
  private:
   StoredIndex() = default;

@@ -50,6 +50,7 @@ TEST_P(AppendEquivalenceTest, AppendEqualsRebuild) {
   BitmapIndex incremental = BitmapIndex::Build(
       std::span<const uint32_t>(all).first(initial), c,
       BaseSequence::FromMsbFirst({5, 9}), encoding);
+  incremental.Reserve(all.size());  // append loop below never reallocates
   for (size_t r = initial; r < all.size(); ++r) incremental.Append(all[r]);
   EXPECT_EQ(incremental.num_records(), all.size());
 
@@ -68,6 +69,7 @@ TEST_P(AppendEquivalenceTest, AppendFromEmpty) {
       BitmapIndex::Build(std::span<const uint32_t>(), c,
                          BaseSequence::FromMsbFirst({3, 3}), encoding);
   std::vector<uint32_t> values = {4, 0, 8, kNullValue, 2, 8};
+  index.Reserve(values.size());
   for (uint32_t v : values) index.Append(v);
   for (const Query& q : AllSelectionQueries(c)) {
     ASSERT_EQ(index.Evaluate(q.op, q.v), ScanEvaluate(values, q.op, q.v));

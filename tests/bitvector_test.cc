@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include "bitmap/bitvector_kernels.h"
+
 namespace bix {
 namespace {
 
@@ -136,6 +138,78 @@ TEST(BitvectorTest, CountAcrossManyWords) {
     ++expected;
   }
   EXPECT_EQ(bv.Count(), expected);
+}
+
+TEST(BitvectorTest, ReserveDoesNotChangeContentsOrLength) {
+  Bitvector bv;
+  bv.Reserve(1000);
+  EXPECT_EQ(bv.size(), 0u);
+  for (size_t i = 0; i < 130; ++i) bv.PushBack(i % 3 == 0);
+  EXPECT_EQ(bv.size(), 130u);
+  for (size_t i = 0; i < 130; ++i) {
+    EXPECT_EQ(bv.Get(i), i % 3 == 0) << i;
+  }
+  // Reserving less than the current size is a no-op.
+  bv.Reserve(10);
+  EXPECT_EQ(bv.size(), 130u);
+}
+
+TEST(BitvectorTest, PushBackMatchesResizePlusSet) {
+  std::mt19937_64 rng(404);
+  Bitvector pushed;
+  Bitvector preset(777);
+  for (size_t i = 0; i < 777; ++i) {
+    bool bit = rng() % 2 == 0;
+    pushed.PushBack(bit);
+    if (bit) preset.Set(i);
+  }
+  EXPECT_EQ(pushed, preset);
+}
+
+Bitvector RandomBits(size_t bits, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  Bitvector out(bits);
+  for (size_t i = 0; i < bits; ++i) {
+    if (rng() % 2 == 0) out.Set(i);
+  }
+  return out;
+}
+
+// Odd lengths around word boundaries; k = 1..6 operands.
+TEST(BitvectorKernelsTest, FusedFoldsMatchPairwiseFolds) {
+  for (size_t bits : {size_t{0}, size_t{1}, size_t{63}, size_t{64},
+                      size_t{65}, size_t{1000}, size_t{70000}}) {
+    std::vector<Bitvector> operands;
+    for (int k = 1; k <= 6; ++k) {
+      operands.push_back(RandomBits(bits, 31 * bits + static_cast<size_t>(k)));
+      Bitvector or_fold = operands[0];
+      Bitvector and_fold = operands[0];
+      for (size_t i = 1; i < operands.size(); ++i) {
+        or_fold.OrWith(operands[i]);
+        and_fold.AndWith(operands[i]);
+      }
+      std::vector<const Bitvector*> ptrs;
+      for (const Bitvector& b : operands) ptrs.push_back(&b);
+      EXPECT_EQ(Bitvector::OrOfMany(ptrs), or_fold) << bits << " k=" << k;
+      EXPECT_EQ(Bitvector::AndOfMany(ptrs), and_fold) << bits << " k=" << k;
+      // The value-span conveniences agree with the pointer forms.
+      EXPECT_EQ(OrOfMany(operands), or_fold) << bits << " k=" << k;
+      EXPECT_EQ(AndOfMany(operands), and_fold) << bits << " k=" << k;
+    }
+  }
+}
+
+TEST(BitvectorKernelsTest, CountingKernelsMatchMaterializedOps) {
+  for (size_t bits : {size_t{0}, size_t{1}, size_t{64}, size_t{65},
+                      size_t{1000}, size_t{12345}}) {
+    Bitvector a = RandomBits(bits, 7 + bits);
+    Bitvector b = RandomBits(bits, 11 + bits);
+    EXPECT_EQ(Bitvector::CountAnd(a, b), (a & b).Count()) << bits;
+    EXPECT_EQ(Bitvector::CountOr(a, b), (a | b).Count()) << bits;
+    Bitvector andnot = a;
+    andnot.AndNotWith(b);
+    EXPECT_EQ(Bitvector::AndNotCount(a, b), andnot.Count()) << bits;
+  }
 }
 
 }  // namespace

@@ -1,0 +1,272 @@
+// ThreadPool semantics (task coverage, lane budget, exception policy,
+// reuse, concurrent submitters) and bit-exactness of the segmented parallel
+// engine against the sequential evaluator across the full query space,
+// including EvalStats equality — the engine is a pure reassociation, so the
+// paper's closed-form cost model must keep holding under it.
+
+#include <atomic>
+#include <cstdint>
+#include <random>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/bitmap_index.h"
+#include "core/eval.h"
+#include "exec/segmented_eval.h"
+#include "exec/thread_pool.h"
+#include "workload/queries.h"
+
+namespace bix {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ThreadPool
+
+TEST(ThreadPoolTest, RunsEveryTaskExactlyOnce) {
+  exec::ThreadPool pool(3);
+  constexpr size_t kTasks = 1000;
+  std::vector<std::atomic<int>> runs(kTasks);
+  pool.ParallelFor(kTasks, 3, [&](size_t task, int) {
+    runs[task].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (size_t i = 0; i < kTasks; ++i) {
+    ASSERT_EQ(runs[i].load(), 1) << "task " << i;
+  }
+}
+
+TEST(ThreadPoolTest, LanesStayWithinBudget) {
+  exec::ThreadPool pool(4);
+  constexpr int kMaxLanes = 2;  // caller plus at most two pool workers
+  std::atomic<int> out_of_range{0};
+  pool.ParallelFor(256, kMaxLanes, [&](size_t, int lane) {
+    if (lane < 0 || lane > kMaxLanes) out_of_range.fetch_add(1);
+  });
+  EXPECT_EQ(out_of_range.load(), 0);
+}
+
+TEST(ThreadPoolTest, ZeroWorkersRunsInlineOnCaller) {
+  exec::ThreadPool pool(0);
+  const std::thread::id self = std::this_thread::get_id();
+  size_t ran = 0;
+  pool.ParallelFor(10, 4, [&](size_t, int lane) {
+    EXPECT_EQ(lane, 0);
+    EXPECT_EQ(std::this_thread::get_id(), self);
+    ++ran;
+  });
+  EXPECT_EQ(ran, 10u);
+}
+
+TEST(ThreadPoolTest, RethrowsFirstErrorAndStaysUsable) {
+  exec::ThreadPool pool(2);
+  std::atomic<size_t> attempted{0};
+  EXPECT_THROW(
+      pool.ParallelFor(100, 2,
+                       [&](size_t task, int) {
+                         attempted.fetch_add(1, std::memory_order_relaxed);
+                         if (task % 10 == 3) throw std::runtime_error("boom");
+                       }),
+      std::runtime_error);
+  EXPECT_EQ(attempted.load(), 100u)
+      << "a throwing task must not cancel its siblings";
+
+  std::atomic<size_t> ran{0};
+  pool.ParallelFor(50, 2,
+                   [&](size_t, int) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 50u) << "pool unusable after an exception";
+}
+
+TEST(ThreadPoolTest, BackToBackBatchesReuseWorkers) {
+  exec::ThreadPool pool(3);
+  for (int round = 0; round < 200; ++round) {
+    const size_t tasks = 1 + static_cast<size_t>(round % 7);
+    std::atomic<size_t> ran{0};
+    pool.ParallelFor(tasks, 3, [&](size_t, int) { ran.fetch_add(1); });
+    ASSERT_EQ(ran.load(), tasks) << "round " << round;
+  }
+}
+
+TEST(ThreadPoolTest, ConcurrentSubmittersSerialize) {
+  exec::ThreadPool pool(2);
+  std::atomic<size_t> total{0};
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < 4; ++t) {
+    submitters.emplace_back([&] {
+      for (int round = 0; round < 25; ++round) {
+        pool.ParallelFor(8, 2, [&](size_t, int) { total.fetch_add(1); });
+      }
+    });
+  }
+  for (std::thread& t : submitters) t.join();
+  EXPECT_EQ(total.load(), 4u * 25u * 8u);
+}
+
+TEST(ThreadPoolTest, SharedPoolGrowsAndNeverShrinks) {
+  EXPECT_GE(exec::SharedPool(2).num_workers(), 2);
+  EXPECT_GE(exec::SharedPool(5).num_workers(), 5);
+  EXPECT_GE(exec::SharedPool(1).num_workers(), 5);
+}
+
+// ---------------------------------------------------------------------------
+// Segmented evaluation vs the sequential engine
+
+struct ExecSweepCase {
+  std::vector<uint32_t> bases_msb;
+  uint32_t cardinality;
+  size_t num_rows;  // chosen to exercise exact-multiple and tail segments
+  bool with_nulls;
+};
+
+std::vector<uint32_t> MakeColumn(uint32_t cardinality, size_t n,
+                                 bool with_nulls, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<uint32_t> values(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (with_nulls && rng() % 10 == 0) {
+      values[i] = kNullValue;
+    } else {
+      values[i] = static_cast<uint32_t>(rng() % cardinality);
+    }
+  }
+  return values;
+}
+
+// The full 6 x C query space for small domains; for large C a boundary
+// sample (component digit edges) plus out-of-domain constants.
+std::vector<Query> QueriesFor(uint32_t cardinality) {
+  if (cardinality <= 16) {
+    std::vector<Query> queries = AllSelectionQueries(cardinality);
+    for (CompareOp op : kAllCompareOps) {
+      queries.push_back(Query{op, -1});
+      queries.push_back(Query{op, static_cast<int64_t>(cardinality)});
+    }
+    return queries;
+  }
+  std::vector<Query> queries;
+  const int64_t c = static_cast<int64_t>(cardinality);
+  for (CompareOp op : kAllCompareOps) {
+    for (int64_t v : {int64_t{-1}, int64_t{0}, int64_t{1}, c / 36, c / 2,
+                      c - 2, c - 1, c, 5 * c}) {
+      queries.push_back(Query{op, v});
+    }
+  }
+  return queries;
+}
+
+class SegmentedSweepTest : public ::testing::TestWithParam<ExecSweepCase> {};
+
+TEST_P(SegmentedSweepTest, BitIdenticalToSequentialWithEqualStats) {
+  const ExecSweepCase& c = GetParam();
+  std::vector<uint32_t> values = MakeColumn(c.cardinality, c.num_rows,
+                                            c.with_nulls, 77 + c.cardinality);
+  BaseSequence base = BaseSequence::FromMsbFirst(c.bases_msb);
+  ASSERT_TRUE(base.IsWellDefinedFor(c.cardinality));
+
+  struct AlgUnderTest {
+    Encoding encoding;
+    EvalAlgorithm algorithm;
+  };
+  const AlgUnderTest algs[] = {
+      {Encoding::kRange, EvalAlgorithm::kRangeEval},
+      {Encoding::kRange, EvalAlgorithm::kRangeEvalOpt},
+      {Encoding::kRange, EvalAlgorithm::kAuto},
+      {Encoding::kEquality, EvalAlgorithm::kEqualityEval},
+      {Encoding::kEquality, EvalAlgorithm::kAuto},
+  };
+  // segment_bits 8 (the clamp floor, 256-bit segments) forces many segments
+  // even on small indexes; 3 threads exceeds the segment count for the
+  // smallest case, exercising the lane clamp.
+  const ExecOptions configs[] = {
+      {.num_threads = 1, .segment_bits = 8},
+      {.num_threads = 3, .segment_bits = 8},
+      {.num_threads = 2, .segment_bits = 9},
+  };
+
+  for (Encoding enc : {Encoding::kRange, Encoding::kEquality}) {
+    BitmapIndex index =
+        BitmapIndex::Build(values, c.cardinality, base, enc);
+    for (const AlgUnderTest& alg : algs) {
+      if (alg.encoding != enc) continue;
+      for (const Query& q : QueriesFor(c.cardinality)) {
+        EvalStats seq_stats;
+        Bitvector expected =
+            EvaluatePredicate(index, alg.algorithm, q.op, q.v, &seq_stats);
+        for (const ExecOptions& options : configs) {
+          EvalStats par_stats;
+          Bitvector got = EvaluatePredicate(index, alg.algorithm, q.op, q.v,
+                                            options, &par_stats);
+          ASSERT_EQ(got, expected)
+              << "base=" << base.ToString() << " alg=" << ToString(alg.algorithm)
+              << " op=" << ToString(q.op) << " v=" << q.v
+              << " threads=" << options.num_threads
+              << " segment_bits=" << options.segment_bits;
+          ASSERT_EQ(par_stats, seq_stats)
+              << "stats drift: base=" << base.ToString()
+              << " alg=" << ToString(alg.algorithm) << " op=" << ToString(q.op)
+              << " v=" << q.v;
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DesignSpace, SegmentedSweepTest,
+    ::testing::Values(
+        // Single partial segment (num_rows < one 256-bit segment).
+        ExecSweepCase{{7}, 7, 100, true},
+        // Exact segment multiple (no tail word ambiguity): 20 x 256.
+        ExecSweepCase{{3, 3}, 9, 5120, false},
+        // Tail segment plus a partial final word.
+        ExecSweepCase{{3, 3}, 9, 5001, true},
+        // Bit-sliced with nulls.
+        ExecSweepCase{{2, 2, 2, 2}, 13, 3000, true},
+        // The paper's knee base and Section 3 example, larger domain.
+        ExecSweepCase{{28, 36}, 1000, 5000, true},
+        ExecSweepCase{{10, 10, 10}, 1000, 5000, false}));
+
+TEST(SegmentedEvalTest, RecordedProgramIsReusable) {
+  std::vector<uint32_t> values = MakeColumn(9, 2000, true, 5);
+  BaseSequence base = BaseSequence::FromMsbFirst({3, 3});
+  BitmapIndex index = BitmapIndex::Build(values, 9, base, Encoding::kRange);
+
+  EvalStats seq_stats;
+  Bitvector expected = EvaluatePredicate(index, EvalAlgorithm::kRangeEvalOpt,
+                                         CompareOp::kLe, 4, &seq_stats);
+
+  EvalStats rec_stats;
+  exec::EvalProgram program = exec::RecordEvalProgram(
+      index, EvalAlgorithm::kRangeEvalOpt, CompareOp::kLe, 4, &rec_stats);
+  EXPECT_EQ(rec_stats, seq_stats) << "recording must count like execution";
+
+  // Replaying charges nothing further and is repeatable.
+  ExecOptions options{.num_threads = 2, .segment_bits = 8};
+  EXPECT_EQ(exec::ExecuteProgram(program, options), expected);
+  EXPECT_EQ(exec::ExecuteProgram(program, options), expected);
+  EXPECT_EQ(rec_stats, seq_stats);
+}
+
+TEST(SegmentedEvalTest, TrivialResultsNeedNoInstructions) {
+  std::vector<uint32_t> values = MakeColumn(9, 1000, true, 6);
+  BaseSequence base = BaseSequence::FromMsbFirst({3, 3});
+  BitmapIndex index = BitmapIndex::Build(values, 9, base, Encoding::kRange);
+
+  // v out of domain: `A > 100` matches nothing, `A <= 100` matches all
+  // non-null rows — both resolve without fetching a single bitmap.
+  for (auto [op, v] : {std::pair{CompareOp::kGt, int64_t{100}},
+                       std::pair{CompareOp::kLe, int64_t{100}}}) {
+    EvalStats stats;
+    exec::EvalProgram program = exec::RecordEvalProgram(
+        index, EvalAlgorithm::kRangeEvalOpt, op, v, &stats);
+    EXPECT_EQ(stats.bitmap_scans, 0);
+    Bitvector got =
+        exec::ExecuteProgram(program, ExecOptions{.num_threads = 3});
+    EXPECT_EQ(got, EvaluatePredicate(index, EvalAlgorithm::kRangeEvalOpt,
+                                     op, v));
+  }
+}
+
+}  // namespace
+}  // namespace bix

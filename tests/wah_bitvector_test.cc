@@ -50,6 +50,17 @@ TEST_P(WahSweepTest, RoundTripAndOpsMatchDense) {
   EXPECT_EQ(wa.Not().Count(), bits - a.Count());
 }
 
+TEST_P(WahSweepTest, AndCountMatchesMaterializedAnd) {
+  const auto& [bits, density] = GetParam();
+  Bitvector a = RandomDense(bits, density, 21 + bits);
+  Bitvector b = RandomDense(bits, density / 3 + 0.005, 22 + bits);
+  WahBitvector wa = WahBitvector::FromBitvector(a);
+  WahBitvector wb = WahBitvector::FromBitvector(b);
+  EXPECT_EQ(WahBitvector::AndCount(wa, wb), (a & b).Count());
+  EXPECT_EQ(WahBitvector::AndCount(wa, wb),
+            WahBitvector::And(wa, wb).Count());
+}
+
 TEST_P(WahSweepTest, OpsProduceCanonicalEncodings) {
   const auto& [bits, density] = GetParam();
   Bitvector a = RandomDense(bits, density, 7 + bits);
@@ -100,6 +111,36 @@ TEST(WahBitvectorTest, NotOnPartialTailKeepsTailClear) {
   EXPECT_EQ(inverted.ToBitvector(), Bitvector::Ones(40));
   // Double negation is the identity, encoding included.
   EXPECT_TRUE(inverted.Not() == wah);
+}
+
+// Run-structured data (long fills interleaved with literals) drives the
+// fill x fill overlap arithmetic that dense-random inputs rarely reach.
+Bitvector RandomRuns(size_t bits, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  Bitvector out(bits);
+  size_t i = 0;
+  bool value = (rng() & 1) != 0;
+  while (i < bits) {
+    size_t run = 1 + rng() % 200;  // spans several 31-bit groups
+    if (value) {
+      for (size_t j = i; j < i + run && j < bits; ++j) out.Set(j);
+    }
+    i += run;
+    value = !value;
+  }
+  return out;
+}
+
+TEST(WahBitvectorTest, AndCountRandomizedDifferential) {
+  for (uint64_t seed = 0; seed < 50; ++seed) {
+    const size_t bits = 500 + (seed * 7919) % 5000;
+    Bitvector a = RandomRuns(bits, 2 * seed + 1);
+    Bitvector b = RandomRuns(bits, 2 * seed + 2);
+    WahBitvector wa = WahBitvector::FromBitvector(a);
+    WahBitvector wb = WahBitvector::FromBitvector(b);
+    ASSERT_EQ(WahBitvector::AndCount(wa, wb), (a & b).Count())
+        << "seed " << seed << " bits " << bits;
+  }
 }
 
 TEST(WahBitvectorTest, MismatchedSizesAbort) {

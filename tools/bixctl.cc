@@ -93,6 +93,27 @@ int Fail(const std::string& message) {
   return 1;
 }
 
+// Segmented-engine options from --threads / --segment-bits; nullopt when
+// neither flag is given so the default sequential path stays untouched.
+std::optional<ExecOptions> ExecOptionsFromFlags(const Flags& flags) {
+  if (!flags.Has("threads") && !flags.Has("segment-bits")) return std::nullopt;
+  ExecOptions options;
+  options.num_threads =
+      static_cast<int>(flags.GetInt("threads").value_or(1));
+  options.segment_bits = static_cast<uint32_t>(
+      flags.GetInt("segment-bits").value_or(options.segment_bits));
+  return options;
+}
+
+void PrintParallelSpeedup() {
+  auto& gauge =
+      obs::MetricsRegistry::Global().GetGauge("exec.parallel_speedup");
+  if (gauge.value() > 0) {
+    std::printf("parallel speedup: %.2fx (busy/wall over segments)\n",
+                static_cast<double>(gauge.value()) / 100.0);
+  }
+}
+
 int Usage() {
   std::fprintf(stderr,
                "usage:\n"
@@ -103,8 +124,10 @@ int Usage() {
                "  bixctl info    --dir D\n"
                "  bixctl query   --dir D --pred \"<= 24\" [--limit K] "
                "[--stats]\n"
-               "                 [--trace-out FILE]\n"
-               "  bixctl explain --dir D --pred \"<= 24\"\n"
+               "                 [--trace-out FILE] [--threads N] "
+               "[--segment-bits B]\n"
+               "  bixctl explain --dir D --pred \"<= 24\" [--threads N] "
+               "[--segment-bits B]\n"
                "  bixctl advise  --cardinality C [--budget M]\n");
   return 2;
 }
@@ -287,8 +310,10 @@ int CmdQuery(const Flags& flags) {
   if (trace_out) obs::Tracer::Global().Enable();
   EvalStats stats;
   double decompress_seconds = 0;
+  std::optional<ExecOptions> exec = ExecOptionsFromFlags(flags);
   Bitvector found = stored->Evaluate(EvalAlgorithm::kAuto, rank_op, rank_v,
-                                     &stats, &decompress_seconds);
+                                     &stats, &decompress_seconds, nullptr,
+                                     exec ? &*exec : nullptr);
   if (trace_out) {
     obs::Tracer::Global().Disable();
     if (!obs::Tracer::Global().WriteChromeJson(*trace_out)) {
@@ -304,6 +329,7 @@ int CmdQuery(const Flags& flags) {
               static_cast<long long>(stats.bitmap_scans),
               static_cast<long long>(stats.bytes_read),
               1000 * decompress_seconds);
+  if (exec) PrintParallelSpeedup();
   if (limit > 0 && found.Any()) {
     std::printf("first rows:");
     int64_t shown = 0;
@@ -391,8 +417,10 @@ int CmdExplain(const Flags& flags) {
 
   EvalStats measured;
   double decompress_seconds = 0;
+  std::optional<ExecOptions> exec = ExecOptionsFromFlags(flags);
   Bitvector found = stored->Evaluate(algorithm, rank_op, rank_v, &measured,
-                                     &decompress_seconds);
+                                     &decompress_seconds, nullptr,
+                                     exec ? &*exec : nullptr);
   obs::QueryAudit audit =
       obs::AuditQuery(stored->base(), stored->cardinality(),
                       stored->encoding(), algorithm, rank_op, rank_v, measured);
@@ -407,6 +435,7 @@ int CmdExplain(const Flags& flags) {
                          : "DRIFT — measured diverges from the cost model",
               static_cast<long long>(audit.scan_drift()),
               static_cast<long long>(audit.op_drift()));
+  if (exec) PrintParallelSpeedup();
   return audit.ok() ? 0 : 3;
 }
 

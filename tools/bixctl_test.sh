@@ -62,6 +62,16 @@ fi
 grep -q "algorithm:" "$WORK/explain.out" || fail "explain algorithm"
 grep -q "audit:           OK" "$WORK/explain.out" || fail "explain audit OK"
 
+# The segmented parallel engine must match the sequential path bit for bit:
+# same row count and a clean audit (zero scan-count drift).
+"$BIXCTL" query --dir "$WORK/idx" --pred "<= 500" --threads 4 \
+    --segment-bits 8 | grep -q "6 of 9 records" || fail "parallel query"
+"$BIXCTL" explain --dir "$WORK/idx" --pred "<= 500" --threads 4 \
+    --segment-bits 8 > "$WORK/explain_par.out" \
+    || fail "parallel explain exit code (audit drift?)"
+grep -q "audit:           OK" "$WORK/explain_par.out" \
+    || fail "parallel explain audit OK"
+
 "$BIXCTL" advise --cardinality 1000 --budget 100 > "$WORK/advise.out"
 grep -q "knee (Theorem 7.1)" "$WORK/advise.out" || fail "advise knee"
 grep -q "<28, 36>" "$WORK/advise.out" || fail "advise knee base"
