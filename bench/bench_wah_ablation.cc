@@ -2,19 +2,35 @@
 // (WAH) versus the paper's decompress-then-operate model (dense bitvector
 // ops after inflating stored bitmaps).
 //
-// For each bit density, reports memory footprint and AND-throughput of the
-// dense and WAH forms.  Expected shape: WAH wins both memory and time on
-// sparse/clustered bitmaps (low-cardinality equality bitmaps, sorted
-// relations) and loses on dense ~50% bitmaps — the regime split that
-// motivated word-aligned schemes in the paper's wake.
+// Part 1 (micro): for each bit density, memory footprint and AND-throughput
+// of the dense and WAH forms.  Part 2 (end-to-end): full predicate
+// evaluation over a WahCompressedSource under --engine=plain (inflate every
+// fetch, dense ops), --engine=wah (run-at-a-time, never inflate), and
+// --engine=auto (per-operand choice).  Expected shape: compressed execution
+// wins on sparse/clustered bitmaps (low-cardinality equality bitmaps,
+// sorted relations), loses on dense ~50% bitmaps, and auto tracks the
+// better of the two at every density point.
+//
+// Usage: bench_wah_ablation [--smoke] [OUT.json]
+//   --smoke    smaller bitmaps/relation (registered as a ctest smoke)
+//   OUT.json   also write every measurement as bench_json.h rows
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
-
+#include <cstring>
 #include <random>
+#include <utility>
+#include <string>
+#include <vector>
 
+#include "bench_json.h"
 #include "bitmap/bitvector.h"
 #include "bitmap/wah_bitvector.h"
+#include "core/bitmap_index.h"
+#include "core/compressed_source.h"
+#include "core/eval.h"
+#include "exec/segmented_eval.h"
 
 using namespace bix;
 
@@ -96,29 +112,83 @@ double MeasureDenseAndCount(const Bitvector& a, const Bitvector& b, int reps) {
   return guard == size_t(-1) ? -1 : 1e6 * s / reps;
 }
 
+// Average microseconds per query for a fixed predicate sweep over `source`
+// under one engine (kPlain over a WahCompressedSource is exactly the
+// paper's decompress-then-op model: every Fetch inflates).
+double MeasureEngine(const BitmapSource& source, EngineKind engine,
+                     uint32_t cardinality, int reps, size_t* checksum) {
+  const ExecOptions options{.num_threads = 1, .engine = engine};
+  const CompareOp ops[] = {CompareOp::kLe, CompareOp::kEq, CompareOp::kGt};
+  const int64_t values[] = {static_cast<int64_t>(cardinality) / 10,
+                            static_cast<int64_t>(cardinality) / 2,
+                            static_cast<int64_t>(cardinality) - 1};
+  int queries = 0;
+  auto start = std::chrono::steady_clock::now();
+  for (int r = 0; r < reps; ++r) {
+    for (CompareOp op : ops) {
+      for (int64_t v : values) {
+        Bitvector found =
+            EvaluatePredicate(source, EvalAlgorithm::kAuto, op, v, options);
+        *checksum += found.Count();
+        ++queries;
+      }
+    }
+  }
+  double s = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                           start)
+                 .count();
+  return 1e6 * s / queries;
+}
+
+// Relations whose bitmap densities sweep the WAH win/lose spectrum.
+std::vector<uint32_t> MakeColumn(size_t rows, uint32_t cardinality,
+                                 bool sorted, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<uint32_t> values(rows);
+  for (size_t i = 0; i < rows; ++i) {
+    values[i] = static_cast<uint32_t>(rng() % cardinality);
+  }
+  if (sorted) std::sort(values.begin(), values.end());
+  return values;
+}
+
 }  // namespace
 
-int main() {
-  const size_t bits = 4 << 20;
-  const int reps = 20;
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      json_path = argv[i];
+    }
+  }
+  bench::BenchJsonWriter json;
+
+  const size_t bits = smoke ? (1 << 20) : (4 << 20);
+  const int reps = smoke ? 5 : 20;
   std::printf("WAH vs dense bitvector, %zu-bit bitmaps, AND of two "
-              "operands\n\n", bits);
+              "operands%s\n\n", bits, smoke ? "  [smoke]" : "");
   std::printf("%-22s | %12s %12s | %12s %12s | %12s %12s\n", "bitmap shape",
               "dense KB", "WAH KB", "dense us/op", "WAH us/op",
               "dense cnt us", "WAH cnt us");
 
   struct Shape {
     const char* name;
+    double density;
     Bitvector a, b;
   };
   Shape shapes[] = {
-      {"uniform 0.01%", RandomDense(bits, 0.0001, 1),
+      {"uniform 0.01%", 0.0001, RandomDense(bits, 0.0001, 1),
        RandomDense(bits, 0.0001, 2)},
-      {"uniform 0.1%", RandomDense(bits, 0.001, 3),
+      {"uniform 0.1%", 0.001, RandomDense(bits, 0.001, 3),
        RandomDense(bits, 0.001, 4)},
-      {"uniform 2%", RandomDense(bits, 0.02, 5), RandomDense(bits, 0.02, 6)},
-      {"uniform 50%", RandomDense(bits, 0.5, 7), RandomDense(bits, 0.5, 8)},
-      {"clustered 10% r=4096", ClusteredDense(bits, 0.1, 4096, 9),
+      {"uniform 2%", 0.02, RandomDense(bits, 0.02, 5),
+       RandomDense(bits, 0.02, 6)},
+      {"uniform 50%", 0.5, RandomDense(bits, 0.5, 7),
+       RandomDense(bits, 0.5, 8)},
+      {"clustered 10% r=4096", 0.1, ClusteredDense(bits, 0.1, 4096, 9),
        ClusteredDense(bits, 0.1, 4096, 10)},
   };
   for (Shape& s : shapes) {
@@ -128,13 +198,85 @@ int main() {
     double wah_us = MeasureWahAnd(wa, wb, reps);
     double dense_cnt_us = MeasureDenseAndCount(s.a, s.b, reps);
     double wah_cnt_us = MeasureWahAndCount(wa, wb, reps);
+    double wah_kb =
+        static_cast<double>(wa.SizeInBytes() + wb.SizeInBytes()) / 2 / 1024;
     std::printf("%-22s | %12.1f %12.1f | %12.1f %12.1f | %12.1f %12.1f\n",
-                s.name, static_cast<double>(bits) / 8 / 1024,
-                static_cast<double>(wa.SizeInBytes() + wb.SizeInBytes()) / 2 /
-                    1024,
+                s.name, static_cast<double>(bits) / 8 / 1024, wah_kb,
                 dense_us, wah_us, dense_cnt_us, wah_cnt_us);
+    std::vector<bench::BenchParam> params = {{"shape", s.name},
+                                             {"density", s.density},
+                                             {"bits", bits}};
+    json.Add("wah_ablation_micro", params, "dense_and_us", dense_us, "us");
+    json.Add("wah_ablation_micro", params, "wah_and_us", wah_us, "us");
+    json.Add("wah_ablation_micro", params, "dense_count_us", dense_cnt_us,
+             "us");
+    json.Add("wah_ablation_micro", params, "wah_count_us", wah_cnt_us, "us");
+    json.Add("wah_ablation_micro", params, "wah_kb", wah_kb, "KB");
   }
-  std::printf("\nshape check: WAH dominates on sparse/clustered bitmaps and "
-              "loses on dense 50%% noise.\n");
+
+  // End-to-end: the same predicate sweep over a WahCompressedSource under
+  // each engine.  plain = decompress-then-op, wah = compressed-domain,
+  // auto = per-operand choice; results are bit-identical (checksummed).
+  const size_t rows = smoke ? 200000 : 2000000;
+  const int query_reps = smoke ? 3 : 10;
+  std::printf("\nend-to-end over WahCompressedSource, %zu rows, equality "
+              "encoding, 9-query sweep\n\n", rows);
+  std::printf("%-26s | %9s | %12s %12s %12s\n", "relation", "C",
+              "plain us/q", "wah us/q", "auto us/q");
+
+  struct Relation {
+    const char* name;
+    uint32_t cardinality;
+    bool sorted;
+  };
+  const Relation relations[] = {
+      {"sorted C=100 (runs)", 100, true},
+      {"uniform C=100 (1% bits)", 100, false},
+      {"uniform C=20 (5% bits)", 20, false},
+      {"uniform C=4 (dense bits)", 4, false},
+  };
+  for (const Relation& rel : relations) {
+    std::vector<uint32_t> values =
+        MakeColumn(rows, rel.cardinality, rel.sorted, 42);
+    BitmapIndex index = BitmapIndex::Build(
+        values, rel.cardinality,
+        BaseSequence::SingleComponent(rel.cardinality), Encoding::kEquality);
+    WahCompressedSource source(index);
+
+    size_t check_plain = 0, check_wah = 0, check_auto = 0;
+    double plain_us = MeasureEngine(source, EngineKind::kPlain,
+                                    rel.cardinality, query_reps, &check_plain);
+    double wah_us = MeasureEngine(source, EngineKind::kWah, rel.cardinality,
+                                  query_reps, &check_wah);
+    double auto_us = MeasureEngine(source, EngineKind::kAuto, rel.cardinality,
+                                   query_reps, &check_auto);
+    if (check_wah != check_plain || check_auto != check_plain) {
+      std::printf("FAIL: engines disagree on %s\n", rel.name);
+      return 1;
+    }
+    std::printf("%-26s | %9u | %12.1f %12.1f %12.1f\n", rel.name,
+                rel.cardinality, plain_us, wah_us, auto_us);
+    for (auto& [engine, us] :
+         std::vector<std::pair<const char*, double>>{
+             {"plain", plain_us}, {"wah", wah_us}, {"auto", auto_us}}) {
+      json.Add("wah_ablation_engine",
+               {{"relation", rel.name},
+                {"cardinality", static_cast<int64_t>(rel.cardinality)},
+                {"rows", rows},
+                {"engine", engine}},
+               "query_us", us, "us");
+    }
+  }
+
+  std::printf("\nshape check: compressed-domain execution dominates on "
+              "sparse/clustered bitmaps,\nloses on dense ~50%% noise, and "
+              "--engine=auto tracks the better substrate.\n");
+  if (!json_path.empty()) {
+    if (!json.WriteFile(json_path)) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %zu rows -> %s\n", json.size(), json_path.c_str());
+  }
   return 0;
 }

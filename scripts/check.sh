@@ -8,17 +8,30 @@
 #   scripts/check.sh --fast    skip the sanitizer builds
 #   scripts/check.sh --asan    ASan/UBSan build + tests only
 #   scripts/check.sh --tsan    TSan build + exec/pool tests only
+#   scripts/check.sh --diff    differential/property suite only (fast lane)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 RUN_MAIN=1
 RUN_ASAN=1
 RUN_TSAN=1
+RUN_DIFF=0
 case "${1:-}" in
   --fast) RUN_ASAN=0; RUN_TSAN=0 ;;
   --asan) RUN_MAIN=0; RUN_TSAN=0 ;;
   --tsan) RUN_MAIN=0; RUN_ASAN=0 ;;
+  --diff) RUN_MAIN=0; RUN_ASAN=0; RUN_TSAN=0; RUN_DIFF=1 ;;
 esac
+
+if [[ "$RUN_DIFF" == 1 ]]; then
+  # Fast lane for engine work: the seeded differential/property harness and
+  # the WAH codec fuzz tests (label "differential", tests/CMakeLists.txt)
+  # cross-check the plain, segmented, and compressed-domain engines for bit
+  # equality and EvalStats parity in a few hundred milliseconds.
+  cmake -B build -G Ninja
+  cmake --build build --target bix_differential_tests
+  ctest --test-dir build -L differential --output-on-failure
+fi
 
 if [[ "$RUN_MAIN" == 1 ]]; then
   cmake -B build -G Ninja
@@ -38,7 +51,7 @@ if [[ "$RUN_MAIN" == 1 ]]; then
   ./build/bench/bench_intro_ridlist_crossover
   ./build/bench/bench_plan_comparison
   ./build/bench/bench_knee_ablation
-  ./build/bench/bench_wah_ablation
+  ./build/bench/bench_wah_ablation --smoke BENCH_wah_ablation.json
   ./build/bench/bench_workload_mix_ablation
   ./build/bench/bench_scaling
 
@@ -53,8 +66,9 @@ fi
 
 if [[ "$RUN_ASAN" == 1 ]]; then
   # Sanitizer pass: rebuild the library and tests with ASan + UBSan and run
-  # the full suite.  Benchmarks are excluded (timings are meaningless under
-  # instrumentation).
+  # the full suite, which includes the label-"differential" engine harness
+  # and WAH codec fuzz tests.  Benchmarks are excluded (timings are
+  # meaningless under instrumentation).
   cmake -B build-asan -G Ninja \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"

@@ -3,71 +3,12 @@
 #include <algorithm>
 #include <bit>
 
+#include "bitmap/wah_run_decoder.h"
 #include "core/check.h"
 
 namespace bix {
 
-namespace {
-
-constexpr uint32_t kGroupBits = 31;
-constexpr uint32_t kLiteralMask = 0x7FFFFFFFu;
-constexpr uint32_t kFillFlag = 0x80000000u;
-constexpr uint32_t kFillValueFlag = 0x40000000u;
-constexpr uint32_t kMaxFillCount = 0x3FFFFFFFu;
-
-bool IsFill(uint32_t word) { return (word & kFillFlag) != 0; }
-bool FillValue(uint32_t word) { return (word & kFillValueFlag) != 0; }
-uint32_t FillCount(uint32_t word) { return word & kMaxFillCount; }
-
-// Sequential reader over the code words, exposing one run at a time.
-class RunDecoder {
- public:
-  explicit RunDecoder(const std::vector<uint32_t>& words) : words_(words) {
-    Advance();
-  }
-
-  bool done() const { return done_; }
-  bool is_fill() const { return is_fill_; }
-  bool fill_value() const { return fill_value_; }
-  uint64_t groups_left() const { return groups_left_; }
-  uint32_t literal() const { return literal_; }
-
-  // Consumes `n` groups of the current run (n == groups_left() for
-  // literals, n <= groups_left() for fills).
-  void Consume(uint64_t n) {
-    BIX_DCHECK(n <= groups_left_);
-    groups_left_ -= n;
-    if (groups_left_ == 0) Advance();
-  }
-
- private:
-  void Advance() {
-    if (index_ == words_.size()) {
-      done_ = true;
-      return;
-    }
-    uint32_t word = words_[index_++];
-    if (IsFill(word)) {
-      is_fill_ = true;
-      fill_value_ = FillValue(word);
-      groups_left_ = FillCount(word);
-    } else {
-      is_fill_ = false;
-      literal_ = word;
-      groups_left_ = 1;
-    }
-  }
-
-  const std::vector<uint32_t>& words_;
-  size_t index_ = 0;
-  bool done_ = false;
-  bool is_fill_ = false;
-  bool fill_value_ = false;
-  uint64_t groups_left_ = 0;
-  uint32_t literal_ = 0;
-};
-
-}  // namespace
+using namespace wah_internal;
 
 void WahBitvector::AppendLiteral(uint32_t group) {
   BIX_DCHECK((group & kFillFlag) == 0);
@@ -98,41 +39,81 @@ void WahBitvector::AppendFill(bool value, uint64_t count) {
   }
 }
 
+WahBitvector WahBitvector::Fill(size_t num_bits, bool value) {
+  WahBitvector out;
+  out.num_bits_ = num_bits;
+  size_t groups = (num_bits + kGroupBits - 1) / kGroupBits;
+  out.AppendFill(value, groups);
+  out.ClearTail();  // a ones fill must not cover bits past num_bits
+  return out;
+}
+
 WahBitvector WahBitvector::FromBitvector(const Bitvector& dense) {
   WahBitvector out;
   out.num_bits_ = dense.size();
+  std::span<const uint64_t> words = dense.words();
   size_t groups = (dense.size() + kGroupBits - 1) / kGroupBits;
   for (size_t g = 0; g < groups; ++g) {
-    uint32_t group = 0;
+    // Extract the 31-bit group straddling at most two backing words.
     size_t start = g * kGroupBits;
-    size_t end = std::min(start + kGroupBits, dense.size());
-    for (size_t i = start; i < end; ++i) {
-      if (dense.Get(i)) group |= uint32_t{1} << (i - start);
+    size_t w = start >> 6;
+    uint32_t off = static_cast<uint32_t>(start & 63);
+    uint64_t bits = words[w] >> off;
+    if (off > 64 - kGroupBits && w + 1 < words.size()) {
+      bits |= words[w + 1] << (64 - off);
+    }
+    uint32_t group = static_cast<uint32_t>(bits) & kLiteralMask;
+    if (start + kGroupBits > dense.size()) {
+      uint32_t tail = static_cast<uint32_t>(dense.size() - start);
+      group &= (uint32_t{1} << tail) - 1;
     }
     out.AppendLiteral(group);
   }
   return out;
 }
 
+namespace {
+
+// Sets bits [lo, hi) in the backing words of a dense bitvector.
+void SetBitRange(std::span<uint64_t> words, size_t lo, size_t hi) {
+  if (lo >= hi) return;
+  size_t wlo = lo >> 6;
+  size_t whi = (hi - 1) >> 6;
+  uint64_t first = ~uint64_t{0} << (lo & 63);
+  uint64_t last =
+      (hi & 63) != 0 ? ~uint64_t{0} >> (64 - (hi & 63)) : ~uint64_t{0};
+  if (wlo == whi) {
+    words[wlo] |= first & last;
+    return;
+  }
+  words[wlo] |= first;
+  for (size_t w = wlo + 1; w < whi; ++w) words[w] = ~uint64_t{0};
+  words[whi] |= last;
+}
+
+}  // namespace
+
 Bitvector WahBitvector::ToBitvector() const {
   Bitvector out(num_bits_);
+  std::span<uint64_t> words = out.mutable_words();
   size_t bit = 0;
   for (uint32_t word : words_) {
     if (IsFill(word)) {
+      size_t span = static_cast<size_t>(FillCount(word)) * kGroupBits;
       if (FillValue(word)) {
-        size_t span = static_cast<size_t>(FillCount(word)) * kGroupBits;
-        size_t end = std::min(bit + span, num_bits_);
-        for (size_t i = bit; i < end; ++i) out.Set(i);
-        bit += span;
-      } else {
-        bit += static_cast<size_t>(FillCount(word)) * kGroupBits;
+        // ClearTail keeps ones fills inside num_bits_; clamp defensively.
+        SetBitRange(words, bit, std::min(bit + span, num_bits_));
       }
+      bit += span;
     } else {
-      for (uint32_t k = 0; k < kGroupBits; ++k) {
-        if ((word >> k) & 1) {
-          BIX_DCHECK(bit + k < num_bits_);
-          out.Set(bit + k);
-        }
+      // OR the 31-bit group into the (at most two) straddled words.  Spill
+      // bits past the final backing word are zero in canonical form (the
+      // tail group is masked) and can be dropped.
+      size_t w = bit >> 6;
+      uint32_t off = static_cast<uint32_t>(bit & 63);
+      words[w] |= static_cast<uint64_t>(word) << off;
+      if (off > 64 - kGroupBits && w + 1 < words.size()) {
+        words[w + 1] |= static_cast<uint64_t>(word) >> (64 - off);
       }
       bit += kGroupBits;
     }

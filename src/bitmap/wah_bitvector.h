@@ -17,6 +17,7 @@
 #define BIX_BITMAP_WAH_BITVECTOR_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "bitmap/bitvector.h"
@@ -30,6 +31,10 @@ class WahBitvector {
 
   /// Compresses a dense bitvector.
   static WahBitvector FromBitvector(const Bitvector& dense);
+
+  /// The all-`value` vector of `num_bits` bits (a single fill run; the
+  /// compressed analogue of Bitvector::Zeros / Ones).
+  static WahBitvector Fill(size_t num_bits, bool value);
 
   /// Materializes the dense form.
   Bitvector ToBitvector() const;
@@ -55,6 +60,20 @@ class WahBitvector {
   static WahBitvector AndNot(const WahBitvector& a, const WahBitvector& b);
   WahBitvector Not() const;
 
+  /// Fused k-ary kernels over the compressed form (bitmap/wah_kernels.cc),
+  /// the run-at-a-time mirror of Bitvector::OrOfMany / AndOfMany.  One
+  /// merge pass over all k run streams; a dominant fill (ones for OR,
+  /// zeros for AND) decides its whole stretch in O(runs skipped) without
+  /// touching the other operands' payloads.  `operands` must be non-empty
+  /// with equal sizes.
+  static WahBitvector OrOfMany(std::span<const WahBitvector* const> operands);
+  static WahBitvector AndOfMany(std::span<const WahBitvector* const> operands);
+
+  /// Counting forms: popcount of the k-ary combination without
+  /// materializing it (fill runs contribute in O(1)).
+  static size_t CountOrOfMany(std::span<const WahBitvector* const> operands);
+  static size_t CountAndOfMany(std::span<const WahBitvector* const> operands);
+
   friend bool operator==(const WahBitvector& a, const WahBitvector& b) {
     return a.num_bits_ == b.num_bits_ && a.words_ == b.words_;
   }
@@ -63,6 +82,8 @@ class WahBitvector {
   const std::vector<uint32_t>& code_words() const { return words_; }
 
  private:
+  friend struct WahAppendAccess;  // wah_kernels.cc builds outputs run-by-run
+
   template <typename GroupOp>
   static WahBitvector BinaryOp(const WahBitvector& a, const WahBitvector& b,
                                GroupOp op);

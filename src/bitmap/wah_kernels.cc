@@ -1,0 +1,186 @@
+#include "bitmap/wah_kernels.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "bitmap/wah_run_decoder.h"
+#include "core/check.h"
+
+namespace bix {
+
+// Append access to the private WAH run representation for the merge sinks
+// (friend of WahBitvector).
+struct WahAppendAccess {
+  static void Literal(WahBitvector& v, uint32_t group) {
+    v.AppendLiteral(group);
+  }
+  static void Fill(WahBitvector& v, bool value, uint64_t count) {
+    v.AppendFill(value, count);
+  }
+  static void SetNumBits(WahBitvector& v, size_t num_bits) {
+    v.num_bits_ = num_bits;
+  }
+};
+
+namespace {
+
+using wah_internal::kGroupBits;
+using wah_internal::kLiteralMask;
+using wah_internal::RunDecoder;
+
+// One merge pass over all k run streams.  `kIsOr` selects the dominant fill
+// value (a ones fill decides an OR stretch, a zeros fill an AND stretch);
+// the longest dominant run wins and every other operand skips it whole.
+// The sink receives the result run-by-run: Fill(value, groups) and
+// Literal(group), groups always summing to ceil(num_bits / 31).
+template <bool kIsOr, typename Sink>
+void MergeMany(std::span<const WahBitvector* const> operands, Sink&& sink) {
+  BIX_CHECK(!operands.empty());
+  const size_t num_bits = operands[0]->size();
+  for (const WahBitvector* o : operands) BIX_CHECK(o->size() == num_bits);
+
+  std::vector<RunDecoder> dec;
+  dec.reserve(operands.size());
+  for (const WahBitvector* o : operands) dec.emplace_back(o->code_words());
+
+  const uint64_t total_groups = (num_bits + kGroupBits - 1) / kGroupBits;
+  uint64_t g = 0;
+  while (g < total_groups) {
+    uint64_t dominant = 0;
+    uint64_t min_fill = UINT64_MAX;
+    bool all_fills = true;
+    for (const RunDecoder& d : dec) {
+      if (d.is_fill()) {
+        if (d.fill_value() == kIsOr) {
+          dominant = std::max(dominant, d.groups_left());
+        }
+        min_fill = std::min(min_fill, d.groups_left());
+      } else {
+        all_fills = false;
+      }
+    }
+    if (dominant > 0) {
+      sink.Fill(kIsOr, dominant);
+      for (RunDecoder& d : dec) d.Skip(dominant);
+      g += dominant;
+    } else if (all_fills) {
+      // Every operand sits in a non-dominant fill: the result is the
+      // non-dominant value for the shortest of them.
+      sink.Fill(!kIsOr, min_fill);
+      for (RunDecoder& d : dec) d.Consume(min_fill);
+      g += min_fill;
+    } else {
+      uint32_t group = kIsOr ? 0 : kLiteralMask;
+      for (const RunDecoder& d : dec) {
+        group = kIsOr ? (group | d.group()) : (group & d.group());
+      }
+      sink.Literal(group);
+      for (RunDecoder& d : dec) d.Consume(1);
+      ++g;
+    }
+  }
+  for (const RunDecoder& d : dec) BIX_CHECK(d.done());
+}
+
+struct AppendSink {
+  WahBitvector* out;
+  void Fill(bool value, uint64_t count) {
+    WahAppendAccess::Fill(*out, value, count);
+  }
+  void Literal(uint32_t group) { WahAppendAccess::Literal(*out, group); }
+};
+
+// Counts set bits run-by-run; a ones fill reaching the final partial group
+// is clamped to num_bits (it can only do so when num_bits is a multiple of
+// 31, but the clamp keeps the invariant local).
+struct CountSink {
+  size_t num_bits;
+  size_t count = 0;
+  uint64_t bit = 0;
+  void Fill(bool value, uint64_t groups) {
+    uint64_t span = groups * kGroupBits;
+    if (value) {
+      count += static_cast<size_t>(
+          std::min<uint64_t>(span, num_bits - bit));
+    }
+    bit += span;
+  }
+  void Literal(uint32_t group) {
+    count += static_cast<size_t>(std::popcount(group));
+    bit += kGroupBits;
+  }
+};
+
+template <bool kIsOr>
+WahBitvector MergeToWah(std::span<const WahBitvector* const> operands) {
+  WahBitvector out;
+  WahAppendAccess::SetNumBits(out, operands.empty() ? 0 : operands[0]->size());
+  MergeMany<kIsOr>(operands, AppendSink{&out});
+  return out;
+}
+
+template <bool kIsOr>
+size_t MergeToCount(std::span<const WahBitvector* const> operands) {
+  BIX_CHECK(!operands.empty());
+  CountSink sink{operands[0]->size()};
+  MergeMany<kIsOr>(operands, sink);
+  return sink.count;
+}
+
+template <typename Fold>
+auto FoldValues(std::span<const WahBitvector> operands, Fold fold) {
+  std::vector<const WahBitvector*> ptrs;
+  ptrs.reserve(operands.size());
+  for (const WahBitvector& o : operands) ptrs.push_back(&o);
+  return fold(std::span<const WahBitvector* const>(ptrs));
+}
+
+}  // namespace
+
+WahBitvector WahBitvector::OrOfMany(
+    std::span<const WahBitvector* const> operands) {
+  return MergeToWah<true>(operands);
+}
+
+WahBitvector WahBitvector::AndOfMany(
+    std::span<const WahBitvector* const> operands) {
+  return MergeToWah<false>(operands);
+}
+
+size_t WahBitvector::CountOrOfMany(
+    std::span<const WahBitvector* const> operands) {
+  return MergeToCount<true>(operands);
+}
+
+size_t WahBitvector::CountAndOfMany(
+    std::span<const WahBitvector* const> operands) {
+  return MergeToCount<false>(operands);
+}
+
+WahBitvector OrOfMany(std::span<const WahBitvector> operands) {
+  return FoldValues(operands, [](std::span<const WahBitvector* const> p) {
+    return WahBitvector::OrOfMany(p);
+  });
+}
+
+WahBitvector AndOfMany(std::span<const WahBitvector> operands) {
+  return FoldValues(operands, [](std::span<const WahBitvector* const> p) {
+    return WahBitvector::AndOfMany(p);
+  });
+}
+
+size_t CountOrOfMany(std::span<const WahBitvector> operands) {
+  return FoldValues(operands, [](std::span<const WahBitvector* const> p) {
+    return WahBitvector::CountOrOfMany(p);
+  });
+}
+
+size_t CountAndOfMany(std::span<const WahBitvector> operands) {
+  return FoldValues(operands, [](std::span<const WahBitvector* const> p) {
+    return WahBitvector::CountAndOfMany(p);
+  });
+}
+
+}  // namespace bix

@@ -1,0 +1,39 @@
+// Fused multi-operand kernels over the WAH-compressed substrate — the
+// compressed-domain mirror of bitmap/bitvector_kernels.h.
+//
+// The evaluation algorithms reduce to folds over k equal-length bitmaps
+// (EqualityEval's OR-sides, the planner's P3 conjunction).  Folding
+// compressed operands pairwise re-encodes k-1 intermediate results; the
+// kernels here instead merge all k run streams in one pass.  The merge is
+// run-at-a-time, not group-at-a-time: whenever any operand sits in a
+// *dominant* fill (a ones fill for OR, a zeros fill for AND) the result
+// over that whole stretch is decided in O(1) and the other operands skip
+// it without their payloads being examined — the k-ary union shortcut of
+// Lemire & Kaser's word-aligned bitmap work.  The counting forms never
+// materialize the combination at all.
+//
+// The kernels are declared as static members of WahBitvector (they append
+// to the private run representation); this header adds the value-span
+// conveniences used by callers holding `std::vector<WahBitvector>`.
+
+#ifndef BIX_BITMAP_WAH_KERNELS_H_
+#define BIX_BITMAP_WAH_KERNELS_H_
+
+#include <span>
+
+#include "bitmap/wah_bitvector.h"
+
+namespace bix {
+
+/// OR / AND of `operands` (non-empty, equal sizes) in one merge pass over
+/// all k compressed run streams.
+WahBitvector OrOfMany(std::span<const WahBitvector> operands);
+WahBitvector AndOfMany(std::span<const WahBitvector> operands);
+
+/// Popcount of the k-ary combination without materializing it.
+size_t CountOrOfMany(std::span<const WahBitvector> operands);
+size_t CountAndOfMany(std::span<const WahBitvector> operands);
+
+}  // namespace bix
+
+#endif  // BIX_BITMAP_WAH_KERNELS_H_

@@ -24,6 +24,8 @@
 
 namespace bix {
 
+class WahBitvector;
+
 /// Number of physically stored bitmaps in one component.
 constexpr uint32_t NumStoredBitmaps(Encoding encoding, uint32_t base) {
   if (encoding == Encoding::kRange) return base - 1;
@@ -63,6 +65,27 @@ class BitmapSource {
     (void)stats;
     return nullptr;
   }
+
+  /// Compressed-domain variant of FetchView for sources that store bitmaps
+  /// WAH-compressed: returns a pointer to the stored compressed bitmap
+  /// (owned by the source, valid while the source is unmodified) and counts
+  /// the same one bitmap scan — without inflating to the dense form.
+  /// Returns nullptr when the source has no compressed representation, in
+  /// which case the caller falls back to Fetch()/FetchView() and nothing has
+  /// been counted.
+  virtual const WahBitvector* FetchWah(int component, uint32_t slot,
+                                       EvalStats* stats) const {
+    (void)component;
+    (void)slot;
+    (void)stats;
+    return nullptr;
+  }
+
+  /// Compressed companion of non_null() for WAH-storing sources (nullptr
+  /// when the source has none; like non_null(), never counted as a scan).
+  /// Lets the compressed-domain engine mask with B_nn run-at-a-time without
+  /// re-compressing it per query.
+  virtual const WahBitvector* NonNullWah() const { return nullptr; }
 };
 
 }  // namespace bix

@@ -8,7 +8,8 @@ WahCompressedSource::WahCompressedSource(const BitmapIndex& index)
     : cardinality_(index.cardinality()),
       base_(index.base()),
       encoding_(index.encoding()),
-      non_null_(index.non_null()) {
+      non_null_(index.non_null()),
+      non_null_wah_(WahBitvector::FromBitvector(index.non_null())) {
   components_.resize(static_cast<size_t>(base_.num_components()));
   for (int c = 0; c < base_.num_components(); ++c) {
     const IndexComponent& comp = index.component(c);
@@ -31,6 +32,12 @@ Bitvector WahCompressedSource::Fetch(int component, uint32_t slot,
   span.set_slot(slot);
   span.set_bytes(static_cast<int64_t>(wah.SizeInBytes()));
   return wah.ToBitvector();
+}
+
+const WahBitvector* WahCompressedSource::FetchWah(int component, uint32_t slot,
+                                                  EvalStats* stats) const {
+  if (stats != nullptr) ++stats->bitmap_scans;
+  return &components_[static_cast<size_t>(component)][slot];
 }
 
 int64_t WahCompressedSource::CompressedBytes() const {

@@ -33,6 +33,11 @@ class WahCompressedSource final : public BitmapSource {
   const Bitvector& non_null() const override { return non_null_; }
   Bitvector Fetch(int component, uint32_t slot,
                   EvalStats* stats) const override;
+  /// Zero-decode fetch for the compressed-domain engines: hands out the
+  /// stored WAH bitmap itself, counting the same one bitmap scan as Fetch.
+  const WahBitvector* FetchWah(int component, uint32_t slot,
+                               EvalStats* stats) const override;
+  const WahBitvector* NonNullWah() const override { return &non_null_wah_; }
 
   /// Compressed bitmap bytes (excluding the dense non-null bitmap).
   int64_t CompressedBytes() const;
@@ -51,6 +56,7 @@ class WahCompressedSource final : public BitmapSource {
   BaseSequence base_;
   Encoding encoding_;
   Bitvector non_null_;
+  WahBitvector non_null_wah_;
   std::vector<std::vector<WahBitvector>> components_;
 };
 

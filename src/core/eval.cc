@@ -77,6 +77,18 @@ void RecordQueryMetrics(const EvalStats& delta, int64_t latency_ns) {
 
 }  // namespace eval_internal
 
+const char* ToString(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kPlain:
+      return "plain";
+    case EngineKind::kWah:
+      return "wah";
+    case EngineKind::kAuto:
+      return "auto";
+  }
+  return "?";
+}
+
 Bitvector RangeEvalOpt(const BitmapSource& src, CompareOp op, int64_t v,
                        EvalStats* stats) {
   DenseEngine eng(src, stats);

@@ -38,18 +38,36 @@
 
 namespace bix {
 
-/// Execution knobs for the segmented parallel engine (exec/segmented_eval.h
+/// Which substrate the evaluation operators run on.
+///  * kPlain — dense Bitvector words (the paper's model; decompress first if
+///             the source stores compressed bitmaps).
+///  * kWah   — run-at-a-time on the WAH-compressed form; operands fetched
+///             via BitmapSource::FetchWah stay compressed end to end.
+///  * kAuto  — per-operand choice: an operand stays compressed while its
+///             WAH form is markedly smaller than dense, otherwise it is
+///             inflated once and the op runs on words.
+/// Every engine produces bit-identical results and identical EvalStats; the
+/// choice only moves where the work happens (exec/wah_engine.h).
+enum class EngineKind : uint8_t { kPlain, kWah, kAuto };
+
+const char* ToString(EngineKind kind);
+
+/// Execution knobs for the evaluation engines (exec/segmented_eval.h
 /// implements the overload of EvaluatePredicate that takes these; the plain
 /// overload below is always sequential).  `num_threads` is the total number
 /// of concurrent lanes (1 = sequential segment loop, no pool).
 /// `segment_bits` is log2 of the bits per segment; the default 16 gives 8 KB
-/// spans so a segment's whole operator chain runs in L1/L2.  Results are
+/// spans so a segment's whole operator chain runs in L1/L2.  `engine`
+/// selects the operator substrate; the compressed-domain engines are
+/// single-threaded (runs, not segments, are their unit of work), so
+/// `engine != kPlain` ignores the two segmentation knobs.  Results are
 /// bit-identical to sequential evaluation and EvalStats counts are
-/// unchanged: segmentation reassociates the work, it never reorders the
-/// algorithm.
+/// unchanged: segmentation and compressed execution reassociate the work,
+/// they never reorder the algorithm.
 struct ExecOptions {
   int num_threads = 1;
   uint32_t segment_bits = 16;
+  EngineKind engine = EngineKind::kPlain;
 };
 
 /// Evaluates `A op v` over `source` with the given algorithm (kAuto picks

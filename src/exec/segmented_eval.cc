@@ -10,6 +10,7 @@
 #include "core/check.h"
 #include "core/eval_algorithms.h"
 #include "exec/thread_pool.h"
+#include "exec/wah_engine.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -417,6 +418,12 @@ namespace bix {
 Bitvector EvaluatePredicate(const BitmapSource& source,
                             EvalAlgorithm algorithm, CompareOp op, int64_t v,
                             const ExecOptions& options, EvalStats* stats) {
+  if (options.engine != EngineKind::kPlain) {
+    // Compressed-domain engines are run-oriented, not segment-oriented; the
+    // segmentation knobs do not apply.  Same results, same EvalStats.
+    return exec::EvaluatePredicateCompressed(source, algorithm, op, v,
+                                             options.engine, stats);
+  }
   if (algorithm == EvalAlgorithm::kAuto) {
     algorithm = source.encoding() == Encoding::kRange
                     ? EvalAlgorithm::kRangeEvalOpt

@@ -1,0 +1,312 @@
+#include "exec/wah_engine.h"
+
+#include <chrono>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bitmap/bitvector_kernels.h"
+#include "bitmap/wah_kernels.h"
+#include "core/check.h"
+#include "core/eval_algorithms.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace bix::exec {
+
+namespace {
+
+// How many logical bitmap operations ran on the compressed form vs fell back
+// to dense words, and how many fetched operands were inflated up front.
+// Together with eval.{and,or,xor,not}_ops these show what fraction of a
+// workload actually executed compressed.
+obs::Counter& CompressedOps() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().GetCounter("wah_engine.compressed_ops");
+  return c;
+}
+obs::Counter& PlainOps() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().GetCounter("wah_engine.plain_ops");
+  return c;
+}
+obs::Counter& InflatedOperands() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "wah_engine.inflated_operands");
+  return c;
+}
+
+// kAuto keeps an operand compressed only while its WAH form is at most this
+// fraction of the dense form.  Run-at-a-time ops on a barely-compressed
+// bitmap touch as many words as the dense kernel but with per-word branch
+// overhead, so the break-even sits well below 1.0.
+constexpr size_t kAutoKeepNumerator = 1;
+constexpr size_t kAutoKeepDenominator = 4;
+
+// The engine's operand: WAH-compressed or dense, decided per operand at
+// fetch time.  Compressed x compressed operations stay in the compressed
+// domain; anything touching a dense operand densifies and runs on words.
+class WahVec {
+ public:
+  WahVec() = default;
+
+  static WahVec Wah(WahBitvector w) {
+    WahVec v;
+    v.repr_ = Repr::kWah;
+    v.wah_ = std::move(w);
+    return v;
+  }
+  static WahVec Dense(Bitvector d) {
+    WahVec v;
+    v.repr_ = Repr::kDense;
+    v.dense_ = std::move(d);
+    return v;
+  }
+
+  bool is_wah() const { return repr_ == Repr::kWah; }
+  const WahBitvector& wah() const { return wah_; }
+
+  void AndWith(const WahVec& o) { Binary(o, Op::kAnd); }
+  void OrWith(const WahVec& o) { Binary(o, Op::kOr); }
+  void XorWith(const WahVec& o) { Binary(o, Op::kXor); }
+  void NotInPlace() {
+    BIX_CHECK(repr_ != Repr::kNull);
+    if (repr_ == Repr::kWah) {
+      wah_ = wah_.Not();
+      CompressedOps().Increment();
+    } else {
+      dense_.NotInPlace();
+      PlainOps().Increment();
+    }
+  }
+
+  /// The dense result (inflating once if still compressed).
+  Bitvector IntoDense() && {
+    BIX_CHECK(repr_ != Repr::kNull);
+    if (repr_ == Repr::kWah) return wah_.ToBitvector();
+    return std::move(dense_);
+  }
+
+  /// The compressed result (compressing once if held dense).
+  WahBitvector IntoWah() && {
+    BIX_CHECK(repr_ != Repr::kNull);
+    if (repr_ == Repr::kWah) return std::move(wah_);
+    return WahBitvector::FromBitvector(dense_);
+  }
+
+  void Densify() {
+    if (repr_ != Repr::kWah) return;
+    dense_ = wah_.ToBitvector();
+    wah_ = WahBitvector();
+    repr_ = Repr::kDense;
+    InflatedOperands().Increment();
+  }
+
+ private:
+  enum class Repr : uint8_t { kNull, kWah, kDense };
+  enum class Op : uint8_t { kAnd, kOr, kXor };
+
+  void Binary(const WahVec& o, Op op) {
+    BIX_CHECK(repr_ != Repr::kNull && o.repr_ != Repr::kNull);
+    if (repr_ == Repr::kWah && o.repr_ == Repr::kWah) {
+      switch (op) {
+        case Op::kAnd:
+          wah_ = WahBitvector::And(wah_, o.wah_);
+          break;
+        case Op::kOr:
+          wah_ = WahBitvector::Or(wah_, o.wah_);
+          break;
+        case Op::kXor:
+          wah_ = WahBitvector::Xor(wah_, o.wah_);
+          break;
+      }
+      CompressedOps().Increment();
+      return;
+    }
+    Densify();
+    // The other operand may still be compressed; inflate a temporary rather
+    // than mutate it (the templates reuse operands after passing them here).
+    const Bitvector* rhs = &o.dense_;
+    Bitvector inflated;
+    if (o.repr_ == Repr::kWah) {
+      inflated = o.wah_.ToBitvector();
+      rhs = &inflated;
+      InflatedOperands().Increment();
+    }
+    switch (op) {
+      case Op::kAnd:
+        dense_.AndWith(*rhs);
+        break;
+      case Op::kOr:
+        dense_.OrWith(*rhs);
+        break;
+      case Op::kXor:
+        dense_.XorWith(*rhs);
+        break;
+    }
+    PlainOps().Increment();
+  }
+
+  Repr repr_ = Repr::kNull;
+  WahBitvector wah_;
+  Bitvector dense_;
+};
+
+// The compressed-domain backend for the shared algorithm templates; see the
+// engine concept in core/eval_algorithms.h.
+class WahEngine {
+ public:
+  using Vec = WahVec;
+
+  WahEngine(const BitmapSource& src, EngineKind kind, EvalStats* stats)
+      : src_(src), kind_(kind), stats_(stats) {}
+
+  const BitmapSource& source() const { return src_; }
+  EvalStats* stats() const { return stats_; }
+
+  Vec Fetch(int component, uint32_t slot) {
+    const WahBitvector* wah = src_.FetchWah(component, slot, stats_);
+    if (wah == nullptr) {
+      // No compressed representation: fall back to a dense fetch (which
+      // counts the one bitmap scan; FetchWah counted nothing).  kWah forces
+      // the compressed substrate even then, compressing on fetch; kAuto
+      // never pays the conversion for a dense-stored operand.
+      Bitvector dense = src_.Fetch(component, slot, stats_);
+      if (kind_ == EngineKind::kWah) {
+        return WahVec::Wah(WahBitvector::FromBitvector(dense));
+      }
+      return WahVec::Dense(std::move(dense));
+    }
+    if (KeepCompressed(*wah)) return WahVec::Wah(*wah);
+    InflatedOperands().Increment();
+    return WahVec::Dense(wah->ToBitvector());
+  }
+
+  Vec Zeros() const {
+    return WahVec::Wah(WahBitvector::Fill(src_.num_records(), false));
+  }
+  Vec Ones() const {
+    return WahVec::Wah(WahBitvector::Fill(src_.num_records(), true));
+  }
+  Vec NonNull() {
+    const WahBitvector* cached = src_.NonNullWah();
+    if (cached != nullptr) {
+      if (KeepCompressed(*cached)) return WahVec::Wah(*cached);
+      return WahVec::Dense(src_.non_null());
+    }
+    // Dense-storing source: kWah forces the compressed substrate (compress
+    // once per query); kAuto stays dense, as for fetched operands.
+    if (kind_ == EngineKind::kWah) {
+      if (non_null_wah_.empty() && src_.num_records() != 0) {
+        non_null_wah_ = WahBitvector::FromBitvector(src_.non_null());
+      }
+      return WahVec::Wah(non_null_wah_);
+    }
+    return WahVec::Dense(src_.non_null());
+  }
+
+  Vec OrMany(std::vector<Vec> operands) {
+    BIX_CHECK(!operands.empty());
+    if (operands.size() == 1) return std::move(operands[0]);
+    bool all_wah = true;
+    for (const Vec& o : operands) all_wah = all_wah && o.is_wah();
+    const int64_t fused_ops = static_cast<int64_t>(operands.size()) - 1;
+    if (all_wah) {
+      std::vector<const WahBitvector*> ptrs;
+      ptrs.reserve(operands.size());
+      for (const Vec& o : operands) ptrs.push_back(&o.wah());
+      CompressedOps().Increment(fused_ops);
+      return WahVec::Wah(WahBitvector::OrOfMany(ptrs));
+    }
+    std::vector<Bitvector> dense;
+    dense.reserve(operands.size());
+    for (Vec& o : operands) dense.push_back(std::move(o).IntoDense());
+    PlainOps().Increment(fused_ops);
+    return WahVec::Dense(OrOfMany(dense));
+  }
+
+ private:
+  bool KeepCompressed(const WahBitvector& w) const {
+    if (kind_ == EngineKind::kWah) return true;
+    const size_t dense_bytes = ((src_.num_records() + 63) / 64) * 8;
+    return w.SizeInBytes() * kAutoKeepDenominator <=
+           dense_bytes * kAutoKeepNumerator;
+  }
+
+  const BitmapSource& src_;
+  EngineKind kind_;
+  EvalStats* stats_;
+  WahBitvector non_null_wah_;  // compressed B_nn, built on first use
+};
+
+WahVec RunAlgorithm(const BitmapSource& source, EvalAlgorithm algorithm,
+                    CompareOp op, int64_t v, EngineKind engine,
+                    EvalStats* stats) {
+  BIX_CHECK(engine != EngineKind::kPlain);
+  WahEngine eng(source, engine, stats);
+  switch (algorithm) {
+    case EvalAlgorithm::kRangeEval:
+      return eval_detail::RangeEvalImpl(eng, op, v);
+    case EvalAlgorithm::kRangeEvalOpt:
+      return eval_detail::RangeEvalOptImpl(eng, op, v);
+    case EvalAlgorithm::kEqualityEval:
+      return eval_detail::EqualityEvalImpl(eng, op, v);
+    case EvalAlgorithm::kAuto:
+      break;
+  }
+  BIX_CHECK(false);
+  return WahVec();
+}
+
+// Shared trace/metrics envelope, mirroring the sequential entry point in
+// core/eval.cc; `finish` turns the engine's result into the caller's form.
+template <typename Finish>
+auto Evaluate(const BitmapSource& source, EvalAlgorithm algorithm,
+              CompareOp op, int64_t v, EngineKind engine, EvalStats* stats,
+              Finish finish) {
+  if (algorithm == EvalAlgorithm::kAuto) {
+    algorithm = source.encoding() == Encoding::kRange
+                    ? EvalAlgorithm::kRangeEvalOpt
+                    : EvalAlgorithm::kEqualityEval;
+  }
+  EvalStats local;
+  EvalStats* s = stats != nullptr ? stats : &local;
+  const EvalStats before = *s;
+
+  obs::TraceSpan span("eval", ToString(algorithm).data());
+  span.set_value(v);
+  if (span.active()) {
+    span.set_detail(std::string(ToString(op)) + " engine=" +
+                    ToString(engine));
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  WahVec result = RunAlgorithm(source, algorithm, op, v, engine, s);
+  auto finished = finish(std::move(result));
+  const int64_t latency_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+
+  eval_internal::RecordQueryMetrics(EvalStats::Delta(*s, before), latency_ns);
+  return finished;
+}
+
+}  // namespace
+
+Bitvector EvaluatePredicateCompressed(const BitmapSource& source,
+                                      EvalAlgorithm algorithm, CompareOp op,
+                                      int64_t v, EngineKind engine,
+                                      EvalStats* stats) {
+  return Evaluate(source, algorithm, op, v, engine, stats,
+                  [](WahVec r) { return std::move(r).IntoDense(); });
+}
+
+WahBitvector EvaluateToWah(const BitmapSource& source, EvalAlgorithm algorithm,
+                           CompareOp op, int64_t v, EngineKind engine,
+                           EvalStats* stats) {
+  return Evaluate(source, algorithm, op, v, engine, stats,
+                  [](WahVec r) { return std::move(r).IntoWah(); });
+}
+
+}  // namespace bix::exec

@@ -7,9 +7,11 @@
 #include <sstream>
 
 #include "bitmap/bitvector_kernels.h"
+#include "bitmap/wah_kernels.h"
 #include "core/check.h"
 #include "core/cost_model.h"
 #include "exec/thread_pool.h"
+#include "exec/wah_engine.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -147,6 +149,23 @@ Bitvector SelectionPlanner::IndexProbe(const Predicate& pred,
   return found;
 }
 
+WahBitvector SelectionPlanner::IndexProbeWah(const Predicate& pred,
+                                             ExecutionResult* result) const {
+  const BitmapIndex* bitmap = table_.bitmap_index(pred.attribute);
+  if (bitmap != nullptr) {
+    EvalStats stats;
+    WahBitvector found =
+        exec::EvaluateToWah(*bitmap, EvalAlgorithm::kAuto, pred.op, pred.v,
+                            exec_options_.engine, &stats);
+    result->bitmap_scans += stats.bitmap_scans;
+    result->bytes_read += stats.bitmap_scans * BitmapBytes(table_.num_rows());
+    return found;
+  }
+  // RID probes have no compressed execution path; compress the materialized
+  // foundset once so the P3 merge stays in the compressed domain.
+  return WahBitvector::FromBitvector(IndexProbe(pred, result));
+}
+
 ExecutionResult SelectionPlanner::ExecuteFullScan(
     const ConjunctiveQuery& query) const {
   ExecutionResult result;
@@ -202,13 +221,19 @@ ExecutionResult SelectionPlanner::ExecuteIndexMerge(
   // P3's per-attribute probes are independent, so they can run concurrently;
   // each probe charges its own ExecutionResult and the costs are summed
   // afterwards, keeping the accounting identical to sequential execution.
-  std::vector<Bitvector> foundsets(query.size());
+  const bool compressed = exec_options_.engine != EngineKind::kPlain;
+  std::vector<Bitvector> foundsets(compressed ? 0 : query.size());
+  std::vector<WahBitvector> wah_foundsets(compressed ? query.size() : 0);
   std::vector<ExecutionResult> partials(query.size());
   const int lanes = static_cast<int>(std::min<size_t>(
       static_cast<size_t>(std::max(1, exec_options_.num_threads)),
       query.size()));
   auto probe = [&](size_t i, int /*lane*/) {
-    foundsets[i] = IndexProbe(query[i], &partials[i]);
+    if (compressed) {
+      wah_foundsets[i] = IndexProbeWah(query[i], &partials[i]);
+    } else {
+      foundsets[i] = IndexProbe(query[i], &partials[i]);
+    }
   };
   if (lanes <= 1) {
     for (size_t i = 0; i < query.size(); ++i) probe(i, 0);
@@ -223,9 +248,15 @@ ExecutionResult SelectionPlanner::ExecuteIndexMerge(
     result.rids_read += partial.rids_read;
     result.tuples_read += partial.tuples_read;
   }
-  // Conjunction via the fused k-ary AND: one blocked pass over all
-  // foundsets instead of a pairwise fold.
-  result.foundset = AndOfMany(foundsets);
+  // Conjunction via the fused k-ary AND: one merge pass over all foundsets
+  // instead of a pairwise fold — run-at-a-time over the compressed
+  // foundsets (decompressing only the conjunction) or one blocked pass over
+  // the dense ones.
+  if (compressed) {
+    result.foundset = AndOfMany(wah_foundsets).ToBitvector();
+  } else {
+    result.foundset = AndOfMany(foundsets);
+  }
   return result;
 }
 

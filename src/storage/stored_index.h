@@ -79,9 +79,13 @@ class StoredIndex {
   /// `*status` (and an empty bitvector returned); when `status` is null
   /// such failures abort via BIX_CHECK.
   ///
-  /// With non-null `exec`, the bitwise combining runs on the segmented
-  /// engine (exec/segmented_eval.h) with `exec->num_threads` lanes; bytes
-  /// read, EvalStats, and the result are identical to the default path.
+  /// With non-null `exec`, the bitwise combining runs on the engine
+  /// `exec->engine` selects: the segmented dense engine
+  /// (exec/segmented_eval.h) with `exec->num_threads` lanes for kPlain, or
+  /// the compressed-domain WAH engine (exec/wah_engine.h) for kWah/kAuto
+  /// (kWah compresses fetched bitmaps and runs every operation
+  /// run-at-a-time; kAuto decides per operand).  Bytes read, EvalStats, and
+  /// the result are identical across engines.
   Bitvector Evaluate(EvalAlgorithm algorithm, CompareOp op, int64_t v,
                      EvalStats* stats = nullptr,
                      double* decompress_seconds = nullptr,

@@ -1,0 +1,258 @@
+// Property harness for the evaluation engines: over random index designs
+// (cardinality, base sequence, encoding, bit density, row count) every
+// engine — sequential plain, segmented, compressed-domain WAH, and the
+// per-operand auto engine — must produce bit-identical foundsets AND
+// identical EvalStats for all six comparison operators at every v in
+// [0, C), against the scan oracle, over both a dense in-memory index and a
+// WAH-compressed source.
+//
+// On a mismatch the harness shrinks the failing design (rows, then
+// cardinality, then components) while the failure reproduces, and prints a
+// minimal seeded reproducer before failing the test.
+
+#include <cstdint>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baseline/scan.h"
+#include "bitmap/bitvector.h"
+#include "core/bitmap_index.h"
+#include "core/compressed_source.h"
+#include "core/eval.h"
+#include "exec/segmented_eval.h"
+#include "workload/generators.h"
+
+namespace bix {
+namespace {
+
+struct Design {
+  uint64_t seed = 0;                // drives data generation only
+  std::vector<uint32_t> bases;      // LSB-first
+  uint32_t cardinality = 2;
+  Encoding encoding = Encoding::kRange;
+  size_t rows = 100;
+  int null_period = 11;             // every k-th row is NULL (0 = none)
+  int hot_percent = 0;              // % of rows pinned to value 0 (density)
+
+  std::string ToString() const {
+    std::ostringstream os;
+    os << "seed=" << seed << " bases=[";
+    for (size_t i = 0; i < bases.size(); ++i) {
+      os << (i ? "," : "") << bases[i];
+    }
+    os << "] C=" << cardinality
+       << " enc=" << (encoding == Encoding::kRange ? "range" : "equality")
+       << " rows=" << rows << " null_period=" << null_period
+       << " hot_percent=" << hot_percent;
+    return os.str();
+  }
+};
+
+std::vector<uint32_t> GenerateData(const Design& d) {
+  std::mt19937_64 rng(d.seed);
+  std::vector<uint32_t> values(d.rows);
+  for (size_t i = 0; i < d.rows; ++i) {
+    if (static_cast<int>(rng() % 100) < d.hot_percent) {
+      values[i] = 0;  // hot value: long fills in its bitmaps
+    } else {
+      values[i] = static_cast<uint32_t>(rng() % d.cardinality);
+    }
+  }
+  if (d.null_period > 0) {
+    for (size_t i = 0; i < d.rows;
+         i += static_cast<size_t>(d.null_period)) {
+      values[i] = kNullValue;
+    }
+  }
+  return values;
+}
+
+struct Mismatch {
+  std::string detail;
+};
+
+// One full differential sweep over the design: every engine, both sources,
+// all 6 operators, every v in [0, C) plus out-of-domain probes.  Returns
+// true (and fills *out) on the first divergence.
+bool SweepFails(const Design& d, Mismatch* out) {
+  std::vector<uint32_t> values = GenerateData(d);
+  BaseSequence base = BaseSequence::FromLsbFirst(d.bases);
+  BitmapIndex index =
+      BitmapIndex::Build(values, d.cardinality, base, d.encoding);
+  WahCompressedSource compressed(index);
+  const BitmapSource* sources[] = {&index, &compressed};
+  const char* source_names[] = {"BitmapIndex", "WahCompressedSource"};
+
+  std::vector<EvalAlgorithm> algorithms;
+  if (d.encoding == Encoding::kRange) {
+    algorithms = {EvalAlgorithm::kRangeEvalOpt, EvalAlgorithm::kRangeEval};
+  } else {
+    algorithms = {EvalAlgorithm::kEqualityEval};
+  }
+
+  const ExecOptions kSegmented{.num_threads = 2, .segment_bits = 8};
+  const ExecOptions kWahEngine{.engine = EngineKind::kWah};
+  const ExecOptions kAutoEngine{.engine = EngineKind::kAuto};
+
+  for (CompareOp op : kAllCompareOps) {
+    for (int64_t v = -1; v <= static_cast<int64_t>(d.cardinality); ++v) {
+      Bitvector expected = ScanEvaluate(values, op, v);
+      for (size_t s = 0; s < 2; ++s) {
+        for (EvalAlgorithm alg : algorithms) {
+          EvalStats plain_stats;
+          Bitvector plain =
+              EvaluatePredicate(*sources[s], alg, op, v, &plain_stats);
+
+          struct Variant {
+            const char* name;
+            const ExecOptions* options;
+          };
+          const Variant variants[] = {{"segmented", &kSegmented},
+                                      {"wah", &kWahEngine},
+                                      {"auto", &kAutoEngine}};
+          auto report = [&](const char* engine, const char* what) {
+            std::ostringstream os;
+            os << what << ": engine=" << engine << " source="
+               << source_names[s] << " alg=" << ToString(alg).data() << " op="
+               << std::string(ToString(op)) << " v=" << v << " | "
+               << d.ToString();
+            out->detail = os.str();
+          };
+
+          if (!(plain == expected)) {
+            report("plain", "foundset diverges from scan oracle");
+            return true;
+          }
+          for (const Variant& variant : variants) {
+            EvalStats stats;
+            Bitvector got = EvaluatePredicate(*sources[s], alg, op, v,
+                                              *variant.options, &stats);
+            if (!(got == expected)) {
+              report(variant.name, "foundset diverges from scan oracle");
+              return true;
+            }
+            if (!(stats == plain_stats)) {
+              report(variant.name, "EvalStats diverge from plain engine");
+              return true;
+            }
+          }
+        }
+      }
+    }
+  }
+  return false;
+}
+
+// Shrinks a failing design: each step proposes a strictly smaller candidate
+// and keeps it only if the failure still reproduces.
+Design Shrink(Design d, Mismatch* m) {
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    while (d.rows > 4) {
+      Design candidate = d;
+      candidate.rows = d.rows / 2;
+      if (!SweepFails(candidate, m)) break;
+      d = candidate;
+      progress = true;
+    }
+    while (d.bases.size() > 1) {
+      Design candidate = d;
+      candidate.bases.pop_back();  // drop the most significant component
+      uint64_t capacity = 1;
+      for (uint32_t b : candidate.bases) capacity *= b;
+      if (capacity < candidate.cardinality) break;
+      if (!SweepFails(candidate, m)) break;
+      d = candidate;
+      progress = true;
+    }
+    while (d.cardinality > 2) {
+      Design candidate = d;
+      candidate.cardinality = d.cardinality / 2 + 1;
+      if (candidate.cardinality >= d.cardinality) break;
+      if (!SweepFails(candidate, m)) break;
+      d = candidate;
+      progress = true;
+    }
+  }
+  SweepFails(d, m);  // refresh the mismatch detail for the minimal design
+  return d;
+}
+
+Design RandomDesign(std::mt19937_64& rng) {
+  Design d;
+  d.seed = rng();
+  int n = 1 + static_cast<int>(rng() % 3);
+  uint64_t capacity = 1;
+  for (int i = 0; i < n; ++i) {
+    uint32_t b = 2 + static_cast<uint32_t>(rng() % 7);
+    d.bases.push_back(b);
+    capacity *= b;
+  }
+  d.cardinality = static_cast<uint32_t>(
+      1 + rng() % std::min<uint64_t>(capacity, 40));
+  if (d.cardinality < 2) d.cardinality = 2;
+  d.encoding = rng() % 2 ? Encoding::kRange : Encoding::kEquality;
+  d.rows = 64 + rng() % 1200;
+  d.null_period = rng() % 3 == 0 ? 0 : 5 + static_cast<int>(rng() % 20);
+  // Sweep the density spectrum: mostly-empty bitmaps (hot value absorbs
+  // nearly all rows) through uniformly dense ones.
+  const int densities[] = {0, 25, 60, 90, 98};
+  d.hot_percent = densities[rng() % 5];
+  return d;
+}
+
+TEST(EngineDifferentialTest, AllEnginesBitExactWithEqualStats) {
+  std::mt19937_64 rng(20260805);
+  for (int trial = 0; trial < 24; ++trial) {
+    Design d = RandomDesign(rng);
+    Mismatch m;
+    if (SweepFails(d, &m)) {
+      Design minimal = Shrink(d, &m);
+      FAIL() << "engine differential mismatch\n"
+             << "  " << m.detail << "\n"
+             << "  minimal reproducer: " << minimal.ToString() << "\n"
+             << "  original design:    " << d.ToString();
+    }
+  }
+}
+
+// Directed edge designs the random sweep may miss: row counts on WAH group
+// boundaries, C == capacity, base-2-only designs (the complemented-E^0
+// path), and the all-null column.
+TEST(EngineDifferentialTest, EdgeDesigns) {
+  const size_t kBoundaryRows[] = {31, 32, 62, 63, 64, 93, 124};
+  std::mt19937_64 rng(7);
+  for (size_t rows : kBoundaryRows) {
+    for (Encoding enc : {Encoding::kRange, Encoding::kEquality}) {
+      Design d;
+      d.seed = rng();
+      d.bases = {2, 2, 2};
+      d.cardinality = 8;
+      d.encoding = enc;
+      d.rows = rows;
+      d.null_period = 7;
+      d.hot_percent = 50;
+      Mismatch m;
+      EXPECT_FALSE(SweepFails(d, &m)) << m.detail;
+    }
+  }
+  Design all_null;
+  all_null.seed = 1;
+  all_null.bases = {4};
+  all_null.cardinality = 4;
+  all_null.rows = 100;
+  all_null.null_period = 1;  // every row NULL
+  for (Encoding enc : {Encoding::kRange, Encoding::kEquality}) {
+    all_null.encoding = enc;
+    Mismatch m;
+    EXPECT_FALSE(SweepFails(all_null, &m)) << m.detail;
+  }
+}
+
+}  // namespace
+}  // namespace bix

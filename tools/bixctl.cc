@@ -93,15 +93,30 @@ int Fail(const std::string& message) {
   return 1;
 }
 
-// Segmented-engine options from --threads / --segment-bits; nullopt when
-// neither flag is given so the default sequential path stays untouched.
-std::optional<ExecOptions> ExecOptionsFromFlags(const Flags& flags) {
-  if (!flags.Has("threads") && !flags.Has("segment-bits")) return std::nullopt;
+// Engine options from --threads / --segment-bits / --engine; nullopt when
+// no flag is given so the default sequential path stays untouched.
+std::optional<ExecOptions> ExecOptionsFromFlags(const Flags& flags,
+                                                bool* bad_engine) {
+  *bad_engine = false;
+  if (!flags.Has("threads") && !flags.Has("segment-bits") &&
+      !flags.Has("engine")) {
+    return std::nullopt;
+  }
   ExecOptions options;
   options.num_threads =
       static_cast<int>(flags.GetInt("threads").value_or(1));
   options.segment_bits = static_cast<uint32_t>(
       flags.GetInt("segment-bits").value_or(options.segment_bits));
+  std::string engine = flags.GetOr("engine", "plain");
+  if (engine == "plain") {
+    options.engine = EngineKind::kPlain;
+  } else if (engine == "wah") {
+    options.engine = EngineKind::kWah;
+  } else if (engine == "auto") {
+    options.engine = EngineKind::kAuto;
+  } else {
+    *bad_engine = true;
+  }
   return options;
 }
 
@@ -126,8 +141,9 @@ int Usage() {
                "[--stats]\n"
                "                 [--trace-out FILE] [--threads N] "
                "[--segment-bits B]\n"
+               "                 [--engine plain|wah|auto]\n"
                "  bixctl explain --dir D --pred \"<= 24\" [--threads N] "
-               "[--segment-bits B]\n"
+               "[--segment-bits B] [--engine plain|wah|auto]\n"
                "  bixctl advise  --cardinality C [--budget M]\n");
   return 2;
 }
@@ -310,7 +326,9 @@ int CmdQuery(const Flags& flags) {
   if (trace_out) obs::Tracer::Global().Enable();
   EvalStats stats;
   double decompress_seconds = 0;
-  std::optional<ExecOptions> exec = ExecOptionsFromFlags(flags);
+  bool bad_engine = false;
+  std::optional<ExecOptions> exec = ExecOptionsFromFlags(flags, &bad_engine);
+  if (bad_engine) return Fail("--engine must be plain, wah, or auto");
   Bitvector found = stored->Evaluate(EvalAlgorithm::kAuto, rank_op, rank_v,
                                      &stats, &decompress_seconds, nullptr,
                                      exec ? &*exec : nullptr);
@@ -417,7 +435,9 @@ int CmdExplain(const Flags& flags) {
 
   EvalStats measured;
   double decompress_seconds = 0;
-  std::optional<ExecOptions> exec = ExecOptionsFromFlags(flags);
+  bool bad_engine = false;
+  std::optional<ExecOptions> exec = ExecOptionsFromFlags(flags, &bad_engine);
+  if (bad_engine) return Fail("--engine must be plain, wah, or auto");
   Bitvector found = stored->Evaluate(algorithm, rank_op, rank_v, &measured,
                                      &decompress_seconds, nullptr,
                                      exec ? &*exec : nullptr);

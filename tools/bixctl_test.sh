@@ -72,6 +72,19 @@ grep -q "audit:           OK" "$WORK/explain.out" || fail "explain audit OK"
 grep -q "audit:           OK" "$WORK/explain_par.out" \
     || fail "parallel explain audit OK"
 
+# The compressed-domain engine (and the per-operand auto mode) must also
+# match bit for bit, with a clean cost-model audit.
+"$BIXCTL" query --dir "$WORK/idx" --pred "<= 500" --engine wah \
+    | grep -q "6 of 9 records" || fail "wah engine query"
+"$BIXCTL" query --dir "$WORK/idx" --pred "!= 199" --engine auto \
+    | grep -q "6 of 9 records" || fail "auto engine query"
+"$BIXCTL" explain --dir "$WORK/idx" --pred "<= 500" --engine wah \
+    > "$WORK/explain_wah.out" || fail "wah explain exit code (audit drift?)"
+grep -q "audit:           OK" "$WORK/explain_wah.out" \
+    || fail "wah explain audit OK"
+"$BIXCTL" query --dir "$WORK/idx" --pred "<= 500" --engine bogus \
+    > /dev/null 2>&1 && fail "bad engine should fail"
+
 "$BIXCTL" advise --cardinality 1000 --budget 100 > "$WORK/advise.out"
 grep -q "knee (Theorem 7.1)" "$WORK/advise.out" || fail "advise knee"
 grep -q "<28, 36>" "$WORK/advise.out" || fail "advise knee base"
