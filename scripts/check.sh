@@ -9,6 +9,7 @@
 #   scripts/check.sh --asan    ASan/UBSan build + tests only
 #   scripts/check.sh --tsan    TSan build + exec/pool tests only
 #   scripts/check.sh --diff    differential/property suite only (fast lane)
+#   scripts/check.sh --chaos   fault-injection/storage chaos suite under ASan
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -16,11 +17,13 @@ RUN_MAIN=1
 RUN_ASAN=1
 RUN_TSAN=1
 RUN_DIFF=0
+RUN_CHAOS=0
 case "${1:-}" in
   --fast) RUN_ASAN=0; RUN_TSAN=0 ;;
   --asan) RUN_MAIN=0; RUN_TSAN=0 ;;
   --tsan) RUN_MAIN=0; RUN_ASAN=0 ;;
   --diff) RUN_MAIN=0; RUN_ASAN=0; RUN_TSAN=0; RUN_DIFF=1 ;;
+  --chaos) RUN_MAIN=0; RUN_ASAN=0; RUN_TSAN=0; RUN_CHAOS=1 ;;
 esac
 
 if [[ "$RUN_DIFF" == 1 ]]; then
@@ -31,6 +34,21 @@ if [[ "$RUN_DIFF" == 1 ]]; then
   cmake -B build -G Ninja
   cmake --build build --target bix_differential_tests
   ctest --test-dir build -L differential --output-on-failure
+fi
+
+if [[ "$RUN_CHAOS" == 1 ]]; then
+  # Storage robustness lane: the chaos differential harness
+  # (tests/fault_injection_test.cc) plus the storage/format/env/recovery
+  # unit tests, built with ASan + UBSan — fault paths exercise error
+  # handling and reconstruction code that rarely runs otherwise, exactly
+  # where lifetime bugs hide.
+  cmake -B build-asan -G Ninja \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"
+  cmake --build build-asan --target bix_tests bix_differential_tests
+  ./build-asan/tests/bix_differential_tests --gtest_filter='FaultInjection*'
+  ./build-asan/tests/bix_tests \
+      --gtest_filter='StorageV2Test*:FormatTest*:PosixEnvTest*:FaultInjectingEnvTest*:RunWithRetryTest*:BackoffTest*:Crc32cTest*:StorageTest*'
 fi
 
 if [[ "$RUN_MAIN" == 1 ]]; then

@@ -72,6 +72,38 @@ WahBitvector WahBitvector::FromBitvector(const Bitvector& dense) {
   return out;
 }
 
+bool WahBitvector::TryFromCodeWords(std::span<const uint32_t> words,
+                                    size_t num_bits, WahBitvector* out) {
+  const uint64_t want_groups = (num_bits + kGroupBits - 1) / kGroupBits;
+  uint64_t groups = 0;
+  for (size_t i = 0; i < words.size(); ++i) {
+    uint32_t word = words[i];
+    if (IsFill(word)) {
+      if (FillCount(word) == 0) return false;
+      groups += FillCount(word);
+    } else {
+      ++groups;
+      // The final group may be partial; bits past num_bits must be clear.
+      if (groups == want_groups) {
+        uint32_t tail = static_cast<uint32_t>(
+            num_bits - (want_groups - 1) * kGroupBits);
+        if (tail < kGroupBits && (word >> tail) != 0) return false;
+      }
+    }
+    if (groups > want_groups) return false;
+  }
+  if (groups != want_groups) return false;
+  // A trailing ones-fill over a partial final group would assert bits past
+  // num_bits; reject it (the canonical encoder never emits one uncleared).
+  if (num_bits % kGroupBits != 0 && !words.empty() && IsFill(words.back()) &&
+      FillValue(words.back())) {
+    return false;
+  }
+  out->num_bits_ = num_bits;
+  out->words_.assign(words.begin(), words.end());
+  return true;
+}
+
 namespace {
 
 // Sets bits [lo, hi) in the backing words of a dense bitvector.

@@ -32,6 +32,15 @@ class WahBitvector {
   /// Compresses a dense bitvector.
   static WahBitvector FromBitvector(const Bitvector& dense);
 
+  /// Rebuilds a vector from serialized code words (the storage layer's
+  /// "wah" codec hands stored bitmaps to the compressed-domain engine
+  /// without inflating them).  Structurally validates the stream — every
+  /// word well-formed, fill counts non-zero, total groups matching
+  /// `num_bits`, no set bits past `num_bits` — and returns false on
+  /// malformed input, leaving `*out` untouched.
+  static bool TryFromCodeWords(std::span<const uint32_t> words,
+                               size_t num_bits, WahBitvector* out);
+
   /// The all-`value` vector of `num_bits` bits (a single fill run; the
   /// compressed analogue of Bitvector::Zeros / Ones).
   static WahBitvector Fill(size_t num_bits, bool value);

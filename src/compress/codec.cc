@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "compress/huffman.h"
+#include "compress/wah_codec.h"
 
 namespace bix {
 
@@ -243,11 +244,13 @@ const Codec* CodecByName(std::string_view name) {
   static const RunLengthCodec* rle_codec = new RunLengthCodec();
   static const HuffmanCodec* huffman_codec = new HuffmanCodec();
   static const DeflateLikeCodec* deflate_codec = new DeflateLikeCodec();
+  static const WahCodec* wah_codec = new WahCodec();
   if (name == "none") return null_codec;
   if (name == "lz77") return lz77_codec;
   if (name == "rle") return rle_codec;
   if (name == "huffman") return huffman_codec;
   if (name == "deflate") return deflate_codec;
+  if (name == "wah") return wah_codec;
   return nullptr;
 }
 

@@ -70,8 +70,8 @@ class RunLengthCodec final : public Codec {
 };
 
 /// Looks up a codec singleton by name ("none", "lz77", "rle", "huffman",
-/// "deflate"); returns nullptr for unknown names.  The latter two live in
-/// compress/huffman.h.
+/// "deflate", "wah"); returns nullptr for unknown names.  huffman/deflate
+/// live in compress/huffman.h, wah in compress/wah_codec.h.
 const Codec* CodecByName(std::string_view name);
 
 }  // namespace bix

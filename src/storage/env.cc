@@ -1,0 +1,360 @@
+#include "storage/env.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+
+namespace bix {
+
+namespace {
+
+std::string Errno(const std::string& what, const std::filesystem::path& path) {
+  return what + " " + path.string() + ": " + std::strerror(errno);
+}
+
+class PosixRandomAccessFile final : public RandomAccessFile {
+ public:
+  PosixRandomAccessFile(int fd, std::filesystem::path path)
+      : fd_(fd), path_(std::move(path)) {}
+  ~PosixRandomAccessFile() override { ::close(fd_); }
+
+  Status Read(uint64_t offset, size_t n,
+              std::vector<uint8_t>* out) const override {
+    out->clear();
+    out->resize(n);
+    size_t got = 0;
+    while (got < n) {
+      ssize_t r = ::pread(fd_, out->data() + got, n - got,
+                          static_cast<off_t>(offset + got));
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        out->clear();
+        return Status::IoError(Errno("read failed:", path_));
+      }
+      if (r == 0) break;  // end of file
+      got += static_cast<size_t>(r);
+    }
+    out->resize(got);
+    return Status::OK();
+  }
+
+  Status Size(uint64_t* size) const override {
+    off_t end = ::lseek(fd_, 0, SEEK_END);
+    if (end < 0) return Status::IoError(Errno("seek failed:", path_));
+    *size = static_cast<uint64_t>(end);
+    return Status::OK();
+  }
+
+ private:
+  int fd_;
+  std::filesystem::path path_;
+};
+
+class PosixEnv final : public Env {
+ public:
+  Status NewRandomAccessFile(
+      const std::filesystem::path& path,
+      std::unique_ptr<RandomAccessFile>* out) const override {
+    int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) return Status::IoError(Errno("cannot open:", path));
+    *out = std::make_unique<PosixRandomAccessFile>(fd, path);
+    return Status::OK();
+  }
+
+  Status WriteFile(const std::filesystem::path& path,
+                   std::span<const uint8_t> data) const override {
+    return WriteImpl(path, data, /*sync=*/false);
+  }
+
+  Status Rename(const std::filesystem::path& from,
+                const std::filesystem::path& to) const override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      return Status::IoError(Errno("rename failed:", from));
+    }
+    // Make the rename durable: fsync the parent directory.
+    std::filesystem::path dir = to.parent_path();
+    if (dir.empty()) dir = ".";
+    int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+    if (dfd >= 0) {
+      ::fsync(dfd);
+      ::close(dfd);
+    }
+    return Status::OK();
+  }
+
+  Status RemoveFile(const std::filesystem::path& path) const override {
+    if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+      return Status::IoError(Errno("unlink failed:", path));
+    }
+    return Status::OK();
+  }
+
+  bool FileExists(const std::filesystem::path& path) const override {
+    std::error_code ec;
+    return std::filesystem::exists(path, ec);
+  }
+
+  Status ListDir(const std::filesystem::path& dir,
+                 std::vector<std::string>* names) const override {
+    names->clear();
+    std::error_code ec;
+    std::filesystem::directory_iterator it(dir, ec);
+    if (ec) {
+      return Status::IoError("cannot list " + dir.string() + ": " +
+                             ec.message());
+    }
+    for (const auto& entry : it) {
+      if (entry.is_regular_file(ec)) {
+        names->push_back(entry.path().filename().string());
+      }
+    }
+    std::sort(names->begin(), names->end());
+    return Status::OK();
+  }
+
+ protected:
+  Status WriteFileSynced(const std::filesystem::path& path,
+                         std::span<const uint8_t> data) const override {
+    return WriteImpl(path, data, /*sync=*/true);
+  }
+
+ private:
+  static Status WriteImpl(const std::filesystem::path& path,
+                          std::span<const uint8_t> data, bool sync) {
+    int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                    0644);
+    if (fd < 0) return Status::IoError(Errno("cannot open for write:", path));
+    size_t written = 0;
+    while (written < data.size()) {
+      ssize_t r = ::write(fd, data.data() + written, data.size() - written);
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        ::close(fd);
+        return Status::IoError(Errno("write failed:", path));
+      }
+      written += static_cast<size_t>(r);
+    }
+    if (sync && ::fsync(fd) != 0) {
+      ::close(fd);
+      return Status::IoError(Errno("fsync failed:", path));
+    }
+    if (::close(fd) != 0) {
+      return Status::IoError(Errno("close failed:", path));
+    }
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+const Env* Env::Default() {
+  static const PosixEnv* env = new PosixEnv();
+  return env;
+}
+
+Status Env::ReadFileBytes(const std::filesystem::path& path,
+                          std::vector<uint8_t>* out) const {
+  std::unique_ptr<RandomAccessFile> file;
+  Status s = NewRandomAccessFile(path, &file);
+  if (!s.ok()) return s;
+  uint64_t size = 0;
+  s = file->Size(&size);
+  if (!s.ok()) return s;
+  return file->Read(0, static_cast<size_t>(size), out);
+}
+
+Status Env::WriteFileAtomic(const std::filesystem::path& path,
+                            std::span<const uint8_t> data) const {
+  std::filesystem::path tmp = path;
+  tmp += ".tmp";
+  Status s = WriteFileSynced(tmp, data);
+  if (!s.ok()) return s;
+  return Rename(tmp, path);
+}
+
+// ---------------------------------------------------------------------------
+// FaultInjectingEnv
+
+/// Read-through wrapper that routes every read result past the fault plan.
+/// At namespace scope (not file-local) so the friend declaration in env.h
+/// grants it access to the env's fault-application internals.
+class FaultInjectingFile final : public RandomAccessFile {
+ public:
+  FaultInjectingFile(std::unique_ptr<RandomAccessFile> base,
+                     const FaultInjectingEnv* env, std::string path)
+      : base_(std::move(base)), env_(env), path_(std::move(path)) {}
+
+  Status Read(uint64_t offset, size_t n,
+              std::vector<uint8_t>* out) const override;
+  Status Size(uint64_t* size) const override;
+
+ private:
+  std::unique_ptr<RandomAccessFile> base_;
+  const FaultInjectingEnv* env_;
+  std::string path_;
+};
+
+FaultInjectingEnv::FaultInjectingEnv(const Env* base, FaultPlan plan)
+    : base_(base) {
+  for (FaultSpec& spec : plan.faults) {
+    specs_.push_back(SpecState{spec, spec.count});
+  }
+}
+
+Status FaultInjectingEnv::ApplyReadFaults(const std::string& path,
+                                          uint64_t offset,
+                                          std::vector<uint8_t>* out,
+                                          uint64_t file_size) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (SpecState& state : specs_) {
+    const FaultSpec& spec = state.spec;
+    if (path.find(spec.path_substring) == std::string::npos) continue;
+    switch (spec.kind) {
+      case FaultSpec::Kind::kSticky:
+        ++injected_errors_;
+        return Status::IoError("injected sticky I/O error: " + path);
+      case FaultSpec::Kind::kTransient:
+        if (state.remaining > 0) {
+          --state.remaining;
+          ++injected_errors_;
+          return Status::IoError("injected transient I/O error: " + path);
+        }
+        break;
+      case FaultSpec::Kind::kBitFlip: {
+        uint64_t target = spec.offset % std::max<uint64_t>(file_size, 1);
+        if (target >= offset && target - offset < out->size()) {
+          (*out)[static_cast<size_t>(target - offset)] ^=
+              static_cast<uint8_t>(1u << (spec.bit & 7));
+          if (!state.counted) {
+            state.counted = true;
+            ++injected_corruptions_;
+          }
+        }
+        break;
+      }
+      case FaultSpec::Kind::kTruncate:
+        // Handled by TruncatedSize(); data past the cut never arrives.
+        break;
+      case FaultSpec::Kind::kRenameFail:
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+bool FaultInjectingEnv::TruncatedSize(const std::string& path,
+                                      uint64_t* limit) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  bool truncated = false;
+  for (SpecState& state : specs_) {
+    const FaultSpec& spec = state.spec;
+    if (spec.kind != FaultSpec::Kind::kTruncate) continue;
+    if (path.find(spec.path_substring) == std::string::npos) continue;
+    if (!truncated || spec.offset < *limit) *limit = spec.offset;
+    truncated = true;
+    if (!state.counted) {
+      state.counted = true;
+      ++injected_corruptions_;
+    }
+  }
+  return truncated;
+}
+
+Status FaultInjectingFile::Read(uint64_t offset, size_t n,
+                                std::vector<uint8_t>* out) const {
+  uint64_t size = 0;
+  Status s = base_->Size(&size);
+  if (!s.ok()) return s;
+  uint64_t limit = size;
+  if (env_->TruncatedSize(path_, &limit)) {
+    size = std::min(size, limit);
+  }
+  size_t effective = 0;
+  if (offset < size) {
+    effective = static_cast<size_t>(
+        std::min<uint64_t>(n, size - offset));
+  }
+  s = base_->Read(offset, effective, out);
+  if (!s.ok()) return s;
+  return env_->ApplyReadFaults(path_, offset, out, size);
+}
+
+Status FaultInjectingFile::Size(uint64_t* size) const {
+  Status s = base_->Size(size);
+  if (!s.ok()) return s;
+  uint64_t limit = *size;
+  if (env_->TruncatedSize(path_, &limit)) {
+    *size = std::min(*size, limit);
+  }
+  return Status::OK();
+}
+
+Status FaultInjectingEnv::NewRandomAccessFile(
+    const std::filesystem::path& path,
+    std::unique_ptr<RandomAccessFile>* out) const {
+  std::unique_ptr<RandomAccessFile> base_file;
+  Status s = base_->NewRandomAccessFile(path, &base_file);
+  if (!s.ok()) return s;
+  *out = std::make_unique<FaultInjectingFile>(std::move(base_file), this,
+                                              path.string());
+  return Status::OK();
+}
+
+Status FaultInjectingEnv::WriteFile(const std::filesystem::path& path,
+                                    std::span<const uint8_t> data) const {
+  return base_->WriteFile(path, data);
+}
+
+Status FaultInjectingEnv::WriteFileSynced(const std::filesystem::path& path,
+                                          std::span<const uint8_t> data) const {
+  return base_->WriteFile(path, data);
+}
+
+Status FaultInjectingEnv::Rename(const std::filesystem::path& from,
+                                 const std::filesystem::path& to) const {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (SpecState& state : specs_) {
+      if (state.spec.kind != FaultSpec::Kind::kRenameFail) continue;
+      if (to.string().find(state.spec.path_substring) == std::string::npos) {
+        continue;
+      }
+      if (state.remaining > 0) {
+        --state.remaining;
+        ++injected_errors_;
+        return Status::IoError("injected rename failure: " + to.string());
+      }
+    }
+  }
+  return base_->Rename(from, to);
+}
+
+Status FaultInjectingEnv::RemoveFile(const std::filesystem::path& path) const {
+  return base_->RemoveFile(path);
+}
+
+bool FaultInjectingEnv::FileExists(const std::filesystem::path& path) const {
+  return base_->FileExists(path);
+}
+
+Status FaultInjectingEnv::ListDir(const std::filesystem::path& dir,
+                                  std::vector<std::string>* names) const {
+  return base_->ListDir(dir, names);
+}
+
+int64_t FaultInjectingEnv::injected_errors() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return injected_errors_;
+}
+
+int64_t FaultInjectingEnv::injected_corruptions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return injected_corruptions_;
+}
+
+}  // namespace bix

@@ -1,0 +1,173 @@
+// Injectable I/O environment for the storage layer.
+//
+// Every byte StoredIndex reads or writes flows through an Env, so tests
+// and the chaos harness can interpose on the exact I/O surface production
+// uses: PosixEnv (Env::Default()) talks to the real filesystem, while
+// FaultInjectingEnv wraps any base Env and injects faults — transient and
+// sticky read errors, bit flips, and truncations — deterministically from
+// an explicit FaultPlan, addressable by file name and byte offset.  The
+// seam is what makes the fault-tolerance claims *testable*: the
+// differential harness (tests/fault_injection_test.cc) proves that no
+// injected fault can turn into a silently wrong foundset.
+//
+// Contracts:
+//  * RandomAccessFile::Read returns exactly `n` bytes unless the read
+//    crosses end-of-file, in which case it returns the available prefix
+//    (possibly empty).  Short reads mid-file are an Env implementation
+//    detail and never surface (PosixEnv loops on pread).
+//  * Env::WriteFileAtomic is write-temp/fsync/rename: after a crash at any
+//    point the target path holds either the old contents or the new ones,
+//    never a torn mix.
+
+#ifndef BIX_STORAGE_ENV_H_
+#define BIX_STORAGE_ENV_H_
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+
+namespace bix {
+
+class RandomAccessFile {
+ public:
+  virtual ~RandomAccessFile() = default;
+
+  /// Reads up to `n` bytes at `offset` into `*out` (replaced).  Returns
+  /// fewer than `n` bytes only when the range crosses end-of-file.
+  virtual Status Read(uint64_t offset, size_t n,
+                      std::vector<uint8_t>* out) const = 0;
+
+  virtual Status Size(uint64_t* size) const = 0;
+};
+
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// The process-wide POSIX environment.
+  static const Env* Default();
+
+  virtual Status NewRandomAccessFile(
+      const std::filesystem::path& path,
+      std::unique_ptr<RandomAccessFile>* out) const = 0;
+
+  /// Creates/truncates `path` with `data`.  Not durable by itself (no
+  /// fsync) — integrity of index payload files is guaranteed by checksums
+  /// plus the atomic manifest, not by per-file durability.
+  virtual Status WriteFile(const std::filesystem::path& path,
+                           std::span<const uint8_t> data) const = 0;
+
+  /// Atomically renames `from` onto `to` (replacing it) and syncs the
+  /// parent directory, so the rename itself is crash-durable.
+  virtual Status Rename(const std::filesystem::path& from,
+                        const std::filesystem::path& to) const = 0;
+
+  /// Deletes `path`; OK when it does not exist (idempotent).
+  virtual Status RemoveFile(const std::filesystem::path& path) const = 0;
+
+  virtual bool FileExists(const std::filesystem::path& path) const = 0;
+
+  /// Names (not paths) of regular files directly inside `dir`, sorted.
+  virtual Status ListDir(const std::filesystem::path& dir,
+                         std::vector<std::string>* names) const = 0;
+
+  /// Reads the whole file through NewRandomAccessFile.
+  Status ReadFileBytes(const std::filesystem::path& path,
+                       std::vector<uint8_t>* out) const;
+
+  /// Write-temp-fsync-rename: writes `data` to `path + ".tmp"`, fsyncs it,
+  /// then renames over `path`.  A crash anywhere in between leaves `path`
+  /// absent or intact, never partially written.
+  Status WriteFileAtomic(const std::filesystem::path& path,
+                         std::span<const uint8_t> data) const;
+
+ protected:
+  /// WriteFile + fsync before close (used by WriteFileAtomic's temp file).
+  virtual Status WriteFileSynced(const std::filesystem::path& path,
+                                 std::span<const uint8_t> data) const = 0;
+};
+
+/// One injected fault.  `path_substring` selects the target file(s) by
+/// substring match on the full path; offsets address bytes within the file.
+struct FaultSpec {
+  enum class Kind : uint8_t {
+    kTransient,  // next `count` reads of the file fail with IoError, then heal
+    kSticky,     // every read of the file fails with IoError
+    kBitFlip,    // bit `bit` of byte `offset` reads flipped (persistent rot)
+    kTruncate,   // the file appears to end at `offset` (torn write)
+    kRenameFail, // next `count` renames onto a matching path fail (crash
+                 // between temp-write and rename)
+  };
+  Kind kind = Kind::kTransient;
+  std::string path_substring;
+  uint64_t offset = 0;
+  int bit = 0;        // kBitFlip: which bit of the byte, 0..7
+  int count = 1;      // kTransient/kRenameFail: failures before healing
+};
+
+/// A deterministic set of faults.  The same plan applied to the same
+/// sequence of I/O calls produces the same outcomes; there is no hidden
+/// randomness inside the env (harnesses derive plans from seeds).
+struct FaultPlan {
+  std::vector<FaultSpec> faults;
+};
+
+/// Wraps a base Env and applies a FaultPlan to reads and renames.  Thread-
+/// safe; transient counters are shared across all files the spec matches.
+class FaultInjectingEnv final : public Env {
+ public:
+  FaultInjectingEnv(const Env* base, FaultPlan plan);
+
+  Status NewRandomAccessFile(
+      const std::filesystem::path& path,
+      std::unique_ptr<RandomAccessFile>* out) const override;
+  Status WriteFile(const std::filesystem::path& path,
+                   std::span<const uint8_t> data) const override;
+  Status Rename(const std::filesystem::path& from,
+                const std::filesystem::path& to) const override;
+  Status RemoveFile(const std::filesystem::path& path) const override;
+  bool FileExists(const std::filesystem::path& path) const override;
+  Status ListDir(const std::filesystem::path& dir,
+                 std::vector<std::string>* names) const override;
+
+  /// Total faults injected so far (errors returned + bytes corrupted).
+  int64_t injected_errors() const;
+  int64_t injected_corruptions() const;
+
+ protected:
+  Status WriteFileSynced(const std::filesystem::path& path,
+                         std::span<const uint8_t> data) const override;
+
+ private:
+  friend class FaultInjectingFile;
+
+  struct SpecState {
+    FaultSpec spec;
+    int remaining;         // kTransient/kRenameFail budget
+    bool counted = false;  // data faults count once per spec
+  };
+
+  /// Returns an injected error for `path` if an error-kind spec fires, and
+  /// applies data-kind specs (flip/truncate) to `*out` read at `offset`.
+  Status ApplyReadFaults(const std::string& path, uint64_t offset,
+                         std::vector<uint8_t>* out, uint64_t file_size) const;
+  /// True (and consumes budget) when a kTruncate spec matches `path`;
+  /// `*limit` gets the truncated size.
+  bool TruncatedSize(const std::string& path, uint64_t* limit) const;
+
+  const Env* base_;
+  mutable std::mutex mu_;
+  mutable std::vector<SpecState> specs_;
+  mutable int64_t injected_errors_ = 0;
+  mutable int64_t injected_corruptions_ = 0;
+};
+
+}  // namespace bix
+
+#endif  // BIX_STORAGE_ENV_H_

@@ -1,0 +1,302 @@
+#include "storage/format.h"
+
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+#include "bitmap/crc32c.h"
+#include "storage/recovery.h"
+
+namespace bix::format {
+
+namespace {
+
+constexpr char kMagicV2[4] = {'B', 'I', 'X', '2'};
+constexpr char kMagicV1[4] = {'B', 'I', 'X', 'F'};
+
+// All on-disk integers are little-endian; the library targets x86-64 /
+// little-endian hosts, so fixed-width loads are plain memcpy.
+void Put32(std::vector<uint8_t>* out, uint32_t v) {
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(&v);
+  out->insert(out->end(), p, p + 4);
+}
+
+void Put64(std::vector<uint8_t>* out, uint64_t v) {
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(&v);
+  out->insert(out->end(), p, p + 8);
+}
+
+uint32_t Get32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+uint64_t Get64(const uint8_t* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+std::string Hex8(uint32_t v) {
+  char buf[9];
+  std::snprintf(buf, sizeof(buf), "%08x", v);
+  return buf;
+}
+
+uint32_t NumBlocks(uint64_t payload_size, uint32_t block_size) {
+  if (payload_size == 0) return 0;
+  return static_cast<uint32_t>((payload_size + block_size - 1) / block_size);
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeBlobFile(std::span<const uint8_t> payload,
+                                    uint64_t raw_size, uint32_t block_size) {
+  if (block_size == 0) block_size = kDefaultBlockSize;
+  const uint32_t num_blocks =
+      NumBlocks(payload.size(), block_size);
+  std::vector<uint8_t> out;
+  out.reserve(32 + 4 * num_blocks + payload.size());
+  out.insert(out.end(), kMagicV2, kMagicV2 + 4);
+  Put64(&out, raw_size);
+  Put64(&out, payload.size());
+  Put32(&out, block_size);
+  Put32(&out, num_blocks);
+  for (uint32_t b = 0; b < num_blocks; ++b) {
+    size_t begin = static_cast<size_t>(b) * block_size;
+    size_t len = std::min<size_t>(block_size, payload.size() - begin);
+    Put32(&out, Crc32c(payload.data() + begin, len));
+  }
+  Put32(&out, Crc32c(out.data(), out.size()));
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+Status DecodeBlobFile(std::span<const uint8_t> file_bytes,
+                      const std::string& name, CheckedBlob* out) {
+  if (file_bytes.size() >= 4 &&
+      std::memcmp(file_bytes.data(), kMagicV1, 4) == 0) {
+    // Legacy pre-checksum format: magic + raw_size + payload.
+    if (file_bytes.size() < 12) {
+      return Status::Corruption("short v1 file: " + name);
+    }
+    out->raw_size = Get64(file_bytes.data() + 4);
+    out->payload.assign(file_bytes.begin() + 12, file_bytes.end());
+    out->verified = false;
+    return Status::OK();
+  }
+  if (file_bytes.size() < 32 ||
+      std::memcmp(file_bytes.data(), kMagicV2, 4) != 0) {
+    return Status::Corruption("bad magic: " + name);
+  }
+  const uint64_t raw_size = Get64(file_bytes.data() + 4);
+  const uint64_t payload_size = Get64(file_bytes.data() + 12);
+  const uint32_t block_size = Get32(file_bytes.data() + 20);
+  const uint32_t num_blocks = Get32(file_bytes.data() + 24);
+  const size_t header_size = 32 + 4 * static_cast<size_t>(num_blocks);
+  if (block_size == 0 || num_blocks != NumBlocks(payload_size, block_size) ||
+      file_bytes.size() < header_size ||
+      file_bytes.size() - header_size != payload_size) {
+    recovery_internal::CountChecksumFailure();
+    return Status::Corruption("inconsistent header (truncated?): " + name);
+  }
+  const uint32_t header_crc = Get32(file_bytes.data() + header_size - 4);
+  if (Crc32c(file_bytes.data(), header_size - 4) != header_crc) {
+    recovery_internal::CountChecksumFailure();
+    return Status::Corruption("header checksum mismatch: " + name);
+  }
+  const uint8_t* payload = file_bytes.data() + header_size;
+  std::string bad_blocks;
+  for (uint32_t b = 0; b < num_blocks; ++b) {
+    size_t begin = static_cast<size_t>(b) * block_size;
+    size_t len = std::min<size_t>(block_size, payload_size - begin);
+    uint32_t want = Get32(file_bytes.data() + 28 + 4 * static_cast<size_t>(b));
+    if (Crc32c(payload + begin, len) != want) {
+      if (!bad_blocks.empty()) bad_blocks += ",";
+      bad_blocks += std::to_string(b);
+    }
+  }
+  if (!bad_blocks.empty()) {
+    recovery_internal::CountChecksumFailure();
+    return Status::Corruption("block checksum mismatch (block " + bad_blocks +
+                              "): " + name);
+  }
+  out->raw_size = raw_size;
+  out->payload.assign(payload, payload + payload_size);
+  out->verified = true;
+  return Status::OK();
+}
+
+Status ReadBlobFile(const Env& env, const std::filesystem::path& path,
+                    CheckedBlob* out) {
+  std::vector<uint8_t> bytes;
+  Status s = env.ReadFileBytes(path, &bytes);
+  if (!s.ok()) return s;
+  return DecodeBlobFile(bytes, path.filename().string(), out);
+}
+
+std::vector<uint8_t> EncodeManifest(const Manifest& manifest) {
+  std::ostringstream os;
+  os << "bix_manifest_v1\n";
+  for (const auto& [name, entry] : manifest) {
+    os << "file " << name << " " << entry.size << " " << Hex8(entry.crc)
+       << "\n";
+  }
+  std::string body = os.str();
+  body += "crc " + Hex8(Crc32c(body.data(), body.size())) + "\n";
+  return {body.begin(), body.end()};
+}
+
+Status DecodeManifest(std::span<const uint8_t> bytes, Manifest* out) {
+  out->clear();
+  std::string text(bytes.begin(), bytes.end());
+  size_t crc_line = text.rfind("crc ");
+  if (crc_line == std::string::npos ||
+      (crc_line != 0 && text[crc_line - 1] != '\n')) {
+    return Status::Corruption("manifest missing crc line");
+  }
+  uint32_t want = 0;
+  if (std::sscanf(text.c_str() + crc_line, "crc %8x", &want) != 1) {
+    return Status::Corruption("manifest crc line unparsable");
+  }
+  if (Crc32c(text.data(), crc_line) != want) {
+    recovery_internal::CountChecksumFailure();
+    return Status::Corruption("manifest checksum mismatch");
+  }
+  std::istringstream is(text.substr(0, crc_line));
+  std::string header;
+  std::getline(is, header);
+  if (header != "bix_manifest_v1") {
+    return Status::Corruption("unknown manifest header: " + header);
+  }
+  std::string key;
+  while (is >> key) {
+    if (key != "file") {
+      return Status::Corruption("unknown manifest key: " + key);
+    }
+    std::string name, crc_hex;
+    uint64_t size = 0;
+    if (!(is >> name >> size >> crc_hex) || crc_hex.size() != 8) {
+      return Status::Corruption("bad manifest entry");
+    }
+    ManifestEntry entry;
+    entry.size = size;
+    entry.crc = static_cast<uint32_t>(std::stoul(crc_hex, nullptr, 16));
+    (*out)[name] = entry;
+  }
+  return Status::OK();
+}
+
+Status WriteManifest(const Env& env, const std::filesystem::path& dir,
+                     const Manifest& manifest) {
+  return env.WriteFileAtomic(dir / kManifestFile, EncodeManifest(manifest));
+}
+
+Status ReadManifest(const Env& env, const std::filesystem::path& dir,
+                    Manifest* out) {
+  std::filesystem::path path = dir / kManifestFile;
+  if (!env.FileExists(path)) {
+    return Status::NotFound("no manifest in " + dir.string());
+  }
+  std::vector<uint8_t> bytes;
+  Status s = env.ReadFileBytes(path, &bytes);
+  if (!s.ok()) return s;
+  return DecodeManifest(bytes, out);
+}
+
+const char* ToString(FileCheck::State state) {
+  switch (state) {
+    case FileCheck::State::kOk: return "OK";
+    case FileCheck::State::kUnverified: return "UNVERIFIED";
+    case FileCheck::State::kCorrupt: return "CORRUPT";
+    case FileCheck::State::kMissing: return "MISSING";
+  }
+  return "?";
+}
+
+Status ScrubIndexDir(const Env& env, const std::filesystem::path& dir,
+                     ScrubReport* report) {
+  *report = ScrubReport();
+  Manifest manifest;
+  Status ms = ReadManifest(env, dir, &manifest);
+  if (ms.code() == Status::Code::kNotFound) {
+    // Legacy index: no integrity metadata.  Apply structural checks only.
+    report->has_manifest = false;
+    std::vector<std::string> names;
+    Status s = env.ListDir(dir, &names);
+    if (!s.ok()) return s;
+    for (const std::string& name : names) {
+      bool blob = name.size() > 3 && name.ends_with(".bm");
+      if (!blob && name != "index.meta") continue;
+      FileCheck check;
+      check.name = name;
+      std::vector<uint8_t> bytes;
+      Status rs = env.ReadFileBytes(dir / name, &bytes);
+      if (!rs.ok()) {
+        check.state = FileCheck::State::kMissing;
+        check.detail = rs.ToString();
+      } else if (blob) {
+        CheckedBlob blob_data;
+        rs = DecodeBlobFile(bytes, name, &blob_data);
+        if (!rs.ok()) {
+          check.state = FileCheck::State::kCorrupt;
+          check.detail = std::string(rs.message());
+        } else {
+          check.state = blob_data.verified ? FileCheck::State::kOk
+                                           : FileCheck::State::kUnverified;
+          if (!blob_data.verified) check.detail = "v1 format, no checksums";
+        }
+      } else {
+        check.state = FileCheck::State::kUnverified;
+        check.detail = "v1 format, no checksums";
+      }
+      report->files.push_back(std::move(check));
+    }
+    return Status::OK();
+  }
+  report->has_manifest = true;
+  if (!ms.ok()) {
+    report->manifest_ok = false;
+    FileCheck check;
+    check.name = kManifestFile;
+    check.state = FileCheck::State::kCorrupt;
+    check.detail = std::string(ms.message());
+    report->files.push_back(std::move(check));
+    return Status::OK();
+  }
+  report->manifest_ok = true;
+  for (const auto& [name, entry] : manifest) {
+    FileCheck check;
+    check.name = name;
+    std::vector<uint8_t> bytes;
+    Status rs = env.ReadFileBytes(dir / name, &bytes);
+    if (!rs.ok()) {
+      check.state = env.FileExists(dir / name) ? FileCheck::State::kCorrupt
+                                               : FileCheck::State::kMissing;
+      check.detail = rs.ToString();
+    } else if (bytes.size() != entry.size) {
+      check.state = FileCheck::State::kCorrupt;
+      check.detail = "size " + std::to_string(bytes.size()) + " != manifest " +
+                     std::to_string(entry.size);
+      recovery_internal::CountChecksumFailure();
+    } else if (Crc32c(bytes.data(), bytes.size()) != entry.crc) {
+      check.state = FileCheck::State::kCorrupt;
+      check.detail = "whole-file checksum mismatch";
+      // Per-block CRCs localize the damage for blob files.
+      if (name.ends_with(".bm")) {
+        CheckedBlob blob;
+        Status bs = DecodeBlobFile(bytes, name, &blob);
+        if (!bs.ok()) check.detail = std::string(bs.message());
+      } else {
+        recovery_internal::CountChecksumFailure();
+      }
+    } else {
+      check.state = FileCheck::State::kOk;
+    }
+    report->files.push_back(std::move(check));
+  }
+  return Status::OK();
+}
+
+}  // namespace bix::format

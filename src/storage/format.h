@@ -1,0 +1,133 @@
+// On-disk file format and index manifest for StoredIndex (V2, checksummed).
+//
+// V2 blob file layout (little-endian):
+//   [ 0,  4)  magic "BIX2"
+//   [ 4, 12)  u64 raw_size       decoded (pre-codec) payload size
+//   [12, 20)  u64 payload_size   encoded payload size
+//   [20, 24)  u32 block_size     bytes covered by each payload CRC
+//   [24, 28)  u32 num_blocks     ceil(payload_size / block_size)
+//   [28, 28+4B) u32 crc[i]       CRC32C of payload block i
+//   next 4    u32 header_crc     CRC32C of everything above
+//   then      payload bytes
+//
+// A flipped bit anywhere is detected: in the payload by its block CRC, in
+// the header or CRC array by header_crc.  Block granularity means a scrub
+// can say *which* 4 KiB of a file rotted, and a query touching other
+// bitmaps in a CS/IS file still learns about the damage before decoding.
+//
+// V1 files (magic "BIXF": u64 raw_size then payload, no checksums) from
+// pre-fault-tolerance indexes still load; they are flagged unverified.
+//
+// The manifest ("index.manifest") lists every file the index consists of
+// with its size and whole-file CRC32C, ends with a CRC line over its own
+// bytes, and is written write-temp-fsync-rename *after* every other file:
+// a crash anywhere mid-materialize leaves either no manifest (the index
+// refuses to open as verified) or a complete, consistent one — never a
+// readable-but-wrong index.
+//
+// Manifest text format:
+//   bix_manifest_v1\n
+//   file <name> <size> <crc32c hex8>\n   (one per file, sorted)
+//   crc <hex8 of all preceding bytes>\n
+
+#ifndef BIX_STORAGE_FORMAT_H_
+#define BIX_STORAGE_FORMAT_H_
+
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "storage/env.h"
+
+namespace bix::format {
+
+inline constexpr uint32_t kDefaultBlockSize = 4096;
+inline constexpr const char* kManifestFile = "index.manifest";
+
+/// A decoded blob file: the still-codec-compressed payload plus the
+/// recorded raw size.  `verified` is false for V1 files (no checksums).
+struct CheckedBlob {
+  std::vector<uint8_t> payload;
+  uint64_t raw_size = 0;
+  bool verified = false;
+};
+
+/// Serializes payload + checksummed header into one file image.
+std::vector<uint8_t> EncodeBlobFile(std::span<const uint8_t> payload,
+                                    uint64_t raw_size,
+                                    uint32_t block_size = kDefaultBlockSize);
+
+/// Parses a V2 or V1 file image, verifying header and per-block CRCs for
+/// V2.  On a checksum mismatch returns Corruption naming the bad block(s)
+/// and bumps storage.checksum_failures.
+Status DecodeBlobFile(std::span<const uint8_t> file_bytes,
+                      const std::string& name, CheckedBlob* out);
+
+/// Reads and decodes `path` through `env` (one whole-file read).
+Status ReadBlobFile(const Env& env, const std::filesystem::path& path,
+                    CheckedBlob* out);
+
+struct ManifestEntry {
+  uint64_t size = 0;
+  uint32_t crc = 0;
+};
+
+/// name -> entry, sorted by name (map keeps serialization deterministic).
+using Manifest = std::map<std::string, ManifestEntry>;
+
+std::vector<uint8_t> EncodeManifest(const Manifest& manifest);
+
+/// Parses + verifies the manifest's own CRC line.
+Status DecodeManifest(std::span<const uint8_t> bytes, Manifest* out);
+
+/// Writes the manifest atomically (write-temp-fsync-rename).
+Status WriteManifest(const Env& env, const std::filesystem::path& dir,
+                     const Manifest& manifest);
+
+/// Reads <dir>/index.manifest; NotFound when absent (a V1 index).
+Status ReadManifest(const Env& env, const std::filesystem::path& dir,
+                    Manifest* out);
+
+/// Per-file verdict from a scrub pass.
+struct FileCheck {
+  enum class State { kOk, kUnverified, kCorrupt, kMissing };
+  std::string name;
+  State state = State::kOk;
+  std::string detail;
+};
+
+const char* ToString(FileCheck::State state);
+
+struct ScrubReport {
+  bool has_manifest = false;
+  bool manifest_ok = false;
+  std::vector<FileCheck> files;
+
+  bool clean() const {
+    if (has_manifest && !manifest_ok) return false;
+    for (const FileCheck& f : files) {
+      if (f.state == FileCheck::State::kCorrupt ||
+          f.state == FileCheck::State::kMissing) {
+        return false;
+      }
+    }
+    return true;
+  }
+};
+
+/// Reads every file named by the manifest, verifying manifest size +
+/// whole-file CRC and (for V2 blobs) per-block CRCs.  Without a manifest
+/// the directory's .bm/.meta files get basic V1 header checks and are
+/// reported kUnverified.  The report is filled even when the returned
+/// status is non-OK (an unreadable manifest still yields a report saying
+/// so).
+Status ScrubIndexDir(const Env& env, const std::filesystem::path& dir,
+                     ScrubReport* report);
+
+}  // namespace bix::format
+
+#endif  // BIX_STORAGE_FORMAT_H_

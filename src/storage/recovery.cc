@@ -1,0 +1,94 @@
+#include "storage/recovery.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace bix {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+namespace recovery_internal {
+
+void CountRetry() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().GetCounter("storage.retries");
+  c.Increment();
+}
+
+void CountChecksumFailure() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().GetCounter("storage.checksum_failures");
+  c.Increment();
+}
+
+void CountReconstruction() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().GetCounter("storage.reconstructions");
+  c.Increment();
+}
+
+void CountDegradedQuery() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().GetCounter("storage.degraded_queries");
+  c.Increment();
+}
+
+}  // namespace recovery_internal
+
+Backoff::Backoff(const RetryPolicy& policy)
+    : base_us_(std::max<int64_t>(policy.base_delay_us, 1)),
+      max_us_(std::max(policy.max_delay_us, base_us_)),
+      prev_us_(base_us_),
+      state_(policy.seed ^ 0xD1B54A32D192ED03ull) {}
+
+int64_t Backoff::NextDelayUs() {
+  // Decorrelated jitter: uniform in [base, 3 * prev], clamped to the cap.
+  int64_t hi = std::min(max_us_, 3 * prev_us_);
+  int64_t span = hi - base_us_ + 1;
+  int64_t delay =
+      base_us_ + static_cast<int64_t>(SplitMix64(&state_) %
+                                      static_cast<uint64_t>(span));
+  prev_us_ = delay;
+  return delay;
+}
+
+Status RunWithRetry(const RetryPolicy& policy, std::string_view /*what*/,
+                    const std::function<Status()>& op) {
+  Backoff backoff(policy);
+  int attempts = std::max(policy.max_attempts, 1);
+  Status s;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      int64_t delay_us = backoff.NextDelayUs();
+      recovery_internal::CountRetry();
+      if (obs::Tracer::enabled()) {
+        obs::RecordInstant("storage", "retry");
+      }
+      if (policy.sleep) {
+        policy.sleep(delay_us);
+      } else {
+        std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
+      }
+    }
+    s = op();
+    // Only transient-looking failures are worth re-reading; corruption is
+    // deterministic (the checksum will fail again on the same bytes).
+    if (s.ok() || s.code() != Status::Code::kIoError) return s;
+  }
+  return s;
+}
+
+}  // namespace bix

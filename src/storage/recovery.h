@@ -1,0 +1,77 @@
+// Retry and degradation policy for storage reads.
+//
+// Failure taxonomy and responses (DESIGN.md §10):
+//  * Transient I/O errors (Status::kIoError) — retried up to
+//    RetryPolicy::max_attempts with decorrelated-jitter backoff; the jitter
+//    stream is deterministic from the policy seed so tests and the chaos
+//    harness replay identical schedules.  Sleeping goes through an
+//    injectable hook (no real sleeps in tests).
+//  * Checksum failures (Status::kCorruption) — never retried at the I/O
+//    level (re-reading rotted bytes returns the same rot); the storage
+//    layer instead attempts per-bitmap reconstruction where the encoding
+//    makes it possible, else fails the query with the corruption status.
+//
+// Every retry and recovery is visible to operators: the storage.{retries,
+// checksum_failures, reconstructions, degraded_queries} counters aggregate
+// process-wide, and trace instants mark each event inside a query.
+
+#ifndef BIX_STORAGE_RECOVERY_H_
+#define BIX_STORAGE_RECOVERY_H_
+
+#include <cstdint>
+#include <functional>
+#include <string_view>
+
+#include "core/status.h"
+
+namespace bix {
+
+struct RetryPolicy {
+  /// Total attempts including the first (1 = no retries, the default for
+  /// callers that never opted in).
+  int max_attempts = 4;
+  int64_t base_delay_us = 50;
+  int64_t max_delay_us = 5000;
+  /// Seed for the deterministic jitter stream.
+  uint64_t seed = 0;
+  /// Sleep hook; nullptr sleeps for real.  Tests install a recorder.
+  std::function<void(int64_t micros)> sleep;
+};
+
+/// Decorrelated-jitter backoff: each delay is drawn uniformly from
+/// [base, 3 * previous], clamped to [base, max].  Deterministic from the
+/// policy seed (splitmix64 stream).
+class Backoff {
+ public:
+  explicit Backoff(const RetryPolicy& policy);
+
+  /// Delay before the next retry, in microseconds.
+  int64_t NextDelayUs();
+
+ private:
+  int64_t base_us_;
+  int64_t max_us_;
+  int64_t prev_us_;
+  uint64_t state_;
+};
+
+/// Runs `op` up to `policy.max_attempts` times, sleeping per Backoff
+/// between attempts.  Only Status::kIoError is retried; any other status
+/// (including corruption) returns immediately.  Each retry increments the
+/// storage.retries counter and records a trace instant.
+Status RunWithRetry(const RetryPolicy& policy, std::string_view what,
+                    const std::function<Status()>& op);
+
+namespace recovery_internal {
+
+/// The storage.* recovery counters (registered on first use).
+void CountRetry();
+void CountChecksumFailure();
+void CountReconstruction();
+void CountDegradedQuery();
+
+}  // namespace recovery_internal
+
+}  // namespace bix
+
+#endif  // BIX_STORAGE_RECOVERY_H_

@@ -1,12 +1,15 @@
 #include "storage/stored_index.h"
 
 #include <chrono>
-#include <cstdio>
 #include <cstring>
-#include <fstream>
+#include <deque>
 #include <sstream>
 #include <string>
+#include <utility>
 
+#include "bitmap/crc32c.h"
+#include "bitmap/wah_bitvector.h"
+#include "compress/wah_codec.h"
 #include "core/bitmap_source.h"
 #include "core/check.h"
 #include "core/eval.h"
@@ -18,7 +21,6 @@ namespace bix {
 
 namespace {
 
-constexpr char kMagic[4] = {'B', 'I', 'X', 'F'};
 constexpr const char* kMetaFile = "index.meta";
 constexpr const char* kNonNullFile = "nonnull.bm";
 
@@ -32,70 +34,23 @@ std::string ComponentFileName(int component) {
 
 constexpr const char* kIndexFileName = "index.bm";
 
-// Writes raw_size + payload with a small header; payload is already encoded.
-Status WriteFile(const std::filesystem::path& path,
-                 std::span<const uint8_t> payload, uint64_t raw_size) {
-  std::ofstream f(path, std::ios::binary | std::ios::trunc);
-  if (!f) return Status::IoError("cannot open for write: " + path.string());
-  f.write(kMagic, 4);
-  f.write(reinterpret_cast<const char*>(&raw_size), sizeof(raw_size));
-  f.write(reinterpret_cast<const char*>(payload.data()),
-          static_cast<std::streamsize>(payload.size()));
-  if (!f) return Status::IoError("write failed: " + path.string());
-  return Status::OK();
+/// A BS index stored with the "wah" codec keeps each bitmap file's payload
+/// in the compressed-domain engine's operand format (exact N bits), so
+/// FetchWah can hand it over without inflating.
+bool UsesWahOperandPayloads(StorageScheme scheme, const Codec& codec) {
+  return scheme == StorageScheme::kBitmapLevel && codec.name() == "wah";
 }
 
-Status ReadFile(const std::filesystem::path& path, std::vector<uint8_t>* payload,
-                uint64_t* raw_size) {
-  std::ifstream f(path, std::ios::binary | std::ios::ate);
-  if (!f) return Status::IoError("cannot open: " + path.string());
-  std::streamsize total = f.tellg();
-  if (total < 12) return Status::Corruption("short file: " + path.string());
-  f.seekg(0);
-  char magic[4];
-  f.read(magic, 4);
-  if (std::memcmp(magic, kMagic, 4) != 0) {
-    return Status::Corruption("bad magic: " + path.string());
-  }
-  f.read(reinterpret_cast<char*>(raw_size), sizeof(*raw_size));
-  payload->resize(static_cast<size_t>(total - 12));
-  f.read(reinterpret_cast<char*>(payload->data()),
-         static_cast<std::streamsize>(payload->size()));
-  if (!f) return Status::IoError("read failed: " + path.string());
-  return Status::OK();
-}
-
-// Encodes + writes one logical blob; accumulates compressed/raw sizes.
-Status WriteBlob(const std::filesystem::path& path, const Codec& codec,
-                 std::span<const uint8_t> raw, int64_t* stored,
-                 int64_t* uncompressed) {
-  std::vector<uint8_t> payload = codec.Compress(raw);
-  *stored += static_cast<int64_t>(payload.size());
-  *uncompressed += static_cast<int64_t>(raw.size());
-  return WriteFile(path, payload, raw.size());
-}
-
-// Reads + decodes one blob, tracking bytes read and inflate time.
-Status ReadBlob(const std::filesystem::path& path, const Codec& codec,
-                std::vector<uint8_t>* raw, EvalStats* stats,
-                double* decompress_seconds) {
-  std::vector<uint8_t> payload;
-  uint64_t raw_size = 0;
-  Status s = ReadFile(path, &payload, &raw_size);
+/// Wraps `payload` in a checksummed V2 file image, writes it through `env`,
+/// and records the file in `manifest`.
+Status WriteBlobFile(const Env& env, const std::filesystem::path& dir,
+                     const std::string& name, std::span<const uint8_t> payload,
+                     uint64_t raw_size, format::Manifest* manifest) {
+  std::vector<uint8_t> image = format::EncodeBlobFile(payload, raw_size);
+  Status s = env.WriteFile(dir / name, image);
   if (!s.ok()) return s;
-  if (stats != nullptr) stats->bytes_read += static_cast<int64_t>(payload.size());
-  auto start = std::chrono::steady_clock::now();
-  if (!codec.Decompress(payload, raw)) {
-    return Status::Corruption("decode failed: " + path.string());
-  }
-  if (decompress_seconds != nullptr) {
-    *decompress_seconds +=
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-            .count();
-  }
-  if (raw->size() != raw_size) {
-    return Status::Corruption("size mismatch: " + path.string());
-  }
+  (*manifest)[name] =
+      format::ManifestEntry{image.size(), Crc32c(image.data(), image.size())};
   return Status::OK();
 }
 
@@ -144,6 +99,55 @@ std::string_view ToString(StorageScheme scheme) {
   return "?";
 }
 
+Status StoredIndex::ReadCheckedFile(const std::string& name,
+                                    std::vector<uint8_t>* bytes) const {
+  Status s = RunWithRetry(retry_, name, [&] {
+    return env_->ReadFileBytes(dir_ / name, bytes);
+  });
+  if (!s.ok()) return s;
+  if (!verified_) return Status::OK();
+  auto it = manifest_.find(name);
+  if (it == manifest_.end()) {
+    return Status::Corruption("file not in manifest: " + name);
+  }
+  if (bytes->size() != it->second.size) {
+    recovery_internal::CountChecksumFailure();
+    return Status::Corruption("size differs from manifest: " + name);
+  }
+  if (Crc32c(bytes->data(), bytes->size()) != it->second.crc) {
+    recovery_internal::CountChecksumFailure();
+    return Status::Corruption("checksum differs from manifest: " + name);
+  }
+  return Status::OK();
+}
+
+Status StoredIndex::ReadBlob(const std::string& name, std::vector<uint8_t>* raw,
+                             EvalStats* stats,
+                             double* decompress_seconds) const {
+  std::vector<uint8_t> bytes;
+  Status s = ReadCheckedFile(name, &bytes);
+  if (!s.ok()) return s;
+  format::CheckedBlob blob;
+  s = format::DecodeBlobFile(bytes, name, &blob);
+  if (!s.ok()) return s;
+  if (stats != nullptr) {
+    stats->bytes_read += static_cast<int64_t>(blob.payload.size());
+  }
+  auto start = std::chrono::steady_clock::now();
+  if (!codec_->Decompress(blob.payload, raw)) {
+    return Status::Corruption("decode failed: " + name);
+  }
+  if (decompress_seconds != nullptr) {
+    *decompress_seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+  }
+  if (raw->size() != blob.raw_size) {
+    return Status::Corruption("size mismatch: " + name);
+  }
+  return Status::OK();
+}
+
 // Per-query view over a StoredIndex.  For CS/IS the constructor eagerly
 // reads and inflates every index file (the paper's access-path model);
 // for BS each Fetch reads exactly one bitmap file.
@@ -158,9 +162,9 @@ class StoredQuerySource final : public BitmapSource {
         obs::TraceSpan span("storage", "load_component");
         span.set_component(c);
         EvalStats io;
-        status_ = ReadBlob(index_.dir_ / ComponentFileName(c), index_.codec(),
-                           &raw_[static_cast<size_t>(c)], &io,
-                           decompress_seconds_);
+        status_ = index_.ReadBlob(ComponentFileName(c),
+                                  &raw_[static_cast<size_t>(c)], &io,
+                                  decompress_seconds_);
         span.set_bytes(io.bytes_read);
         if (stats_ != nullptr) stats_->bytes_read += io.bytes_read;
         if (!status_.ok()) return;
@@ -173,8 +177,8 @@ class StoredQuerySource final : public BitmapSource {
       raw_.resize(1);
       obs::TraceSpan span("storage", "load_index");
       EvalStats io;
-      status_ = ReadBlob(index_.dir_ / kIndexFileName, index_.codec(), &raw_[0],
-                         &io, decompress_seconds_);
+      status_ = index_.ReadBlob(kIndexFileName, &raw_[0], &io,
+                                decompress_seconds_);
       span.set_bytes(io.bytes_read);
       if (stats_ != nullptr) stats_->bytes_read += io.bytes_read;
       if (status_.ok()) EnsureMatrixSize(&raw_[0], index_.row_stride_);
@@ -193,6 +197,7 @@ class StoredQuerySource final : public BitmapSource {
   }
 
   const Status& status() const { return status_; }
+  bool degraded() const { return degraded_; }
 
   const BaseSequence& base() const override { return index_.base(); }
   Encoding encoding() const override { return index_.encoding(); }
@@ -211,20 +216,25 @@ class StoredQuerySource final : public BitmapSource {
         span.set_hit(false);
         std::vector<uint8_t> raw;
         EvalStats io;
-        Status s = ReadBlob(index_.dir_ / BitmapFileName(component, slot),
-                            index_.codec(), &raw, &io, decompress_seconds_);
+        Status s = index_.ReadBlob(BitmapFileName(component, slot), &raw, &io,
+                                   decompress_seconds_);
         span.set_bytes(io.bytes_read);
         if (stats_ != nullptr) stats_->bytes_read += io.bytes_read;
+        if (s.ok() && raw.size() < (index_.num_records() + 7) / 8) {
+          s = Status::Corruption("bitmap file shorter than N bits: " +
+                                 BitmapFileName(component, slot));
+        }
         if (!s.ok()) {
+          // Corruption is deterministic (retrying re-reads the same rot);
+          // try to rebuild the bitmap from its sibling slices instead.
+          Bitvector rebuilt;
+          if (s.code() == Status::Code::kCorruption &&
+              TryReconstruct(component, slot, &rebuilt)) {
+            return rebuilt;
+          }
           // Remember the first failure; the query completes with empty
           // bitmaps and the caller sees the status.
           if (status_.ok()) status_ = std::move(s);
-          return Bitvector::Zeros(index_.num_records());
-        }
-        if (raw.size() < (index_.num_records() + 7) / 8) {
-          if (status_.ok()) {
-            status_ = Status::Corruption("bitmap file shorter than N bits");
-          }
           return Bitvector::Zeros(index_.num_records());
         }
         return Bitvector::FromBytes(raw, index_.num_records());
@@ -254,36 +264,127 @@ class StoredQuerySource final : public BitmapSource {
     return Bitvector();
   }
 
+  // A BS index stored with the "wah" codec serves the compressed-domain
+  // engine its stored payload directly — parse, validate, hand over; no
+  // inflate.  Any problem returns nullptr without counting anything, and
+  // the Fetch() fallback re-reads with full retry/reconstruction handling.
+  const WahBitvector* FetchWah(int component, uint32_t slot,
+                               EvalStats* stats) const override {
+    if (!UsesWahOperandPayloads(index_.scheme_, index_.codec())) {
+      return nullptr;
+    }
+    std::string name = BitmapFileName(component, slot);
+    std::vector<uint8_t> bytes;
+    if (!index_.ReadCheckedFile(name, &bytes).ok()) return nullptr;
+    format::CheckedBlob blob;
+    if (!format::DecodeBlobFile(bytes, name, &blob).ok()) return nullptr;
+    WahBitvector wah;
+    if (!WahCodec::DecodeToWah(blob.payload, &wah) ||
+        wah.size() != index_.num_records()) {
+      return nullptr;
+    }
+    // Same accounting as the Fetch() path: one scan, payload bytes.
+    if (stats != nullptr) ++stats->bitmap_scans;
+    if (stats_ != nullptr) {
+      stats_->bytes_read += static_cast<int64_t>(blob.payload.size());
+    }
+    static obs::Counter& direct = obs::MetricsRegistry::Global().GetCounter(
+        "storage.wah_direct_fetches");
+    direct.Increment();
+    if (obs::Tracer::enabled()) {
+      obs::TraceSpan span("fetch", "BS_wah_direct");
+      span.set_component(component);
+      span.set_slot(slot);
+      span.set_bytes(static_cast<int64_t>(blob.payload.size()));
+    }
+    wah_cache_.push_back(std::move(wah));
+    return &wah_cache_.back();
+  }
+
  private:
+  // Rebuilds equality slice E^slot as B_nn AND NOT (OR of the sibling
+  // slices): every non-null record sets exactly one slice, nulls set none.
+  // Only possible for BS equality components with base > 2 (base == 2
+  // stores a single slice; range bitmaps are prefix-ORs of each other and
+  // a lost one cannot be recovered from its neighbors).
+  bool TryReconstruct(int component, uint32_t slot, Bitvector* out) const {
+    if (index_.encoding_ != Encoding::kEquality) return false;
+    uint32_t base = index_.base().base(component);
+    if (base <= 2) return false;
+    obs::TraceSpan span("storage", "reconstruct");
+    span.set_component(component);
+    span.set_slot(slot);
+    Bitvector siblings_or = Bitvector::Zeros(index_.num_records());
+    for (uint32_t j = 0; j < base; ++j) {
+      if (j == slot) continue;
+      std::vector<uint8_t> raw;
+      EvalStats io;
+      Status s = index_.ReadBlob(BitmapFileName(component, j), &raw, &io,
+                                 decompress_seconds_);
+      if (stats_ != nullptr) stats_->bytes_read += io.bytes_read;
+      if (!s.ok() || raw.size() < (index_.num_records() + 7) / 8) {
+        return false;  // a sibling is damaged too; surface the original error
+      }
+      siblings_or.OrWith(Bitvector::FromBytes(raw, index_.num_records()));
+    }
+    *out = index_.non_null_;
+    out->AndNotWith(siblings_or);
+    recovery_internal::CountReconstruction();
+    degraded_ = true;
+    return true;
+  }
+
   const StoredIndex& index_;
   EvalStats* stats_;
   double* decompress_seconds_;
   std::vector<std::vector<uint8_t>> raw_;
+  // Deque: FetchWah hands out stable pointers into it.
+  mutable std::deque<WahBitvector> wah_cache_;
   mutable Status status_;
+  mutable bool degraded_ = false;
 };
 
 Status StoredIndex::Write(const BitmapIndex& index,
                           const std::filesystem::path& dir,
                           StorageScheme scheme, const Codec& codec,
-                          std::unique_ptr<StoredIndex>* out) {
+                          std::unique_ptr<StoredIndex>* out,
+                          const StoredIndexOptions& options) {
+  const Env* env = options.env != nullptr ? options.env : Env::Default();
   std::error_code ec;
   std::filesystem::create_directories(dir, ec);
   if (ec) return Status::IoError("cannot create directory: " + dir.string());
 
+  // Drop any stale manifest first: while the new files land, the directory
+  // must not look like a complete (old) verified index.
+  Status s = env->RemoveFile(dir / format::kManifestFile);
+  if (!s.ok()) return s;
+
+  format::Manifest manifest;
   int64_t stored = 0;
   int64_t uncompressed = 0;
-  Status s;
   const int n = index.base().num_components();
+  const bool wah_operands = UsesWahOperandPayloads(scheme, codec);
+
+  auto write_blob = [&](const std::string& name, std::span<const uint8_t> raw,
+                        std::vector<uint8_t> payload) {
+    stored += static_cast<int64_t>(payload.size());
+    uncompressed += static_cast<int64_t>(raw.size());
+    return WriteBlobFile(*env, dir, name, payload, raw.size(), &manifest);
+  };
 
   switch (scheme) {
     case StorageScheme::kBitmapLevel: {
       for (int c = 0; c < n && s.ok(); ++c) {
         const IndexComponent& comp = index.component(c);
         for (int j = 0; j < comp.num_stored_bitmaps() && s.ok(); ++j) {
-          std::vector<uint8_t> raw =
-              comp.stored(static_cast<uint32_t>(j)).ToBytes();
-          s = WriteBlob(dir / BitmapFileName(c, static_cast<uint32_t>(j)),
-                        codec, raw, &stored, &uncompressed);
+          const Bitvector& bits = comp.stored(static_cast<uint32_t>(j));
+          std::vector<uint8_t> raw = bits.ToBytes();
+          // The "wah" codec's BS payloads carry the exact record count, not
+          // the byte-padded bit length, so FetchWah operands match N.
+          std::vector<uint8_t> payload =
+              wah_operands ? WahCodec::EncodeBits(bits) : codec.Compress(raw);
+          s = write_blob(BitmapFileName(c, static_cast<uint32_t>(j)), raw,
+                         std::move(payload));
         }
       }
       break;
@@ -293,8 +394,7 @@ Status StoredIndex::Write(const BitmapIndex& index,
         uint32_t width = static_cast<uint32_t>(
             index.component(c).num_stored_bitmaps());
         std::vector<uint8_t> raw = PackRowMajor(index, c, c, width);
-        s = WriteBlob(dir / ComponentFileName(c), codec, raw, &stored,
-                      &uncompressed);
+        s = write_blob(ComponentFileName(c), raw, codec.Compress(raw));
       }
       break;
     }
@@ -304,7 +404,7 @@ Status StoredIndex::Write(const BitmapIndex& index,
         width += static_cast<uint32_t>(index.component(c).num_stored_bitmaps());
       }
       std::vector<uint8_t> raw = PackRowMajor(index, 0, n - 1, width);
-      s = WriteBlob(dir / kIndexFileName, codec, raw, &stored, &uncompressed);
+      s = write_blob(kIndexFileName, raw, codec.Compress(raw));
       break;
     }
   }
@@ -314,14 +414,14 @@ Status StoredIndex::Write(const BitmapIndex& index,
   // index size accounting (it is common to every candidate design).
   {
     std::vector<uint8_t> raw = index.non_null().ToBytes();
-    s = WriteFile(dir / kNonNullFile, raw, raw.size());
+    s = WriteBlobFile(*env, dir, kNonNullFile, raw, raw.size(), &manifest);
     if (!s.ok()) return s;
   }
 
   // Metadata.
   {
     std::ostringstream meta;
-    meta << "bix_index_meta_v1\n";
+    meta << "bix_index_meta_v2\n";
     meta << "records " << index.num_records() << "\n";
     meta << "cardinality " << index.cardinality() << "\n";
     meta << "encoding "
@@ -334,18 +434,30 @@ Status StoredIndex::Write(const BitmapIndex& index,
     meta << "bases_lsb";
     for (uint32_t b : index.base().bases_lsb_first()) meta << " " << b;
     meta << "\n";
-    std::ofstream f(dir / kMetaFile, std::ios::trunc);
-    if (!f) return Status::IoError("cannot write metadata");
-    f << meta.str();
-    if (!f) return Status::IoError("metadata write failed");
+    std::string text = meta.str();
+    std::span<const uint8_t> bytes(
+        reinterpret_cast<const uint8_t*>(text.data()), text.size());
+    s = env->WriteFile(dir / kMetaFile, bytes);
+    if (!s.ok()) return s;
+    manifest[kMetaFile] = format::ManifestEntry{
+        text.size(), Crc32c(text.data(), text.size())};
   }
 
-  return Open(dir, out);
+  // The manifest goes last, atomically: a crash before this point leaves a
+  // directory without a (current) manifest, which refuses to open as a
+  // verified index rather than serving a torn mix of files.
+  s = format::WriteManifest(*env, dir, manifest);
+  if (!s.ok()) return s;
+
+  return Open(dir, out, options);
 }
 
 Status StoredIndex::Open(const std::filesystem::path& dir,
-                         std::unique_ptr<StoredIndex>* out) {
+                         std::unique_ptr<StoredIndex>* out,
+                         const StoredIndexOptions& options) {
   auto index = std::unique_ptr<StoredIndex>(new StoredIndex());
+  index->env_ = options.env != nullptr ? options.env : Env::Default();
+  index->retry_ = options.retry;
   index->dir_ = dir;
   Status s = index->LoadMeta(dir);
   if (!s.ok()) return s;
@@ -354,11 +466,34 @@ Status StoredIndex::Open(const std::filesystem::path& dir,
 }
 
 Status StoredIndex::LoadMeta(const std::filesystem::path& dir) {
-  std::ifstream f(dir / kMetaFile);
-  if (!f) return Status::IoError("cannot open metadata in " + dir.string());
+  // Manifest first: it decides whether every later read is verified.
+  {
+    Status s = format::ReadManifest(*env_, dir, &manifest_);
+    if (s.ok()) {
+      verified_ = true;
+    } else if (s.code() == Status::Code::kNotFound) {
+      verified_ = false;  // legacy (V1) index
+    } else {
+      return s;
+    }
+  }
+
+  std::vector<uint8_t> meta_bytes;
+  Status s = ReadCheckedFile(kMetaFile, &meta_bytes);
+  if (!s.ok()) return s;
+  std::istringstream f(
+      std::string(reinterpret_cast<const char*>(meta_bytes.data()),
+                  meta_bytes.size()));
   std::string header;
   std::getline(f, header);
-  if (header != "bix_index_meta_v1") {
+  if (header == "bix_index_meta_v2") {
+    if (!verified_) {
+      // A V2 index always materializes its manifest last; its absence means
+      // the materialize never finished (or the manifest was destroyed).
+      return Status::Corruption(
+          "v2 index has no manifest (torn materialize?): " + dir.string());
+    }
+  } else if (header != "bix_index_meta_v1") {
     return Status::Corruption("unknown metadata header");
   }
   std::string key;
@@ -412,13 +547,18 @@ Status StoredIndex::LoadMeta(const std::filesystem::path& dir) {
   codec_ = CodecByName(codec_name);
   if (codec_ == nullptr) return Status::Corruption("bad codec: " + codec_name);
 
-  // Non-null bitmap.
+  // Non-null bitmap (stored uncompressed; V2 blob or legacy V1).
   {
-    std::vector<uint8_t> raw;
-    uint64_t raw_size = 0;
-    Status s = ReadFile(dir / kNonNullFile, &raw, &raw_size);
-    if (!s.ok()) return s;
-    non_null_ = Bitvector::FromBytes(raw, num_records_);
+    std::vector<uint8_t> bytes;
+    Status nn = ReadCheckedFile(kNonNullFile, &bytes);
+    if (!nn.ok()) return nn;
+    format::CheckedBlob blob;
+    nn = format::DecodeBlobFile(bytes, kNonNullFile, &blob);
+    if (!nn.ok()) return nn;
+    if (blob.payload.size() < (num_records_ + 7) / 8) {
+      return Status::Corruption("non-null bitmap shorter than N bits");
+    }
+    non_null_ = Bitvector::FromBytes(blob.payload, num_records_);
   }
 
   slot_offsets_.clear();
@@ -457,6 +597,7 @@ Bitvector StoredIndex::Evaluate(EvalAlgorithm algorithm, CompareOp op,
                  ? EvaluatePredicate(source, algorithm, op, v, *exec, s)
                  : EvaluatePredicate(source, algorithm, op, v, s);
   }
+  if (source.degraded()) recovery_internal::CountDegradedQuery();
 
   auto& reg = obs::MetricsRegistry::Global();
   static obs::Counter& queries = reg.GetCounter("storage.queries");

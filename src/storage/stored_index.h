@@ -14,6 +14,16 @@
 // paper's naming).  StoredIndex materializes an in-memory BitmapIndex to a
 // directory, reopens it later, and evaluates predicates with the shared
 // algorithms, accounting bytes read and decompression time.
+//
+// Fault tolerance (DESIGN.md §10): files are written in the checksummed V2
+// format (storage/format.h) and the directory carries an atomic manifest,
+// so torn materializes and bit rot are detected, never silently served.
+// All I/O flows through an injectable Env; reads failing with transient
+// I/O errors are retried per RetryPolicy, and for BS equality-encoded
+// indexes a corrupt bitmap is reconstructed from its sibling slices
+// (E^j = B_nn AND NOT (OR of the other E^i)) rather than failing the
+// query.  Queries that cannot recover fail with a non-OK Status — a
+// corrupted index never produces a silently wrong foundset.
 
 #ifndef BIX_STORAGE_STORED_INDEX_H_
 #define BIX_STORAGE_STORED_INDEX_H_
@@ -32,6 +42,9 @@
 #include "core/eval_stats.h"
 #include "core/predicate.h"
 #include "core/status.h"
+#include "storage/env.h"
+#include "storage/format.h"
+#include "storage/recovery.h"
 
 namespace bix {
 
@@ -43,17 +56,29 @@ enum class StorageScheme {
 
 std::string_view ToString(StorageScheme scheme);
 
+/// How a StoredIndex talks to storage.  Defaults: the real filesystem, 4
+/// read attempts with decorrelated-jitter backoff.
+struct StoredIndexOptions {
+  const Env* env = nullptr;  // nullptr -> Env::Default()
+  RetryPolicy retry;
+};
+
 class StoredIndex {
  public:
   /// Writes `index` to `dir` (created if missing; existing index files are
-  /// overwritten) and returns an open handle through `*out`.
+  /// overwritten) and returns an open handle through `*out`.  Any stale
+  /// manifest is removed first and a fresh one is written *last*
+  /// (atomically), so a crash mid-write can never leave a directory that
+  /// opens as a verified index with mixed contents.
   static Status Write(const BitmapIndex& index,
                       const std::filesystem::path& dir, StorageScheme scheme,
-                      const Codec& codec, std::unique_ptr<StoredIndex>* out);
+                      const Codec& codec, std::unique_ptr<StoredIndex>* out,
+                      const StoredIndexOptions& options = {});
 
   /// Opens an index previously materialized with Write.
   static Status Open(const std::filesystem::path& dir,
-                     std::unique_ptr<StoredIndex>* out);
+                     std::unique_ptr<StoredIndex>* out,
+                     const StoredIndexOptions& options = {});
 
   const BaseSequence& base() const { return base_; }
   Encoding encoding() const { return encoding_; }
@@ -61,6 +86,11 @@ class StoredIndex {
   const Codec& codec() const { return *codec_; }
   size_t num_records() const { return num_records_; }
   uint32_t cardinality() const { return cardinality_; }
+
+  /// True when the directory carries a valid manifest and reads are
+  /// checksum-verified end to end; false for legacy (V1) indexes, which
+  /// still load but whose bytes are trusted as-is.
+  bool verified() const { return verified_; }
 
   /// Total on-disk payload bytes of the index bitmap files (compressed
   /// size; excludes the metadata and the shared non-null bitmap).
@@ -77,15 +107,20 @@ class StoredIndex {
   ///
   /// On a read or corruption failure the error is reported through
   /// `*status` (and an empty bitvector returned); when `status` is null
-  /// such failures abort via BIX_CHECK.
+  /// such failures abort via BIX_CHECK.  Transient read errors are retried
+  /// per the open options before surfacing; a checksum failure on a BS
+  /// equality bitmap (base > 2) is healed by reconstructing the slice from
+  /// its siblings, counting the query as degraded.
   ///
   /// With non-null `exec`, the bitwise combining runs on the engine
   /// `exec->engine` selects: the segmented dense engine
   /// (exec/segmented_eval.h) with `exec->num_threads` lanes for kPlain, or
   /// the compressed-domain WAH engine (exec/wah_engine.h) for kWah/kAuto
   /// (kWah compresses fetched bitmaps and runs every operation
-  /// run-at-a-time; kAuto decides per operand).  Bytes read, EvalStats, and
-  /// the result are identical across engines.
+  /// run-at-a-time; kAuto decides per operand).  A BS index stored with the
+  /// "wah" codec hands its stored payloads to the WAH engine directly
+  /// (BitmapSource::FetchWah), with no inflate on the fetch path.  Bytes
+  /// read, EvalStats, and the result are identical across engines.
   Bitvector Evaluate(EvalAlgorithm algorithm, CompareOp op, int64_t v,
                      EvalStats* stats = nullptr,
                      double* decompress_seconds = nullptr,
@@ -97,8 +132,20 @@ class StoredIndex {
 
   Status LoadMeta(const std::filesystem::path& dir);
 
+  /// Reads one index file with retry and (when a manifest is present)
+  /// whole-file size + CRC verification against it.
+  Status ReadCheckedFile(const std::string& name,
+                         std::vector<uint8_t>* bytes) const;
+
+  /// ReadCheckedFile + V2 header/block verification + codec decode.
+  /// `stats`/`decompress_seconds` account payload bytes and inflate time.
+  Status ReadBlob(const std::string& name, std::vector<uint8_t>* raw,
+                  EvalStats* stats, double* decompress_seconds) const;
+
   friend class StoredQuerySource;
 
+  const Env* env_ = nullptr;
+  RetryPolicy retry_;
   std::filesystem::path dir_;
   BaseSequence base_;
   Encoding encoding_ = Encoding::kRange;
@@ -109,6 +156,8 @@ class StoredIndex {
   Bitvector non_null_;
   int64_t stored_bytes_ = 0;
   int64_t uncompressed_bytes_ = 0;
+  bool verified_ = false;
+  format::Manifest manifest_;
   // Stored-slot offset of each component within an IS row.
   std::vector<uint32_t> slot_offsets_;
   uint32_t row_stride_ = 0;  // total stored bitmaps (IS row width)

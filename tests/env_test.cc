@@ -1,0 +1,222 @@
+// Env seam: POSIX behavior (short reads only at EOF, atomic writes, listing)
+// and deterministic fault injection (transient heal, sticky persist, bit
+// flips, truncation, rename failure).
+
+#include "storage/env.h"
+
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace bix {
+namespace {
+
+class TempDir {
+ public:
+  TempDir() {
+    std::string tmpl =
+        (std::filesystem::temp_directory_path() / "bix_env_test_XXXXXX")
+            .string();
+    std::vector<char> buf(tmpl.begin(), tmpl.end());
+    buf.push_back('\0');
+    path_ = mkdtemp(buf.data());
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+  const std::filesystem::path& path() const { return path_; }
+
+ private:
+  std::filesystem::path path_;
+};
+
+std::vector<uint8_t> Bytes(const std::string& s) {
+  return {s.begin(), s.end()};
+}
+
+TEST(PosixEnvTest, WriteReadRoundTrip) {
+  TempDir dir;
+  const Env* env = Env::Default();
+  std::vector<uint8_t> data = Bytes("hello storage layer");
+  ASSERT_TRUE(env->WriteFile(dir.path() / "f", data).ok());
+  std::vector<uint8_t> back;
+  ASSERT_TRUE(env->ReadFileBytes(dir.path() / "f", &back).ok());
+  EXPECT_EQ(back, data);
+}
+
+TEST(PosixEnvTest, ReadIsShortOnlyAtEof) {
+  TempDir dir;
+  const Env* env = Env::Default();
+  ASSERT_TRUE(env->WriteFile(dir.path() / "f", Bytes("0123456789")).ok());
+  std::unique_ptr<RandomAccessFile> file;
+  ASSERT_TRUE(env->NewRandomAccessFile(dir.path() / "f", &file).ok());
+  uint64_t size = 0;
+  ASSERT_TRUE(file->Size(&size).ok());
+  EXPECT_EQ(size, 10u);
+  std::vector<uint8_t> out;
+  ASSERT_TRUE(file->Read(4, 3, &out).ok());
+  EXPECT_EQ(out, Bytes("456"));
+  // Crossing EOF returns the available prefix.
+  ASSERT_TRUE(file->Read(8, 10, &out).ok());
+  EXPECT_EQ(out, Bytes("89"));
+  // Entirely past EOF returns empty, not an error.
+  ASSERT_TRUE(file->Read(100, 5, &out).ok());
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(PosixEnvTest, OpenMissingFileFails) {
+  TempDir dir;
+  std::unique_ptr<RandomAccessFile> file;
+  Status s = Env::Default()->NewRandomAccessFile(dir.path() / "nope", &file);
+  EXPECT_EQ(s.code(), Status::Code::kIoError);
+}
+
+TEST(PosixEnvTest, WriteFileAtomicReplacesAndLeavesNoTemp) {
+  TempDir dir;
+  const Env* env = Env::Default();
+  ASSERT_TRUE(env->WriteFileAtomic(dir.path() / "f", Bytes("old")).ok());
+  ASSERT_TRUE(env->WriteFileAtomic(dir.path() / "f", Bytes("new")).ok());
+  std::vector<uint8_t> back;
+  ASSERT_TRUE(env->ReadFileBytes(dir.path() / "f", &back).ok());
+  EXPECT_EQ(back, Bytes("new"));
+  EXPECT_FALSE(env->FileExists(dir.path() / "f.tmp"));
+}
+
+TEST(PosixEnvTest, ListDirSortedAndRemoveIdempotent) {
+  TempDir dir;
+  const Env* env = Env::Default();
+  ASSERT_TRUE(env->WriteFile(dir.path() / "b", Bytes("1")).ok());
+  ASSERT_TRUE(env->WriteFile(dir.path() / "a", Bytes("2")).ok());
+  std::vector<std::string> names;
+  ASSERT_TRUE(env->ListDir(dir.path(), &names).ok());
+  EXPECT_EQ(names, (std::vector<std::string>{"a", "b"}));
+  EXPECT_TRUE(env->RemoveFile(dir.path() / "a").ok());
+  EXPECT_TRUE(env->RemoveFile(dir.path() / "a").ok());  // already gone: OK
+  ASSERT_TRUE(env->ListDir(dir.path(), &names).ok());
+  EXPECT_EQ(names, (std::vector<std::string>{"b"}));
+}
+
+TEST(FaultInjectingEnvTest, TransientErrorsHealAfterCount) {
+  TempDir dir;
+  ASSERT_TRUE(
+      Env::Default()->WriteFile(dir.path() / "f", Bytes("payload")).ok());
+  FaultPlan plan;
+  plan.faults.push_back({FaultSpec::Kind::kTransient, "f", 0, 0, 2});
+  FaultInjectingEnv env(Env::Default(), std::move(plan));
+  std::unique_ptr<RandomAccessFile> file;
+  ASSERT_TRUE(env.NewRandomAccessFile(dir.path() / "f", &file).ok());
+  std::vector<uint8_t> out;
+  EXPECT_EQ(file->Read(0, 7, &out).code(), Status::Code::kIoError);
+  EXPECT_EQ(file->Read(0, 7, &out).code(), Status::Code::kIoError);
+  ASSERT_TRUE(file->Read(0, 7, &out).ok());  // healed
+  EXPECT_EQ(out, Bytes("payload"));
+  EXPECT_EQ(env.injected_errors(), 2);
+  EXPECT_EQ(env.injected_corruptions(), 0);
+}
+
+TEST(FaultInjectingEnvTest, StickyErrorsNeverHeal) {
+  TempDir dir;
+  ASSERT_TRUE(Env::Default()->WriteFile(dir.path() / "f", Bytes("x")).ok());
+  FaultPlan plan;
+  plan.faults.push_back({FaultSpec::Kind::kSticky, "f", 0, 0, 1});
+  FaultInjectingEnv env(Env::Default(), std::move(plan));
+  std::unique_ptr<RandomAccessFile> file;
+  ASSERT_TRUE(env.NewRandomAccessFile(dir.path() / "f", &file).ok());
+  std::vector<uint8_t> out;
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(file->Read(0, 1, &out).code(), Status::Code::kIoError);
+  }
+  EXPECT_EQ(env.injected_errors(), 5);
+}
+
+TEST(FaultInjectingEnvTest, BitFlipIsDeterministicAndPersistent) {
+  TempDir dir;
+  std::vector<uint8_t> data(100, 0x00);
+  ASSERT_TRUE(Env::Default()->WriteFile(dir.path() / "f", data).ok());
+  FaultPlan plan;
+  plan.faults.push_back({FaultSpec::Kind::kBitFlip, "f", 42, 3, 1});
+  FaultInjectingEnv env(Env::Default(), std::move(plan));
+  std::unique_ptr<RandomAccessFile> file;
+  ASSERT_TRUE(env.NewRandomAccessFile(dir.path() / "f", &file).ok());
+  std::vector<uint8_t> out;
+  for (int pass = 0; pass < 3; ++pass) {
+    ASSERT_TRUE(file->Read(0, 100, &out).ok());
+    ASSERT_EQ(out.size(), 100u);
+    EXPECT_EQ(out[42], uint8_t{1} << 3) << "pass " << pass;
+    for (size_t i = 0; i < out.size(); ++i) {
+      if (i != 42) {
+        ASSERT_EQ(out[i], 0u) << "byte " << i;
+      }
+    }
+  }
+  // A read window not covering the byte is untouched.
+  ASSERT_TRUE(file->Read(0, 42, &out).ok());
+  for (uint8_t b : out) ASSERT_EQ(b, 0u);
+  EXPECT_EQ(env.injected_corruptions(), 1);  // one fault, counted once
+  EXPECT_EQ(env.injected_errors(), 0);
+}
+
+TEST(FaultInjectingEnvTest, BitFlipOffsetWrapsModuloFileSize) {
+  TempDir dir;
+  std::vector<uint8_t> data(10, 0x00);
+  ASSERT_TRUE(Env::Default()->WriteFile(dir.path() / "f", data).ok());
+  FaultPlan plan;
+  plan.faults.push_back({FaultSpec::Kind::kBitFlip, "f", 23, 0, 1});  // 23 % 10
+  FaultInjectingEnv env(Env::Default(), std::move(plan));
+  std::vector<uint8_t> out;
+  ASSERT_TRUE(env.ReadFileBytes(dir.path() / "f", &out).ok());
+  EXPECT_EQ(out[3], 1u);
+}
+
+TEST(FaultInjectingEnvTest, TruncationShortensReadsAndSize) {
+  TempDir dir;
+  ASSERT_TRUE(
+      Env::Default()->WriteFile(dir.path() / "f", Bytes("0123456789")).ok());
+  FaultPlan plan;
+  plan.faults.push_back({FaultSpec::Kind::kTruncate, "f", 4, 0, 1});
+  FaultInjectingEnv env(Env::Default(), std::move(plan));
+  std::unique_ptr<RandomAccessFile> file;
+  ASSERT_TRUE(env.NewRandomAccessFile(dir.path() / "f", &file).ok());
+  uint64_t size = 0;
+  ASSERT_TRUE(file->Size(&size).ok());
+  EXPECT_EQ(size, 4u);
+  std::vector<uint8_t> out;
+  ASSERT_TRUE(file->Read(0, 10, &out).ok());
+  EXPECT_EQ(out, Bytes("0123"));
+  EXPECT_EQ(env.injected_corruptions(), 1);
+}
+
+TEST(FaultInjectingEnvTest, RenameFailureConsumesBudgetThenSucceeds) {
+  TempDir dir;
+  const Env* posix = Env::Default();
+  ASSERT_TRUE(posix->WriteFile(dir.path() / "src", Bytes("v")).ok());
+  FaultPlan plan;
+  plan.faults.push_back({FaultSpec::Kind::kRenameFail, "dst", 0, 0, 1});
+  FaultInjectingEnv env(posix, std::move(plan));
+  EXPECT_EQ(env.Rename(dir.path() / "src", dir.path() / "dst").code(),
+            Status::Code::kIoError);
+  EXPECT_TRUE(env.FileExists(dir.path() / "src"));
+  EXPECT_FALSE(env.FileExists(dir.path() / "dst"));
+  ASSERT_TRUE(env.Rename(dir.path() / "src", dir.path() / "dst").ok());
+  EXPECT_TRUE(env.FileExists(dir.path() / "dst"));
+}
+
+TEST(FaultInjectingEnvTest, FaultsTargetOnlyMatchingPaths) {
+  TempDir dir;
+  const Env* posix = Env::Default();
+  ASSERT_TRUE(posix->WriteFile(dir.path() / "target.bm", Bytes("a")).ok());
+  ASSERT_TRUE(posix->WriteFile(dir.path() / "other.bm", Bytes("b")).ok());
+  FaultPlan plan;
+  plan.faults.push_back({FaultSpec::Kind::kSticky, "target.bm", 0, 0, 1});
+  FaultInjectingEnv env(posix, std::move(plan));
+  std::vector<uint8_t> out;
+  EXPECT_FALSE(env.ReadFileBytes(dir.path() / "target.bm", &out).ok());
+  EXPECT_TRUE(env.ReadFileBytes(dir.path() / "other.bm", &out).ok());
+}
+
+}  // namespace
+}  // namespace bix

@@ -1,0 +1,135 @@
+// Retry policy: decorrelated-jitter bounds and determinism, retry-on-
+// transient-only semantics, and metric accounting — all with a recorded
+// sleep hook, never a real sleep.
+
+#include "storage/recovery.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+
+namespace bix {
+namespace {
+
+RetryPolicy RecordingPolicy(std::vector<int64_t>* slept,
+                            int max_attempts = 4) {
+  RetryPolicy policy;
+  policy.max_attempts = max_attempts;
+  policy.base_delay_us = 50;
+  policy.max_delay_us = 5000;
+  policy.seed = 42;
+  policy.sleep = [slept](int64_t us) { slept->push_back(us); };
+  return policy;
+}
+
+TEST(BackoffTest, DelaysStayWithinDecorrelatedJitterBounds) {
+  RetryPolicy policy;
+  policy.base_delay_us = 100;
+  policy.max_delay_us = 2000;
+  policy.seed = 7;
+  Backoff backoff(policy);
+  int64_t prev = policy.base_delay_us;
+  for (int i = 0; i < 200; ++i) {
+    int64_t d = backoff.NextDelayUs();
+    EXPECT_GE(d, policy.base_delay_us);
+    EXPECT_LE(d, policy.max_delay_us);
+    EXPECT_LE(d, std::max(policy.base_delay_us, 3 * prev));
+    prev = d;
+  }
+}
+
+TEST(BackoffTest, SameSeedSameScheduleDifferentSeedDiverges) {
+  RetryPolicy policy;
+  policy.seed = 99;
+  Backoff a(policy);
+  Backoff b(policy);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(a.NextDelayUs(), b.NextDelayUs());
+  Backoff c(policy);
+  policy.seed = 100;
+  Backoff d(policy);
+  bool any_different = false;
+  for (int i = 0; i < 50; ++i) {
+    if (c.NextDelayUs() != d.NextDelayUs()) any_different = true;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(RunWithRetryTest, TransientErrorSucceedsWithinBudget) {
+  std::vector<int64_t> slept;
+  int calls = 0;
+  Status s = RunWithRetry(RecordingPolicy(&slept), "op", [&] {
+    ++calls;
+    return calls < 3 ? Status::IoError("flaky") : Status::OK();
+  });
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(slept.size(), 2u);  // slept before attempts 2 and 3
+  for (int64_t us : slept) EXPECT_GE(us, 50);
+}
+
+TEST(RunWithRetryTest, GivesUpAfterMaxAttempts) {
+  std::vector<int64_t> slept;
+  int calls = 0;
+  Status s = RunWithRetry(RecordingPolicy(&slept), "op", [&] {
+    ++calls;
+    return Status::IoError("always down");
+  });
+  EXPECT_EQ(s.code(), Status::Code::kIoError);
+  EXPECT_EQ(calls, 4);
+  EXPECT_EQ(slept.size(), 3u);
+}
+
+TEST(RunWithRetryTest, CorruptionIsNeverRetried) {
+  // Re-reading rotted bytes yields the same rot; only kIoError retries.
+  std::vector<int64_t> slept;
+  int calls = 0;
+  Status s = RunWithRetry(RecordingPolicy(&slept), "op", [&] {
+    ++calls;
+    return Status::Corruption("bad checksum");
+  });
+  EXPECT_EQ(s.code(), Status::Code::kCorruption);
+  EXPECT_EQ(calls, 1);
+  EXPECT_TRUE(slept.empty());
+}
+
+TEST(RunWithRetryTest, FirstAttemptSuccessIsFree) {
+  std::vector<int64_t> slept;
+  int calls = 0;
+  int64_t retries_before =
+      obs::MetricsRegistry::Global().GetCounter("storage.retries").value();
+  Status s = RunWithRetry(RecordingPolicy(&slept), "op", [&] {
+    ++calls;
+    return Status::OK();
+  });
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(calls, 1);
+  EXPECT_TRUE(slept.empty());
+  EXPECT_EQ(
+      obs::MetricsRegistry::Global().GetCounter("storage.retries").value(),
+      retries_before);
+}
+
+TEST(RunWithRetryTest, RetriesAreCounted) {
+  auto& counter = obs::MetricsRegistry::Global().GetCounter("storage.retries");
+  int64_t before = counter.value();
+  std::vector<int64_t> slept;
+  (void)RunWithRetry(RecordingPolicy(&slept), "op",
+                     [&] { return Status::IoError("down"); });
+  EXPECT_EQ(counter.value(), before + 3);
+}
+
+TEST(RunWithRetryTest, MaxAttemptsFloorIsOne) {
+  std::vector<int64_t> slept;
+  int calls = 0;
+  RetryPolicy policy = RecordingPolicy(&slept, /*max_attempts=*/0);
+  (void)RunWithRetry(policy, "op", [&] {
+    ++calls;
+    return Status::IoError("down");
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace bix

@@ -1,0 +1,531 @@
+// Fault-tolerant storage format: V2 blob round-trips, checksum detection,
+// manifest atomicity under injected crash faults, V1 compatibility, retry
+// against transient errors, sibling reconstruction, and the direct
+// stored-WAH fetch path.
+
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bitmap/crc32c.h"
+#include "core/bitmap_index.h"
+#include "obs/metrics.h"
+#include "storage/env.h"
+#include "storage/format.h"
+#include "storage/stored_index.h"
+#include "workload/generators.h"
+#include "workload/queries.h"
+
+namespace bix {
+namespace {
+
+class TempDir {
+ public:
+  TempDir() {
+    std::string tmpl =
+        (std::filesystem::temp_directory_path() / "bix_v2_test_XXXXXX")
+            .string();
+    std::vector<char> buf(tmpl.begin(), tmpl.end());
+    buf.push_back('\0');
+    path_ = mkdtemp(buf.data());
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+  const std::filesystem::path& path() const { return path_; }
+
+ private:
+  std::filesystem::path path_;
+};
+
+int64_t CounterValue(const char* name) {
+  return obs::MetricsRegistry::Global().GetCounter(name).value();
+}
+
+// XORs one byte of a file in place (out-of-band, as bit rot would).
+void FlipByteOnDisk(const std::filesystem::path& path, uint64_t offset,
+                    uint8_t mask = 0x01) {
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f.is_open()) << path;
+  f.seekg(static_cast<std::streamoff>(offset));
+  char b;
+  f.read(&b, 1);
+  b = static_cast<char>(b ^ mask);
+  f.seekp(static_cast<std::streamoff>(offset));
+  f.write(&b, 1);
+  ASSERT_TRUE(f.good());
+}
+
+uint64_t FileSize(const std::filesystem::path& path) {
+  return std::filesystem::file_size(path);
+}
+
+RetryPolicy NoSleepRetry(int max_attempts = 4) {
+  RetryPolicy policy;
+  policy.max_attempts = max_attempts;
+  policy.sleep = [](int64_t) {};
+  return policy;
+}
+
+BitmapIndex MakeIndex(Encoding encoding, uint32_t c = 10, size_t n = 400,
+                      uint64_t seed = 11) {
+  std::vector<uint32_t> values = GenerateUniform(n, c, seed);
+  values[7] = kNullValue;
+  return BitmapIndex::Build(values, c, BaseSequence::SingleComponent(c),
+                            encoding);
+}
+
+// --- format unit tests ----------------------------------------------------
+
+TEST(FormatTest, BlobFileRoundTripsAcrossBlockBoundaries) {
+  for (size_t payload_size :
+       {size_t{0}, size_t{1}, size_t{4095}, size_t{4096}, size_t{4097},
+        size_t{3 * 4096 + 17}}) {
+    std::vector<uint8_t> payload(payload_size);
+    for (size_t i = 0; i < payload_size; ++i) {
+      payload[i] = static_cast<uint8_t>(i * 31 + 7);
+    }
+    std::vector<uint8_t> image = format::EncodeBlobFile(payload, 12345);
+    format::CheckedBlob blob;
+    ASSERT_TRUE(format::DecodeBlobFile(image, "t", &blob).ok())
+        << payload_size;
+    EXPECT_EQ(blob.payload, payload);
+    EXPECT_EQ(blob.raw_size, 12345u);
+    EXPECT_TRUE(blob.verified);
+  }
+}
+
+TEST(FormatTest, EveryFlippedBitIsDetected) {
+  std::vector<uint8_t> payload(5000, 0xC3);
+  std::vector<uint8_t> image = format::EncodeBlobFile(payload, 5000);
+  // Probe a byte in the header, the CRC array, each payload block, and the
+  // final byte; every single-bit flip must be caught.
+  const size_t probes[] = {0, 5, 22, 29, 40, 4000, image.size() - 1};
+  for (size_t byte : probes) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::vector<uint8_t> bad = image;
+      bad[byte] ^= static_cast<uint8_t>(1 << bit);
+      format::CheckedBlob blob;
+      Status s = format::DecodeBlobFile(bad, "t", &blob);
+      EXPECT_EQ(s.code(), Status::Code::kCorruption)
+          << "byte=" << byte << " bit=" << bit;
+    }
+  }
+}
+
+TEST(FormatTest, CorruptionNamesTheBadBlock) {
+  std::vector<uint8_t> payload(3 * 4096, 0x11);
+  std::vector<uint8_t> image = format::EncodeBlobFile(payload, payload.size());
+  // Header is 32 + 3*4 bytes; flip a byte inside payload block 1.
+  size_t header = 32 + 3 * 4;
+  std::vector<uint8_t> bad = image;
+  bad[header + 4096 + 100] ^= 0x80;
+  format::CheckedBlob blob;
+  Status s = format::DecodeBlobFile(bad, "c0_b3.bm", &blob);
+  ASSERT_EQ(s.code(), Status::Code::kCorruption);
+  EXPECT_NE(s.ToString().find("block 1"), std::string::npos) << s.ToString();
+  EXPECT_NE(s.ToString().find("c0_b3.bm"), std::string::npos);
+}
+
+TEST(FormatTest, V1FilesDecodeUnverified) {
+  std::vector<uint8_t> image = {'B', 'I', 'X', 'F'};
+  uint64_t raw_size = 3;
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(&raw_size);
+  image.insert(image.end(), p, p + 8);
+  image.insert(image.end(), {0xAA, 0xBB, 0xCC});
+  format::CheckedBlob blob;
+  ASSERT_TRUE(format::DecodeBlobFile(image, "t", &blob).ok());
+  EXPECT_FALSE(blob.verified);
+  EXPECT_EQ(blob.raw_size, 3u);
+  EXPECT_EQ(blob.payload, (std::vector<uint8_t>{0xAA, 0xBB, 0xCC}));
+}
+
+TEST(FormatTest, ManifestRoundTripAndSelfChecksum) {
+  format::Manifest manifest;
+  manifest["a.bm"] = {100, 0xDEADBEEF};
+  manifest["index.meta"] = {37, 0x01020304};
+  std::vector<uint8_t> bytes = format::EncodeManifest(manifest);
+  format::Manifest back;
+  ASSERT_TRUE(format::DecodeManifest(bytes, &back).ok());
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back["a.bm"].size, 100u);
+  EXPECT_EQ(back["a.bm"].crc, 0xDEADBEEFu);
+  // Any altered byte breaks the trailing self-checksum.  (Flip bit 0, not
+  // 0x20: case-flipping a hex digit of the CRC line itself parses to the
+  // same value.)
+  for (size_t i = 0; i < bytes.size() - 1; ++i) {
+    std::vector<uint8_t> bad = bytes;
+    bad[i] ^= 0x01;
+    format::Manifest m;
+    EXPECT_FALSE(format::DecodeManifest(bad, &m).ok()) << "byte " << i;
+  }
+}
+
+// --- stored index: verified writes ---------------------------------------
+
+TEST(StorageV2Test, WriteProducesVerifiedManifestedIndex) {
+  BitmapIndex index = MakeIndex(Encoding::kRange);
+  const NullCodec none;
+  TempDir dir;
+  std::unique_ptr<StoredIndex> stored;
+  ASSERT_TRUE(StoredIndex::Write(index, dir.path() / "idx",
+                                 StorageScheme::kBitmapLevel, none, &stored)
+                  .ok());
+  EXPECT_TRUE(stored->verified());
+  EXPECT_TRUE(
+      std::filesystem::exists(dir.path() / "idx" / format::kManifestFile));
+
+  format::ScrubReport report;
+  ASSERT_TRUE(
+      format::ScrubIndexDir(*Env::Default(), dir.path() / "idx", &report)
+          .ok());
+  EXPECT_TRUE(report.has_manifest);
+  EXPECT_TRUE(report.manifest_ok);
+  EXPECT_TRUE(report.clean());
+  for (const auto& f : report.files) {
+    EXPECT_EQ(f.state, format::FileCheck::State::kOk) << f.name;
+  }
+}
+
+TEST(StorageV2Test, FlippedPayloadByteFailsTheQueryLoudly) {
+  BitmapIndex index = MakeIndex(Encoding::kRange);
+  const NullCodec none;
+  TempDir dir;
+  std::unique_ptr<StoredIndex> stored;
+  ASSERT_TRUE(StoredIndex::Write(index, dir.path() / "idx",
+                                 StorageScheme::kBitmapLevel, none, &stored)
+                  .ok());
+  // Flip one payload byte of a range bitmap (header is 36 bytes for a
+  // single-block file); range encodings have no sibling redundancy, so the
+  // query must fail with Corruption — never return a wrong foundset.
+  FlipByteOnDisk(dir.path() / "idx" / "c0_b5.bm", 40);
+  int64_t failures_before = CounterValue("storage.checksum_failures");
+  Status status;
+  Bitvector result = stored->Evaluate(EvalAlgorithm::kAuto, CompareOp::kLe, 5,
+                                      nullptr, nullptr, &status);
+  EXPECT_EQ(status.code(), Status::Code::kCorruption) << status.ToString();
+  EXPECT_TRUE(result.empty());
+  EXPECT_GT(CounterValue("storage.checksum_failures"), failures_before);
+  // Untouched bitmaps still serve queries.
+  Status ok_status;
+  Bitvector got = stored->Evaluate(EvalAlgorithm::kAuto, CompareOp::kLe, 2,
+                                   nullptr, nullptr, &ok_status);
+  EXPECT_TRUE(ok_status.ok());
+  EXPECT_EQ(got, index.Evaluate(CompareOp::kLe, 2));
+  // A scrub pinpoints the damaged file.
+  format::ScrubReport report;
+  ASSERT_TRUE(
+      format::ScrubIndexDir(*Env::Default(), dir.path() / "idx", &report)
+          .ok());
+  EXPECT_FALSE(report.clean());
+  bool found = false;
+  for (const auto& f : report.files) {
+    if (f.name == "c0_b5.bm") {
+      found = true;
+      EXPECT_EQ(f.state, format::FileCheck::State::kCorrupt);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(StorageV2Test, ManifestWriteIsAtomicUnderCrash) {
+  // Simulate a crash between the manifest temp-write and its rename: the
+  // Write fails, and the directory must refuse to open (v2 meta, no
+  // manifest) rather than serve whatever subset of files landed.
+  BitmapIndex index = MakeIndex(Encoding::kRange);
+  const NullCodec none;
+  TempDir dir;
+  FaultPlan plan;
+  plan.faults.push_back(
+      {FaultSpec::Kind::kRenameFail, format::kManifestFile, 0, 0, 1});
+  FaultInjectingEnv env(Env::Default(), std::move(plan));
+  StoredIndexOptions options;
+  options.env = &env;
+  options.retry = NoSleepRetry();
+  std::unique_ptr<StoredIndex> stored;
+  Status s = StoredIndex::Write(index, dir.path() / "idx",
+                                StorageScheme::kBitmapLevel, none, &stored,
+                                options);
+  EXPECT_EQ(s.code(), Status::Code::kIoError) << s.ToString();
+  EXPECT_FALSE(
+      std::filesystem::exists(dir.path() / "idx" / format::kManifestFile));
+
+  std::unique_ptr<StoredIndex> reopened;
+  Status open_status = StoredIndex::Open(dir.path() / "idx", &reopened);
+  EXPECT_EQ(open_status.code(), Status::Code::kCorruption)
+      << open_status.ToString();
+
+  // Re-materializing over the torn directory (fault healed) recovers fully.
+  ASSERT_TRUE(StoredIndex::Write(index, dir.path() / "idx",
+                                 StorageScheme::kBitmapLevel, none, &stored)
+                  .ok());
+  EXPECT_TRUE(stored->verified());
+  EXPECT_EQ(stored->Evaluate(EvalAlgorithm::kAuto, CompareOp::kLe, 4),
+            index.Evaluate(CompareOp::kLe, 4));
+}
+
+TEST(StorageV2Test, StaleManifestIsRemovedBeforeOverwrite) {
+  // Crash mid-overwrite of an existing index: the old manifest must not
+  // make the half-overwritten directory look complete.
+  BitmapIndex index = MakeIndex(Encoding::kRange);
+  const NullCodec none;
+  TempDir dir;
+  std::unique_ptr<StoredIndex> stored;
+  ASSERT_TRUE(StoredIndex::Write(index, dir.path() / "idx",
+                                 StorageScheme::kBitmapLevel, none, &stored)
+                  .ok());
+  FaultPlan plan;
+  plan.faults.push_back(
+      {FaultSpec::Kind::kRenameFail, format::kManifestFile, 0, 0, 1});
+  FaultInjectingEnv env(Env::Default(), std::move(plan));
+  StoredIndexOptions options;
+  options.env = &env;
+  std::unique_ptr<StoredIndex> rewritten;
+  EXPECT_FALSE(StoredIndex::Write(index, dir.path() / "idx",
+                                  StorageScheme::kBitmapLevel, none,
+                                  &rewritten, options)
+                   .ok());
+  // The stale manifest is gone, so the torn state is detectable.
+  EXPECT_FALSE(
+      std::filesystem::exists(dir.path() / "idx" / format::kManifestFile));
+  std::unique_ptr<StoredIndex> reopened;
+  EXPECT_FALSE(StoredIndex::Open(dir.path() / "idx", &reopened).ok());
+}
+
+// --- V1 compatibility -----------------------------------------------------
+
+void WriteV1File(const std::filesystem::path& path,
+                 std::span<const uint8_t> payload, uint64_t raw_size) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  f.write("BIXF", 4);
+  f.write(reinterpret_cast<const char*>(&raw_size), 8);
+  f.write(reinterpret_cast<const char*>(payload.data()),
+          static_cast<std::streamsize>(payload.size()));
+  ASSERT_TRUE(f.good());
+}
+
+TEST(StorageV2Test, LegacyV1IndexStillLoadsUnverified) {
+  // Hand-write a pre-fault-tolerance BS index: "BIXF" blob files, a v1
+  // meta, no manifest.
+  BitmapIndex index = MakeIndex(Encoding::kRange, /*c=*/8, /*n=*/300);
+  TempDir dir;
+  std::filesystem::path idx = dir.path() / "idx";
+  std::filesystem::create_directories(idx);
+  int64_t stored_bytes = 0;
+  const IndexComponent& comp = index.component(0);
+  for (int j = 0; j < comp.num_stored_bitmaps(); ++j) {
+    std::vector<uint8_t> raw = comp.stored(static_cast<uint32_t>(j)).ToBytes();
+    WriteV1File(idx / ("c0_b" + std::to_string(j) + ".bm"), raw, raw.size());
+    stored_bytes += static_cast<int64_t>(raw.size());
+  }
+  std::vector<uint8_t> nn = index.non_null().ToBytes();
+  WriteV1File(idx / "nonnull.bm", nn, nn.size());
+  std::ofstream meta(idx / "index.meta");
+  meta << "bix_index_meta_v1\n"
+       << "records " << index.num_records() << "\n"
+       << "cardinality " << index.cardinality() << "\n"
+       << "encoding range\nscheme BS\ncodec none\n"
+       << "stored_bytes " << stored_bytes << "\n"
+       << "uncompressed_bytes " << stored_bytes << "\nbases_lsb 8\n";
+  meta.close();
+
+  std::unique_ptr<StoredIndex> stored;
+  ASSERT_TRUE(StoredIndex::Open(idx, &stored).ok());
+  EXPECT_FALSE(stored->verified());
+  for (const Query& q : AllSelectionQueries(index.cardinality())) {
+    EXPECT_EQ(stored->Evaluate(EvalAlgorithm::kAuto, q.op, q.v),
+              index.Evaluate(q.op, q.v))
+        << ToString(q.op) << " " << q.v;
+  }
+}
+
+// --- retry ----------------------------------------------------------------
+
+TEST(StorageV2Test, TransientReadErrorsAreRetriedToSuccess) {
+  BitmapIndex index = MakeIndex(Encoding::kRange);
+  const NullCodec none;
+  TempDir dir;
+  std::unique_ptr<StoredIndex> written;
+  ASSERT_TRUE(StoredIndex::Write(index, dir.path() / "idx",
+                                 StorageScheme::kBitmapLevel, none, &written)
+                  .ok());
+  FaultPlan plan;
+  plan.faults.push_back({FaultSpec::Kind::kTransient, "c0_b5.bm", 0, 0, 2});
+  FaultInjectingEnv env(Env::Default(), std::move(plan));
+  StoredIndexOptions options;
+  options.env = &env;
+  options.retry = NoSleepRetry(4);
+  std::unique_ptr<StoredIndex> stored;
+  ASSERT_TRUE(StoredIndex::Open(dir.path() / "idx", &stored, options).ok());
+  int64_t retries_before = CounterValue("storage.retries");
+  Status status;
+  Bitvector got = stored->Evaluate(EvalAlgorithm::kAuto, CompareOp::kLe, 5,
+                                   nullptr, nullptr, &status);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(got, index.Evaluate(CompareOp::kLe, 5));
+  EXPECT_GE(CounterValue("storage.retries") - retries_before, 2);
+  EXPECT_EQ(env.injected_errors(), 2);
+}
+
+TEST(StorageV2Test, StickyReadErrorsExhaustRetriesAndFail) {
+  BitmapIndex index = MakeIndex(Encoding::kRange);
+  const NullCodec none;
+  TempDir dir;
+  std::unique_ptr<StoredIndex> written;
+  ASSERT_TRUE(StoredIndex::Write(index, dir.path() / "idx",
+                                 StorageScheme::kBitmapLevel, none, &written)
+                  .ok());
+  FaultPlan plan;
+  plan.faults.push_back({FaultSpec::Kind::kSticky, "c0_b5.bm", 0, 0, 1});
+  FaultInjectingEnv env(Env::Default(), std::move(plan));
+  StoredIndexOptions options;
+  options.env = &env;
+  options.retry = NoSleepRetry(3);
+  std::unique_ptr<StoredIndex> stored;
+  ASSERT_TRUE(StoredIndex::Open(dir.path() / "idx", &stored, options).ok());
+  Status status;
+  Bitvector result = stored->Evaluate(EvalAlgorithm::kAuto, CompareOp::kLe, 5,
+                                      nullptr, nullptr, &status);
+  EXPECT_EQ(status.code(), Status::Code::kIoError);
+  EXPECT_TRUE(result.empty());
+}
+
+// --- reconstruction -------------------------------------------------------
+
+TEST(StorageV2Test, CorruptEqualitySliceIsReconstructedFromSiblings) {
+  BitmapIndex index = MakeIndex(Encoding::kEquality);  // base 10 > 2
+  const NullCodec none;
+  TempDir dir;
+  std::unique_ptr<StoredIndex> stored;
+  ASSERT_TRUE(StoredIndex::Write(index, dir.path() / "idx",
+                                 StorageScheme::kBitmapLevel, none, &stored)
+                  .ok());
+  FlipByteOnDisk(dir.path() / "idx" / "c0_b4.bm", 40);
+  int64_t reconstructions_before = CounterValue("storage.reconstructions");
+  int64_t degraded_before = CounterValue("storage.degraded_queries");
+  Status status;
+  EvalStats stats;
+  Bitvector got = stored->Evaluate(EvalAlgorithm::kAuto, CompareOp::kEq, 4,
+                                   &stats, nullptr, &status);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(got, index.Evaluate(CompareOp::kEq, 4));
+  EXPECT_EQ(CounterValue("storage.reconstructions"), reconstructions_before + 1);
+  EXPECT_EQ(CounterValue("storage.degraded_queries"), degraded_before + 1);
+
+  // Queries not touching the damaged slice are not degraded.
+  Status clean_status;
+  Bitvector other = stored->Evaluate(EvalAlgorithm::kAuto, CompareOp::kEq, 7,
+                                     nullptr, nullptr, &clean_status);
+  EXPECT_TRUE(clean_status.ok());
+  EXPECT_EQ(other, index.Evaluate(CompareOp::kEq, 7));
+  EXPECT_EQ(CounterValue("storage.degraded_queries"), degraded_before + 1);
+}
+
+TEST(StorageV2Test, ReconstructionGivesUpWhenTwoSlicesAreDamaged) {
+  // E^4 = B_nn AND NOT(OR of siblings) needs every sibling; with two slices
+  // rotted the query must fail, not guess.
+  BitmapIndex index = MakeIndex(Encoding::kEquality);
+  const NullCodec none;
+  TempDir dir;
+  std::unique_ptr<StoredIndex> stored;
+  ASSERT_TRUE(StoredIndex::Write(index, dir.path() / "idx",
+                                 StorageScheme::kBitmapLevel, none, &stored)
+                  .ok());
+  FlipByteOnDisk(dir.path() / "idx" / "c0_b4.bm", 40);
+  FlipByteOnDisk(dir.path() / "idx" / "c0_b6.bm", 40);
+  Status status;
+  Bitvector result = stored->Evaluate(EvalAlgorithm::kAuto, CompareOp::kEq, 4,
+                                      nullptr, nullptr, &status);
+  EXPECT_EQ(status.code(), Status::Code::kCorruption);
+  EXPECT_TRUE(result.empty());
+}
+
+// --- stored-WAH direct fetch ----------------------------------------------
+
+TEST(StorageV2Test, WahCodecServesCompressedDomainEngineDirectly) {
+  for (Encoding encoding : {Encoding::kRange, Encoding::kEquality}) {
+    BitmapIndex index = MakeIndex(encoding, /*c=*/12, /*n=*/777, /*seed=*/29);
+    const Codec* wah = CodecByName("wah");
+    ASSERT_NE(wah, nullptr);
+    TempDir dir;
+    std::unique_ptr<StoredIndex> stored;
+    ASSERT_TRUE(StoredIndex::Write(index, dir.path() / "idx",
+                                   StorageScheme::kBitmapLevel, *wah, &stored)
+                    .ok());
+    ExecOptions wah_exec;
+    wah_exec.engine = EngineKind::kWah;
+    ExecOptions plain_exec;
+    plain_exec.engine = EngineKind::kPlain;
+    int64_t direct_before = CounterValue("storage.wah_direct_fetches");
+    for (const Query& q : AllSelectionQueries(index.cardinality())) {
+      EvalStats wah_stats, plain_stats;
+      Status ws, ps;
+      Bitvector via_wah = stored->Evaluate(EvalAlgorithm::kAuto, q.op, q.v,
+                                           &wah_stats, nullptr, &ws, &wah_exec);
+      Bitvector via_plain =
+          stored->Evaluate(EvalAlgorithm::kAuto, q.op, q.v, &plain_stats,
+                           nullptr, &ps, &plain_exec);
+      ASSERT_TRUE(ws.ok());
+      ASSERT_TRUE(ps.ok());
+      ASSERT_EQ(via_wah, via_plain) << ToString(q.op) << " " << q.v;
+      ASSERT_EQ(via_wah, index.Evaluate(q.op, q.v));
+      // Same accounting on both fetch paths.
+      EXPECT_EQ(wah_stats.bitmap_scans, plain_stats.bitmap_scans);
+      EXPECT_EQ(wah_stats.bytes_read, plain_stats.bytes_read);
+    }
+    EXPECT_GT(CounterValue("storage.wah_direct_fetches"), direct_before)
+        << "stored WAH payloads were never handed to the engine directly";
+  }
+}
+
+TEST(StorageV2Test, WahCodecWorksAsPlainCodecOnAllSchemes) {
+  const Codec* wah = CodecByName("wah");
+  ASSERT_NE(wah, nullptr);
+  for (StorageScheme scheme :
+       {StorageScheme::kBitmapLevel, StorageScheme::kComponentLevel,
+        StorageScheme::kIndexLevel}) {
+    BitmapIndex index = MakeIndex(Encoding::kRange, /*c=*/9, /*n=*/500);
+    TempDir dir;
+    std::unique_ptr<StoredIndex> stored;
+    ASSERT_TRUE(StoredIndex::Write(index, dir.path() / "idx", scheme, *wah,
+                                   &stored)
+                    .ok());
+    for (const Query& q : AllSelectionQueries(index.cardinality())) {
+      ASSERT_EQ(stored->Evaluate(EvalAlgorithm::kAuto, q.op, q.v),
+                index.Evaluate(q.op, q.v))
+          << ToString(scheme) << " " << ToString(q.op) << " " << q.v;
+    }
+  }
+}
+
+TEST(StorageV2Test, CorruptWahPayloadFallsBackAndFails) {
+  // A corrupt stored-WAH file must not crash the compressed-domain engine:
+  // FetchWah declines, Fetch re-reads, and the query fails with Corruption
+  // (range encoding: no reconstruction).
+  BitmapIndex index = MakeIndex(Encoding::kRange);
+  const Codec* wah = CodecByName("wah");
+  TempDir dir;
+  std::unique_ptr<StoredIndex> stored;
+  ASSERT_TRUE(StoredIndex::Write(index, dir.path() / "idx",
+                                 StorageScheme::kBitmapLevel, *wah, &stored)
+                  .ok());
+  FlipByteOnDisk(dir.path() / "idx" / "c0_b5.bm",
+                 FileSize(dir.path() / "idx" / "c0_b5.bm") - 1);
+  ExecOptions exec;
+  exec.engine = EngineKind::kWah;
+  Status status;
+  Bitvector result = stored->Evaluate(EvalAlgorithm::kAuto, CompareOp::kLe, 5,
+                                      nullptr, nullptr, &status, &exec);
+  EXPECT_EQ(status.code(), Status::Code::kCorruption) << status.ToString();
+  EXPECT_TRUE(result.empty());
+}
+
+}  // namespace
+}  // namespace bix

@@ -6,6 +6,8 @@
 //                 [--scheme bs|cs|is] [--codec none|lz77|rle|huffman|deflate]
 //   bixctl info   --dir ./idx
 //   bixctl query  --dir ./idx --pred "<= 24" [--limit 10]
+//   bixctl verify --dir ./idx
+//   bixctl scrub  --dir ./idx --inject SEED
 //   bixctl advise --cardinality 1000 [--budget 100]
 //
 // Raw attribute values from the CSV are mapped to dense ranks via a lookup
@@ -31,6 +33,8 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "plan/predicate_parser.h"
+#include "storage/env.h"
+#include "storage/format.h"
 #include "storage/stored_index.h"
 #include "workload/csv.h"
 #include "workload/value_map.h"
@@ -144,6 +148,8 @@ int Usage() {
                "                 [--engine plain|wah|auto]\n"
                "  bixctl explain --dir D --pred \"<= 24\" [--threads N] "
                "[--segment-bits B] [--engine plain|wah|auto]\n"
+               "  bixctl verify  --dir D\n"
+               "  bixctl scrub   --dir D --inject SEED\n"
                "  bixctl advise  --cardinality C [--budget M]\n");
   return 2;
 }
@@ -285,6 +291,9 @@ int CmdInfo(const Flags& flags) {
   std::printf("scheme/codec:  %s / %s\n",
               std::string(ToString(stored->scheme())).c_str(),
               std::string(stored->codec().name()).c_str());
+  std::printf("integrity:     %s\n",
+              stored->verified() ? "verified (v2 manifest + CRC32C)"
+                                 : "unverified (legacy v1 files)");
   std::printf("bitmaps:       %lld\n",
               static_cast<long long>(
                   SpaceInBitmaps(stored->base(), stored->encoding())));
@@ -329,9 +338,11 @@ int CmdQuery(const Flags& flags) {
   bool bad_engine = false;
   std::optional<ExecOptions> exec = ExecOptionsFromFlags(flags, &bad_engine);
   if (bad_engine) return Fail("--engine must be plain, wah, or auto");
+  Status eval_status;
   Bitvector found = stored->Evaluate(EvalAlgorithm::kAuto, rank_op, rank_v,
-                                     &stats, &decompress_seconds, nullptr,
+                                     &stats, &decompress_seconds, &eval_status,
                                      exec ? &*exec : nullptr);
+  if (!eval_status.ok()) return Fail(eval_status.ToString());
   if (trace_out) {
     obs::Tracer::Global().Disable();
     if (!obs::Tracer::Global().WriteChromeJson(*trace_out)) {
@@ -438,9 +449,11 @@ int CmdExplain(const Flags& flags) {
   bool bad_engine = false;
   std::optional<ExecOptions> exec = ExecOptionsFromFlags(flags, &bad_engine);
   if (bad_engine) return Fail("--engine must be plain, wah, or auto");
+  Status eval_status;
   Bitvector found = stored->Evaluate(algorithm, rank_op, rank_v, &measured,
-                                     &decompress_seconds, nullptr,
+                                     &decompress_seconds, &eval_status,
                                      exec ? &*exec : nullptr);
+  if (!eval_status.ok()) return Fail(eval_status.ToString());
   obs::QueryAudit audit =
       obs::AuditQuery(stored->base(), stored->cardinality(),
                       stored->encoding(), algorithm, rank_op, rank_v, measured);
@@ -457,6 +470,101 @@ int CmdExplain(const Flags& flags) {
               static_cast<long long>(audit.op_drift()));
   if (exec) PrintParallelSpeedup();
   return audit.ok() ? 0 : 3;
+}
+
+void PrintScrubReport(const format::ScrubReport& report) {
+  std::printf("manifest:  %s\n",
+              !report.has_manifest ? "absent (legacy v1 index, unverified)"
+              : report.manifest_ok ? "present, self-checksum OK"
+                                   : "present, CORRUPT");
+  for (const format::FileCheck& f : report.files) {
+    std::printf("  %-10s %-16s %s\n", format::ToString(f.state),
+                f.name.c_str(), f.detail.c_str());
+  }
+}
+
+// Re-reads every file of the index and checks it against the manifest
+// (size + whole-file CRC32C) and the per-block V2 checksums.
+int CmdVerify(const Flags& flags) {
+  auto dir = flags.Get("dir");
+  if (!dir) return Usage();
+  format::ScrubReport report;
+  Status s = format::ScrubIndexDir(*Env::Default(), *dir, &report);
+  PrintScrubReport(report);
+  if (!s.ok()) return Fail(s.ToString());
+  if (!report.clean()) {
+    std::printf("verify: FAILED (%zu files checked)\n", report.files.size());
+    return 1;
+  }
+  std::printf("verify: OK (%zu files checked)\n", report.files.size());
+  return 0;
+}
+
+// Self-test of the checksum layer: re-runs verification through a
+// fault-injecting env that corrupts reads of the index's own files
+// (deterministically from SEED; nothing on disk is modified) and confirms
+// every injected corruption is detected.
+int CmdScrub(const Flags& flags) {
+  auto dir = flags.Get("dir");
+  auto seed = flags.GetInt("inject");
+  if (!dir || !seed) return Usage();
+
+  std::vector<std::string> names;
+  Status s = Env::Default()->ListDir(*dir, &names);
+  if (!s.ok()) return Fail(s.ToString());
+  std::vector<std::string> targets;
+  for (const std::string& name : names) {
+    if (name.size() > 3 && name.compare(name.size() - 3, 3, ".bm") == 0) {
+      targets.push_back(name);
+    }
+  }
+  if (targets.empty()) return Fail("no .bm files in " + *dir);
+
+  // SplitMix64 over the seed: same seed, same faults.
+  uint64_t state = static_cast<uint64_t>(*seed) + 0x9E3779B97F4A7C15ull;
+  auto next = [&state]() {
+    uint64_t z = (state += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  };
+  FaultPlan plan;
+  int n = 1 + static_cast<int>(next() % 3);
+  for (int i = 0; i < n; ++i) {
+    FaultSpec spec;
+    spec.kind = next() % 2 ? FaultSpec::Kind::kBitFlip
+                           : FaultSpec::Kind::kTruncate;
+    spec.path_substring = targets[next() % targets.size()];
+    // Wrap the offset to the target's real size so a truncate always
+    // shortens the file (past-EOF truncation would be a counted no-op).
+    std::error_code ec;
+    uint64_t size = std::filesystem::file_size(
+        std::filesystem::path(*dir) / spec.path_substring, ec);
+    if (ec || size == 0) size = 1;
+    spec.offset = next() % size;
+    spec.bit = static_cast<int>(next() % 8);
+    std::printf("injecting: %s %s offset=%llu bit=%d\n",
+                spec.kind == FaultSpec::Kind::kBitFlip ? "bitflip"
+                                                       : "truncate",
+                spec.path_substring.c_str(),
+                static_cast<unsigned long long>(spec.offset), spec.bit);
+    plan.faults.push_back(std::move(spec));
+  }
+
+  FaultInjectingEnv env(Env::Default(), std::move(plan));
+  format::ScrubReport report;
+  s = format::ScrubIndexDir(env, *dir, &report);
+  PrintScrubReport(report);
+  if (!s.ok()) return Fail(s.ToString());
+  if (env.injected_corruptions() > 0 && report.clean()) {
+    std::printf("scrub: UNDETECTED — %lld injected corruptions passed "
+                "verification\n",
+                static_cast<long long>(env.injected_corruptions()));
+    return 1;
+  }
+  std::printf("scrub: OK — %lld injected corruptions, all detected\n",
+              static_cast<long long>(env.injected_corruptions()));
+  return 0;
 }
 
 int CmdAdvise(const Flags& flags) {
@@ -493,6 +601,8 @@ int Main(int argc, char** argv) {
   if (command == "info") return CmdInfo(flags);
   if (command == "query") return CmdQuery(flags);
   if (command == "explain") return CmdExplain(flags);
+  if (command == "verify") return CmdVerify(flags);
+  if (command == "scrub") return CmdScrub(flags);
   if (command == "advise") return CmdAdvise(flags);
   return Usage();
 }
