@@ -27,6 +27,7 @@
 #include "bench_json.h"
 #include "bitmap/bitvector.h"
 #include "bitmap/wah_bitvector.h"
+#include "bitmap/wah_kernels.h"
 #include "core/bitmap_index.h"
 #include "core/compressed_source.h"
 #include "core/eval.h"
@@ -212,6 +213,82 @@ int main(int argc, char** argv) {
              "us");
     json.Add("wah_ablation_micro", params, "wah_count_us", wah_cnt_us, "us");
     json.Add("wah_ablation_micro", params, "wah_kb", wah_kb, "KB");
+  }
+
+  // k-ary merge lane: legacy linear scan vs the adaptive run-event heap
+  // with dense fallback (bench_wah_merge sweeps the full strategy/fan-in
+  // grid; this lane tracks the two endpoints that gate regressions).  On
+  // uniform noise the adaptive merge's dense fallback must beat the
+  // legacy O(k)-per-group scan by a growing margin as k rises.
+  std::printf("\nk-ary OR merge, %zu-bit operands, legacy scan vs adaptive "
+              "heap+fallback\n\n", bits);
+  std::printf("%-22s %4s | %12s %12s | %9s\n", "operand shape", "k",
+              "legacy us", "adaptive us", "speedup");
+  struct MergeLane {
+    const char* name;
+    double density;
+    bool clustered;
+  };
+  const MergeLane lanes[] = {
+      {"uniform noise 50%", 0.5, false},
+      {"uniform 0.1%", 0.001, false},
+      {"clustered 10% r=4096", 0.1, true},
+  };
+  for (const MergeLane& lane : lanes) {
+    for (size_t k : {8u, 16u}) {
+      std::vector<WahBitvector> operands;
+      for (size_t i = 0; i < k; ++i) {
+        Bitvector d = lane.clustered
+                          ? ClusteredDense(bits, lane.density, 4096, 100 + i)
+                          : RandomDense(bits, lane.density, 100 + i);
+        operands.push_back(WahBitvector::FromBitvector(d));
+      }
+      double lane_us[2] = {};
+      size_t counts[2] = {};
+      const WahMergeStrategy strategies[] = {WahMergeStrategy::kLegacy,
+                                             WahMergeStrategy::kAdaptive};
+      for (int s = 0; s < 2; ++s) {
+        SetWahMergeStrategy(strategies[s]);
+        // Parity check runs untimed; the timed loop measures the merge the
+        // way the auto engine consumes it (a fallback result stays dense —
+        // the engine folds it onward without re-compressing).
+        counts[s] = OrOfMany(operands).Count();
+        size_t guard = 0;
+        double best_us = 0;
+        for (int r = 0; r < reps; ++r) {
+          auto start = std::chrono::steady_clock::now();
+          WahMergeOutput out = OrOfManyAdaptive(operands);
+          const double us = 1e6 * std::chrono::duration<double>(
+                                      std::chrono::steady_clock::now() - start)
+                                      .count();
+          guard += out.dense_fallback ? out.dense.words().size()
+                                      : out.wah.code_words().size();
+          // min-of-reps: robust against scheduler/turbo noise at low rep
+          // counts (the smoke lane runs only a handful of iterations).
+          if (r == 0 || us < best_us) best_us = us;
+        }
+        lane_us[s] = best_us;
+        if (guard == 0) counts[s] = size_t(-1);  // merge produced nothing
+      }
+      SetWahMergeStrategy(WahMergeStrategy::kAdaptive);
+      if (counts[0] != counts[1]) {
+        std::printf("FAIL: merge strategies disagree on %s k=%zu\n",
+                    lane.name, k);
+        return 1;
+      }
+      std::printf("%-22s %4zu | %12.1f %12.1f | %8.2fx\n", lane.name, k,
+                  lane_us[0], lane_us[1],
+                  lane_us[1] > 0 ? lane_us[0] / lane_us[1] : 0.0);
+      for (int s = 0; s < 2; ++s) {
+        json.Add("wah_ablation_kary_merge",
+                 {{"shape", lane.name},
+                  {"density", lane.density},
+                  {"bits", bits},
+                  {"k", static_cast<int64_t>(k)},
+                  {"strategy", ToString(strategies[s])}},
+                 "merge_us", lane_us[s], "us");
+      }
+    }
   }
 
   // End-to-end: the same predicate sweep over a WahCompressedSource under

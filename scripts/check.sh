@@ -34,6 +34,14 @@ if [[ "$RUN_DIFF" == 1 ]]; then
   cmake -B build -G Ninja
   cmake --build build --target bix_differential_tests
   ctest --test-dir build -L differential --output-on-failure
+  # Merge-strategy matrix: the same harness re-run with each k-ary WAH
+  # merge strategy pinned via BIX_WAH_MERGE, so a bug in the run-event
+  # heap, the dense fold, or the adaptive fallback cannot hide behind
+  # whichever strategy the tests happen to pick by default.
+  for s in legacy heap dense adaptive; do
+    BIX_WAH_MERGE=$s ctest --test-dir build -L differential \
+        --output-on-failure
+  done
 fi
 
 if [[ "$RUN_CHAOS" == 1 ]]; then
@@ -69,12 +77,16 @@ if [[ "$RUN_MAIN" == 1 ]]; then
   ./build/bench/bench_intro_ridlist_crossover
   ./build/bench/bench_plan_comparison
   ./build/bench/bench_knee_ablation
-  ./build/bench/bench_wah_ablation --smoke BENCH_wah_ablation.json
   ./build/bench/bench_workload_mix_ablation
   ./build/bench/bench_scaling
 
   # Machine-readable results: these benches write the shared
-  # {bench, params, metric, value, unit} schema of bench/bench_json.h.
+  # {bench, params, metric, value, unit} schema of bench/bench_json.h into
+  # bench/baselines/, which is versioned (see the .gitignore exception) so
+  # perf regressions show up as diffs against the committed baselines.
+  mkdir -p bench/baselines
+  ./build/bench/bench_wah_ablation --smoke bench/baselines/BENCH_wah_ablation.json
+  ./build/bench/bench_wah_merge --smoke bench/baselines/BENCH_wah_merge.json
   ./build/bench/bench_obs BENCH_obs.json
   ./build/bench/bench_parallel_scaling BENCH_parallel_scaling.json
   BIX_BENCH_JSON=BENCH_micro_bitvector.json \
@@ -103,8 +115,11 @@ if [[ "$RUN_TSAN" == 1 ]]; then
       -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer"
   cmake --build build-tsan --target bix_tests bench_parallel_scaling
+  # WahCalibration* covers the exec engine's calibrated-ratio read path:
+  # concurrent kAuto evaluation racing CalibrateAutoBreakEven over the
+  # relaxed-atomic cost accumulators.
   ./build-tsan/tests/bix_tests \
-      --gtest_filter='ThreadPool*:*Segmented*:SelectionPlanTest*'
+      --gtest_filter='ThreadPool*:*Segmented*:SelectionPlanTest*:WahCalibration*'
   ./build-tsan/bench/bench_parallel_scaling --smoke \
       build-tsan/BENCH_parallel_scaling_tsan.json
 fi

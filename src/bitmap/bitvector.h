@@ -122,6 +122,12 @@ class Bitvector {
   static size_t CountOr(const Bitvector& a, const Bitvector& b);
   static size_t AndNotCount(const Bitvector& a, const Bitvector& b);  // |a&~b|
 
+  /// Popcount of the k-ary combination: folds block-at-a-time into an
+  /// 8 KiB L1-resident window and popcounts each block before moving on,
+  /// never materializing the full-length combination.
+  static size_t CountOrOfMany(std::span<const Bitvector* const> operands);
+  static size_t CountAndOfMany(std::span<const Bitvector* const> operands);
+
   /// Raw word access (for benchmarks and serialization internals).  The bits
   /// past `size()` in the last word are always zero.
   std::span<const uint64_t> words() const { return words_; }

@@ -71,10 +71,14 @@ class WahBitvector {
 
   /// Fused k-ary kernels over the compressed form (bitmap/wah_kernels.cc),
   /// the run-at-a-time mirror of Bitvector::OrOfMany / AndOfMany.  One
-  /// merge pass over all k run streams; a dominant fill (ones for OR,
-  /// zeros for AND) decides its whole stretch in O(runs skipped) without
-  /// touching the other operands' payloads.  `operands` must be non-empty
-  /// with equal sizes.
+  /// merge pass over all k run streams, driven by a min-heap of run
+  /// boundaries so a step touches only the operands whose run changes; a
+  /// dominant fill (ones for OR, zeros for AND) decides its whole stretch
+  /// without the other operands' payloads being examined, and
+  /// low-compressibility inputs fall back to the blocked dense fold
+  /// mid-merge (see wah_kernels.h for the strategy knob and the adaptive
+  /// entry points).  `operands` must be non-empty with equal sizes; k == 1
+  /// short-circuits to a copy.
   static WahBitvector OrOfMany(std::span<const WahBitvector* const> operands);
   static WahBitvector AndOfMany(std::span<const WahBitvector* const> operands);
 

@@ -87,6 +87,60 @@ class RunDecoder {
   uint32_t literal_ = 0;
 };
 
+// Absolute-position run cursor for the run-event heap merge
+// (wah_kernels.cc).  Unlike RunDecoder it never consumes partially: the
+// merge tracks its own position and only needs to know where each operand's
+// current run *ends* (the operand's next event).  Fill words split by the
+// 2^30 count ceiling are coalesced into one run, so every Next() is a real
+// run boundary — one heap event.
+class RunCursor {
+ public:
+  explicit RunCursor(const std::vector<uint32_t>& words) : words_(words) {
+    Next();
+  }
+
+  bool done() const { return done_; }
+  bool is_fill() const { return is_fill_; }
+  bool fill_value() const { return fill_value_; }
+  uint32_t literal() const { return literal_; }
+
+  /// Absolute group index one past the current run.
+  uint64_t end() const { return end_; }
+
+  /// Advances to the next run (no-op once done).
+  void Next() {
+    if (index_ == words_.size()) {
+      done_ = true;
+      return;
+    }
+    uint32_t word = words_[index_++];
+    if (IsFill(word)) {
+      is_fill_ = true;
+      fill_value_ = FillValue(word);
+      uint64_t groups = FillCount(word);
+      while (index_ < words_.size() && IsFill(words_[index_]) &&
+             FillValue(words_[index_]) == fill_value_) {
+        groups += FillCount(words_[index_]);
+        ++index_;
+      }
+      end_ += groups;
+    } else {
+      is_fill_ = false;
+      literal_ = word;
+      end_ += 1;
+    }
+  }
+
+ private:
+  const std::vector<uint32_t>& words_;
+  size_t index_ = 0;
+  uint64_t end_ = 0;
+  bool done_ = false;
+  bool is_fill_ = false;
+  bool fill_value_ = false;
+  uint32_t literal_ = 0;
+};
+
 }  // namespace bix::wah_internal
 
 #endif  // BIX_BITMAP_WAH_RUN_DECODER_H_

@@ -50,6 +50,28 @@ WahBitvector EvaluateToWah(const BitmapSource& source, EvalAlgorithm algorithm,
                            CompareOp op, int64_t v, EngineKind engine,
                            EvalStats* stats = nullptr);
 
+/// Derives the kAuto keep-compressed break-even ratio from the op-timing
+/// samples the engine has accumulated (the first few hundred compressed and
+/// dense binary ops are timed into the wah_engine.{compressed,plain}_op_ns
+/// histograms and per-byte throughput accumulators).  A compressed op costs
+/// time proportional to the operand's WAH size, a dense op to its dense
+/// size, so an operand should stay compressed while
+///   wah_bytes / dense_bytes  <=  dense_ns_per_byte / compressed_ns_per_byte
+/// and that right-hand side — clamped to [1/32, 1/2] — is the installed
+/// ratio.  With fewer than kMinCalibrationOps samples on either side the
+/// built-in 1/4 stays in effect.  Publishes the effective ratio (permille)
+/// to the wah_engine.calibrated_ratio gauge and returns it as a fraction.
+///
+/// Called at index open (StoredIndex::Open/Write, and lazily on engine
+/// construction once enough samples exist); safe to call concurrently with
+/// running queries — the ratio is a single relaxed atomic the engines read
+/// per fetched operand.
+double CalibrateAutoBreakEven();
+
+/// Test hook: drops all timing samples and any installed calibrated ratio,
+/// returning kAuto to the built-in 1/4 fallback.
+void ResetAutoCalibrationForTest();
+
 }  // namespace bix::exec
 
 #endif  // BIX_EXEC_WAH_ENGINE_H_

@@ -253,7 +253,10 @@ ExecutionResult SelectionPlanner::ExecuteIndexMerge(
   // foundsets (decompressing only the conjunction) or one blocked pass over
   // the dense ones.
   if (compressed) {
-    result.foundset = AndOfMany(wah_foundsets).ToBitvector();
+    // The adaptive form hands the conjunction back dense when the merge
+    // fell back mid-pass, so the fallback path never re-compresses a result
+    // that is about to be inflated anyway.
+    result.foundset = AndOfManyAdaptive(wah_foundsets).IntoDense();
   } else {
     result.foundset = AndOfMany(foundsets);
   }

@@ -192,6 +192,11 @@ TEST(BitvectorKernelsTest, FusedFoldsMatchPairwiseFolds) {
       for (const Bitvector& b : operands) ptrs.push_back(&b);
       EXPECT_EQ(Bitvector::OrOfMany(ptrs), or_fold) << bits << " k=" << k;
       EXPECT_EQ(Bitvector::AndOfMany(ptrs), and_fold) << bits << " k=" << k;
+      // The counting forms agree with the materialized folds.
+      EXPECT_EQ(Bitvector::CountOrOfMany(ptrs), or_fold.Count())
+          << bits << " k=" << k;
+      EXPECT_EQ(Bitvector::CountAndOfMany(ptrs), and_fold.Count())
+          << bits << " k=" << k;
       // The value-span conveniences agree with the pointer forms.
       EXPECT_EQ(OrOfMany(operands), or_fold) << bits << " k=" << k;
       EXPECT_EQ(AndOfMany(operands), and_fold) << bits << " k=" << k;

@@ -14,9 +14,12 @@
 #include <gtest/gtest.h>
 
 #include "core/bitmap_index.h"
+#include "core/compressed_source.h"
 #include "core/eval.h"
 #include "exec/segmented_eval.h"
 #include "exec/thread_pool.h"
+#include "exec/wah_engine.h"
+#include "obs/metrics.h"
 #include "workload/queries.h"
 
 namespace bix {
@@ -266,6 +269,125 @@ TEST(SegmentedEvalTest, TrivialResultsNeedNoInstructions) {
     EXPECT_EQ(got, EvaluatePredicate(index, EvalAlgorithm::kRangeEvalOpt,
                                      op, v));
   }
+}
+
+// ---------------------------------------------------------------------------
+// kAuto break-even calibration (exec/wah_engine.cc)
+
+int64_t CalibratedRatioPermille() {
+  return obs::MetricsRegistry::Global()
+      .GetGauge("wah_engine.calibrated_ratio")
+      .value();
+}
+
+// A clustered column (long same-value runs) whose bitmaps compress to a few
+// fills, and a noisy one whose bitmaps do not compress at all.
+BitmapIndex ClusteredIndex(size_t n) {
+  std::vector<uint32_t> values(n);
+  for (size_t i = 0; i < n; ++i) {
+    values[i] = static_cast<uint32_t>(i / (n / 9 + 1));
+  }
+  return BitmapIndex::Build(values, 9, BaseSequence::FromMsbFirst({3, 3}),
+                            Encoding::kEquality);
+}
+BitmapIndex NoisyIndex(size_t n, uint64_t seed) {
+  return BitmapIndex::Build(MakeColumn(9, n, false, seed), 9,
+                            BaseSequence::FromMsbFirst({3, 3}),
+                            Encoding::kEquality);
+}
+
+// Runs every equality-encoded selection query against `source` under the
+// given engine, feeding the op-timing sample windows.
+void RunCalibrationWorkload(const BitmapSource& source, EngineKind engine,
+                            int rounds) {
+  const ExecOptions options{.engine = engine};
+  for (int r = 0; r < rounds; ++r) {
+    for (CompareOp op : kAllCompareOps) {
+      for (int64_t v = 0; v <= 9; ++v) {
+        EvaluatePredicate(source, EvalAlgorithm::kEqualityEval, op, v,
+                          options);
+      }
+    }
+  }
+}
+
+TEST(WahCalibrationTest, FallbackRatioBeforeAnySamples) {
+  exec::ResetAutoCalibrationForTest();
+  // With empty sample windows the built-in 1/4 stays in effect, and the
+  // gauge publishes it so dashboards can tell fallback from measured.
+  EXPECT_DOUBLE_EQ(exec::CalibrateAutoBreakEven(), 0.25);
+  EXPECT_EQ(CalibratedRatioPermille(), 250);
+  exec::ResetAutoCalibrationForTest();
+  EXPECT_EQ(CalibratedRatioPermille(), 0);
+}
+
+TEST(WahCalibrationTest, DerivedRatioStaysWithinClamps) {
+  exec::ResetAutoCalibrationForTest();
+  BitmapIndex clustered = ClusteredIndex(6000);
+  BitmapIndex noisy = NoisyIndex(6000, 20260810);
+  WahCompressedSource clustered_wah(clustered);
+  WahCompressedSource noisy_wah(noisy);
+  // kWah on the clustered source times compressed ops; kAuto on the noisy
+  // source inflates every operand (its WAH form is near dense size, far
+  // above the 1/4 fallback) and times dense ops.
+  RunCalibrationWorkload(clustered_wah, EngineKind::kWah, 3);
+  RunCalibrationWorkload(noisy_wah, EngineKind::kAuto, 3);
+
+  const double ratio = exec::CalibrateAutoBreakEven();
+  const int64_t permille = CalibratedRatioPermille();
+  // The implementation works in integer permille, clamped to
+  // [1000/32, 1000/2] = [31, 500].
+  EXPECT_GE(permille, 1000 / 32);
+  EXPECT_LE(permille, 1000 / 2);
+  EXPECT_DOUBLE_EQ(ratio, static_cast<double>(permille) / 1000.0);
+
+  // Calibration must not change any result: the auto engine still agrees
+  // with the plain path bit-for-bit on both sources.
+  for (const BitmapSource* s :
+       {static_cast<const BitmapSource*>(&clustered_wah),
+        static_cast<const BitmapSource*>(&noisy_wah)}) {
+    for (int64_t v = 0; v <= 9; ++v) {
+      Bitvector expected = EvaluatePredicate(
+          *s, EvalAlgorithm::kEqualityEval, CompareOp::kLe, v);
+      Bitvector got =
+          EvaluatePredicate(*s, EvalAlgorithm::kEqualityEval, CompareOp::kLe,
+                            v, ExecOptions{.engine = EngineKind::kAuto});
+      ASSERT_EQ(got, expected) << "v=" << v;
+    }
+  }
+  exec::ResetAutoCalibrationForTest();
+}
+
+// TSan target (scripts/check.sh --tsan runs *Segmented*): the calibrated
+// ratio is read per fetched operand on whatever thread runs the engine
+// while samples and re-derivations land concurrently — all of it must be
+// data-race-free.
+TEST(WahCalibrationTest, SegmentedConcurrentCalibrationIsRaceFree) {
+  exec::ResetAutoCalibrationForTest();
+  BitmapIndex index = NoisyIndex(3000, 20260811);
+  WahCompressedSource source(index);
+  Bitvector expected =
+      EvaluatePredicate(index, EvalAlgorithm::kEqualityEval, CompareOp::kGe, 4);
+
+  std::atomic<bool> mismatch{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 3; ++t) {
+    threads.emplace_back([&] {
+      const ExecOptions options{.engine = EngineKind::kAuto};
+      for (int i = 0; i < 30; ++i) {
+        Bitvector got = EvaluatePredicate(
+            source, EvalAlgorithm::kEqualityEval, CompareOp::kGe, 4, options);
+        if (!(got == expected)) mismatch.store(true);
+      }
+    });
+  }
+  threads.emplace_back([&] {
+    for (int i = 0; i < 50; ++i) exec::CalibrateAutoBreakEven();
+  });
+  for (std::thread& t : threads) t.join();
+  EXPECT_FALSE(mismatch.load());
+  EXPECT_GT(CalibratedRatioPermille(), 0);
+  exec::ResetAutoCalibrationForTest();
 }
 
 }  // namespace

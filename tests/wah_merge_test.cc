@@ -1,0 +1,272 @@
+// Strategy-matrix harness for the k-ary WAH merge kernels: every merge
+// strategy (adaptive / heap / legacy / dense) must produce bit-identical,
+// canonically-encoded results on adversarial inputs — uniform noise that
+// defeats compression, large k, alternating literal/fill runs placed at the
+// 31/32/63/64 bit seams, and all-fill operands — and the counting forms
+// must agree with the materialized popcounts.  Also pins down the contract
+// edges: k == 1 short-circuits to a copy, the empty span dies, the heap
+// strategy accounts its run events, and the adaptive strategy's dense
+// fallback actually fires on incompressible inputs.
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bitmap/bitvector.h"
+#include "bitmap/wah_bitvector.h"
+#include "bitmap/wah_kernels.h"
+#include "obs/metrics.h"
+
+namespace bix {
+namespace {
+
+const WahMergeStrategy kAllStrategies[] = {
+    WahMergeStrategy::kAdaptive, WahMergeStrategy::kHeap,
+    WahMergeStrategy::kLegacy, WahMergeStrategy::kDense};
+
+// Restores the process-wide strategy on scope exit so tests compose.
+class ScopedStrategy {
+ public:
+  explicit ScopedStrategy(WahMergeStrategy s) : saved_(GetWahMergeStrategy()) {
+    SetWahMergeStrategy(s);
+  }
+  ~ScopedStrategy() { SetWahMergeStrategy(saved_); }
+
+ private:
+  WahMergeStrategy saved_;
+};
+
+int64_t HeapEvents() {
+  return obs::MetricsRegistry::Global()
+      .GetCounter("wah_engine.heap_events")
+      .value();
+}
+int64_t DenseFallbacks() {
+  return obs::MetricsRegistry::Global()
+      .GetCounter("wah_engine.dense_fallbacks")
+      .value();
+}
+
+// Uniform noise: every 31-bit group is a literal in every operand, the
+// worst case for run-at-a-time merging.
+Bitvector Noise(std::mt19937_64& rng, size_t bits) {
+  Bitvector out(bits);
+  for (size_t i = 0; i < bits; ++i) {
+    if (rng() & 1) out.Set(i);
+  }
+  return out;
+}
+
+// Alternating literal/fill segments with lengths straddling the group (31),
+// code-word (32), and dense-word (63/64) seams.
+Bitvector SeamPattern(std::mt19937_64& rng, size_t bits) {
+  const size_t kSeams[] = {31, 32, 63, 64};
+  Bitvector out(bits);
+  size_t bit = 0;
+  bool literal = rng() & 1;
+  while (bit < bits) {
+    size_t len = std::min<size_t>(kSeams[rng() % 4], bits - bit);
+    if (literal) {
+      for (size_t i = 0; i < len; ++i) {
+        if (rng() & 1) out.Set(bit + i);
+      }
+    } else if (rng() & 1) {
+      for (size_t i = 0; i < len; ++i) out.Set(bit + i);
+    }
+    bit += len;
+    literal = !literal;
+  }
+  return out;
+}
+
+void ExpectAllStrategiesAgree(const std::vector<Bitvector>& dense,
+                              const std::string& ctx) {
+  std::vector<WahBitvector> wah;
+  wah.reserve(dense.size());
+  for (const Bitvector& d : dense) {
+    wah.push_back(WahBitvector::FromBitvector(d));
+  }
+  Bitvector ref_or(dense[0].size());
+  Bitvector ref_and(dense[0].size(), true);
+  for (const Bitvector& d : dense) {
+    ref_or.OrWith(d);
+    ref_and.AndWith(d);
+  }
+  const WahBitvector canon_or = WahBitvector::FromBitvector(ref_or);
+  const WahBitvector canon_and = WahBitvector::FromBitvector(ref_and);
+
+  for (WahMergeStrategy s : kAllStrategies) {
+    ScopedStrategy scoped(s);
+    const std::string sctx = ctx + " strategy=" + ToString(s);
+    WahBitvector got_or = OrOfMany(wah);
+    WahBitvector got_and = AndOfMany(wah);
+    // Code-word equality, not just bit equality: every strategy must emit
+    // the canonical encoding.
+    ASSERT_TRUE(got_or == canon_or) << sctx;
+    ASSERT_TRUE(got_and == canon_and) << sctx;
+    ASSERT_EQ(CountOrOfMany(wah), ref_or.Count()) << sctx;
+    ASSERT_EQ(CountAndOfMany(wah), ref_and.Count()) << sctx;
+
+    // The adaptive entry points must agree with themselves regardless of
+    // which representation the merge ended in.
+    ASSERT_TRUE(OrOfManyAdaptive(wah).IntoDense() == ref_or) << sctx;
+    ASSERT_TRUE(AndOfManyAdaptive(wah).IntoDense() == ref_and) << sctx;
+  }
+}
+
+TEST(WahMergeTest, UniformNoiseAllStrategiesAgree) {
+  std::mt19937_64 rng(20260805);
+  for (size_t k : {2u, 3u, 8u, 16u}) {
+    for (size_t bits : {64u, 993u, 4096u}) {
+      std::vector<Bitvector> dense;
+      for (size_t i = 0; i < k; ++i) dense.push_back(Noise(rng, bits));
+      ExpectAllStrategiesAgree(dense, "noise k=" + std::to_string(k) +
+                                          " bits=" + std::to_string(bits));
+    }
+  }
+}
+
+TEST(WahMergeTest, SeamPatternsLargeK) {
+  std::mt19937_64 rng(20260806);
+  for (size_t k : {2u, 5u, 12u, 24u}) {
+    for (size_t bits : {31u, 32u, 63u, 64u, 65u, 2048u}) {
+      std::vector<Bitvector> dense;
+      for (size_t i = 0; i < k; ++i) dense.push_back(SeamPattern(rng, bits));
+      ExpectAllStrategiesAgree(dense, "seam k=" + std::to_string(k) +
+                                          " bits=" + std::to_string(bits));
+    }
+  }
+}
+
+// All-fill operands exercise the dominant-stretch and all-non-dominant-fill
+// branches with no literal groups at all; include a partial tail group.
+TEST(WahMergeTest, AllFillOperands) {
+  for (size_t bits : {31u, 62u, 93u, 100u, 1023u}) {
+    for (int mix = 0; mix < 4; ++mix) {
+      std::vector<Bitvector> dense;
+      dense.emplace_back(bits, (mix & 1) != 0);
+      dense.emplace_back(bits, (mix & 2) != 0);
+      dense.emplace_back(bits, false);
+      ExpectAllStrategiesAgree(dense, "fills bits=" + std::to_string(bits) +
+                                          " mix=" + std::to_string(mix));
+    }
+  }
+}
+
+// Zero-length operands are legal (empty bitmaps), it is the empty *span*
+// that violates the contract.
+TEST(WahMergeTest, ZeroLengthOperands) {
+  std::vector<Bitvector> dense(3, Bitvector(0));
+  ExpectAllStrategiesAgree(dense, "zero-length");
+}
+
+TEST(WahMergeTest, SingleOperandShortCircuitsToCopy) {
+  std::mt19937_64 rng(20260807);
+  Bitvector d = SeamPattern(rng, 777);
+  std::vector<WahBitvector> one = {WahBitvector::FromBitvector(d)};
+  for (WahMergeStrategy s : kAllStrategies) {
+    ScopedStrategy scoped(s);
+    const int64_t events_before = HeapEvents();
+    EXPECT_TRUE(OrOfMany(one) == one[0]) << ToString(s);
+    EXPECT_TRUE(AndOfMany(one) == one[0]) << ToString(s);
+    EXPECT_EQ(CountOrOfMany(one), d.Count()) << ToString(s);
+    EXPECT_EQ(CountAndOfMany(one), d.Count()) << ToString(s);
+    // A copy is a copy: no decode happens, so no run events are charged.
+    EXPECT_EQ(HeapEvents(), events_before) << ToString(s);
+  }
+}
+
+TEST(WahMergeDeathTest, EmptySpanDies) {
+  std::vector<WahBitvector> none;
+  EXPECT_DEATH(OrOfMany(none), "empty");
+  EXPECT_DEATH(AndOfMany(none), "empty");
+  EXPECT_DEATH(CountOrOfMany(none), "empty");
+  EXPECT_DEATH(OrOfManyAdaptive(none), "empty");
+}
+
+TEST(WahMergeTest, HeapStrategyAccountsRunEvents) {
+  std::mt19937_64 rng(20260808);
+  std::vector<Bitvector> dense;
+  for (int i = 0; i < 4; ++i) dense.push_back(SeamPattern(rng, 4000));
+  std::vector<WahBitvector> wah;
+  for (const Bitvector& d : dense) {
+    wah.push_back(WahBitvector::FromBitvector(d));
+  }
+  ScopedStrategy scoped(WahMergeStrategy::kHeap);
+  const int64_t before = HeapEvents();
+  OrOfMany(wah);
+  EXPECT_GT(HeapEvents(), before);
+}
+
+// Incompressible operands push the events-per-group ratio over the
+// threshold once the probe window fills; the adaptive merge must abandon
+// the compressed domain (observable via wah_engine.dense_fallbacks) and
+// still produce the exact result.  The pure heap strategy must not fall
+// back on the same input.
+TEST(WahMergeTest, AdaptiveFallsBackOnNoise) {
+  std::mt19937_64 rng(20260809);
+  const size_t kBits = 31 * 3000;  // ~3000 literal groups per operand
+  const size_t kK = 8;
+  std::vector<Bitvector> dense;
+  std::vector<WahBitvector> wah;
+  for (size_t i = 0; i < kK; ++i) {
+    dense.push_back(Noise(rng, kBits));
+    wah.push_back(WahBitvector::FromBitvector(dense.back()));
+  }
+  Bitvector ref_or(kBits);
+  for (const Bitvector& d : dense) ref_or.OrWith(d);
+
+  {
+    ScopedStrategy scoped(WahMergeStrategy::kAdaptive);
+    const int64_t before = DenseFallbacks();
+    WahMergeOutput out = OrOfManyAdaptive(wah);
+    EXPECT_GT(DenseFallbacks(), before);
+    EXPECT_TRUE(out.dense_fallback);
+    ASSERT_TRUE(std::move(out).IntoDense() == ref_or);
+    // The WAH-result entry point re-compresses the fallback's dense
+    // accumulator and must land on the canonical encoding.
+    EXPECT_TRUE(OrOfMany(wah) == WahBitvector::FromBitvector(ref_or));
+  }
+  {
+    ScopedStrategy scoped(WahMergeStrategy::kHeap);
+    const int64_t before = DenseFallbacks();
+    WahMergeOutput out = OrOfManyAdaptive(wah);
+    EXPECT_EQ(DenseFallbacks(), before);
+    EXPECT_FALSE(out.dense_fallback);
+    ASSERT_TRUE(std::move(out).IntoDense() == ref_or);
+  }
+}
+
+// Highly compressible operands must stay in the compressed domain under
+// kAdaptive even when they are long — the fallback is for event *density*,
+// not length.
+TEST(WahMergeTest, AdaptiveStaysCompressedOnSparse) {
+  const size_t kBits = 31 * 100000;
+  std::vector<Bitvector> dense;
+  for (int i = 0; i < 8; ++i) {
+    Bitvector d(kBits);
+    for (size_t bit = static_cast<size_t>(i) * 1000; bit < kBits;
+         bit += 70001) {
+      d.Set(bit);
+    }
+    dense.push_back(std::move(d));
+  }
+  std::vector<WahBitvector> wah;
+  for (const Bitvector& d : dense) {
+    wah.push_back(WahBitvector::FromBitvector(d));
+  }
+  ScopedStrategy scoped(WahMergeStrategy::kAdaptive);
+  const int64_t before = DenseFallbacks();
+  WahMergeOutput out = OrOfManyAdaptive(wah);
+  EXPECT_EQ(DenseFallbacks(), before);
+  EXPECT_FALSE(out.dense_fallback);
+  Bitvector ref(kBits);
+  for (const Bitvector& d : dense) ref.OrWith(d);
+  ASSERT_TRUE(std::move(out).IntoWah() == WahBitvector::FromBitvector(ref));
+}
+
+}  // namespace
+}  // namespace bix
