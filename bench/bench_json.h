@@ -9,16 +9,30 @@
 // denormalized — one row per (benchmark, parameter point, metric) — so
 // downstream tooling can concatenate, filter, and plot files from different
 // harnesses without per-bench parsing.
+//
+// The first row of every file written here is a synthetic "_meta" row
+// carrying run metadata (git sha, UTC timestamp, hostname, thread count,
+// compiler) in its params, so a baseline is self-describing and benchdiff
+// can refuse a cross-machine comparison instead of silently gating on it.
+// Consumers that iterate rows can skip it by its reserved bench name.
 
 #ifndef BIX_BENCH_BENCH_JSON_H_
 #define BIX_BENCH_BENCH_JSON_H_
 
+#include <unistd.h>
+
 #include <cstdio>
+#include <cstdlib>
+#include <ctime>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
 namespace bix::bench {
+
+/// Reserved bench name of the run-metadata row.
+inline constexpr const char* kMetaBenchName = "_meta";
 
 inline std::string JsonEscape(const std::string& s) {
   std::string out;
@@ -70,6 +84,66 @@ struct BenchParam {
       : key(std::move(k)), value_json("\"" + JsonEscape(v) + "\"") {}
 };
 
+/// Run metadata for the "_meta" row.  All fields degrade to "unknown"
+/// rather than failing — metadata must never break a benchmark run.
+struct RunMeta {
+  std::string git_sha;
+  std::string timestamp_utc;  // ISO-8601, e.g. "2026-08-07T12:34:56Z"
+  std::string hostname;
+  int threads = 0;
+  std::string compiler;
+};
+
+inline RunMeta CollectRunMeta() {
+  RunMeta meta;
+  // Prefer an explicitly exported sha (scripts/check.sh sets BIX_GIT_SHA so
+  // benches need not run inside the repo); fall back to asking git.
+  const char* env_sha = std::getenv("BIX_GIT_SHA");
+  if (env_sha != nullptr && env_sha[0] != '\0') {
+    meta.git_sha = env_sha;
+  } else {
+    std::FILE* p = popen("git rev-parse --short=12 HEAD 2>/dev/null", "r");
+    if (p != nullptr) {
+      char buf[64] = {0};
+      if (std::fgets(buf, sizeof(buf), p) != nullptr) {
+        std::string sha(buf);
+        while (!sha.empty() && (sha.back() == '\n' || sha.back() == '\r')) {
+          sha.pop_back();
+        }
+        meta.git_sha = sha;
+      }
+      pclose(p);
+    }
+  }
+  if (meta.git_sha.empty()) meta.git_sha = "unknown";
+
+  std::time_t now = std::time(nullptr);
+  std::tm tm_utc{};
+  if (gmtime_r(&now, &tm_utc) != nullptr) {
+    char buf[32];
+    if (std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm_utc) > 0) {
+      meta.timestamp_utc = buf;
+    }
+  }
+  if (meta.timestamp_utc.empty()) meta.timestamp_utc = "unknown";
+
+  char host[256] = {0};
+  if (gethostname(host, sizeof(host) - 1) == 0 && host[0] != '\0') {
+    meta.hostname = host;
+  } else {
+    meta.hostname = "unknown";
+  }
+
+  meta.threads = static_cast<int>(std::thread::hardware_concurrency());
+
+#if defined(__VERSION__)
+  meta.compiler = __VERSION__;
+#else
+  meta.compiler = "unknown";
+#endif
+  return meta;
+}
+
 /// Accumulates rows, then writes them as one JSON array.
 class BenchJsonWriter {
  public:
@@ -88,7 +162,18 @@ class BenchJsonWriter {
   size_t size() const { return rows_.size(); }
 
   std::string ToJson() const {
-    std::string out = "[\n";
+    // The metadata row leads the array so readers see the run's identity
+    // before any result, and diffing two files diffs metadata first.
+    const RunMeta meta = CollectRunMeta();
+    std::string meta_row =
+        std::string("{\"bench\":\"") + kMetaBenchName + "\",\"params\":{" +
+        "\"git_sha\":\"" + JsonEscape(meta.git_sha) + "\"," +
+        "\"timestamp_utc\":\"" + JsonEscape(meta.timestamp_utc) + "\"," +
+        "\"hostname\":\"" + JsonEscape(meta.hostname) + "\"," +
+        "\"threads\":" + std::to_string(meta.threads) + "," +
+        "\"compiler\":\"" + JsonEscape(meta.compiler) + "\"}," +
+        "\"metric\":\"run\",\"value\":0,\"unit\":\"\"}";
+    std::string out = "[\n  " + meta_row + (rows_.empty() ? "\n" : ",\n");
     for (size_t i = 0; i < rows_.size(); ++i) {
       out += "  " + rows_[i] + (i + 1 < rows_.size() ? ",\n" : "\n");
     }

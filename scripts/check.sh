@@ -10,6 +10,8 @@
 #   scripts/check.sh --tsan    TSan build + exec/pool tests only
 #   scripts/check.sh --diff    differential/property suite only (fast lane)
 #   scripts/check.sh --chaos   fault-injection/storage chaos suite under ASan
+#   scripts/check.sh --bench-gate  smoke benches vs committed baselines
+#                                  through the benchdiff regression gate
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -18,12 +20,14 @@ RUN_ASAN=1
 RUN_TSAN=1
 RUN_DIFF=0
 RUN_CHAOS=0
+RUN_BENCH_GATE=0
 case "${1:-}" in
   --fast) RUN_ASAN=0; RUN_TSAN=0 ;;
   --asan) RUN_MAIN=0; RUN_TSAN=0 ;;
   --tsan) RUN_MAIN=0; RUN_ASAN=0 ;;
   --diff) RUN_MAIN=0; RUN_ASAN=0; RUN_TSAN=0; RUN_DIFF=1 ;;
   --chaos) RUN_MAIN=0; RUN_ASAN=0; RUN_TSAN=0; RUN_CHAOS=1 ;;
+  --bench-gate) RUN_MAIN=0; RUN_ASAN=0; RUN_TSAN=0; RUN_BENCH_GATE=1 ;;
 esac
 
 if [[ "$RUN_DIFF" == 1 ]]; then
@@ -57,6 +61,36 @@ if [[ "$RUN_CHAOS" == 1 ]]; then
   ./build-asan/tests/bix_differential_tests --gtest_filter='FaultInjection*'
   ./build-asan/tests/bix_tests \
       --gtest_filter='StorageV2Test*:FormatTest*:PosixEnvTest*:FaultInjectingEnvTest*:RunWithRetryTest*:BackoffTest*:Crc32cTest*:StorageTest*'
+fi
+
+if [[ "$RUN_BENCH_GATE" == 1 ]]; then
+  # Perf regression lane: rerun the two baseline-backed benches in smoke
+  # mode (min-of-reps inside the bench makes the short runs usable) and
+  # compare against bench/baselines/ through benchdiff's ±15% noise band.
+  # BIX_GIT_SHA feeds the "_meta" row so results are traceable even when
+  # the bench runs outside the repo.  benchdiff refuses to gate when the
+  # baseline was recorded on a different host — regenerate baselines on
+  # this machine (scripts/check.sh main lane does) before relying on it.
+  # No -G: reuse however build/ is already configured (Ninja or Make).
+  cmake -B build
+  cmake --build build --target bench_wah_merge bench_wah_ablation benchdiff
+  BIX_GIT_SHA="$(git rev-parse --short=12 HEAD 2>/dev/null || echo unknown)"
+  export BIX_GIT_SHA
+  GATE_DIR="$(mktemp -d)"
+  trap 'rm -rf "$GATE_DIR"' EXIT
+  # Three runs per bench, min-folded by benchdiff: run-level reps squeeze
+  # the fat noise tails that per-rep minima alone cannot (especially on
+  # small or shared machines).
+  for i in 1 2 3; do
+    ./build/bench/bench_wah_merge --smoke "$GATE_DIR/wah_merge.$i.json" \
+        > /dev/null
+    ./build/bench/bench_wah_ablation --smoke \
+        "$GATE_DIR/wah_ablation.$i.json" > /dev/null
+  done
+  ./build/tools/benchdiff bench/baselines/BENCH_wah_merge.json \
+      "$GATE_DIR"/wah_merge.*.json
+  ./build/tools/benchdiff bench/baselines/BENCH_wah_ablation.json \
+      "$GATE_DIR"/wah_ablation.*.json
 fi
 
 if [[ "$RUN_MAIN" == 1 ]]; then

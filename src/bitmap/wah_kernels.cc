@@ -14,6 +14,7 @@
 #include "bitmap/wah_run_decoder.h"
 #include "core/check.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 
 namespace bix {
 
@@ -54,6 +55,17 @@ obs::Counter& DenseFallbacksCounter() {
   static obs::Counter& c =
       obs::MetricsRegistry::Global().GetCounter("wah_engine.dense_fallbacks");
   return c;
+}
+
+// Every kernel-level count mirrors into the live profiler span so per-node
+// profiles and the registry agree.
+void CountHeapEvents(int64_t events) {
+  HeapEventsCounter().Increment(events);
+  obs::ProfCount(obs::ProfCounter::kHeapEvents, events);
+}
+void CountDenseFallback() {
+  DenseFallbacksCounter().Increment();
+  obs::ProfCount(obs::ProfCounter::kDenseFallbacks);
 }
 
 // Adaptive-merge fallback tuning.  The heap costs O(log k) per run event;
@@ -440,7 +452,7 @@ WahMergeOutput MergeImpl(std::span<const WahBitvector* const> operands) {
       MergeMany<kIsOr>(operands, AppendSink{&out.wah});
       return out;
     case WahMergeStrategy::kDense:
-      DenseFallbacksCounter().Increment();
+      CountDenseFallback();
       out.dense_fallback = true;
       out.dense = DenseFold<kIsOr>(operands);
       return out;
@@ -448,7 +460,7 @@ WahMergeOutput MergeImpl(std::span<const WahBitvector* const> operands) {
     case WahMergeStrategy::kAdaptive: {
       if (strategy == WahMergeStrategy::kAdaptive &&
           ShouldStartDense(operands, num_bits)) {
-        DenseFallbacksCounter().Increment();
+        CountDenseFallback();
         out.dense_fallback = true;
         out.dense = DenseFold<kIsOr>(operands);
         return out;
@@ -459,9 +471,9 @@ WahMergeOutput MergeImpl(std::span<const WahBitvector* const> operands) {
           HeapMergeMany<kIsOr>(operands, AppendSink{&out.wah},
                                strategy == WahMergeStrategy::kAdaptive,
                                &events);
-      HeapEventsCounter().Increment(static_cast<int64_t>(events));
+      CountHeapEvents(static_cast<int64_t>(events));
       if (completed) return out;
-      DenseFallbacksCounter().Increment();
+      CountDenseFallback();
       out.wah = WahBitvector();  // discard the abandoned compressed prefix
       out.dense_fallback = true;
       out.dense = DenseFold<kIsOr>(operands);
@@ -487,22 +499,22 @@ size_t MergeCountImpl(std::span<const WahBitvector* const> operands) {
       return sink.count;
     }
     case WahMergeStrategy::kDense:
-      DenseFallbacksCounter().Increment();
+      CountDenseFallback();
       return DenseCountFold<kIsOr>(operands);
     case WahMergeStrategy::kHeap:
     case WahMergeStrategy::kAdaptive: {
       if (strategy == WahMergeStrategy::kAdaptive &&
           ShouldStartDense(operands, num_bits)) {
-        DenseFallbacksCounter().Increment();
+        CountDenseFallback();
         return DenseCountFold<kIsOr>(operands);
       }
       CountSink sink{num_bits};
       uint64_t events = 0;
       const bool completed = HeapMergeMany<kIsOr>(
           operands, sink, strategy == WahMergeStrategy::kAdaptive, &events);
-      HeapEventsCounter().Increment(static_cast<int64_t>(events));
+      CountHeapEvents(static_cast<int64_t>(events));
       if (completed) return sink.count;
-      DenseFallbacksCounter().Increment();
+      CountDenseFallback();
       return DenseCountFold<kIsOr>(operands);
     }
   }

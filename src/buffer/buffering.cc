@@ -8,6 +8,7 @@
 #include "core/check.h"
 #include "core/cost_model.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 
 namespace bix {
@@ -137,7 +138,10 @@ Bitvector BufferedSource::Fetch(int component, uint32_t slot,
   span.set_hit(hit);
   if (hit) {
     hits.Increment();
-    if (stats != nullptr) ++stats->buffer_hits;
+    if (stats != nullptr) {
+      ++stats->buffer_hits;
+      obs::ProfCount(obs::ProfCounter::kBufferHits);
+    }
     return inner_.Fetch(component, slot, nullptr);
   }
   misses.Increment();

@@ -4,6 +4,7 @@
 
 #include "core/check.h"
 #include "core/eval.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 
 namespace bix {
@@ -54,7 +55,10 @@ const Bitvector* BitmapIndex::FetchView(int component, uint32_t slot,
                                         EvalStats* stats) const {
   const IndexComponent& comp = components_[static_cast<size_t>(component)];
   BIX_CHECK(slot < static_cast<uint32_t>(comp.num_stored_bitmaps()));
-  if (stats != nullptr) ++stats->bitmap_scans;
+  if (stats != nullptr) {
+    ++stats->bitmap_scans;
+    obs::ProfCount(obs::ProfCounter::kBitmapScans);
+  }
   if (obs::Tracer::enabled()) {
     obs::TraceSpan span("fetch", "memory");
     span.set_component(component);

@@ -1,5 +1,6 @@
 #include "core/compressed_source.h"
 
+#include "obs/profile.h"
 #include "obs/trace.h"
 
 namespace bix {
@@ -24,7 +25,10 @@ WahCompressedSource::WahCompressedSource(const BitmapIndex& index)
 
 Bitvector WahCompressedSource::Fetch(int component, uint32_t slot,
                                      EvalStats* stats) const {
-  if (stats != nullptr) ++stats->bitmap_scans;
+  if (stats != nullptr) {
+    ++stats->bitmap_scans;
+    obs::ProfCount(obs::ProfCounter::kBitmapScans);
+  }
   const WahBitvector& wah =
       components_[static_cast<size_t>(component)][slot];
   obs::TraceSpan span("fetch", "wah_inflate");
@@ -36,7 +40,10 @@ Bitvector WahCompressedSource::Fetch(int component, uint32_t slot,
 
 const WahBitvector* WahCompressedSource::FetchWah(int component, uint32_t slot,
                                                   EvalStats* stats) const {
-  if (stats != nullptr) ++stats->bitmap_scans;
+  if (stats != nullptr) {
+    ++stats->bitmap_scans;
+    obs::ProfCount(obs::ProfCounter::kBitmapScans);
+  }
   return &components_[static_cast<size_t>(component)][slot];
 }
 

@@ -8,6 +8,7 @@
 #include "core/check.h"
 #include "core/eval_algorithms.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 
 namespace bix {
@@ -125,6 +126,7 @@ Bitvector EvaluatePredicate(const BitmapSource& source,
   obs::TraceSpan span("eval", ToString(algorithm).data());
   span.set_value(v);
   if (span.active()) span.set_detail(std::string(ToString(op)));
+  obs::ProfSpan prof("eval", ToString(algorithm));
 
   const auto start = std::chrono::steady_clock::now();
   Bitvector result;

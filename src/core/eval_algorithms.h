@@ -39,29 +39,36 @@
 #include "core/check.h"
 #include "core/eval_stats.h"
 #include "core/predicate.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 
 namespace bix::eval_detail {
 
-// Counts logical bitmap operations into an optional EvalStats, and emits an
-// instant trace event per operation when tracing is on (the disabled path is
-// one relaxed atomic load per operation).
+// Counts logical bitmap operations into an optional EvalStats, attributes
+// them to the live profiler span, and emits an instant trace event per
+// operation when tracing is on (each disabled path is one relaxed atomic
+// load per operation).  All three engines count through here, so EvalStats,
+// the registry, and the profile agree by construction.
 struct OpCounter {
   EvalStats* stats;
   void And() const {
     if (stats != nullptr) ++stats->and_ops;
+    obs::ProfCount(obs::ProfCounter::kAndOps);
     if (obs::Tracer::enabled()) obs::RecordInstant("op", "AND");
   }
   void Or() const {
     if (stats != nullptr) ++stats->or_ops;
+    obs::ProfCount(obs::ProfCounter::kOrOps);
     if (obs::Tracer::enabled()) obs::RecordInstant("op", "OR");
   }
   void Xor() const {
     if (stats != nullptr) ++stats->xor_ops;
+    obs::ProfCount(obs::ProfCounter::kXorOps);
     if (obs::Tracer::enabled()) obs::RecordInstant("op", "XOR");
   }
   void Not() const {
     if (stats != nullptr) ++stats->not_ops;
+    obs::ProfCount(obs::ProfCounter::kNotOps);
     if (obs::Tracer::enabled()) obs::RecordInstant("op", "NOT");
   }
 };

@@ -12,6 +12,7 @@
 #include "exec/thread_pool.h"
 #include "exec/wah_engine.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 
 namespace bix::exec {
@@ -441,10 +442,19 @@ Bitvector EvaluatePredicate(const BitmapSource& source,
                     std::to_string(std::max(1, options.num_threads)));
   }
 
+  obs::ProfSpan prof("eval", ToString(algorithm));
+
   const auto start = std::chrono::steady_clock::now();
-  exec::EvalProgram program =
-      exec::RecordEvalProgram(source, algorithm, op, v, s);
-  Bitvector result = exec::ExecuteProgram(program, options);
+  exec::EvalProgram program;
+  {
+    obs::ProfSpan record_span("exec", "record program");
+    program = exec::RecordEvalProgram(source, algorithm, op, v, s);
+  }
+  Bitvector result;
+  {
+    obs::ProfSpan exec_span("exec", "execute segments");
+    result = exec::ExecuteProgram(program, options);
+  }
   const int64_t latency_ns =
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now() - start)

@@ -8,6 +8,7 @@
 namespace bix::exec {
 
 void ThreadPool::Batch::Drain(int lane) {
+  obs::ProfAdopt adopt(prof);
   size_t completed = 0;
   std::exception_ptr first_error;
   while (true) {
@@ -86,6 +87,7 @@ void ThreadPool::ParallelFor(size_t num_tasks, int max_workers,
   batch->fn = &fn;
   batch->num_tasks = num_tasks;
   batch->max_lanes = max_workers;
+  batch->prof = obs::Profiler::CurrentHandle();
   {
     std::lock_guard<std::mutex> lock(mu_);
     batch_ = batch;

@@ -26,6 +26,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/profile.h"
+
 namespace bix::exec {
 
 class ThreadPool {
@@ -60,6 +62,9 @@ class ThreadPool {
     const std::function<void(size_t, int)>* fn = nullptr;
     size_t num_tasks = 0;
     int max_lanes = 0;  // pool workers allowed to join (caller is extra)
+    // Submitter's live profiler span: workers adopt it while draining, so
+    // their counters attribute into the owning query's node.
+    obs::ProfHandle prof;
     std::atomic<size_t> next_task{0};
     std::atomic<size_t> done_tasks{0};
     std::atomic<int> joined{0};

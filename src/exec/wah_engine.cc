@@ -12,6 +12,7 @@
 #include "core/check.h"
 #include "core/eval_algorithms.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 
 namespace bix::exec {
@@ -167,9 +168,11 @@ class WahVec {
     if (repr_ == Repr::kWah) {
       wah_ = wah_.Not();
       CompressedOps().Increment();
+      obs::ProfCount(obs::ProfCounter::kWahCompressedOps);
     } else {
       dense_.NotInPlace();
       PlainOps().Increment();
+      obs::ProfCount(obs::ProfCounter::kWahPlainOps);
     }
   }
 
@@ -226,6 +229,7 @@ class WahVec {
         CompressedOpNs().Observe(ns);
       }
       CompressedOps().Increment();
+      obs::ProfCount(obs::ProfCounter::kWahCompressedOps);
       return;
     }
     Densify();
@@ -259,6 +263,7 @@ class WahVec {
       PlainOpNs().Observe(ns);
     }
     PlainOps().Increment();
+    obs::ProfCount(obs::ProfCounter::kWahPlainOps);
   }
 
   Repr repr_ = Repr::kNull;
@@ -350,15 +355,18 @@ class WahEngine {
         // IntoWah at the very end, not here).
         DenseFallbackOps().Increment(fused_ops);
         PlainOps().Increment(fused_ops);
+        obs::ProfCount(obs::ProfCounter::kWahPlainOps, fused_ops);
         return WahVec::Dense(std::move(merged.dense));
       }
       CompressedOps().Increment(fused_ops);
+      obs::ProfCount(obs::ProfCounter::kWahCompressedOps, fused_ops);
       return WahVec::Wah(std::move(merged.wah));
     }
     std::vector<Bitvector> dense;
     dense.reserve(operands.size());
     for (Vec& o : operands) dense.push_back(std::move(o).IntoDense());
     PlainOps().Increment(fused_ops);
+    obs::ProfCount(obs::ProfCounter::kWahPlainOps, fused_ops);
     return WahVec::Dense(OrOfMany(dense));
   }
 
@@ -416,6 +424,7 @@ auto Evaluate(const BitmapSource& source, EvalAlgorithm algorithm,
     span.set_detail(std::string(ToString(op)) + " engine=" +
                     ToString(engine));
   }
+  obs::ProfSpan prof("eval", ToString(algorithm));
 
   const auto start = std::chrono::steady_clock::now();
   WahVec result = RunAlgorithm(source, algorithm, op, v, engine, s);

@@ -56,6 +56,42 @@ int64_t Histogram::Quantile(double q) const {
   return BucketUpperBound(kNumBuckets - 1);
 }
 
+int64_t Histogram::QuantileInterpolated(double q) const {
+  int64_t total = count();
+  if (total == 0) return 0;
+  // The extreme quantiles are observed directly — no need to interpolate.
+  if (q <= 0.0) return min();
+  if (q >= 1.0) return max();
+  double rank = q * static_cast<double>(total - 1);
+  int64_t seen = 0;
+  for (int k = 0; k < kNumBuckets; ++k) {
+    int64_t c = bucket(k);
+    if (c == 0) continue;
+    if (static_cast<double>(seen + c) > rank) {
+      // Rank falls in this bucket; treat the bucket's c observations as
+      // evenly spread over its value range and read off the position.
+      double pos = (rank - static_cast<double>(seen) + 0.5) /
+                   static_cast<double>(c);
+      int64_t lo = (k == 0) ? 0 : (int64_t{1} << (k - 1));
+      int64_t hi = BucketUpperBound(k);
+      double est = static_cast<double>(lo) +
+                   pos * static_cast<double>(hi - lo);
+      int64_t v = (est >= static_cast<double>(INT64_MAX))
+                      ? INT64_MAX
+                      : static_cast<int64_t>(est + 0.5);
+      // Clamp to both the bucket range and the observed extremes: exact
+      // for single-value histograms and never outside real data.
+      v = std::max(v, lo);
+      v = std::min(v, hi);
+      v = std::max(v, min());
+      v = std::min(v, max());
+      return v;
+    }
+    seen += c;
+  }
+  return max();
+}
+
 void Histogram::Reset() {
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);
@@ -128,8 +164,9 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
         s.sum = h.sum();
         s.min = h.min();
         s.max = h.max();
-        s.p50 = h.Quantile(0.5);
-        s.p99 = h.Quantile(0.99);
+        s.p50 = h.QuantileInterpolated(0.5);
+        s.p95 = h.QuantileInterpolated(0.95);
+        s.p99 = h.QuantileInterpolated(0.99);
         for (int k = 0; k < Histogram::kNumBuckets; ++k) {
           int64_t c = h.bucket(k);
           if (c != 0) s.buckets.emplace_back(Histogram::BucketUpperBound(k), c);
@@ -176,8 +213,8 @@ std::string MetricsSnapshot::ToText() const {
         break;
       case MetricSample::Kind::kHistogram:
         out << s.name << " count=" << s.value << " sum=" << s.sum
-            << " min=" << s.min << " p50<=" << s.p50 << " p99<=" << s.p99
-            << " max=" << s.max << "\n";
+            << " min=" << s.min << " p50<=" << s.p50 << " p95<=" << s.p95
+            << " p99<=" << s.p99 << " max=" << s.max << "\n";
         break;
     }
   }
@@ -200,7 +237,8 @@ std::string MetricsSnapshot::ToJson() const {
       case MetricSample::Kind::kHistogram: {
         out << "{\"count\":" << s.value << ",\"sum\":" << s.sum
             << ",\"min\":" << s.min << ",\"max\":" << s.max
-            << ",\"p50\":" << s.p50 << ",\"p99\":" << s.p99 << ",\"buckets\":[";
+            << ",\"p50\":" << s.p50 << ",\"p95\":" << s.p95
+            << ",\"p99\":" << s.p99 << ",\"buckets\":[";
         bool bfirst = true;
         for (const auto& [ub, c] : s.buckets) {
           if (!bfirst) out << ",";
@@ -213,6 +251,53 @@ std::string MetricsSnapshot::ToJson() const {
     }
   }
   out << "}";
+  return out.str();
+}
+
+std::string MetricsSnapshot::ToPrometheus() const {
+  auto sanitized = [](const std::string& name) {
+    std::string out = "bix_";
+    for (char c : name) {
+      bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                (c >= '0' && c <= '9') || c == '_' || c == ':';
+      out += ok ? c : '_';
+    }
+    return out;
+  };
+  std::ostringstream out;
+  for (const MetricSample& s : samples) {
+    std::string name = sanitized(s.name);
+    switch (s.kind) {
+      case MetricSample::Kind::kCounter:
+        out << "# TYPE " << name << " counter\n"
+            << name << " " << s.value << "\n";
+        break;
+      case MetricSample::Kind::kGauge:
+        out << "# TYPE " << name << " gauge\n"
+            << name << " " << s.value << "\n";
+        break;
+      case MetricSample::Kind::kHistogram: {
+        out << "# TYPE " << name << " histogram\n";
+        int64_t cumulative = 0;
+        for (const auto& [ub, c] : s.buckets) {
+          cumulative += c;
+          out << name << "_bucket{le=\"";
+          if (ub == INT64_MAX) {
+            out << "+Inf";
+          } else {
+            out << ub;
+          }
+          out << "\"} " << cumulative << "\n";
+        }
+        if (s.buckets.empty() || s.buckets.back().first != INT64_MAX) {
+          out << name << "_bucket{le=\"+Inf\"} " << s.value << "\n";
+        }
+        out << name << "_sum " << s.sum << "\n"
+            << name << "_count " << s.value << "\n";
+        break;
+      }
+    }
+  }
   return out.str();
 }
 

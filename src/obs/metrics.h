@@ -82,6 +82,12 @@ class Histogram {
   /// estimated as the upper bound of the containing bucket.
   int64_t Quantile(double q) const;
 
+  /// Like Quantile, but linearly interpolated by rank position within the
+  /// containing bucket's value range and clamped to the observed
+  /// [min(), max()] — exact for single-value histograms, far tighter than
+  /// the bucket upper bound for wide (high) buckets.
+  int64_t QuantileInterpolated(double q) const;
+
   void Reset();
 
  private:
@@ -103,6 +109,7 @@ struct MetricSample {
   int64_t min = 0;
   int64_t max = 0;
   int64_t p50 = 0;
+  int64_t p95 = 0;
   int64_t p99 = 0;
   std::vector<std::pair<int64_t, int64_t>> buckets;  // (upper_bound, count)
 };
@@ -114,6 +121,10 @@ struct MetricsSnapshot {
   std::string ToText() const;
   /// JSON object {"name": value | {histogram object}} in name order.
   std::string ToJson() const;
+  /// Prometheus text exposition format: names sanitized to
+  /// [a-zA-Z0-9_:] and prefixed "bix_"; histograms export cumulative
+  /// le-buckets plus _sum and _count.
+  std::string ToPrometheus() const;
   /// Sample lookup by exact name; nullptr if absent.
   const MetricSample* Find(const std::string& name) const;
 };

@@ -1,5 +1,6 @@
 #include "obs/trace.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -38,6 +39,12 @@ void AppendEscaped(std::ostringstream& out, const std::string& s) {
 
 std::atomic<bool> Tracer::enabled_{false};
 
+int64_t Tracer::CurrentThreadId() {
+  static std::atomic<int64_t> next_tid{0};
+  thread_local int64_t tid = next_tid.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
 Tracer& Tracer::Global() {
   static Tracer* tracer = new Tracer();
   return *tracer;
@@ -55,6 +62,7 @@ void Tracer::Disable() { enabled_.store(false, std::memory_order_relaxed); }
 int64_t Tracer::NowNs() const { return SteadyNowNs() - epoch_ns_; }
 
 void Tracer::Record(TraceEvent event) {
+  if (event.tid < 0) event.tid = CurrentThreadId();
   std::lock_guard<std::mutex> lock(mu_);
   events_.push_back(std::move(event));
 }
@@ -79,6 +87,24 @@ std::string Tracer::ToChromeJson() const {
   std::ostringstream out;
   out << "{\"traceEvents\":[";
   bool first = true;
+  // Name each thread row: tid 0 is the first recording thread (main in
+  // every tool and test), workers keep their stable ids, so one worker's
+  // spans nest on one row inside the owning query's time range.
+  std::vector<int64_t> tids;
+  for (const TraceEvent& e : events) {
+    int64_t tid = e.tid < 0 ? 0 : e.tid;
+    if (std::find(tids.begin(), tids.end(), tid) == tids.end()) {
+      tids.push_back(tid);
+    }
+  }
+  std::sort(tids.begin(), tids.end());
+  for (int64_t tid : tids) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":" << tid
+        << ",\"args\":{\"name\":\""
+        << (tid == 0 ? "main" : "worker-" + std::to_string(tid)) << "\"}}";
+  }
   for (const TraceEvent& e : events) {
     if (!first) out << ",";
     first = false;
@@ -88,8 +114,8 @@ std::string Tracer::ToChromeJson() const {
     AppendEscaped(out, e.category);
     // chrome://tracing expects microsecond timestamps; keep nanosecond
     // resolution with fractional microseconds.
-    out << "\",\"pid\":0,\"tid\":0,\"ts\":"
-        << static_cast<double>(e.ts_ns) / 1000.0;
+    out << "\",\"pid\":0,\"tid\":" << (e.tid < 0 ? 0 : e.tid)
+        << ",\"ts\":" << static_cast<double>(e.ts_ns) / 1000.0;
     if (e.dur_ns >= 0) {
       out << ",\"ph\":\"X\",\"dur\":" << static_cast<double>(e.dur_ns) / 1000.0;
     } else {

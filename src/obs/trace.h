@@ -37,6 +37,7 @@ struct TraceEvent {
   int64_t bytes = -1;
   int64_t value = -1;         // predicate constant / generic argument
   int64_t hit = -1;           // buffer hit (1) / miss (0)
+  int64_t tid = -1;           // recording thread; assigned by Record()
   std::string detail;         // optional free-form annotation
 };
 
@@ -58,6 +59,13 @@ class Tracer {
   /// Nanoseconds since Enable() (steady clock).
   int64_t NowNs() const;
 
+  /// Stable small id of the calling thread (0 = first recording thread,
+  /// normally main).  Ids are process-lifetime: a worker keeps its id
+  /// across batches, so its events line up on one Chrome trace row.
+  static int64_t CurrentThreadId();
+
+  /// Appends `event`, stamping `tid` with CurrentThreadId() when the
+  /// caller left it unset.
   void Record(TraceEvent event);
 
   size_t size() const;

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <limits>
 #include <sstream>
+#include <string>
 
 #include "bitmap/bitvector_kernels.h"
 #include "bitmap/wah_kernels.h"
@@ -13,6 +14,7 @@
 #include "exec/thread_pool.h"
 #include "exec/wah_engine.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 
 namespace bix {
@@ -229,6 +231,11 @@ ExecutionResult SelectionPlanner::ExecuteIndexMerge(
       static_cast<size_t>(std::max(1, exec_options_.num_threads)),
       query.size()));
   auto probe = [&](size_t i, int /*lane*/) {
+    std::string prof_name;
+    if (obs::Profiler::enabled()) {
+      prof_name = "probe a" + std::to_string(query[i].attribute);
+    }
+    obs::ProfSpan prof_span("plan", prof_name);
     if (compressed) {
       wah_foundsets[i] = IndexProbeWah(query[i], &partials[i]);
     } else {
@@ -267,6 +274,7 @@ ExecutionResult SelectionPlanner::Execute(const ConjunctiveQuery& query,
                                           const PlanEstimate& plan) const {
   obs::TraceSpan span("plan", ToString(plan.kind).data());
   span.set_value(static_cast<int64_t>(plan.estimated_bytes));
+  obs::ProfSpan prof("plan", ToString(plan.kind));
 
   ExecutionResult result;
   switch (plan.kind) {

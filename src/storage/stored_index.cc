@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cstring>
+#include <optional>
 #include <deque>
 #include <sstream>
 #include <string>
@@ -16,6 +17,7 @@
 #include "exec/segmented_eval.h"
 #include "exec/wah_engine.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 
 namespace bix {
@@ -167,7 +169,10 @@ class StoredQuerySource final : public BitmapSource {
                                   &raw_[static_cast<size_t>(c)], &io,
                                   decompress_seconds_);
         span.set_bytes(io.bytes_read);
-        if (stats_ != nullptr) stats_->bytes_read += io.bytes_read;
+        if (stats_ != nullptr) {
+          stats_->bytes_read += io.bytes_read;
+          obs::ProfCount(obs::ProfCounter::kBytesRead, io.bytes_read);
+        }
         if (!status_.ok()) return;
         uint32_t stride =
             NumStoredBitmaps(index_.encoding(), index_.base().base(c));
@@ -181,7 +186,10 @@ class StoredQuerySource final : public BitmapSource {
       status_ = index_.ReadBlob(kIndexFileName, &raw_[0], &io,
                                 decompress_seconds_);
       span.set_bytes(io.bytes_read);
-      if (stats_ != nullptr) stats_->bytes_read += io.bytes_read;
+      if (stats_ != nullptr) {
+        stats_->bytes_read += io.bytes_read;
+        obs::ProfCount(obs::ProfCounter::kBytesRead, io.bytes_read);
+      }
       if (status_.ok()) EnsureMatrixSize(&raw_[0], index_.row_stride_);
     }
   }
@@ -208,7 +216,15 @@ class StoredQuerySource final : public BitmapSource {
 
   Bitvector Fetch(int component, uint32_t slot,
                   EvalStats* stats) const override {
-    if (stats != nullptr) ++stats->bitmap_scans;
+    if (stats != nullptr) {
+      ++stats->bitmap_scans;
+      obs::ProfCount(obs::ProfCounter::kBitmapScans);
+    }
+    std::string prof_name;
+    if (obs::Profiler::enabled()) {
+      prof_name = "fetch c" + std::to_string(component);
+    }
+    obs::ProfSpan prof_span("fetch", prof_name);
     switch (index_.scheme_) {
       case StorageScheme::kBitmapLevel: {
         obs::TraceSpan span("fetch", "BS_read");
@@ -220,7 +236,10 @@ class StoredQuerySource final : public BitmapSource {
         Status s = index_.ReadBlob(BitmapFileName(component, slot), &raw, &io,
                                    decompress_seconds_);
         span.set_bytes(io.bytes_read);
-        if (stats_ != nullptr) stats_->bytes_read += io.bytes_read;
+        if (stats_ != nullptr) {
+          stats_->bytes_read += io.bytes_read;
+          obs::ProfCount(obs::ProfCounter::kBytesRead, io.bytes_read);
+        }
         if (s.ok() && raw.size() < (index_.num_records() + 7) / 8) {
           s = Status::Corruption("bitmap file shorter than N bits: " +
                                  BitmapFileName(component, slot));
@@ -274,6 +293,11 @@ class StoredQuerySource final : public BitmapSource {
     if (!UsesWahOperandPayloads(index_.scheme_, index_.codec())) {
       return nullptr;
     }
+    std::string prof_name;
+    if (obs::Profiler::enabled()) {
+      prof_name = "fetch c" + std::to_string(component);
+    }
+    obs::ProfSpan prof_span("fetch", prof_name);
     std::string name = BitmapFileName(component, slot);
     std::vector<uint8_t> bytes;
     if (!index_.ReadCheckedFile(name, &bytes).ok()) return nullptr;
@@ -285,9 +309,14 @@ class StoredQuerySource final : public BitmapSource {
       return nullptr;
     }
     // Same accounting as the Fetch() path: one scan, payload bytes.
-    if (stats != nullptr) ++stats->bitmap_scans;
+    if (stats != nullptr) {
+      ++stats->bitmap_scans;
+      obs::ProfCount(obs::ProfCounter::kBitmapScans);
+    }
     if (stats_ != nullptr) {
       stats_->bytes_read += static_cast<int64_t>(blob.payload.size());
+      obs::ProfCount(obs::ProfCounter::kBytesRead,
+                     static_cast<int64_t>(blob.payload.size()));
     }
     static obs::Counter& direct = obs::MetricsRegistry::Global().GetCounter(
         "storage.wah_direct_fetches");
@@ -322,7 +351,10 @@ class StoredQuerySource final : public BitmapSource {
       EvalStats io;
       Status s = index_.ReadBlob(BitmapFileName(component, j), &raw, &io,
                                  decompress_seconds_);
-      if (stats_ != nullptr) stats_->bytes_read += io.bytes_read;
+      if (stats_ != nullptr) {
+        stats_->bytes_read += io.bytes_read;
+        obs::ProfCount(obs::ProfCounter::kBytesRead, io.bytes_read);
+      }
       if (!s.ok() || raw.size() < (index_.num_records() + 7) / 8) {
         return false;  // a sibling is damaged too; surface the original error
       }
@@ -598,14 +630,23 @@ Bitvector StoredIndex::Evaluate(EvalAlgorithm algorithm, CompareOp op,
                                              : &decompress_local;
   const double decompress_before = *ds;
 
-  StoredQuerySource source(*this, s, ds);
-  Bitvector result;
-  if (source.status().ok()) {
-    result = exec != nullptr
-                 ? EvaluatePredicate(source, algorithm, op, v, *exec, s)
-                 : EvaluatePredicate(source, algorithm, op, v, s);
+  std::string prof_name;
+  if (obs::Profiler::enabled()) {
+    prof_name = "stored eval " + std::string(ToString(scheme_));
   }
-  if (source.degraded()) recovery_internal::CountDegradedQuery();
+  obs::ProfSpan prof("storage", prof_name);
+  std::optional<StoredQuerySource> source;
+  {
+    obs::ProfSpan open_span("storage", "open source");
+    source.emplace(*this, s, ds);
+  }
+  Bitvector result;
+  if (source->status().ok()) {
+    result = exec != nullptr
+                 ? EvaluatePredicate(*source, algorithm, op, v, *exec, s)
+                 : EvaluatePredicate(*source, algorithm, op, v, s);
+  }
+  if (source->degraded()) recovery_internal::CountDegradedQuery();
 
   auto& reg = obs::MetricsRegistry::Global();
   static obs::Counter& queries = reg.GetCounter("storage.queries");
@@ -618,11 +659,11 @@ Bitvector StoredIndex::Evaluate(EvalAlgorithm algorithm, CompareOp op,
       static_cast<int64_t>((*ds - decompress_before) * 1e9));
   span.set_bytes(s->bytes_read - bytes_before);
   if (status != nullptr) {
-    *status = source.status();
+    *status = source->status();
     if (!status->ok()) return Bitvector();
     return result;
   }
-  BIX_CHECK_MSG(source.status().ok(), "stored index read failed");
+  BIX_CHECK_MSG(source->status().ok(), "stored index read failed");
   return result;
 }
 

@@ -1,0 +1,78 @@
+// benchdiff — noise-aware bench regression gate.
+//
+// Usage: benchdiff BASELINE.json FRESH.json... [--band FRACTION]
+//        [--outlier-frac FRACTION] [--force]
+//
+// Compares fresh bench-JSON runs (bench/bench_json.h schema) against a
+// committed baseline; several fresh files are min-folded per key before
+// comparing (rerun the bench and pass every run to shrink noise tails).
+// Exit 0 = pass (or refused-to-gate on host mismatch), 1 = regression
+// beyond the noise band, 2 = parse error or schema mismatch.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tools/benchdiff_lib.h"
+
+namespace {
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: benchdiff BASELINE.json FRESH.json... "
+               "[--band FRACTION] [--outlier-frac FRACTION] [--force]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> paths;
+  bix::tools::DiffOptions options;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--force") {
+      options.force = true;
+    } else if (arg == "--band" && i + 1 < argc) {
+      options.band = std::atof(argv[++i]);
+    } else if (arg.rfind("--band=", 0) == 0) {
+      options.band = std::atof(arg.c_str() + 7);
+    } else if (arg == "--outlier-frac" && i + 1 < argc) {
+      options.outlier_frac = std::atof(argv[++i]);
+    } else if (arg.rfind("--outlier-frac=", 0) == 0) {
+      options.outlier_frac = std::atof(arg.c_str() + 15);
+    } else if (!arg.empty() && arg[0] == '-') {
+      Usage();
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.size() < 2 || options.band <= 0) {
+    Usage();
+    return 2;
+  }
+
+  std::string error;
+  bix::tools::BenchFile base;
+  if (!bix::tools::LoadBenchFile(paths[0], &base, &error)) {
+    std::fprintf(stderr, "benchdiff: %s\n", error.c_str());
+    return 2;
+  }
+  std::vector<bix::tools::BenchFile> fresh_files;
+  for (size_t i = 1; i < paths.size(); ++i) {
+    bix::tools::BenchFile f;
+    if (!bix::tools::LoadBenchFile(paths[i], &f, &error)) {
+      std::fprintf(stderr, "benchdiff: %s\n", error.c_str());
+      return 2;
+    }
+    fresh_files.push_back(std::move(f));
+  }
+
+  bix::tools::DiffResult result = bix::tools::DiffBenchFiles(
+      base, bix::tools::MergeBenchFiles(fresh_files), options);
+  std::fputs(result.report.c_str(), stdout);
+  return result.exit_code;
+}

@@ -1,0 +1,403 @@
+#include "tools/benchdiff_lib.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace bix::tools {
+
+namespace {
+
+// Minimal recursive-descent parser for the bench-JSON subset: an array of
+// flat objects whose values are strings, numbers, booleans, or one level of
+// nested object ("params").  Anything deeper is a parse error — the schema
+// is deliberately flat, and rejecting surprises here is what makes the gate
+// trustworthy.
+class Parser {
+ public:
+  Parser(const std::string& text, std::string* error)
+      : s_(text), error_(error) {}
+
+  bool ParseFile(BenchFile* out) {
+    SkipWs();
+    if (!Consume('[')) return Fail("expected '[' at top level");
+    SkipWs();
+    if (Peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      BenchRow row;
+      std::map<std::string, std::string> raw_params;
+      if (!ParseRow(&row, &raw_params)) return false;
+      if (row.bench == "_meta") {
+        for (auto& kv : raw_params) out->meta[kv.first] = Unquote(kv.second);
+      } else {
+        out->rows.push_back(std::move(row));
+      }
+      SkipWs();
+      if (Consume(',')) continue;
+      if (Consume(']')) return true;
+      return Fail("expected ',' or ']' after row");
+    }
+  }
+
+ private:
+  char Peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+
+  bool Consume(char c) {
+    SkipWs();
+    if (Peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  void SkipWs() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Fail(const std::string& msg) {
+    if (error_ != nullptr && error_->empty()) {
+      *error_ = msg + " (near byte " + std::to_string(pos_) + ")";
+    }
+    return false;
+  }
+
+  static std::string Unquote(const std::string& token) {
+    if (token.size() >= 2 && token.front() == '"' && token.back() == '"') {
+      return token.substr(1, token.size() - 2);
+    }
+    return token;
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) return Fail("expected string");
+    out->clear();
+    while (pos_ < s_.size()) {
+      char c = s_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= s_.size()) return Fail("truncated escape");
+        char e = s_[pos_++];
+        switch (e) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'n': out->push_back('\n'); break;
+          case 't': out->push_back('\t'); break;
+          case 'r': out->push_back('\r'); break;
+          case 'u':
+            // The writer only emits \u00xx for control bytes; keep them
+            // verbatim so keys round-trip.
+            if (pos_ + 4 > s_.size()) return Fail("truncated \\u escape");
+            out->append("\\u").append(s_, pos_, 4);
+            pos_ += 4;
+            break;
+          default:
+            return Fail("unknown escape");
+        }
+      } else {
+        out->push_back(c);
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  // Scans one scalar value (string/number/bool/null), returning its raw
+  // token text.  Strings keep their quotes.
+  bool ParseScalarToken(std::string* out) {
+    SkipWs();
+    size_t start = pos_;
+    if (Peek() == '"') {
+      std::string unused;
+      if (!ParseString(&unused)) return false;
+      *out = s_.substr(start, pos_ - start);
+      return true;
+    }
+    while (pos_ < s_.size()) {
+      char c = s_[pos_];
+      if (c == ',' || c == '}' || c == ']' ||
+          std::isspace(static_cast<unsigned char>(c))) {
+        break;
+      }
+      ++pos_;
+    }
+    if (pos_ == start) return Fail("expected value");
+    *out = s_.substr(start, pos_ - start);
+    return true;
+  }
+
+  bool ParseParams(BenchRow* row, std::map<std::string, std::string>* raw) {
+    if (!Consume('{')) return Fail("expected '{' for params");
+    SkipWs();
+    if (Consume('}')) return true;
+    while (true) {
+      std::string key;
+      if (!ParseString(&key)) return false;
+      if (!Consume(':')) return Fail("expected ':' in params");
+      std::string token;
+      if (!ParseScalarToken(&token)) return false;
+      row->params.emplace_back(key, token);
+      (*raw)[key] = token;
+      SkipWs();
+      if (Consume(',')) continue;
+      if (Consume('}')) return true;
+      return Fail("expected ',' or '}' in params");
+    }
+  }
+
+  bool ParseRow(BenchRow* row, std::map<std::string, std::string>* raw) {
+    if (!Consume('{')) return Fail("expected '{' for row");
+    bool have_bench = false, have_metric = false, have_value = false;
+    SkipWs();
+    if (Consume('}')) return Fail("empty row object");
+    while (true) {
+      std::string key;
+      if (!ParseString(&key)) return false;
+      if (!Consume(':')) return Fail("expected ':' in row");
+      if (key == "params") {
+        if (!ParseParams(row, raw)) return false;
+      } else {
+        std::string token;
+        if (!ParseScalarToken(&token)) return false;
+        if (key == "bench") {
+          row->bench = Unquote(token);
+          have_bench = true;
+        } else if (key == "metric") {
+          row->metric = Unquote(token);
+          have_metric = true;
+        } else if (key == "unit") {
+          row->unit = Unquote(token);
+        } else if (key == "value") {
+          char* end = nullptr;
+          row->value = std::strtod(token.c_str(), &end);
+          if (end == token.c_str()) return Fail("non-numeric value");
+          have_value = true;
+        }
+        // Unknown keys are skipped: forward-compatible with schema growth.
+      }
+      SkipWs();
+      if (Consume(',')) continue;
+      if (Consume('}')) break;
+      return Fail("expected ',' or '}' in row");
+    }
+    if (!have_bench || !have_metric || !have_value) {
+      return Fail("row missing bench/metric/value");
+    }
+    return true;
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+  std::string* error_;
+};
+
+std::string FormatValue(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+bool ParseBenchFile(const std::string& json, BenchFile* out,
+                    std::string* error) {
+  Parser parser(json, error);
+  return parser.ParseFile(out);
+}
+
+bool LoadBenchFile(const std::string& path, BenchFile* out,
+                   std::string* error) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return false;
+  }
+  std::string text;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  if (!ParseBenchFile(text, out, error)) {
+    if (error != nullptr) *error = path + ": " + *error;
+    return false;
+  }
+  return true;
+}
+
+std::string RowKey(const BenchRow& row) {
+  auto params = row.params;
+  std::sort(params.begin(), params.end());
+  std::string key = row.bench + "|" + row.metric + "|";
+  for (size_t i = 0; i < params.size(); ++i) {
+    if (i > 0) key += ",";
+    key += params[i].first + "=" + params[i].second;
+  }
+  return key;
+}
+
+bool IsTimeUnit(const std::string& unit) {
+  return unit == "ns" || unit == "us" || unit == "ms" || unit == "s";
+}
+
+BenchFile MergeBenchFiles(const std::vector<BenchFile>& files) {
+  BenchFile merged;
+  for (const BenchFile& f : files) {
+    if (merged.meta.empty()) merged.meta = f.meta;
+    merged.rows.insert(merged.rows.end(), f.rows.begin(), f.rows.end());
+  }
+  return merged;
+}
+
+DiffResult DiffBenchFiles(const BenchFile& base, const BenchFile& fresh,
+                          const DiffOptions& options) {
+  DiffResult result;
+  std::ostringstream report;
+
+  // Host comparability check.  Differing hostnames mean the baseline's
+  // absolute timings say nothing about this machine: refuse to gate rather
+  // than fail spuriously or pass meaninglessly.
+  auto host_of = [](const BenchFile& f) -> std::string {
+    auto it = f.meta.find("hostname");
+    return it == f.meta.end() ? std::string() : it->second;
+  };
+  const std::string base_host = host_of(base);
+  const std::string fresh_host = host_of(fresh);
+  if (base_host.empty() || fresh_host.empty()) {
+    result.warnings.push_back(
+        "warning: run metadata missing on " +
+        std::string(base_host.empty() ? "baseline" : "fresh") +
+        " side; cannot verify same-machine comparison");
+  } else if (base_host != fresh_host) {
+    result.warnings.push_back("warning: hostname mismatch (baseline '" +
+                              base_host + "' vs fresh '" + fresh_host + "')");
+    if (!options.force) {
+      result.gated = false;
+    }
+  }
+
+  // min-of-reps per key on both sides.
+  struct Entry {
+    double value;
+    std::string unit;
+  };
+  auto fold = [](const BenchFile& f) {
+    std::map<std::string, Entry> m;
+    for (const BenchRow& row : f.rows) {
+      std::string key = RowKey(row);
+      auto it = m.find(key);
+      if (it == m.end()) {
+        m.emplace(key, Entry{row.value, row.unit});
+      } else if (row.value < it->second.value) {
+        it->second.value = row.value;
+      }
+    }
+    return m;
+  };
+  const auto base_keys = fold(base);
+  const auto fresh_keys = fold(fresh);
+
+  int improved = 0;
+  std::vector<double> ratios;
+  for (const auto& [key, b] : base_keys) {
+    auto it = fresh_keys.find(key);
+    if (it == fresh_keys.end()) {
+      result.missing.push_back(key);
+      continue;
+    }
+    if (!IsTimeUnit(b.unit)) continue;
+    if (b.unit != it->second.unit) {
+      result.missing.push_back(key + " (unit changed: " + b.unit + " -> " +
+                               it->second.unit + ")");
+      continue;
+    }
+    ++result.compared;
+    const double base_v = b.value;
+    const double fresh_v = it->second.value;
+    const double ratio = base_v > 0 ? fresh_v / base_v : 1.0;
+    ratios.push_back(ratio);
+    if (fresh_v > base_v * (1.0 + options.band)) {
+      char pct[32];
+      std::snprintf(pct, sizeof(pct), "%+.1f%%", 100.0 * (ratio - 1.0));
+      result.regressions.push_back(key + ": " + FormatValue(base_v) + " -> " +
+                                   FormatValue(fresh_v) + " " + b.unit + " (" +
+                                   pct + ", band ±" +
+                                   FormatValue(100.0 * options.band) + "%)");
+    } else if (fresh_v < base_v * (1.0 - options.band)) {
+      ++improved;
+    }
+  }
+
+  for (const std::string& w : result.warnings) report << w << "\n";
+  if (!result.gated) {
+    report << "benchdiff: refusing to gate across machines (use --force to "
+              "override)\n";
+    report << "VERDICT: SKIPPED (host mismatch)\n";
+    result.exit_code = 0;
+    result.report = report.str();
+    return result;
+  }
+  if (!result.missing.empty()) {
+    for (const std::string& m : result.missing) {
+      report << "missing from fresh run: " << m << "\n";
+    }
+    report << "VERDICT: SCHEMA MISMATCH (" << result.missing.size()
+           << " baseline key(s) unmatched)\n";
+    result.exit_code = 2;
+    result.report = report.str();
+    return result;
+  }
+  for (const std::string& r : result.regressions) {
+    report << "REGRESSION " << r << "\n";
+  }
+  if (!ratios.empty()) {
+    // Median of fresh/base: the robust center of the run-to-run shift.
+    std::sort(ratios.begin(), ratios.end());
+    size_t n = ratios.size();
+    result.median_ratio = n % 2 == 1
+                              ? ratios[n / 2]
+                              : 0.5 * (ratios[n / 2 - 1] + ratios[n / 2]);
+  }
+  const double regressed_frac =
+      result.compared > 0
+          ? static_cast<double>(result.regressions.size()) /
+                static_cast<double>(result.compared)
+          : 0.0;
+  report << "compared " << result.compared << " time metric(s): "
+         << result.regressions.size() << " regressed, " << improved
+         << " improved beyond the band; median ratio "
+         << FormatValue(result.median_ratio) << "\n";
+  // Robust verdict: scattered per-key outliers are scheduler noise; a real
+  // regression shifts the median or regresses a substantial fraction of
+  // keys consistently.
+  const bool median_bad = result.median_ratio > 1.0 + options.band;
+  const bool frac_bad = regressed_frac > options.outlier_frac;
+  if (!median_bad && !frac_bad) {
+    if (!result.regressions.empty()) {
+      report << "treating " << result.regressions.size() << "/"
+             << result.compared
+             << " isolated outlier(s) as noise (median within band)\n";
+    }
+    report << "VERDICT: PASS\n";
+    result.exit_code = 0;
+  } else {
+    report << "VERDICT: FAIL ("
+           << (median_bad ? "median beyond band" : "too many regressions")
+           << ": " << result.regressions.size() << "/" << result.compared
+           << " keys, median " << FormatValue(result.median_ratio) << ")\n";
+    result.exit_code = 1;
+  }
+  result.report = report.str();
+  return result;
+}
+
+}  // namespace bix::tools

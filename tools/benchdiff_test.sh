@@ -1,0 +1,135 @@
+#!/bin/sh
+# Smoke test for the benchdiff regression gate: fabricated baseline/fresh
+# pairs exercising pass, regression, schema-mismatch, host-mismatch, and
+# parse-error exits.
+set -eu
+
+BENCHDIFF="$1"
+DIR=$(mktemp -d)
+trap 'rm -rf "$DIR"' EXIT
+
+fail() {
+  echo "FAIL: $1" >&2
+  exit 1
+}
+
+meta_row() {
+  # $1 = hostname
+  printf '{"bench":"_meta","params":{"git_sha":"abc","timestamp_utc":"2026-08-07T00:00:00Z","hostname":"%s","threads":8,"compiler":"gcc"},"metric":"run","value":0,"unit":""}' "$1"
+}
+
+cat > "$DIR/base.json" <<EOF
+[
+  $(meta_row hostA),
+  {"bench":"merge","params":{"k":2,"shape":"sparse 0.01%"},"metric":"merge_us","value":10.0,"unit":"us"},
+  {"bench":"merge","params":{"k":2,"shape":"sparse 0.01%"},"metric":"merge_us","value":9.0,"unit":"us"},
+  {"bench":"merge","params":{"k":4,"shape":"sparse 0.01%"},"metric":"merge_us","value":20.0,"unit":"us"},
+  {"bench":"merge","params":{"k":4,"shape":"sparse 0.01%"},"metric":"wah_kb","value":12.5,"unit":"KB"}
+]
+EOF
+
+# Fresh run inside the band (min-of-reps: 9.5 vs baseline min 9.0 = +5.6%),
+# plus a new key the baseline lacks (must be ignored), plus a doctored
+# non-time metric (must not gate).
+cat > "$DIR/fresh_pass.json" <<EOF
+[
+  $(meta_row hostA),
+  {"bench":"merge","params":{"k":2,"shape":"sparse 0.01%"},"metric":"merge_us","value":11.0,"unit":"us"},
+  {"bench":"merge","params":{"k":2,"shape":"sparse 0.01%"},"metric":"merge_us","value":9.5,"unit":"us"},
+  {"bench":"merge","params":{"k":4,"shape":"sparse 0.01%"},"metric":"merge_us","value":21.0,"unit":"us"},
+  {"bench":"merge","params":{"k":4,"shape":"sparse 0.01%"},"metric":"wah_kb","value":99.9,"unit":"KB"},
+  {"bench":"merge","params":{"k":8,"shape":"sparse 0.01%"},"metric":"merge_us","value":50.0,"unit":"us"}
+]
+EOF
+
+# 2x slower on one key: must regress.
+cat > "$DIR/fresh_regress.json" <<EOF
+[
+  $(meta_row hostA),
+  {"bench":"merge","params":{"k":2,"shape":"sparse 0.01%"},"metric":"merge_us","value":18.0,"unit":"us"},
+  {"bench":"merge","params":{"k":4,"shape":"sparse 0.01%"},"metric":"merge_us","value":21.0,"unit":"us"},
+  {"bench":"merge","params":{"k":4,"shape":"sparse 0.01%"},"metric":"wah_kb","value":12.5,"unit":"KB"}
+]
+EOF
+
+# Baseline key k=4 merge_us missing: schema mismatch.
+cat > "$DIR/fresh_schema.json" <<EOF
+[
+  $(meta_row hostA),
+  {"bench":"merge","params":{"k":2,"shape":"sparse 0.01%"},"metric":"merge_us","value":9.0,"unit":"us"},
+  {"bench":"merge","params":{"k":4,"shape":"sparse 0.01%"},"metric":"wah_kb","value":12.5,"unit":"KB"}
+]
+EOF
+
+# Same results, different machine.
+sed 's/hostA/hostB/' "$DIR/fresh_pass.json" > "$DIR/fresh_otherhost.json"
+
+"$BENCHDIFF" "$DIR/base.json" "$DIR/fresh_pass.json" > "$DIR/out_pass.txt" \
+  || fail "pass case exited $?"
+grep -q "VERDICT: PASS" "$DIR/out_pass.txt" || fail "pass verdict missing"
+
+rc=0
+"$BENCHDIFF" "$DIR/base.json" "$DIR/fresh_regress.json" \
+  > "$DIR/out_regress.txt" || rc=$?
+[ "$rc" = 1 ] || fail "regression case exited $rc, want 1"
+grep -q "REGRESSION merge|merge_us|k=2" "$DIR/out_regress.txt" \
+  || fail "regression line missing"
+
+rc=0
+"$BENCHDIFF" "$DIR/base.json" "$DIR/fresh_schema.json" \
+  > "$DIR/out_schema.txt" || rc=$?
+[ "$rc" = 2 ] || fail "schema case exited $rc, want 2"
+grep -q "SCHEMA MISMATCH" "$DIR/out_schema.txt" || fail "schema verdict missing"
+
+# Host mismatch refuses to gate (exit 0) unless forced.
+"$BENCHDIFF" "$DIR/base.json" "$DIR/fresh_otherhost.json" \
+  > "$DIR/out_host.txt" || fail "host-mismatch case exited $?"
+grep -q "refusing to gate" "$DIR/out_host.txt" || fail "host refusal missing"
+
+"$BENCHDIFF" --force "$DIR/base.json" "$DIR/fresh_otherhost.json" \
+  > "$DIR/out_forced.txt" || fail "forced host-mismatch exited $?"
+grep -q "VERDICT: PASS" "$DIR/out_forced.txt" || fail "forced verdict missing"
+
+# Widened band turns the regression into a pass.
+"$BENCHDIFF" --band 1.5 "$DIR/base.json" "$DIR/fresh_regress.json" \
+  > /dev/null || fail "wide-band case exited $?"
+
+# Noise tolerance: one scattered outlier among many stable keys passes
+# (median within band, outlier fraction below the threshold) ...
+{
+  printf '[\n  %s' "$(meta_row hostA)"
+  i=0
+  while [ $i -lt 10 ]; do
+    printf ',\n  {"bench":"n","params":{"i":%d},"metric":"t_us","value":10.0,"unit":"us"}' $i
+    i=$((i+1))
+  done
+  printf '\n]\n'
+} > "$DIR/noise_base.json"
+sed 's/{"bench":"n","params":{"i":7},"metric":"t_us","value":10.0/{"bench":"n","params":{"i":7},"metric":"t_us","value":30.0/' \
+  "$DIR/noise_base.json" > "$DIR/noise_fresh.json"
+"$BENCHDIFF" "$DIR/noise_base.json" "$DIR/noise_fresh.json" \
+  > "$DIR/out_noise.txt" || fail "scattered outlier should pass ($?)"
+grep -q "noise" "$DIR/out_noise.txt" || fail "outlier-as-noise note missing"
+# ... but a uniform shift beyond the band fails through the median even
+# though, key by key, it could masquerade as a wide outlier set.
+sed 's/"value":10.0/"value":14.0/g' "$DIR/noise_base.json" \
+  > "$DIR/noise_shift.json"
+rc=0
+"$BENCHDIFF" "$DIR/noise_base.json" "$DIR/noise_shift.json" \
+  > "$DIR/out_shift.txt" || rc=$?
+[ "$rc" = 1 ] || fail "uniform shift exited $rc, want 1"
+grep -q "VERDICT: FAIL" "$DIR/out_shift.txt" || fail "shift verdict missing"
+
+# Multiple fresh files min-fold per key: a slow run folded with a normal
+# one gates on the min, so the pair passes.
+"$BENCHDIFF" "$DIR/base.json" "$DIR/fresh_regress.json" \
+  "$DIR/fresh_pass.json" > "$DIR/out_fold.txt" \
+  || fail "min-folded pair exited $?"
+grep -q "VERDICT: PASS" "$DIR/out_fold.txt" || fail "fold verdict missing"
+
+echo "this is not json" > "$DIR/garbage.json"
+rc=0
+"$BENCHDIFF" "$DIR/base.json" "$DIR/garbage.json" > /dev/null 2>&1 || rc=$?
+[ "$rc" = 2 ] || fail "parse-error case exited $rc, want 2"
+
+echo "benchdiff_test: all cases passed"

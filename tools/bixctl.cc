@@ -6,9 +6,14 @@
 //                 [--scheme bs|cs|is] [--codec none|lz77|rle|huffman|deflate]
 //   bixctl info   --dir ./idx
 //   bixctl query  --dir ./idx --pred "<= 24" [--limit 10]
+//   bixctl explain --dir ./idx --pred "<= 24" [--analyze] [--flame-out F]
 //   bixctl verify --dir ./idx
 //   bixctl scrub  --dir ./idx --inject SEED
 //   bixctl advise --cardinality 1000 [--budget 100]
+//   bixctl benchdiff BASELINE.json FRESH.json [--band F] [--force]
+//
+// Every command also accepts --metrics-out=FILE to dump the process-wide
+// metrics registry in Prometheus text exposition format on exit.
 //
 // Raw attribute values from the CSV are mapped to dense ranks via a lookup
 // table (the paper's Section 2 value map) persisted next to the index, so
@@ -31,11 +36,13 @@
 #include "core/eval_stats.h"
 #include "obs/audit.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 #include "plan/predicate_parser.h"
 #include "storage/env.h"
 #include "storage/format.h"
 #include "storage/stored_index.h"
+#include "tools/benchdiff_lib.h"
 #include "workload/csv.h"
 #include "workload/value_map.h"
 
@@ -46,10 +53,10 @@ constexpr const char* kValueMapFile = "values.map";
 
 class Flags {
  public:
-  // `--key value` pairs; boolean flags (only `--stats` today) may appear
-  // bare and store "1".  Any other `--key` without a value is a usage
-  // error — otherwise `--trace-out` at the end of the line would silently
-  // write to a file named "1".
+  // `--key value` pairs or `--key=value`; boolean flags (`--stats`,
+  // `--analyze`, `--force`) may appear bare and store "1".  Any other
+  // `--key` without a value is a usage error — otherwise `--trace-out` at
+  // the end of the line would silently write to a file named "1".
   Flags(int argc, char** argv) {
     int i = 0;
     while (i < argc) {
@@ -58,10 +65,15 @@ class Flags {
         ok_ = false;
         return;
       }
-      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      size_t eq = key.find('=');
+      if (eq != std::string::npos) {
+        values_[key.substr(2, eq - 2)] = key.substr(eq + 1);
+        i += 1;
+      } else if (i + 1 < argc &&
+                 std::string(argv[i + 1]).rfind("--", 0) != 0) {
         values_[key.substr(2)] = argv[i + 1];
         i += 2;
-      } else if (key == "--stats") {
+      } else if (key == "--stats" || key == "--analyze" || key == "--force") {
         values_[key.substr(2)] = "1";
         i += 1;
       } else {
@@ -143,15 +155,27 @@ int Usage() {
                "  bixctl info    --dir D\n"
                "  bixctl query   --dir D --pred \"<= 24\" [--limit K] "
                "[--stats]\n"
-               "                 [--trace-out FILE] [--threads N] "
-               "[--segment-bits B]\n"
-               "                 [--engine plain|wah|auto]\n"
-               "  bixctl explain --dir D --pred \"<= 24\" [--threads N] "
-               "[--segment-bits B] [--engine plain|wah|auto]\n"
+               "                 [--trace-out FILE] [--flame-out FILE] "
+               "[--threads N]\n"
+               "                 [--segment-bits B] [--engine plain|wah|auto]\n"
+               "  bixctl explain --dir D --pred \"<= 24\" [--analyze] "
+               "[--flame-out FILE]\n"
+               "                 [--threads N] [--segment-bits B] "
+               "[--engine plain|wah|auto]\n"
                "  bixctl verify  --dir D\n"
                "  bixctl scrub   --dir D --inject SEED\n"
-               "  bixctl advise  --cardinality C [--budget M]\n");
+               "  bixctl advise  --cardinality C [--budget M]\n"
+               "  bixctl benchdiff BASE.json FRESH.json [--band F] "
+               "[--force]\n"
+               "(any command: --metrics-out FILE dumps Prometheus metrics)\n");
   return 2;
+}
+
+bool WriteTextFile(const std::string& path, const std::string& text) {
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) return false;
+  f << text;
+  return static_cast<bool>(f);
 }
 
 Status WriteValueMap(const std::filesystem::path& dir, const ValueMap& map) {
@@ -316,6 +340,7 @@ int CmdQuery(const Flags& flags) {
   if (!dir || !pred_text) return Usage();
   int64_t limit = flags.GetInt("limit").value_or(10);
   auto trace_out = flags.Get("trace-out");
+  auto flame_out = flags.Get("flame-out");
 
   std::unique_ptr<StoredIndex> stored;
   Status s = StoredIndex::Open(*dir, &stored);
@@ -333,6 +358,7 @@ int CmdQuery(const Flags& flags) {
   TranslateRawPredicate(map, parsed.op, parsed.value, &rank_op, &rank_v);
 
   if (trace_out) obs::Tracer::Global().Enable();
+  if (flame_out) obs::Profiler::Global().Enable();
   EvalStats stats;
   double decompress_seconds = 0;
   bool bad_engine = false;
@@ -347,6 +373,14 @@ int CmdQuery(const Flags& flags) {
     obs::Tracer::Global().Disable();
     if (!obs::Tracer::Global().WriteChromeJson(*trace_out)) {
       return Fail("cannot write trace to " + *trace_out);
+    }
+  }
+  if (flame_out) {
+    obs::QueryProfile profile = obs::CaptureProfile();
+    obs::Profiler::Global().Disable();
+    obs::ObserveQueryProfile(profile);
+    if (!WriteTextFile(*flame_out, profile.ToCollapsed())) {
+      return Fail("cannot write flamegraph stacks to " + *flame_out);
     }
   }
 
@@ -377,6 +411,10 @@ int CmdQuery(const Flags& flags) {
   if (trace_out) {
     std::printf("trace: %zu events -> %s (open in chrome://tracing)\n",
                 obs::Tracer::Global().size(), trace_out->c_str());
+  }
+  if (flame_out) {
+    std::printf("flamegraph stacks: %s (feed to flamegraph.pl)\n",
+                flame_out->c_str());
   }
   return 0;
 }
@@ -449,10 +487,19 @@ int CmdExplain(const Flags& flags) {
   bool bad_engine = false;
   std::optional<ExecOptions> exec = ExecOptionsFromFlags(flags, &bad_engine);
   if (bad_engine) return Fail("--engine must be plain, wah, or auto");
+  const bool analyze = flags.Has("analyze");
+  auto flame_out = flags.Get("flame-out");
+  if (analyze || flame_out) obs::Profiler::Global().Enable();
   Status eval_status;
   Bitvector found = stored->Evaluate(algorithm, rank_op, rank_v, &measured,
                                      &decompress_seconds, &eval_status,
                                      exec ? &*exec : nullptr);
+  std::optional<obs::QueryProfile> profile;
+  if (analyze || flame_out) {
+    profile = obs::CaptureProfile();
+    obs::Profiler::Global().Disable();
+    obs::ObserveQueryProfile(*profile);
+  }
   if (!eval_status.ok()) return Fail(eval_status.ToString());
   obs::QueryAudit audit =
       obs::AuditQuery(stored->base(), stored->cardinality(),
@@ -469,6 +516,16 @@ int CmdExplain(const Flags& flags) {
               static_cast<long long>(audit.scan_drift()),
               static_cast<long long>(audit.op_drift()));
   if (exec) PrintParallelSpeedup();
+  if (analyze) {
+    std::printf("-- analyze --\n%s", profile->ToText().c_str());
+  }
+  if (flame_out) {
+    if (!WriteTextFile(*flame_out, profile->ToCollapsed())) {
+      return Fail("cannot write flamegraph stacks to " + *flame_out);
+    }
+    std::printf("flamegraph stacks: %s (feed to flamegraph.pl)\n",
+                flame_out->c_str());
+  }
   return audit.ok() ? 0 : 3;
 }
 
@@ -592,19 +649,78 @@ int CmdAdvise(const Flags& flags) {
   return 0;
 }
 
+// Positional BASE/FRESH paths plus Flags-style options, so it cannot reuse
+// the Flags parser directly: positionals are split off first.
+int CmdBenchdiff(int argc, char** argv) {
+  std::vector<char*> flag_args;
+  std::vector<std::string> positional;
+  for (int i = 0; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--", 0) == 0) {
+      flag_args.push_back(argv[i]);
+      // `--band 0.2` style: the value travels with its key.
+      if (std::string(argv[i]).find('=') == std::string::npos &&
+          i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        flag_args.push_back(argv[++i]);
+      }
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  Flags flags(static_cast<int>(flag_args.size()), flag_args.data());
+  if (!flags.ok() || positional.size() < 2) return Usage();
+
+  tools::DiffOptions options;
+  if (auto band = flags.Get("band")) options.band = std::atof(band->c_str());
+  if (options.band <= 0) return Fail("--band must be > 0");
+  if (auto of = flags.Get("outlier-frac")) {
+    options.outlier_frac = std::atof(of->c_str());
+  }
+  options.force = flags.Has("force");
+
+  std::string error;
+  tools::BenchFile base;
+  if (!tools::LoadBenchFile(positional[0], &base, &error)) {
+    Fail(error);
+    return 2;
+  }
+  std::vector<tools::BenchFile> fresh_files;
+  for (size_t i = 1; i < positional.size(); ++i) {
+    tools::BenchFile f;
+    if (!tools::LoadBenchFile(positional[i], &f, &error)) {
+      Fail(error);
+      return 2;
+    }
+    fresh_files.push_back(std::move(f));
+  }
+  tools::DiffResult result = tools::DiffBenchFiles(
+      base, tools::MergeBenchFiles(fresh_files), options);
+  std::fputs(result.report.c_str(), stdout);
+  return result.exit_code;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
   std::string command = argv[1];
+  if (command == "benchdiff") return CmdBenchdiff(argc - 2, argv + 2);
   Flags flags(argc - 2, argv + 2);
   if (!flags.ok()) return Usage();
-  if (command == "build") return CmdBuild(flags);
-  if (command == "info") return CmdInfo(flags);
-  if (command == "query") return CmdQuery(flags);
-  if (command == "explain") return CmdExplain(flags);
-  if (command == "verify") return CmdVerify(flags);
-  if (command == "scrub") return CmdScrub(flags);
-  if (command == "advise") return CmdAdvise(flags);
-  return Usage();
+  int rc;
+  if (command == "build") rc = CmdBuild(flags);
+  else if (command == "info") rc = CmdInfo(flags);
+  else if (command == "query") rc = CmdQuery(flags);
+  else if (command == "explain") rc = CmdExplain(flags);
+  else if (command == "verify") rc = CmdVerify(flags);
+  else if (command == "scrub") rc = CmdScrub(flags);
+  else if (command == "advise") rc = CmdAdvise(flags);
+  else return Usage();
+  if (auto metrics_out = flags.Get("metrics-out")) {
+    std::string text =
+        obs::MetricsRegistry::Global().Snapshot().ToPrometheus();
+    if (!WriteTextFile(*metrics_out, text)) {
+      return Fail("cannot write metrics to " + *metrics_out);
+    }
+  }
+  return rc;
 }
 
 }  // namespace

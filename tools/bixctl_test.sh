@@ -122,6 +122,81 @@ grep -Eq "storage\.wah_direct_fetches [1-9]" "$WORK/q_wah.out" \
 grep -q "knee (Theorem 7.1)" "$WORK/advise.out" || fail "advise knee"
 grep -q "<28, 36>" "$WORK/advise.out" || fail "advise knee base"
 
+# Profiling: explain --analyze prints a span tree whose rows carry wall
+# times and counters, for every engine and under threads.  The root row is
+# "query" and the per-component fetches appear as children.
+for eng in plain wah auto; do
+  "$BIXCTL" explain --dir "$WORK/idx" --pred "<= 500" --analyze \
+      --engine "$eng" > "$WORK/analyze_$eng.out" \
+      || fail "explain --analyze --engine $eng exit code"
+  grep -q -- "-- analyze --" "$WORK/analyze_$eng.out" \
+      || fail "analyze header ($eng)"
+  grep -q "^query " "$WORK/analyze_$eng.out" || fail "analyze root ($eng)"
+  grep -q "stored eval" "$WORK/analyze_$eng.out" \
+      || fail "analyze stored-eval node ($eng)"
+  grep -q "scans=" "$WORK/analyze_$eng.out" || fail "analyze counters ($eng)"
+done
+"$BIXCTL" explain --dir "$WORK/idx" --pred "<= 500" --analyze --threads 4 \
+    --segment-bits 8 > "$WORK/analyze_par.out" \
+    || fail "parallel explain --analyze exit code"
+grep -q "^query " "$WORK/analyze_par.out" || fail "parallel analyze root"
+
+# Flamegraph export: collapsed-stack lines are `frame(;frame)* count`.
+"$BIXCTL" query --dir "$WORK/idx" --pred "<= 500" \
+    --flame-out "$WORK/flame.txt" > /dev/null || fail "query --flame-out"
+[ -s "$WORK/flame.txt" ] || fail "flame file empty"
+grep -Eqv '^[^ ;]+(;[^ ;]+)* [0-9]+$' "$WORK/flame.txt" \
+    && fail "malformed collapsed-stack line" || true
+grep -q "^query" "$WORK/flame.txt" || fail "flame root frame"
+
+# Prometheus metrics dump (works on any command, = and space flag syntax).
+"$BIXCTL" query --dir "$WORK/idx" --pred "<= 500" \
+    --metrics-out="$WORK/metrics.prom" > /dev/null || fail "--metrics-out"
+grep -q "# TYPE bix_eval_bitmap_scans counter" "$WORK/metrics.prom" \
+    || fail "prometheus TYPE line"
+grep -Eq "^bix_eval_bitmap_scans [0-9]+$" "$WORK/metrics.prom" \
+    || fail "prometheus counter sample"
+grep -q 'le="+Inf"' "$WORK/metrics.prom" || fail "prometheus +Inf bucket"
+
+# benchdiff subcommand: pass within the band, fail on a doctored 2x
+# slowdown, schema-mismatch when a baseline key disappears.
+cat > "$WORK/bd_base.json" <<'EOF'
+[
+  {"bench":"m","params":{"k":2},"metric":"t_us","value":10.0,"unit":"us"},
+  {"bench":"m","params":{"k":4},"metric":"t_us","value":20.0,"unit":"us"}
+]
+EOF
+cat > "$WORK/bd_ok.json" <<'EOF'
+[
+  {"bench":"m","params":{"k":2},"metric":"t_us","value":10.5,"unit":"us"},
+  {"bench":"m","params":{"k":4},"metric":"t_us","value":19.0,"unit":"us"}
+]
+EOF
+cat > "$WORK/bd_slow.json" <<'EOF'
+[
+  {"bench":"m","params":{"k":2},"metric":"t_us","value":20.0,"unit":"us"},
+  {"bench":"m","params":{"k":4},"metric":"t_us","value":20.0,"unit":"us"}
+]
+EOF
+cat > "$WORK/bd_gone.json" <<'EOF'
+[
+  {"bench":"m","params":{"k":2},"metric":"t_us","value":10.0,"unit":"us"}
+]
+EOF
+"$BIXCTL" benchdiff "$WORK/bd_base.json" "$WORK/bd_ok.json" \
+    > "$WORK/bd1.out" || fail "benchdiff pass case"
+grep -q "VERDICT: PASS" "$WORK/bd1.out" || fail "benchdiff pass verdict"
+rc=0; "$BIXCTL" benchdiff "$WORK/bd_base.json" "$WORK/bd_slow.json" \
+    > "$WORK/bd2.out" || rc=$?
+[ "$rc" = 1 ] || fail "benchdiff regression exit ($rc != 1)"
+grep -q "REGRESSION" "$WORK/bd2.out" || fail "benchdiff regression line"
+rc=0; "$BIXCTL" benchdiff "$WORK/bd_base.json" "$WORK/bd_gone.json" \
+    > "$WORK/bd3.out" || rc=$?
+[ "$rc" = 2 ] || fail "benchdiff schema exit ($rc != 2)"
+grep -q "SCHEMA MISMATCH" "$WORK/bd3.out" || fail "benchdiff schema verdict"
+"$BIXCTL" benchdiff --band 1.5 "$WORK/bd_base.json" "$WORK/bd_slow.json" \
+    > /dev/null || fail "benchdiff wide band"
+
 # Error paths exit non-zero.
 "$BIXCTL" query --dir /nonexistent --pred "<= 1" > /dev/null 2>&1 \
     && fail "missing dir should fail"
