@@ -147,6 +147,12 @@ inline RunMeta CollectRunMeta() {
 /// Accumulates rows, then writes them as one JSON array.
 class BenchJsonWriter {
  public:
+  /// Records which evaluation engine produced this run's numbers in the
+  /// "_meta" row.  Engines have different performance envelopes, so
+  /// benchdiff refuses to fold a wah baseline into a plain fresh run (or
+  /// vice versa) the same way it refuses cross-host comparisons.
+  void SetEngine(std::string engine) { engine_ = std::move(engine); }
+
   void Add(const std::string& bench, const std::vector<BenchParam>& params,
            const std::string& metric, double value, const std::string& unit) {
     std::string row = "{\"bench\":\"" + JsonEscape(bench) + "\",\"params\":{";
@@ -171,8 +177,11 @@ class BenchJsonWriter {
         "\"timestamp_utc\":\"" + JsonEscape(meta.timestamp_utc) + "\"," +
         "\"hostname\":\"" + JsonEscape(meta.hostname) + "\"," +
         "\"threads\":" + std::to_string(meta.threads) + "," +
-        "\"compiler\":\"" + JsonEscape(meta.compiler) + "\"}," +
-        "\"metric\":\"run\",\"value\":0,\"unit\":\"\"}";
+        "\"compiler\":\"" + JsonEscape(meta.compiler) + "\"" +
+        (engine_.empty()
+             ? std::string()
+             : ",\"engine\":\"" + JsonEscape(engine_) + "\"") +
+        "},\"metric\":\"run\",\"value\":0,\"unit\":\"\"}";
     std::string out = "[\n  " + meta_row + (rows_.empty() ? "\n" : ",\n");
     for (size_t i = 0; i < rows_.size(); ++i) {
       out += "  " + rows_[i] + (i + 1 < rows_.size() ? ",\n" : "\n");
@@ -191,6 +200,7 @@ class BenchJsonWriter {
 
  private:
   std::vector<std::string> rows_;
+  std::string engine_;
 };
 
 }  // namespace bix::bench

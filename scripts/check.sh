@@ -10,6 +10,7 @@
 #   scripts/check.sh --tsan    TSan build + exec/pool tests only
 #   scripts/check.sh --diff    differential/property suite only (fast lane)
 #   scripts/check.sh --chaos   fault-injection/storage chaos suite under ASan
+#   scripts/check.sh --serve   concurrent-serve suite under TSan (fast lane)
 #   scripts/check.sh --bench-gate  smoke benches vs committed baselines
 #                                  through the benchdiff regression gate
 set -euo pipefail
@@ -20,6 +21,7 @@ RUN_ASAN=1
 RUN_TSAN=1
 RUN_DIFF=0
 RUN_CHAOS=0
+RUN_SERVE=0
 RUN_BENCH_GATE=0
 case "${1:-}" in
   --fast) RUN_ASAN=0; RUN_TSAN=0 ;;
@@ -27,6 +29,7 @@ case "${1:-}" in
   --tsan) RUN_MAIN=0; RUN_ASAN=0 ;;
   --diff) RUN_MAIN=0; RUN_ASAN=0; RUN_TSAN=0; RUN_DIFF=1 ;;
   --chaos) RUN_MAIN=0; RUN_ASAN=0; RUN_TSAN=0; RUN_CHAOS=1 ;;
+  --serve) RUN_MAIN=0; RUN_ASAN=0; RUN_TSAN=0; RUN_SERVE=1 ;;
   --bench-gate) RUN_MAIN=0; RUN_ASAN=0; RUN_TSAN=0; RUN_BENCH_GATE=1 ;;
 esac
 
@@ -63,6 +66,19 @@ if [[ "$RUN_CHAOS" == 1 ]]; then
       --gtest_filter='StorageV2Test*:FormatTest*:PosixEnvTest*:FaultInjectingEnvTest*:RunWithRetryTest*:BackoffTest*:Crc32cTest*:StorageTest*'
 fi
 
+if [[ "$RUN_SERVE" == 1 ]]; then
+  # Serving lane: the shared-operand cache, admission control, and the
+  # concurrent-vs-sequential differential guarantee, under ThreadSanitizer —
+  # the single-flight fetch and the cross-query sharing are exactly the
+  # code TSan exists for.
+  cmake -B build-tsan -G Ninja \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer"
+  cmake --build build-tsan --target bix_tests
+  ./build-tsan/tests/bix_tests \
+      --gtest_filter='OperandCache*:Admission*:Serve*:Trace*'
+fi
+
 if [[ "$RUN_BENCH_GATE" == 1 ]]; then
   # Perf regression lane: rerun the two baseline-backed benches in smoke
   # mode (min-of-reps inside the bench makes the short runs usable) and
@@ -73,7 +89,8 @@ if [[ "$RUN_BENCH_GATE" == 1 ]]; then
   # this machine (scripts/check.sh main lane does) before relying on it.
   # No -G: reuse however build/ is already configured (Ninja or Make).
   cmake -B build
-  cmake --build build --target bench_wah_merge bench_wah_ablation benchdiff
+  cmake --build build --target bench_wah_merge bench_wah_ablation benchdiff \
+      bixctl
   BIX_GIT_SHA="$(git rev-parse --short=12 HEAD 2>/dev/null || echo unknown)"
   export BIX_GIT_SHA
   GATE_DIR="$(mktemp -d)"
@@ -86,11 +103,16 @@ if [[ "$RUN_BENCH_GATE" == 1 ]]; then
         > /dev/null
     ./build/bench/bench_wah_ablation --smoke \
         "$GATE_DIR/wah_ablation.$i.json" > /dev/null
+    ./build/tools/bixctl bench-serve --columns 4 --rows 50000 \
+        --cardinality 64 --queries 1500 --threads 4 --codec lz77 \
+        --out "$GATE_DIR/serve.$i.json" > /dev/null
   done
   ./build/tools/benchdiff bench/baselines/BENCH_wah_merge.json \
       "$GATE_DIR"/wah_merge.*.json
   ./build/tools/benchdiff bench/baselines/BENCH_wah_ablation.json \
       "$GATE_DIR"/wah_ablation.*.json
+  ./build/tools/benchdiff bench/baselines/BENCH_serve.json \
+      "$GATE_DIR"/serve.*.json
 fi
 
 if [[ "$RUN_MAIN" == 1 ]]; then
@@ -121,6 +143,10 @@ if [[ "$RUN_MAIN" == 1 ]]; then
   mkdir -p bench/baselines
   ./build/bench/bench_wah_ablation --smoke bench/baselines/BENCH_wah_ablation.json
   ./build/bench/bench_wah_merge --smoke bench/baselines/BENCH_wah_merge.json
+  BIX_GIT_SHA="$(git rev-parse --short=12 HEAD 2>/dev/null || echo unknown)" \
+      ./build/tools/bixctl bench-serve --columns 4 --rows 50000 \
+      --cardinality 64 --queries 1500 --threads 4 --codec lz77 \
+      --out bench/baselines/BENCH_serve.json
   ./build/bench/bench_obs BENCH_obs.json
   ./build/bench/bench_parallel_scaling BENCH_parallel_scaling.json
   BIX_BENCH_JSON=BENCH_micro_bitvector.json \
@@ -153,7 +179,7 @@ if [[ "$RUN_TSAN" == 1 ]]; then
   # concurrent kAuto evaluation racing CalibrateAutoBreakEven over the
   # relaxed-atomic cost accumulators.
   ./build-tsan/tests/bix_tests \
-      --gtest_filter='ThreadPool*:*Segmented*:SelectionPlanTest*:WahCalibration*'
+      --gtest_filter='ThreadPool*:*Segmented*:SelectionPlanTest*:WahCalibration*:OperandCache*:Serve*'
   ./build-tsan/bench/bench_parallel_scaling --smoke \
       build-tsan/BENCH_parallel_scaling_tsan.json
 fi

@@ -10,6 +10,8 @@ std::string_view CodeName(Status::Code code) {
     case Status::Code::kCorruption: return "Corruption";
     case Status::Code::kInvalidArgument: return "InvalidArgument";
     case Status::Code::kNotFound: return "NotFound";
+    case Status::Code::kDeadlineExceeded: return "DeadlineExceeded";
+    case Status::Code::kResourceExhausted: return "ResourceExhausted";
   }
   return "Unknown";
 }

@@ -21,6 +21,8 @@ class Status {
     kCorruption,
     kInvalidArgument,
     kNotFound,
+    kDeadlineExceeded,    // a query's deadline passed before it finished
+    kResourceExhausted,   // admission refused: a bounded queue is full
   };
 
   Status() : code_(Code::kOk) {}
@@ -37,6 +39,12 @@ class Status {
   }
   static Status NotFound(std::string msg) {
     return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(Code::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(Code::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == Code::kOk; }

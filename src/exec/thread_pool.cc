@@ -4,8 +4,22 @@
 #include <utility>
 
 #include "core/check.h"
+#include "obs/metrics.h"
 
 namespace bix::exec {
+
+namespace {
+
+// Tasks of the current batch not yet claimed by any lane.  Monitoring-grade:
+// concurrent relaxed stores may briefly read stale, but it always converges
+// to 0 when the pool is idle.
+obs::Gauge& QueueDepthGauge() {
+  static obs::Gauge& g =
+      obs::MetricsRegistry::Global().GetGauge("thread_pool.queue_depth");
+  return g;
+}
+
+}  // namespace
 
 void ThreadPool::Batch::Drain(int lane) {
   obs::ProfAdopt adopt(prof);
@@ -14,6 +28,7 @@ void ThreadPool::Batch::Drain(int lane) {
   while (true) {
     size_t task = next_task.fetch_add(1, std::memory_order_relaxed);
     if (task >= num_tasks) break;
+    QueueDepthGauge().Set(static_cast<int64_t>(num_tasks - task - 1));
     try {
       (*fn)(task, lane);
     } catch (...) {
@@ -105,6 +120,7 @@ void ThreadPool::ParallelFor(size_t num_tasks, int max_workers,
     });
     batch_.reset();
   }
+  QueueDepthGauge().Set(0);
   if (batch->error != nullptr) std::rethrow_exception(batch->error);
 }
 

@@ -1,0 +1,69 @@
+#include "serve/admission.h"
+
+#include <chrono>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace bix::serve {
+
+namespace {
+
+obs::Counter& AdmittedCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().GetCounter("serve.admitted");
+  return c;
+}
+
+obs::Counter& ShedCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().GetCounter("serve.shed");
+  return c;
+}
+
+}  // namespace
+
+int64_t MonotonicNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+AdmissionController::AdmissionController(const Options& options)
+    : options_(options) {}
+
+Status AdmissionController::Admit(const ServeQuery& query) {
+  AdmittedQuery admitted;
+  admitted.query = query;
+  admitted.admit_ns = MonotonicNowNs();
+  const int64_t relative =
+      query.deadline_ns > 0 ? query.deadline_ns : options_.default_deadline_ns;
+  admitted.deadline_ns = relative > 0 ? admitted.admit_ns + relative : 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (pending_.size() >= options_.max_pending) {
+      ShedCounter().Increment();
+      return Status::ResourceExhausted("admission queue full");
+    }
+    pending_.push_back(std::move(admitted));
+  }
+  AdmittedCounter().Increment();
+  return Status::OK();
+}
+
+std::vector<AdmittedQuery> AdmissionController::TakeAll() {
+  std::deque<AdmittedQuery> taken;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    taken.swap(pending_);
+  }
+  return std::vector<AdmittedQuery>(std::make_move_iterator(taken.begin()),
+                                    std::make_move_iterator(taken.end()));
+}
+
+size_t AdmissionController::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_.size();
+}
+
+}  // namespace bix::serve

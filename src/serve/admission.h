@@ -1,0 +1,80 @@
+// Admission control for the concurrent query service.
+//
+// The service accepts queries faster than it can run them only up to a
+// bounded pending queue; beyond that it sheds load *at the door* with a
+// typed ResourceExhausted error instead of letting latency grow without
+// bound.  Each admitted query is stamped with its arrival time and an
+// absolute deadline (the query's own, or the controller's default), so the
+// scheduler can skip queries whose deadline already passed — a shed query
+// costs a queue slot, never an evaluation.
+//
+// Thread safety: all public methods are safe to call concurrently; a
+// producer thread can Admit while the service drains with TakeAll.
+
+#ifndef BIX_SERVE_ADMISSION_H_
+#define BIX_SERVE_ADMISSION_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "core/predicate.h"
+#include "core/status.h"
+
+namespace bix::serve {
+
+/// Monotonic nanosecond clock used for admission stamps and deadlines.
+int64_t MonotonicNowNs();
+
+/// One selection query as submitted to the service.  `value` is in the
+/// column's *rank* domain (the service evaluates over stored indexes, whose
+/// base sequences encode ranks; callers translate raw values first).
+struct ServeQuery {
+  uint64_t id = 0;        // caller-chosen; echoed in the result
+  uint32_t column = 0;    // service column id (QueryService::AddColumn order)
+  CompareOp op = CompareOp::kEq;
+  int64_t value = 0;
+  /// Relative deadline in nanoseconds from admission; 0 uses the
+  /// controller's default (which may itself be "none").
+  int64_t deadline_ns = 0;
+};
+
+/// A query that made it past the door.
+struct AdmittedQuery {
+  ServeQuery query;
+  int64_t admit_ns = 0;     // MonotonicNowNs() at admission
+  int64_t deadline_ns = 0;  // absolute; 0 = no deadline
+};
+
+class AdmissionController {
+ public:
+  struct Options {
+    /// Queries pending beyond this are shed with ResourceExhausted.
+    size_t max_pending = 256;
+    /// Default relative deadline for queries that do not carry one;
+    /// 0 = no deadline.
+    int64_t default_deadline_ns = 0;
+  };
+
+  explicit AdmissionController(const Options& options);
+
+  /// Admits `query` into the pending queue, stamping arrival time and
+  /// absolute deadline.  Returns ResourceExhausted (and counts the shed)
+  /// when the queue is full.
+  Status Admit(const ServeQuery& query);
+
+  /// Drains every pending query, in admission order.
+  std::vector<AdmittedQuery> TakeAll();
+
+  size_t pending() const;
+
+ private:
+  const Options options_;
+  mutable std::mutex mu_;
+  std::deque<AdmittedQuery> pending_;
+};
+
+}  // namespace bix::serve
+
+#endif  // BIX_SERVE_ADMISSION_H_

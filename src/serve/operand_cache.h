@@ -1,0 +1,147 @@
+// Shared-operand cache with single-flight fetch semantics.
+//
+// Under a multi-tenant workload concurrent queries probe the *same*
+// bitmaps: a zipfian trace concentrates its predicates on hot columns and
+// hot values, so the dominant cost — operand materialization (read, verify,
+// decode), not the logical operations — is paid many times over for the
+// same (column, component, slot).  This cache converts that redundant work
+// into shared work: the first query to need an operand fetches it; every
+// concurrent query that arrives while the fetch is in flight waits on the
+// same entry and consumes the same immutable bitmap, and later queries hit
+// it outright.
+//
+// Single-flight discipline:
+//  * GetOrFetch looks the key up under the cache mutex.  A miss inserts a
+//    pending entry and the *caller* performs the fetch with no cache lock
+//    held (cold fetches overlap with other queries' compute and with each
+//    other across keys); completion is published through the entry's own
+//    mutex + condvar.
+//  * Concurrent callers for the same key block on the pending entry, never
+//    issuing a second fetch.  They count as shared-fetch hits: the work
+//    was shared even though nobody had finished it yet.
+//  * A failed fetch publishes its Status to the waiters that joined it,
+//    then evicts the entry, so transient I/O errors are retried by the
+//    next query rather than being cached forever.
+//
+// Entries are immutable once ready and handed out as shared_ptr, so an
+// eviction can never invalidate a bitmap an in-flight query still reads.
+// Eviction is LRU by ready-entry count (pending entries are pinned).
+//
+// Thread safety: all public methods are safe to call concurrently.
+
+#ifndef BIX_SERVE_OPERAND_CACHE_H_
+#define BIX_SERVE_OPERAND_CACHE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "bitmap/bitvector.h"
+#include "bitmap/wah_bitvector.h"
+#include "core/status.h"
+
+namespace bix::serve {
+
+/// Identity of one cached operand.  `kind` separates the dense and the
+/// compressed representation of the same stored bitmap (a WAH-direct fetch
+/// and a dense fetch of the same slot are different payloads); `codec` is
+/// folded into the column id by the service (a column is one opened index,
+/// which fixes its codec), so equal keys always denote byte-identical
+/// fetches.
+struct OperandKey {
+  uint32_t column = 0;
+  int32_t component = 0;
+  uint32_t slot = 0;
+  enum class Kind : uint8_t { kDense = 0, kWah = 1 };
+  Kind kind = Kind::kDense;
+
+  bool operator==(const OperandKey& o) const {
+    return column == o.column && component == o.component && slot == o.slot &&
+           kind == o.kind;
+  }
+};
+
+struct OperandKeyHash {
+  size_t operator()(const OperandKey& k) const {
+    uint64_t x = (static_cast<uint64_t>(k.column) << 40) ^
+                 (static_cast<uint64_t>(static_cast<uint32_t>(k.component))
+                  << 32) ^
+                 (static_cast<uint64_t>(k.slot) << 1) ^
+                 static_cast<uint64_t>(k.kind);
+    x ^= x >> 33;
+    x *= 0xFF51AFD7ED558CCDull;
+    x ^= x >> 33;
+    return static_cast<size_t>(x);
+  }
+};
+
+/// One fetched operand.  Immutable after `ready`; exactly one of
+/// dense/wah is populated, per the key's kind.
+struct CachedOperand {
+  Bitvector dense;
+  WahBitvector wah;
+  /// Compressed payload bytes the fetch read (accounting for the query
+  /// that performed it; hits read nothing).
+  int64_t payload_bytes = 0;
+  /// The fetch served a sibling-reconstructed bitmap; consumers inherit the
+  /// degraded flag.
+  bool degraded = false;
+  Status status;  // non-OK: the fetch failed and the entry was evicted
+};
+
+class OperandCache {
+ public:
+  struct Options {
+    /// Ready entries retained (LRU beyond this).  Pending fetches are
+    /// pinned on top of the cap.
+    size_t max_entries = 4096;
+  };
+
+  OperandCache() : OperandCache(Options{}) {}
+  explicit OperandCache(const Options& options);
+
+  /// The fetch callback: fill `out` (and out->payload_bytes) or return the
+  /// failure through out->status.  Runs without any cache lock held.
+  using FetchFn = std::function<void(CachedOperand* out)>;
+
+  /// Single-flight lookup.  Returns the ready (possibly failed) operand.
+  /// `*was_hit` reports whether this call was served without running
+  /// `fetch` — including joining a fetch already in flight.
+  std::shared_ptr<const CachedOperand> GetOrFetch(const OperandKey& key,
+                                                  const FetchFn& fetch,
+                                                  bool* was_hit);
+
+  /// Ready entries currently resident.
+  size_t size() const;
+
+  /// Drops every ready entry (in-flight fetches complete normally; their
+  /// waiters still see the result).
+  void Clear();
+
+ private:
+  struct Entry {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool ready = false;             // guarded by mu
+    CachedOperand operand;          // immutable once ready
+    std::list<OperandKey>::iterator lru_it;
+    bool in_lru = false;            // guarded by the cache mutex
+  };
+
+  void TouchLocked(const std::shared_ptr<Entry>& entry, const OperandKey& key);
+  void EvictIfNeededLocked();
+
+  const Options options_;
+  mutable std::mutex mu_;
+  std::unordered_map<OperandKey, std::shared_ptr<Entry>, OperandKeyHash> map_;
+  std::list<OperandKey> lru_;  // front = most recent; ready entries only
+  size_t num_ready_ = 0;
+};
+
+}  // namespace bix::serve
+
+#endif  // BIX_SERVE_OPERAND_CACHE_H_

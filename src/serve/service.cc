@@ -1,0 +1,160 @@
+#include "serve/service.h"
+
+#include <utility>
+
+#include "exec/segmented_eval.h"
+#include "exec/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/profile.h"
+#include "serve/sharing_source.h"
+
+namespace bix::serve {
+
+namespace {
+
+obs::Counter& DeadlineMissCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().GetCounter("serve.deadline_misses");
+  return c;
+}
+
+obs::Histogram& LatencyHistogram() {
+  static obs::Histogram& h =
+      obs::MetricsRegistry::Global().GetHistogram("serve.latency_ns");
+  return h;
+}
+
+}  // namespace
+
+QueryService::QueryService(const ServeOptions& options)
+    : options_(options),
+      admission_(AdmissionController::Options{
+          options.max_pending, options.default_deadline_ns}),
+      cache_(OperandCache::Options{options.cache_entries}) {}
+
+uint32_t QueryService::AddColumn(const StoredIndex* index) {
+  columns_.push_back(index);
+  return static_cast<uint32_t>(columns_.size() - 1);
+}
+
+Status QueryService::Admit(const ServeQuery& query) {
+  return admission_.Admit(query);
+}
+
+ServeResult QueryService::RunOne(const AdmittedQuery& admitted) {
+  obs::ProfSpan span("serve", "query");
+  ServeResult result;
+  result.id = admitted.query.id;
+
+  auto finish = [&]() {
+    result.latency_ns = MonotonicNowNs() - admitted.admit_ns;
+    LatencyHistogram().Observe(result.latency_ns);
+  };
+
+  // A deadline that passed while the query sat in the queue sheds it
+  // before any storage work.
+  if (admitted.deadline_ns != 0 && MonotonicNowNs() > admitted.deadline_ns) {
+    DeadlineMissCounter().Increment();
+    result.status = Status::DeadlineExceeded("deadline passed in queue");
+    finish();
+    return result;
+  }
+
+  if (admitted.query.column >= columns_.size()) {
+    result.status = Status::InvalidArgument("unknown column");
+    finish();
+    return result;
+  }
+  const StoredIndex* index = columns_[admitted.query.column];
+
+  auto source = index->OpenQuerySource(&result.stats);
+  if (!source->status().ok()) {
+    result.status = source->status();
+    finish();
+    return result;
+  }
+
+  const bool wah_direct = index->scheme() == StorageScheme::kBitmapLevel &&
+                          index->codec().name() == "wah";
+  ExecOptions exec;
+  exec.num_threads = 1;  // parallelism lives across queries, not within
+  exec.engine = options_.engine;
+
+  Bitvector foundset;
+  if (options_.share_operands) {
+    SharingSource sharing(source.get(), &cache_, admitted.query.column,
+                          wah_direct, &result.stats);
+    foundset = EvaluatePredicate(sharing, EvalAlgorithm::kAuto,
+                                 admitted.query.op, admitted.query.value, exec,
+                                 &result.stats);
+    result.shared_hits = sharing.shared_hits();
+    result.degraded = sharing.degraded();
+    if (!sharing.status().ok()) result.status = sharing.status();
+  } else {
+    foundset = EvaluatePredicate(*source, EvalAlgorithm::kAuto,
+                                 admitted.query.op, admitted.query.value, exec,
+                                 &result.stats);
+    result.degraded = source->degraded();
+    if (!source->status().ok()) result.status = source->status();
+  }
+
+  if (result.status.ok() && admitted.deadline_ns != 0 &&
+      MonotonicNowNs() > admitted.deadline_ns) {
+    // Finished, but too late to be useful: report the miss, drop the
+    // foundset.
+    DeadlineMissCounter().Increment();
+    result.status = Status::DeadlineExceeded("deadline passed during eval");
+  }
+  if (result.status.ok()) {
+    result.row_count = foundset.Count();
+    result.foundset = std::move(foundset);
+  }
+  finish();
+  return result;
+}
+
+std::vector<ServeResult> QueryService::RunPending() {
+  std::vector<AdmittedQuery> batch = admission_.TakeAll();
+  std::vector<ServeResult> results(batch.size());
+  if (batch.empty()) return results;
+
+  const int lanes = options_.num_threads > 1 ? options_.num_threads : 1;
+  if (lanes == 1) {
+    for (size_t i = 0; i < batch.size(); ++i) results[i] = RunOne(batch[i]);
+    return results;
+  }
+  // The submitting thread is lane 0, so the pool needs lanes - 1 workers.
+  exec::ThreadPool& pool = exec::SharedPool(lanes - 1);
+  pool.ParallelFor(batch.size(), lanes - 1,
+                   [&](size_t task, int /*lane*/) {
+                     results[task] = RunOne(batch[task]);
+                   });
+  return results;
+}
+
+std::vector<ServeResult> QueryService::RunBatch(
+    const std::vector<ServeQuery>& queries) {
+  // Track which inputs were admitted so shed queries keep their slot in the
+  // output.
+  std::vector<ServeResult> results(queries.size());
+  std::vector<size_t> admitted_slots;
+  admitted_slots.reserve(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    Status s = admission_.Admit(queries[i]);
+    if (s.ok()) {
+      admitted_slots.push_back(i);
+    } else {
+      results[i].id = queries[i].id;
+      results[i].status = std::move(s);
+    }
+  }
+  std::vector<ServeResult> ran = RunPending();
+  // RunPending drains in admission order == admitted_slots order.  (Nothing
+  // else may Admit concurrently with RunBatch; see the class comment.)
+  for (size_t j = 0; j < ran.size() && j < admitted_slots.size(); ++j) {
+    results[admitted_slots[j]] = std::move(ran[j]);
+  }
+  return results;
+}
+
+}  // namespace bix::serve

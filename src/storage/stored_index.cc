@@ -154,7 +154,7 @@ Status StoredIndex::ReadBlob(const std::string& name, std::vector<uint8_t>* raw,
 // Per-query view over a StoredIndex.  For CS/IS the constructor eagerly
 // reads and inflates every index file (the paper's access-path model);
 // for BS each Fetch reads exactly one bitmap file.
-class StoredQuerySource final : public BitmapSource {
+class StoredQuerySource final : public QuerySource {
  public:
   StoredQuerySource(const StoredIndex& index, EvalStats* stats,
                     double* decompress_seconds)
@@ -205,8 +205,8 @@ class StoredQuerySource final : public BitmapSource {
     }
   }
 
-  const Status& status() const { return status_; }
-  bool degraded() const { return degraded_; }
+  const Status& status() const override { return status_; }
+  bool degraded() const override { return degraded_; }
 
   const BaseSequence& base() const override { return index_.base(); }
   Encoding encoding() const override { return index_.encoding(); }
@@ -376,6 +376,11 @@ class StoredQuerySource final : public BitmapSource {
   mutable Status status_;
   mutable bool degraded_ = false;
 };
+
+std::unique_ptr<QuerySource> StoredIndex::OpenQuerySource(
+    EvalStats* stats, double* decompress_seconds) const {
+  return std::make_unique<StoredQuerySource>(*this, stats, decompress_seconds);
+}
 
 Status StoredIndex::Write(const BitmapIndex& index,
                           const std::filesystem::path& dir,

@@ -56,6 +56,21 @@ enum class StorageScheme {
 
 std::string_view ToString(StorageScheme scheme);
 
+/// A per-query read view over a stored index: a BitmapSource whose fetches
+/// hit storage along the scheme's access path, plus the query-scoped error
+/// state Evaluate() consults.  Obtained from StoredIndex::OpenQuerySource;
+/// the serve layer wraps one per query to interpose its shared-operand
+/// cache between the evaluation algorithms and storage.
+class QuerySource : public BitmapSource {
+ public:
+  /// First failure any fetch hit (fetches after a failure return empty
+  /// bitmaps; the query must be discarded when this is non-OK).
+  virtual const Status& status() const = 0;
+  /// True when a corrupt bitmap was served via sibling-slice
+  /// reconstruction (the query succeeded but counts as degraded).
+  virtual bool degraded() const = 0;
+};
+
 /// How a StoredIndex talks to storage.  Defaults: the real filesystem, 4
 /// read attempts with decorrelated-jitter backoff.
 struct StoredIndexOptions {
@@ -126,6 +141,15 @@ class StoredIndex {
                      double* decompress_seconds = nullptr,
                      Status* status = nullptr,
                      const ExecOptions* exec = nullptr) const;
+
+  /// Opens a per-query source over this index (the same view Evaluate()
+  /// uses internally).  For CS/IS the construction eagerly reads the
+  /// index files — check status() before evaluating.  `stats` and
+  /// `decompress_seconds` (both optional) accumulate bytes read and
+  /// inflate time across the source's lifetime.  The source borrows this
+  /// index and must not outlive it.
+  std::unique_ptr<QuerySource> OpenQuerySource(
+      EvalStats* stats = nullptr, double* decompress_seconds = nullptr) const;
 
  private:
   StoredIndex() = default;

@@ -1,5 +1,15 @@
 #include "workload/queries.h"
 
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/check.h"
+
 namespace bix {
 
 std::vector<Query> AllSelectionQueries(uint32_t cardinality) {
@@ -22,6 +32,117 @@ std::vector<Query> RestrictedSelectionQueries(uint32_t cardinality) {
     }
   }
   return out;
+}
+
+namespace {
+
+// Normalized CDF of the finite Zipf distribution over [0, n) with the given
+// exponent (same construction as workload/generators.cc GenerateZipf).
+std::vector<double> ZipfCdf(uint32_t n, double skew) {
+  std::vector<double> cdf(n);
+  double total = 0;
+  for (uint32_t r = 0; r < n; ++r) {
+    total += 1.0 / std::pow(static_cast<double>(r + 1), skew);
+    cdf[r] = total;
+  }
+  for (double& c : cdf) c /= total;
+  return cdf;
+}
+
+uint32_t SampleCdf(const std::vector<double>& cdf, double u) {
+  auto idx = static_cast<uint32_t>(
+      std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin());
+  if (idx >= cdf.size()) idx = static_cast<uint32_t>(cdf.size()) - 1;
+  return idx;
+}
+
+bool ParseCompareOpToken(std::string_view token, CompareOp* out) {
+  for (CompareOp op : kAllCompareOps) {
+    if (token == ToString(op)) {
+      *out = op;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<TraceQuery> GenerateMultiTenantTrace(const TraceSpec& spec) {
+  BIX_CHECK(spec.num_columns >= 1);
+  BIX_CHECK(spec.cardinality >= 1);
+  BIX_CHECK(spec.column_skew > 0);
+  BIX_CHECK(spec.value_skew > 0);
+  BIX_CHECK(spec.eq_fraction >= 0 && spec.eq_fraction <= 1);
+
+  const std::vector<double> column_cdf =
+      ZipfCdf(spec.num_columns, spec.column_skew);
+  const std::vector<double> value_cdf =
+      ZipfCdf(spec.cardinality, spec.value_skew);
+
+  std::mt19937_64 rng(spec.seed);
+  std::uniform_real_distribution<double> uni(0.0, 1.0);
+  std::vector<TraceQuery> out(spec.num_queries);
+  for (TraceQuery& q : out) {
+    q.column = SampleCdf(column_cdf, uni(rng));
+    q.op = uni(rng) < spec.eq_fraction ? CompareOp::kEq : CompareOp::kLe;
+    q.v = SampleCdf(value_cdf, uni(rng));
+  }
+  return out;
+}
+
+std::string SerializeTrace(const std::vector<TraceQuery>& trace) {
+  std::ostringstream out;
+  out << "# bix-trace v1\n";
+  for (const TraceQuery& q : trace) {
+    out << "q " << q.column << ' ' << ToString(q.op) << ' ' << q.v << '\n';
+  }
+  return out.str();
+}
+
+Status ParseTrace(std::string_view text, std::vector<TraceQuery>* out) {
+  out->clear();
+  size_t line_no = 0;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    size_t end = text.find('\n', pos);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view line = text.substr(pos, end - pos);
+    pos = end + 1;
+    ++line_no;
+
+    std::istringstream fields{std::string(line)};
+    std::string tag;
+    if (!(fields >> tag) || tag[0] == '#') continue;  // blank or comment
+    auto bad = [&](const char* what) {
+      return Status::InvalidArgument("trace line " + std::to_string(line_no) +
+                                     ": " + what);
+    };
+    if (tag != "q") return bad("expected 'q'");
+    std::string column_tok, op_tok, value_tok;
+    if (!(fields >> column_tok >> op_tok >> value_tok)) {
+      return bad("expected 'q <column> <op> <value>'");
+    }
+    std::string extra;
+    if (fields >> extra) return bad("trailing fields");
+
+    TraceQuery q;
+    auto col_res = std::from_chars(
+        column_tok.data(), column_tok.data() + column_tok.size(), q.column);
+    if (col_res.ec != std::errc() ||
+        col_res.ptr != column_tok.data() + column_tok.size()) {
+      return bad("bad column");
+    }
+    if (!ParseCompareOpToken(op_tok, &q.op)) return bad("bad operator");
+    auto val_res = std::from_chars(value_tok.data(),
+                                   value_tok.data() + value_tok.size(), q.v);
+    if (val_res.ec != std::errc() ||
+        val_res.ptr != value_tok.data() + value_tok.size()) {
+      return bad("bad value");
+    }
+    out->push_back(q);
+  }
+  return Status::OK();
 }
 
 }  // namespace bix

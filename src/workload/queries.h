@@ -4,9 +4,12 @@
 #define BIX_WORKLOAD_QUERIES_H_
 
 #include <cstdint>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/predicate.h"
+#include "core/status.h"
 
 namespace bix {
 
@@ -20,6 +23,49 @@ std::vector<Query> AllSelectionQueries(uint32_t cardinality);
 
 /// The paper's Section 9 restricted workload: {<=, =} x all C constants.
 std::vector<Query> RestrictedSelectionQueries(uint32_t cardinality);
+
+/// One query of a multi-tenant serving trace: a selection predicate against
+/// one of several columns.  `v` is in the column's rank domain.
+struct TraceQuery {
+  uint32_t column = 0;
+  CompareOp op = CompareOp::kEq;
+  int64_t v = 0;
+
+  bool operator==(const TraceQuery& o) const {
+    return column == o.column && op == o.op && v == o.v;
+  }
+};
+
+/// Shape of a synthetic serving trace.  Both skews are zipf exponents:
+/// tenants concentrate on hot columns (column 0 hottest) and hot constants
+/// (constant 0 hottest), which is what makes cross-query operand sharing
+/// pay — concurrent queries keep asking for the same bitmaps.
+struct TraceSpec {
+  uint32_t num_columns = 4;
+  /// Constants are drawn from [0, cardinality).
+  uint32_t cardinality = 100;
+  size_t num_queries = 1000;
+  /// Zipf exponent of the column choice; > 0.
+  double column_skew = 1.0;
+  /// Zipf exponent of the constant choice; > 0.
+  double value_skew = 1.0;
+  /// Fraction of equality predicates; the rest are `<=` (the paper's
+  /// restricted-workload range operator).
+  double eq_fraction = 0.5;
+  uint64_t seed = 42;
+};
+
+/// Deterministic for a given spec (same seed -> same trace).
+std::vector<TraceQuery> GenerateMultiTenantTrace(const TraceSpec& spec);
+
+/// Serializes a trace to the line format `q <column> <op> <value>`, one
+/// query per line, with a leading `# bix-trace v1` header.  Blank lines and
+/// `#` comments are ignored by the parser, so traces are hand-editable.
+std::string SerializeTrace(const std::vector<TraceQuery>& trace);
+
+/// Parses the SerializeTrace format.  Round-trips exactly:
+/// ParseTrace(SerializeTrace(t)) == t.
+Status ParseTrace(std::string_view text, std::vector<TraceQuery>* out);
 
 }  // namespace bix
 

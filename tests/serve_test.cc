@@ -1,0 +1,499 @@
+// Tests for the concurrent query service (src/serve/): single-flight
+// semantics of the shared-operand cache, admission control and deadlines,
+// the multi-tenant trace generator, and the differential guarantee that
+// serving N queries concurrently with cross-query operand sharing produces
+// foundsets and scan/op counts bit-identical to a sequential unshared
+// replay.  The cache and differential tests are the ones scripts/check.sh
+// re-runs under ThreadSanitizer.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "compress/codec.h"
+#include "core/advisor.h"
+#include "core/bitmap_index.h"
+#include "core/eval.h"
+#include "core/eval_stats.h"
+#include "serve/admission.h"
+#include "serve/operand_cache.h"
+#include "serve/service.h"
+#include "storage/stored_index.h"
+#include "workload/generators.h"
+#include "workload/queries.h"
+
+namespace bix {
+namespace {
+
+class TempDir {
+ public:
+  TempDir() {
+    std::string tmpl = (std::filesystem::temp_directory_path() /
+                        "bix_serve_test_XXXXXX")
+                           .string();
+    std::vector<char> buf(tmpl.begin(), tmpl.end());
+    buf.push_back('\0');
+    path_ = mkdtemp(buf.data());
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+  const std::filesystem::path& path() const { return path_; }
+
+ private:
+  std::filesystem::path path_;
+};
+
+// ---------------------------------------------------------------------------
+// OperandCache
+
+serve::OperandKey Key(uint32_t column, int component, uint32_t slot) {
+  serve::OperandKey key;
+  key.column = column;
+  key.component = component;
+  key.slot = slot;
+  return key;
+}
+
+TEST(OperandCacheTest, SingleFlightUnderContention) {
+  serve::OperandCache cache;
+  const serve::OperandKey key = Key(0, 1, 2);
+  std::atomic<int> fetches{0};
+  std::atomic<int> hits{0};
+  std::vector<std::shared_ptr<const serve::CachedOperand>> results(16);
+
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < results.size(); ++t) {
+    threads.emplace_back([&, t] {
+      bool was_hit = false;
+      results[t] = cache.GetOrFetch(
+          key,
+          [&](serve::CachedOperand* out) {
+            fetches.fetch_add(1);
+            // Hold the flight open long enough that other threads join it.
+            std::this_thread::sleep_for(std::chrono::milliseconds(20));
+            out->dense = Bitvector::Ones(64);
+          },
+          &was_hit);
+      if (was_hit) hits.fetch_add(1);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(fetches.load(), 1) << "single-flight must fetch exactly once";
+  EXPECT_EQ(hits.load(), 15);
+  for (const auto& r : results) {
+    ASSERT_NE(r, nullptr);
+    EXPECT_TRUE(r->status.ok());
+    // Everyone consumes the same materialized operand, not a copy.
+    EXPECT_EQ(r.get(), results[0].get());
+  }
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(OperandCacheTest, FailedFetchIsPublishedThenRetried) {
+  serve::OperandCache cache;
+  const serve::OperandKey key = Key(3, 0, 0);
+  int fetches = 0;
+  bool hit = false;
+
+  auto failed = cache.GetOrFetch(
+      key,
+      [&](serve::CachedOperand* out) {
+        ++fetches;
+        out->status = Status::IoError("transient");
+      },
+      &hit);
+  EXPECT_FALSE(failed->status.ok());
+  EXPECT_EQ(cache.size(), 0u) << "failures must not be cached";
+
+  auto ok = cache.GetOrFetch(
+      key,
+      [&](serve::CachedOperand* out) {
+        ++fetches;
+        out->dense = Bitvector::Ones(8);
+      },
+      &hit);
+  EXPECT_TRUE(ok->status.ok());
+  EXPECT_FALSE(hit) << "retry is a fresh fetch, not a hit";
+  EXPECT_EQ(fetches, 2);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(OperandCacheTest, EvictionKeepsHandedOutOperandsAlive) {
+  serve::OperandCache::Options options;
+  options.max_entries = 2;
+  serve::OperandCache cache(options);
+  bool hit = false;
+
+  auto fetch_bits = [](uint32_t slot) {
+    return [slot](serve::CachedOperand* out) {
+      out->dense = Bitvector::Ones(8 * (slot + 1));
+    };
+  };
+  auto first = cache.GetOrFetch(Key(0, 0, 0), fetch_bits(0), &hit);
+  cache.GetOrFetch(Key(0, 0, 1), fetch_bits(1), &hit);
+  cache.GetOrFetch(Key(0, 0, 2), fetch_bits(2), &hit);  // evicts slot 0
+  EXPECT_EQ(cache.size(), 2u);
+
+  // The evicted entry stays valid for its holder.
+  EXPECT_EQ(first->dense.size(), 8u);
+  // A re-fetch of the evicted key is a miss again.
+  cache.GetOrFetch(Key(0, 0, 0), fetch_bits(0), &hit);
+  EXPECT_FALSE(hit);
+}
+
+// ---------------------------------------------------------------------------
+// Admission control and deadlines
+
+TEST(AdmissionTest, BoundedQueueShedsBeyondCapacity) {
+  serve::AdmissionController::Options options;
+  options.max_pending = 4;
+  serve::AdmissionController admission(options);
+
+  int admitted = 0, shed = 0;
+  for (uint64_t i = 0; i < 10; ++i) {
+    serve::ServeQuery q;
+    q.id = i;
+    Status s = admission.Admit(q);
+    if (s.ok()) {
+      ++admitted;
+    } else {
+      EXPECT_EQ(s.code(), Status::Code::kResourceExhausted);
+      ++shed;
+    }
+  }
+  EXPECT_EQ(admitted, 4);
+  EXPECT_EQ(shed, 6);
+  EXPECT_EQ(admission.pending(), 4u);
+
+  // Draining frees capacity again.
+  EXPECT_EQ(admission.TakeAll().size(), 4u);
+  EXPECT_EQ(admission.pending(), 0u);
+  EXPECT_TRUE(admission.Admit(serve::ServeQuery{}).ok());
+}
+
+TEST(AdmissionTest, DeadlineStamping) {
+  serve::AdmissionController::Options options;
+  options.max_pending = 4;
+  options.default_deadline_ns = 5'000'000;
+  serve::AdmissionController admission(options);
+
+  serve::ServeQuery with_own;
+  with_own.deadline_ns = 1'000'000'000;
+  ASSERT_TRUE(admission.Admit(with_own).ok());
+  serve::ServeQuery with_default;
+  ASSERT_TRUE(admission.Admit(with_default).ok());
+
+  std::vector<serve::AdmittedQuery> taken = admission.TakeAll();
+  ASSERT_EQ(taken.size(), 2u);
+  EXPECT_EQ(taken[0].deadline_ns - taken[0].admit_ns, 1'000'000'000);
+  EXPECT_EQ(taken[1].deadline_ns - taken[1].admit_ns, 5'000'000);
+}
+
+// ---------------------------------------------------------------------------
+// Trace generator
+
+TEST(TraceTest, DeterministicAndRoundTrips) {
+  TraceSpec spec;
+  spec.num_columns = 5;
+  spec.cardinality = 50;
+  spec.num_queries = 300;
+  spec.seed = 7;
+  std::vector<TraceQuery> a = GenerateMultiTenantTrace(spec);
+  std::vector<TraceQuery> b = GenerateMultiTenantTrace(spec);
+  ASSERT_EQ(a.size(), 300u);
+  EXPECT_EQ(a, b) << "same spec must generate the same trace";
+
+  spec.seed = 8;
+  EXPECT_NE(a, GenerateMultiTenantTrace(spec));
+
+  std::vector<TraceQuery> parsed;
+  Status s = ParseTrace(SerializeTrace(a), &parsed);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(parsed, a);
+}
+
+TEST(TraceTest, SkewConcentratesOnHotColumnsAndValues) {
+  TraceSpec spec;
+  spec.num_columns = 8;
+  spec.cardinality = 100;
+  spec.num_queries = 4000;
+  spec.column_skew = 1.5;
+  spec.value_skew = 1.5;
+  std::vector<TraceQuery> trace = GenerateMultiTenantTrace(spec);
+
+  size_t col0 = 0, val0 = 0;
+  for (const TraceQuery& q : trace) {
+    ASSERT_LT(q.column, spec.num_columns);
+    ASSERT_GE(q.v, 0);
+    ASSERT_LT(q.v, spec.cardinality);
+    if (q.column == 0) ++col0;
+    if (q.v == 0) ++val0;
+  }
+  // Under zipf(1.5) rank 0 carries ~37% of the mass over 8 columns; a
+  // uniform draw would give 12.5%.  Loose bounds keep this seed-robust.
+  EXPECT_GT(col0, trace.size() / 4);
+  EXPECT_GT(val0, trace.size() / 10);
+}
+
+TEST(TraceTest, EqFractionExtremes) {
+  TraceSpec spec;
+  spec.num_queries = 200;
+  spec.eq_fraction = 1.0;
+  for (const TraceQuery& q : GenerateMultiTenantTrace(spec)) {
+    EXPECT_EQ(q.op, CompareOp::kEq);
+  }
+  spec.eq_fraction = 0.0;
+  for (const TraceQuery& q : GenerateMultiTenantTrace(spec)) {
+    EXPECT_EQ(q.op, CompareOp::kLe);
+  }
+}
+
+TEST(TraceTest, ParseRejectsMalformedLines) {
+  std::vector<TraceQuery> out;
+  EXPECT_FALSE(ParseTrace("x 0 = 1\n", &out).ok());
+  EXPECT_FALSE(ParseTrace("q 0 = \n", &out).ok());
+  EXPECT_FALSE(ParseTrace("q 0 >< 1\n", &out).ok());
+  EXPECT_FALSE(ParseTrace("q zero = 1\n", &out).ok());
+  EXPECT_FALSE(ParseTrace("q 0 = 1 extra\n", &out).ok());
+  EXPECT_TRUE(ParseTrace("# comment\n\nq 0 = 1\n", &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], (TraceQuery{0, CompareOp::kEq, 1}));
+}
+
+// ---------------------------------------------------------------------------
+// Service
+
+struct ServeFixture {
+  TempDir dir;
+  std::vector<std::unique_ptr<StoredIndex>> indexes;
+  std::vector<BitmapIndex> mem;
+
+  // Three columns with distinct designs: a compressed range-encoded BS
+  // index, an equality-encoded BS index (exercises sibling-slice keys),
+  // and a wah-codec BS index (exercises the compressed FetchWah cache
+  // kind under --engine wah/auto).
+  void Build() {
+    struct Spec {
+      const char* codec;
+      Encoding encoding;
+      uint32_t cardinality;
+    };
+    const Spec specs[] = {{"lz77", Encoding::kRange, 17},
+                          {"none", Encoding::kEquality, 9},
+                          {"wah", Encoding::kRange, 23}};
+    uint64_t seed = 11;
+    for (const Spec& spec : specs) {
+      std::vector<uint32_t> data =
+          GenerateZipf(4000, spec.cardinality, 1.2, seed++);
+      BitmapIndex index = BitmapIndex::Build(
+          data, spec.cardinality, KneeBase(spec.cardinality), spec.encoding);
+      std::unique_ptr<StoredIndex> stored;
+      Status s = StoredIndex::Write(
+          index, dir.path() / std::to_string(indexes.size()),
+          StorageScheme::kBitmapLevel, *CodecByName(spec.codec), &stored);
+      ASSERT_TRUE(s.ok()) << s.ToString();
+      mem.push_back(std::move(index));
+      indexes.push_back(std::move(stored));
+    }
+  }
+
+  std::vector<serve::ServeQuery> MakeQueries(size_t count) {
+    TraceSpec spec;
+    spec.num_columns = static_cast<uint32_t>(indexes.size());
+    spec.cardinality = 9;  // within every column's domain
+    spec.num_queries = count;
+    spec.column_skew = 1.2;
+    spec.value_skew = 1.2;
+    spec.seed = 99;
+    std::vector<serve::ServeQuery> queries;
+    for (const TraceQuery& t : GenerateMultiTenantTrace(spec)) {
+      serve::ServeQuery q;
+      q.id = queries.size();
+      q.column = t.column;
+      q.op = t.op;
+      q.value = t.v;
+      queries.push_back(q);
+    }
+    return queries;
+  }
+};
+
+// The tentpole guarantee: concurrent shared execution is observationally
+// identical to sequential unshared execution — same foundsets, same
+// bitmap-scan and operation counts per query (a shared hit still counts as
+// one logical scan, like a buffer hit).  Only bytes_read may differ, since
+// a hit reads nothing.
+TEST(ServeDifferentialTest, ConcurrentSharedMatchesSequentialUnshared) {
+  for (EngineKind engine : {EngineKind::kPlain, EngineKind::kWah}) {
+    SCOPED_TRACE(ToString(engine));
+    ServeFixture fx;
+    fx.Build();
+    std::vector<serve::ServeQuery> queries = fx.MakeQueries(200);
+
+    serve::ServeOptions sequential;
+    sequential.num_threads = 1;
+    sequential.share_operands = false;
+    sequential.max_pending = queries.size();
+    sequential.engine = engine;
+    serve::QueryService reference(sequential);
+    for (const auto& idx : fx.indexes) reference.AddColumn(idx.get());
+    std::vector<serve::ServeResult> expected = reference.RunBatch(queries);
+
+    serve::ServeOptions concurrent = sequential;
+    concurrent.num_threads = 8;
+    concurrent.share_operands = true;
+    serve::QueryService service(concurrent);
+    for (const auto& idx : fx.indexes) service.AddColumn(idx.get());
+    std::vector<serve::ServeResult> got = service.RunBatch(queries);
+
+    ASSERT_EQ(got.size(), expected.size());
+    int64_t total_hits = 0;
+    for (size_t i = 0; i < got.size(); ++i) {
+      SCOPED_TRACE("query " + std::to_string(i));
+      ASSERT_TRUE(got[i].status.ok()) << got[i].status.ToString();
+      ASSERT_TRUE(expected[i].status.ok());
+      EXPECT_EQ(got[i].id, expected[i].id);
+      EXPECT_EQ(got[i].foundset, expected[i].foundset);
+      EXPECT_EQ(got[i].row_count, expected[i].row_count);
+      EXPECT_EQ(got[i].stats.bitmap_scans, expected[i].stats.bitmap_scans);
+      EXPECT_EQ(got[i].stats.TotalOps(), expected[i].stats.TotalOps());
+      total_hits += got[i].shared_hits;
+    }
+    EXPECT_GT(total_hits, 0) << "a zipf trace must coalesce some fetches";
+  }
+}
+
+TEST(ServeDifferentialTest, ConcurrentUnsharedMatchesSequential) {
+  ServeFixture fx;
+  fx.Build();
+  std::vector<serve::ServeQuery> queries = fx.MakeQueries(100);
+
+  serve::ServeOptions sequential;
+  sequential.num_threads = 1;
+  sequential.share_operands = false;
+  sequential.max_pending = queries.size();
+  serve::QueryService reference(sequential);
+  for (const auto& idx : fx.indexes) reference.AddColumn(idx.get());
+  std::vector<serve::ServeResult> expected = reference.RunBatch(queries);
+
+  serve::ServeOptions concurrent = sequential;
+  concurrent.num_threads = 8;
+  serve::QueryService service(concurrent);
+  for (const auto& idx : fx.indexes) service.AddColumn(idx.get());
+  std::vector<serve::ServeResult> got = service.RunBatch(queries);
+
+  ASSERT_EQ(got.size(), expected.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    ASSERT_TRUE(got[i].status.ok()) << got[i].status.ToString();
+    EXPECT_EQ(got[i].foundset, expected[i].foundset);
+    EXPECT_EQ(got[i].stats, expected[i].stats)
+        << "unshared stats must match field for field";
+  }
+}
+
+TEST(ServeTest, RunBatchKeepsShedQueriesInTheirSlots) {
+  ServeFixture fx;
+  fx.Build();
+  std::vector<serve::ServeQuery> queries = fx.MakeQueries(5);
+
+  serve::ServeOptions options;
+  options.num_threads = 2;
+  options.max_pending = 2;
+  serve::QueryService service(options);
+  for (const auto& idx : fx.indexes) service.AddColumn(idx.get());
+
+  std::vector<serve::ServeResult> results = service.RunBatch(queries);
+  ASSERT_EQ(results.size(), 5u);
+  for (size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].id, queries[i].id);
+    if (i < 2) {
+      EXPECT_TRUE(results[i].status.ok()) << results[i].status.ToString();
+    } else {
+      EXPECT_EQ(results[i].status.code(), Status::Code::kResourceExhausted);
+    }
+  }
+}
+
+TEST(ServeTest, ExpiredDeadlineShedsBeforeEvaluation) {
+  ServeFixture fx;
+  fx.Build();
+  serve::ServeOptions options;
+  options.num_threads = 2;
+  serve::QueryService service(options);
+  for (const auto& idx : fx.indexes) service.AddColumn(idx.get());
+
+  serve::ServeQuery q;
+  q.column = 0;
+  q.op = CompareOp::kLe;
+  q.value = 3;
+  q.deadline_ns = 1;  // expires essentially immediately
+  ASSERT_TRUE(service.Admit(q).ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+
+  std::vector<serve::ServeResult> results = service.RunPending();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].status.code(), Status::Code::kDeadlineExceeded);
+  EXPECT_EQ(results[0].row_count, 0u);
+  EXPECT_EQ(results[0].stats.bitmap_scans, 0)
+      << "a shed query must not touch storage";
+  EXPECT_GT(results[0].latency_ns, 0);
+}
+
+TEST(ServeTest, UnknownColumnFailsTyped) {
+  ServeFixture fx;
+  fx.Build();
+  serve::QueryService service(serve::ServeOptions{});
+  for (const auto& idx : fx.indexes) service.AddColumn(idx.get());
+
+  serve::ServeQuery q;
+  q.column = 42;
+  std::vector<serve::ServeResult> results = service.RunBatch({q});
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].status.code(), Status::Code::kInvalidArgument);
+}
+
+// A query's foundset pointer-independence: views handed out by the cache
+// must survive eviction while the query still runs.  Covered structurally
+// by OperandCacheTest.EvictionKeepsHandedOutOperandsAlive; here we run a
+// whole service with a pathologically small cache to prove end-to-end
+// correctness does not depend on residency.
+TEST(ServeDifferentialTest, TinyCacheStillBitIdentical) {
+  ServeFixture fx;
+  fx.Build();
+  std::vector<serve::ServeQuery> queries = fx.MakeQueries(120);
+
+  serve::ServeOptions sequential;
+  sequential.num_threads = 1;
+  sequential.share_operands = false;
+  sequential.max_pending = queries.size();
+  serve::QueryService reference(sequential);
+  for (const auto& idx : fx.indexes) reference.AddColumn(idx.get());
+  std::vector<serve::ServeResult> expected = reference.RunBatch(queries);
+
+  serve::ServeOptions tiny = sequential;
+  tiny.num_threads = 8;
+  tiny.share_operands = true;
+  tiny.cache_entries = 1;  // evict on nearly every fetch
+  serve::QueryService service(tiny);
+  for (const auto& idx : fx.indexes) service.AddColumn(idx.get());
+  std::vector<serve::ServeResult> got = service.RunBatch(queries);
+
+  ASSERT_EQ(got.size(), expected.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    ASSERT_TRUE(got[i].status.ok()) << got[i].status.ToString();
+    EXPECT_EQ(got[i].foundset, expected[i].foundset);
+  }
+}
+
+}  // namespace
+}  // namespace bix

@@ -285,6 +285,25 @@ DiffResult DiffBenchFiles(const BenchFile& base, const BenchFile& fresh,
     }
   }
 
+  // Engine comparability check, same policy: a wah baseline says nothing
+  // about a plain fresh run.  Absent engine metadata (older baselines)
+  // gates as before.
+  auto engine_of = [](const BenchFile& f) -> std::string {
+    auto it = f.meta.find("engine");
+    return it == f.meta.end() ? std::string() : it->second;
+  };
+  const std::string base_engine = engine_of(base);
+  const std::string fresh_engine = engine_of(fresh);
+  if (!base_engine.empty() && !fresh_engine.empty() &&
+      base_engine != fresh_engine) {
+    result.warnings.push_back("warning: engine mismatch (baseline '" +
+                              base_engine + "' vs fresh '" + fresh_engine +
+                              "')");
+    if (!options.force) {
+      result.gated = false;
+    }
+  }
+
   // min-of-reps per key on both sides.
   struct Entry {
     double value;

@@ -26,6 +26,9 @@
 //   - If the two files carry "_meta" rows with differing hostnames, the
 //     machines are not comparable: warn and refuse to gate (exit 0) unless
 //     forced.  Missing metadata on either side downgrades to a warning.
+//     Differing engine names ("plain" vs "wah") refuse the same way —
+//     engines have different performance envelopes, so folding their
+//     baselines would gate one engine's timings against the other's.
 //
 // Exit codes (mirrored by the benchdiff CLI): 0 pass / refused-to-gate,
 // 1 regression, 2 parse error or schema mismatch.

@@ -11,6 +11,11 @@
 //   bixctl scrub  --dir ./idx --inject SEED
 //   bixctl advise --cardinality 1000 [--budget 100]
 //   bixctl benchdiff BASELINE.json FRESH.json [--band F] [--force]
+//   bixctl serve  --dirs ./idx1,./idx2 [--trace F] [--threads N] [--queue K]
+//                 [--deadline-ms D] [--batch B] [--no-share] [--engine E]
+//   bixctl bench-serve [--columns N] [--rows R] [--cardinality C]
+//                 [--queries Q] [--col-skew S] [--val-skew S] [--threads N]
+//                 [--batch B] [--codec NAME] [--engine E] [--seed S] [--out F]
 //
 // Every command also accepts --metrics-out=FILE to dump the process-wide
 // metrics registry in Prometheus text exposition format on exit.
@@ -19,13 +24,19 @@
 // table (the paper's Section 2 value map) persisted next to the index, so
 // query constants are expressed in the raw domain.
 
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <iostream>
 #include <map>
 #include <memory>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -38,12 +49,16 @@
 #include "obs/metrics.h"
 #include "obs/profile.h"
 #include "obs/trace.h"
+#include "bench/bench_json.h"
 #include "plan/predicate_parser.h"
+#include "serve/service.h"
 #include "storage/env.h"
 #include "storage/format.h"
 #include "storage/stored_index.h"
 #include "tools/benchdiff_lib.h"
 #include "workload/csv.h"
+#include "workload/generators.h"
+#include "workload/queries.h"
 #include "workload/value_map.h"
 
 namespace bix::tool {
@@ -73,7 +88,8 @@ class Flags {
                  std::string(argv[i + 1]).rfind("--", 0) != 0) {
         values_[key.substr(2)] = argv[i + 1];
         i += 2;
-      } else if (key == "--stats" || key == "--analyze" || key == "--force") {
+      } else if (key == "--stats" || key == "--analyze" || key == "--force" ||
+                 key == "--no-share") {
         values_[key.substr(2)] = "1";
         i += 1;
       } else {
@@ -167,6 +183,16 @@ int Usage() {
                "  bixctl advise  --cardinality C [--budget M]\n"
                "  bixctl benchdiff BASE.json FRESH.json [--band F] "
                "[--force]\n"
+               "  bixctl serve   --dirs D1,D2,.. [--trace F] [--threads N] "
+               "[--queue K]\n"
+               "                 [--deadline-ms D] [--batch B] [--no-share] "
+               "[--engine E]\n"
+               "  bixctl bench-serve [--columns N] [--rows R] "
+               "[--cardinality C] [--queries Q]\n"
+               "                 [--col-skew S] [--val-skew S] [--threads N] "
+               "[--batch B]\n"
+               "                 [--codec NAME] [--engine E] [--seed S] "
+               "[--out FILE]\n"
                "(any command: --metrics-out FILE dumps Prometheus metrics)\n");
   return 2;
 }
@@ -649,6 +675,380 @@ int CmdAdvise(const Flags& flags) {
   return 0;
 }
 
+bool ParseEngineFlag(const Flags& flags, EngineKind* out) {
+  std::string engine = flags.GetOr("engine", "plain");
+  if (engine == "plain") *out = EngineKind::kPlain;
+  else if (engine == "wah") *out = EngineKind::kWah;
+  else if (engine == "auto") *out = EngineKind::kAuto;
+  else return false;
+  return true;
+}
+
+double GetDouble(const Flags& flags, const std::string& key, double fallback) {
+  auto v = flags.Get(key);
+  return v ? std::atof(v->c_str()) : fallback;
+}
+
+// Exact percentile (nearest-rank) over a copy of `values`.
+int64_t Percentile(std::vector<int64_t> values, double q) {
+  if (values.empty()) return 0;
+  std::sort(values.begin(), values.end());
+  size_t rank = static_cast<size_t>(q * static_cast<double>(values.size()));
+  if (rank >= values.size()) rank = values.size() - 1;
+  return values[rank];
+}
+
+// Tally of one replayed trace (serve and bench-serve share it).
+struct ReplayOutcome {
+  size_t ok = 0;
+  size_t shed = 0;
+  size_t deadline_missed = 0;
+  size_t failed = 0;
+  uint64_t rows_found = 0;
+  int64_t shared_hits = 0;
+  std::vector<int64_t> latencies_ns;  // completed queries only
+  double wall_seconds = 0;
+};
+
+// Feeds `queries` through `service` in batches of `batch_size`.
+ReplayOutcome ReplayTrace(serve::QueryService& service,
+                          const std::vector<serve::ServeQuery>& queries,
+                          size_t batch_size) {
+  ReplayOutcome outcome;
+  auto start = std::chrono::steady_clock::now();
+  for (size_t begin = 0; begin < queries.size(); begin += batch_size) {
+    size_t end = std::min(begin + batch_size, queries.size());
+    std::vector<serve::ServeQuery> batch(queries.begin() + begin,
+                                         queries.begin() + end);
+    for (serve::ServeResult& r : service.RunBatch(batch)) {
+      switch (r.status.code()) {
+        case Status::Code::kOk:
+          ++outcome.ok;
+          outcome.rows_found += r.row_count;
+          outcome.latencies_ns.push_back(r.latency_ns);
+          break;
+        case Status::Code::kResourceExhausted:
+          ++outcome.shed;
+          break;
+        case Status::Code::kDeadlineExceeded:
+          ++outcome.deadline_missed;
+          break;
+        default:
+          ++outcome.failed;
+          break;
+      }
+      outcome.shared_hits += r.shared_hits;
+    }
+  }
+  outcome.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return outcome;
+}
+
+// Serves a query trace (raw-domain constants) against one or more opened
+// index directories, translating each constant through the column's value
+// map, and reports latency percentiles, QPS, and the shared-fetch hit rate.
+int CmdServe(const Flags& flags) {
+  auto dirs_flag = flags.Get("dirs");
+  if (!dirs_flag) return Usage();
+  std::vector<std::string> dirs;
+  {
+    std::stringstream ss(*dirs_flag);
+    std::string part;
+    while (std::getline(ss, part, ',')) {
+      if (!part.empty()) dirs.push_back(part);
+    }
+  }
+  if (dirs.empty()) return Fail("--dirs names no directories");
+
+  serve::ServeOptions options;
+  options.num_threads = static_cast<int>(flags.GetInt("threads").value_or(4));
+  options.max_pending =
+      static_cast<size_t>(flags.GetInt("queue").value_or(256));
+  options.default_deadline_ns =
+      flags.GetInt("deadline-ms").value_or(0) * 1'000'000;
+  options.share_operands = !flags.Has("no-share");
+  if (!ParseEngineFlag(flags, &options.engine)) {
+    return Fail("--engine must be plain, wah, or auto");
+  }
+  const size_t batch_size = static_cast<size_t>(
+      flags.GetInt("batch").value_or(
+          static_cast<int64_t>(options.max_pending)));
+
+  std::vector<std::unique_ptr<StoredIndex>> indexes;
+  std::vector<ValueMap> maps;
+  serve::QueryService service(options);
+  for (const std::string& dir : dirs) {
+    std::unique_ptr<StoredIndex> stored;
+    Status s = StoredIndex::Open(dir, &stored);
+    if (!s.ok()) return Fail(dir + ": " + s.ToString());
+    ValueMap map;
+    s = ReadValueMap(dir, &map);
+    if (!s.ok()) return Fail(dir + ": " + s.ToString());
+    service.AddColumn(stored.get());
+    indexes.push_back(std::move(stored));
+    maps.push_back(std::move(map));
+  }
+
+  std::string trace_text;
+  if (auto trace_file = flags.Get("trace")) {
+    std::ifstream f(*trace_file);
+    if (!f) return Fail("cannot open trace " + *trace_file);
+    std::stringstream buf;
+    buf << f.rdbuf();
+    trace_text = buf.str();
+  } else {
+    std::stringstream buf;
+    buf << std::cin.rdbuf();
+    trace_text = buf.str();
+  }
+  std::vector<TraceQuery> trace;
+  Status s = ParseTrace(trace_text, &trace);
+  if (!s.ok()) return Fail(s.ToString());
+  if (trace.empty()) return Fail("trace has no queries");
+
+  std::vector<serve::ServeQuery> queries;
+  queries.reserve(trace.size());
+  for (size_t i = 0; i < trace.size(); ++i) {
+    const TraceQuery& t = trace[i];
+    if (t.column >= maps.size()) {
+      return Fail("trace query " + std::to_string(i + 1) + " names column " +
+                  std::to_string(t.column) + " but only " +
+                  std::to_string(maps.size()) + " dirs were given");
+    }
+    serve::ServeQuery q;
+    q.id = i;
+    q.column = t.column;
+    TranslateRawPredicate(maps[t.column], t.op, t.v, &q.op, &q.value);
+    queries.push_back(q);
+  }
+
+  auto& hits_counter =
+      obs::MetricsRegistry::Global().GetCounter("serve.shared_fetch_hits");
+  auto& misses_counter =
+      obs::MetricsRegistry::Global().GetCounter("serve.shared_fetch_misses");
+  const int64_t hits0 = hits_counter.value();
+  const int64_t misses0 = misses_counter.value();
+
+  ReplayOutcome outcome = ReplayTrace(service, queries, batch_size);
+
+  const int64_t hits = hits_counter.value() - hits0;
+  const int64_t misses = misses_counter.value() - misses0;
+  const int64_t fetches = hits + misses;
+  std::printf("served %zu queries over %zu columns (%d threads, %s, "
+              "sharing %s)\n",
+              queries.size(), dirs.size(), options.num_threads,
+              std::string(ToString(options.engine)).c_str(),
+              options.share_operands ? "on" : "off");
+  std::printf("  ok %zu, shed %zu, deadline-missed %zu, failed %zu; "
+              "%llu rows found\n",
+              outcome.ok, outcome.shed, outcome.deadline_missed,
+              outcome.failed,
+              static_cast<unsigned long long>(outcome.rows_found));
+  std::printf("  wall %.3fs, %.0f qps; latency p50 %.2fms p95 %.2fms "
+              "p99 %.2fms\n",
+              outcome.wall_seconds,
+              static_cast<double>(queries.size()) / outcome.wall_seconds,
+              Percentile(outcome.latencies_ns, 0.50) / 1e6,
+              Percentile(outcome.latencies_ns, 0.95) / 1e6,
+              Percentile(outcome.latencies_ns, 0.99) / 1e6);
+  if (fetches > 0) {
+    std::printf("  shared fetches: %lld of %lld operand accesses (%.1f%% "
+                "hit rate)\n",
+                static_cast<long long>(hits),
+                static_cast<long long>(fetches),
+                100.0 * static_cast<double>(hits) /
+                    static_cast<double>(fetches));
+  }
+  return outcome.failed == 0 ? 0 : 1;
+}
+
+// Builds synthetic indexes in a temp directory, replays a zipf-skewed
+// multi-tenant trace with and without cross-query operand sharing at the
+// same thread count, and reports the throughput ratio.
+int CmdBenchServe(const Flags& flags) {
+  const uint32_t columns =
+      static_cast<uint32_t>(flags.GetInt("columns").value_or(4));
+  const size_t rows = static_cast<size_t>(flags.GetInt("rows").value_or(
+      100000));
+  const uint32_t cardinality =
+      static_cast<uint32_t>(flags.GetInt("cardinality").value_or(64));
+  const size_t num_queries =
+      static_cast<size_t>(flags.GetInt("queries").value_or(2000));
+  const int threads = static_cast<int>(flags.GetInt("threads").value_or(4));
+  const size_t batch_size =
+      static_cast<size_t>(flags.GetInt("batch").value_or(64));
+  const uint64_t seed =
+      static_cast<uint64_t>(flags.GetInt("seed").value_or(42));
+  const Codec* codec = CodecByName(flags.GetOr("codec", "lz77"));
+  if (codec == nullptr) return Fail("unknown --codec");
+  EngineKind engine;
+  if (!ParseEngineFlag(flags, &engine)) {
+    return Fail("--engine must be plain, wah, or auto");
+  }
+  if (columns < 1 || rows < 1 || cardinality < 2 || num_queries < 1) {
+    return Fail("bad bench-serve dimensions");
+  }
+
+  TraceSpec spec;
+  spec.num_columns = columns;
+  spec.cardinality = cardinality;
+  spec.num_queries = num_queries;
+  spec.column_skew = GetDouble(flags, "col-skew", 1.1);
+  spec.value_skew = GetDouble(flags, "val-skew", 1.3);
+  spec.eq_fraction = GetDouble(flags, "eq-fraction", 0.5);
+  spec.seed = seed;
+  const std::vector<TraceQuery> trace = GenerateMultiTenantTrace(spec);
+  // Synthetic columns index ranks 0..C-1 directly, so trace constants are
+  // already rank-domain: no value-map translation.
+  std::vector<serve::ServeQuery> queries;
+  queries.reserve(trace.size());
+  for (size_t i = 0; i < trace.size(); ++i) {
+    serve::ServeQuery q;
+    q.id = i;
+    q.column = trace[i].column;
+    q.op = trace[i].op;
+    q.value = trace[i].v;
+    queries.push_back(q);
+  }
+
+  const std::filesystem::path tmp =
+      std::filesystem::temp_directory_path() /
+      ("bix-bench-serve-" + std::to_string(::getpid()));
+  std::error_code ec;
+  std::filesystem::remove_all(tmp, ec);
+  std::vector<std::unique_ptr<StoredIndex>> indexes;
+  for (uint32_t c = 0; c < columns; ++c) {
+    std::vector<uint32_t> data = GenerateUniform(rows, cardinality, seed + c);
+    BaseSequence base = cardinality >= 4
+                            ? KneeBase(cardinality)
+                            : BaseSequence::SingleComponent(cardinality);
+    BitmapIndex index =
+        BitmapIndex::Build(data, cardinality, base, Encoding::kRange);
+    std::unique_ptr<StoredIndex> stored;
+    Status s = StoredIndex::Write(index, tmp / std::to_string(c),
+                                  StorageScheme::kBitmapLevel, *codec,
+                                  &stored);
+    if (!s.ok()) return Fail(s.ToString());
+    indexes.push_back(std::move(stored));
+  }
+
+  auto& hits_counter =
+      obs::MetricsRegistry::Global().GetCounter("serve.shared_fetch_hits");
+  auto& misses_counter =
+      obs::MetricsRegistry::Global().GetCounter("serve.shared_fetch_misses");
+  auto replay = [&](bool share) {
+    serve::ServeOptions options;
+    options.num_threads = threads;
+    options.max_pending = queries.size();  // admission is not under test
+    options.share_operands = share;
+    options.engine = engine;
+    serve::QueryService service(options);
+    for (const auto& stored : indexes) service.AddColumn(stored.get());
+    return ReplayTrace(service, queries, batch_size);
+  };
+
+  // Untimed warmup pass so neither timed arm pays first-touch costs (page
+  // cache, pool spin-up, codec tables).
+  replay(false);
+
+  const ReplayOutcome control = replay(false);
+  const int64_t hits0 = hits_counter.value();
+  const int64_t misses0 = misses_counter.value();
+  const ReplayOutcome shared = replay(true);
+  const int64_t hits = hits_counter.value() - hits0;
+  const int64_t misses = misses_counter.value() - misses0;
+
+  std::filesystem::remove_all(tmp, ec);
+  if (control.failed + shared.failed > 0) {
+    return Fail("bench-serve queries failed");
+  }
+  if (control.rows_found != shared.rows_found) {
+    return Fail("sharing changed results: control found " +
+                std::to_string(control.rows_found) + " rows, shared " +
+                std::to_string(shared.rows_found));
+  }
+
+  const double n = static_cast<double>(queries.size());
+  const double qps_control = n / control.wall_seconds;
+  const double qps_shared = n / shared.wall_seconds;
+  const double hit_rate =
+      hits + misses > 0
+          ? static_cast<double>(hits) / static_cast<double>(hits + misses)
+          : 0;
+  std::printf("bench-serve: %u columns x %zu rows (C=%u, codec %s), %zu "
+              "queries, %d threads, batch %zu\n",
+              columns, rows, cardinality,
+              std::string(codec->name()).c_str(), num_queries, threads,
+              batch_size);
+  std::printf("  trace skew: column %.2f, value %.2f, eq fraction %.2f, "
+              "seed %llu\n",
+              spec.column_skew, spec.value_skew, spec.eq_fraction,
+              static_cast<unsigned long long>(seed));
+  auto arm = [&](const char* name, const ReplayOutcome& o, double qps) {
+    std::printf("  %-9s %8.0f qps  wall %6.3fs  p50 %7.2fus  p95 %7.2fus  "
+                "p99 %7.2fus\n",
+                name, qps, o.wall_seconds,
+                Percentile(o.latencies_ns, 0.50) / 1e3,
+                Percentile(o.latencies_ns, 0.95) / 1e3,
+                Percentile(o.latencies_ns, 0.99) / 1e3);
+  };
+  arm("no-share", control, qps_control);
+  arm("shared", shared, qps_shared);
+  std::printf("  shared-fetch hit rate %.1f%% (%lld of %lld); speedup "
+              "%.2fx\n",
+              100.0 * hit_rate, static_cast<long long>(hits),
+              static_cast<long long>(hits + misses),
+              qps_shared / qps_control);
+
+  if (auto out = flags.Get("out")) {
+    bench::BenchJsonWriter writer;
+    writer.SetEngine(std::string(ToString(engine)));
+    std::vector<bench::BenchParam> common = {
+        {"columns", static_cast<int64_t>(columns)},
+        {"rows", rows},
+        {"cardinality", static_cast<int64_t>(cardinality)},
+        {"queries", num_queries},
+        {"col_skew", spec.column_skew},
+        {"val_skew", spec.value_skew},
+        {"threads", static_cast<int64_t>(threads)},
+        {"batch", batch_size},
+        {"codec", std::string(codec->name())},
+    };
+    struct Arm {
+      const char* name;
+      const ReplayOutcome* o;
+      double qps;
+    };
+    for (const Arm& a : {Arm{"no_share", &control, qps_control},
+                         Arm{"shared", &shared, qps_shared}}) {
+      const ReplayOutcome& o = *a.o;
+      const double qps = a.qps;
+      std::vector<bench::BenchParam> params = common;
+      params.emplace_back("arm", a.name);
+      writer.Add("bench_serve", params, "wall_ms", o.wall_seconds * 1e3,
+                 "ms");
+      writer.Add("bench_serve", params, "p50_us",
+                 static_cast<double>(Percentile(o.latencies_ns, 0.50)) / 1e3,
+                 "us");
+      writer.Add("bench_serve", params, "p95_us",
+                 static_cast<double>(Percentile(o.latencies_ns, 0.95)) / 1e3,
+                 "us");
+      writer.Add("bench_serve", params, "qps", qps, "count");
+    }
+    {
+      std::vector<bench::BenchParam> params = common;
+      params.emplace_back("arm", "shared");
+      writer.Add("bench_serve", params, "hit_rate_pct", 100.0 * hit_rate,
+                 "count");
+    }
+    if (!writer.WriteFile(*out)) return Fail("cannot write " + *out);
+    std::printf("  wrote %s\n", out->c_str());
+  }
+  return 0;
+}
+
 // Positional BASE/FRESH paths plus Flags-style options, so it cannot reuse
 // the Flags parser directly: positionals are split off first.
 int CmdBenchdiff(int argc, char** argv) {
@@ -712,6 +1112,8 @@ int Main(int argc, char** argv) {
   else if (command == "verify") rc = CmdVerify(flags);
   else if (command == "scrub") rc = CmdScrub(flags);
   else if (command == "advise") rc = CmdAdvise(flags);
+  else if (command == "serve") rc = CmdServe(flags);
+  else if (command == "bench-serve") rc = CmdBenchServe(flags);
   else return Usage();
   if (auto metrics_out = flags.Get("metrics-out")) {
     std::string text =

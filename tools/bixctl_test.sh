@@ -197,6 +197,72 @@ grep -q "SCHEMA MISMATCH" "$WORK/bd3.out" || fail "benchdiff schema verdict"
 "$BIXCTL" benchdiff --band 1.5 "$WORK/bd_base.json" "$WORK/bd_slow.json" \
     > /dev/null || fail "benchdiff wide band"
 
+# Serving: a raw-domain trace replayed over two columns, with and without
+# cross-query operand sharing, must find the same rows; engine-mismatch
+# between a baseline's and a fresh run's _meta refuses to gate.
+cat > "$WORK/trace.txt" <<'EOF'
+# bix-trace v1
+q 0 <= 500
+q 1 = 199
+q 0 != 199
+q 1 <= 500
+q 0 = 300
+EOF
+"$BIXCTL" build --csv "$WORK/data.csv" --col 0 --dir "$WORK/idx2" \
+    --encoding equality > /dev/null
+"$BIXCTL" serve --dirs "$WORK/idx,$WORK/idx2" --trace "$WORK/trace.txt" \
+    --threads 4 > "$WORK/serve.out" || fail "serve exit code"
+grep -q "served 5 queries over 2 columns" "$WORK/serve.out" \
+    || fail "serve summary"
+# 6 + 3 + 6 + 6 + 0 rows across the five queries.
+grep -q "ok 5, shed 0, deadline-missed 0, failed 0; 21 rows" \
+    "$WORK/serve.out" || fail "serve rows"
+grep -q "shared fetches:" "$WORK/serve.out" || fail "serve hit-rate line"
+"$BIXCTL" serve --dirs "$WORK/idx,$WORK/idx2" --trace "$WORK/trace.txt" \
+    --threads 4 --no-share > "$WORK/serve_ns.out" \
+    || fail "serve --no-share exit code"
+grep -q "failed 0; 21 rows" "$WORK/serve_ns.out" \
+    || fail "serve --no-share rows must match shared"
+grep -q "sharing off" "$WORK/serve_ns.out" || fail "serve --no-share banner"
+# A queue bound of 2 sheds the rest of the batch.
+"$BIXCTL" serve --dirs "$WORK/idx,$WORK/idx2" --trace "$WORK/trace.txt" \
+    --queue 2 --batch 5 > "$WORK/serve_shed.out" \
+    || fail "serve --queue exit code"
+grep -q "ok 2, shed 3" "$WORK/serve_shed.out" || fail "serve shed count"
+# stdin works too.
+"$BIXCTL" serve --dirs "$WORK/idx,$WORK/idx2" < "$WORK/trace.txt" \
+    | grep -q "served 5 queries" || fail "serve from stdin"
+
+# bench-serve: tiny run, sharing must not change results, JSON carries the
+# engine in its _meta row.
+"$BIXCTL" bench-serve --columns 2 --rows 2000 --cardinality 16 \
+    --queries 200 --threads 2 --out "$WORK/bs.json" > "$WORK/bs.out" \
+    || fail "bench-serve exit code"
+grep -q "speedup" "$WORK/bs.out" || fail "bench-serve speedup line"
+grep -q '"engine":"plain"' "$WORK/bs.json" || fail "bench-serve engine meta"
+grep -q '"metric":"qps"' "$WORK/bs.json" || fail "bench-serve qps rows"
+
+# Engine mismatch between baseline and fresh meta refuses to gate (exit 0,
+# warning) unless forced.
+cat > "$WORK/bd_eng_base.json" <<'EOF'
+[
+  {"bench":"_meta","params":{"hostname":"h","engine":"plain"},"metric":"run","value":0,"unit":""},
+  {"bench":"m","params":{"k":2},"metric":"t_us","value":10.0,"unit":"us"}
+]
+EOF
+cat > "$WORK/bd_eng_fresh.json" <<'EOF'
+[
+  {"bench":"_meta","params":{"hostname":"h","engine":"wah"},"metric":"run","value":0,"unit":""},
+  {"bench":"m","params":{"k":2},"metric":"t_us","value":30.0,"unit":"us"}
+]
+EOF
+"$BIXCTL" benchdiff "$WORK/bd_eng_base.json" "$WORK/bd_eng_fresh.json" \
+    > "$WORK/bd_eng.out" || fail "engine mismatch must refuse, not fail"
+grep -q "engine mismatch" "$WORK/bd_eng.out" || fail "engine mismatch warning"
+rc=0; "$BIXCTL" benchdiff "$WORK/bd_eng_base.json" \
+    "$WORK/bd_eng_fresh.json" --force > /dev/null || rc=$?
+[ "$rc" = 1 ] || fail "--force must gate across engines ($rc != 1)"
+
 # Error paths exit non-zero.
 "$BIXCTL" query --dir /nonexistent --pred "<= 1" > /dev/null 2>&1 \
     && fail "missing dir should fail"
