@@ -12,10 +12,11 @@ namespace {
 
 // Tasks of the current batch not yet claimed by any lane.  Monitoring-grade:
 // concurrent relaxed stores may briefly read stale, but it always converges
-// to 0 when the pool is idle.
+// to 0 when the pool is idle.  "compute" distinguishes this pool's pressure
+// from the storage executor's io.queue_depth (storage/async_env.h).
 obs::Gauge& QueueDepthGauge() {
-  static obs::Gauge& g =
-      obs::MetricsRegistry::Global().GetGauge("thread_pool.queue_depth");
+  static obs::Gauge& g = obs::MetricsRegistry::Global().GetGauge(
+      "thread_pool.compute_queue_depth");
   return g;
 }
 

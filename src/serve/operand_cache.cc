@@ -4,83 +4,98 @@
 
 #include "obs/metrics.h"
 
+#include "core/check.h"
+
 namespace bix::serve {
 
-namespace {
-
-obs::Counter& HitCounter() {
+obs::Counter& OperandCache::SharedHitCounter() {
   static obs::Counter& c =
       obs::MetricsRegistry::Global().GetCounter("serve.shared_fetch_hits");
   return c;
 }
 
-obs::Counter& MissCounter() {
+obs::Counter& OperandCache::SharedMissCounter() {
   static obs::Counter& c =
       obs::MetricsRegistry::Global().GetCounter("serve.shared_fetch_misses");
   return c;
 }
 
-}  // namespace
-
 OperandCache::OperandCache(const Options& options) : options_(options) {}
+
+OperandCache::Flight OperandCache::Begin(const OperandKey& key) {
+  Flight flight;
+  flight.key_ = key;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    flight.entry_ = it->second;
+    if (flight.entry_->in_lru) TouchLocked(flight.entry_, key);
+  } else {
+    flight.entry_ = std::make_shared<Entry>();
+    map_.emplace(key, flight.entry_);
+    flight.owner_ = true;
+  }
+  return flight;
+}
+
+std::shared_ptr<const CachedOperand> OperandCache::Publish(
+    const Flight& flight, CachedOperand operand) {
+  BIX_CHECK(flight.owner_ && flight.entry_ != nullptr);
+  const std::shared_ptr<Entry>& entry = flight.entry_;
+  const bool failed = !operand.status.ok();
+  {
+    std::lock_guard<std::mutex> entry_lock(entry->mu);
+    entry->operand = std::move(operand);
+    entry->ready = true;
+  }
+  entry->cv.notify_all();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // The map may no longer point at this entry (Clear ran, or — after a
+    // failure-eviction — a retry began a new flight); only the current
+    // occupant joins the LRU.
+    auto it = map_.find(flight.key_);
+    if (failed) {
+      // Publish to the waiters that joined this flight, but let the next
+      // query retry instead of caching the failure.
+      if (it != map_.end() && it->second == entry) map_.erase(it);
+    } else {
+      if (it != map_.end() && it->second == entry) {
+        entry->lru_it = lru_.insert(lru_.begin(), flight.key_);
+        entry->in_lru = true;
+        ++num_ready_;
+        EvictIfNeededLocked();
+      }
+    }
+  }
+  return std::shared_ptr<const CachedOperand>(entry, &entry->operand);
+}
+
+std::shared_ptr<const CachedOperand> OperandCache::Await(
+    const Flight& flight) const {
+  BIX_CHECK(flight.entry_ != nullptr);
+  const std::shared_ptr<Entry>& entry = flight.entry_;
+  std::unique_lock<std::mutex> entry_lock(entry->mu);
+  entry->cv.wait(entry_lock, [&] { return entry->ready; });
+  return std::shared_ptr<const CachedOperand>(entry, &entry->operand);
+}
 
 std::shared_ptr<const CachedOperand> OperandCache::GetOrFetch(
     const OperandKey& key, const FetchFn& fetch, bool* was_hit) {
-  std::shared_ptr<Entry> entry;
-  bool fetcher = false;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = map_.find(key);
-    if (it != map_.end()) {
-      entry = it->second;
-      if (entry->in_lru) TouchLocked(entry, key);
-    } else {
-      entry = std::make_shared<Entry>();
-      map_.emplace(key, entry);
-      fetcher = true;
-    }
-  }
-
-  if (fetcher) {
-    MissCounter().Increment();
+  Flight flight = Begin(key);
+  if (flight.owner()) {
+    SharedMissCounter().Increment();
     if (was_hit != nullptr) *was_hit = false;
     // The expensive part — read, verify, decode — runs with no cache lock,
     // overlapping with other queries' compute and with fetches of other
     // keys.
     CachedOperand fetched;
     fetch(&fetched);
-    const bool failed = !fetched.status.ok();
-    {
-      std::lock_guard<std::mutex> entry_lock(entry->mu);
-      entry->operand = std::move(fetched);
-      entry->ready = true;
-    }
-    entry->cv.notify_all();
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (failed) {
-        // Publish to the waiters that joined this flight, but let the next
-        // query retry instead of caching the failure.
-        auto it = map_.find(key);
-        if (it != map_.end() && it->second == entry) map_.erase(it);
-      } else {
-        auto it = map_.find(key);
-        if (it != map_.end() && it->second == entry) {
-          entry->lru_it = lru_.insert(lru_.begin(), key);
-          entry->in_lru = true;
-          ++num_ready_;
-          EvictIfNeededLocked();
-        }
-      }
-    }
-    return std::shared_ptr<const CachedOperand>(entry, &entry->operand);
+    return Publish(flight, std::move(fetched));
   }
-
-  HitCounter().Increment();
+  SharedHitCounter().Increment();
   if (was_hit != nullptr) *was_hit = true;
-  std::unique_lock<std::mutex> entry_lock(entry->mu);
-  entry->cv.wait(entry_lock, [&] { return entry->ready; });
-  return std::shared_ptr<const CachedOperand>(entry, &entry->operand);
+  return Await(flight);
 }
 
 size_t OperandCache::size() const {

@@ -10,18 +10,27 @@
 // same entry and consumes the same immutable bitmap, and later queries hit
 // it outright.
 //
-// Single-flight discipline:
-//  * GetOrFetch looks the key up under the cache mutex.  A miss inserts a
-//    pending entry and the *caller* performs the fetch with no cache lock
-//    held (cold fetches overlap with other queries' compute and with each
-//    other across keys); completion is published through the entry's own
-//    mutex + condvar.
-//  * Concurrent callers for the same key block on the pending entry, never
-//    issuing a second fetch.  They count as shared-fetch hits: the work
-//    was shared even though nobody had finished it yet.
-//  * A failed fetch publishes its Status to the waiters that joined it,
-//    then evicts the entry, so transient I/O errors are retried by the
-//    next query rather than being cached forever.
+// Single-flight discipline (the Begin/Publish/Await primitive; GetOrFetch
+// is the synchronous composition of the three):
+//  * Begin looks the key up under the cache mutex.  A miss inserts a
+//    pending entry and returns an *owner* Flight: the caller is the one
+//    fetcher for this key and must Publish exactly once, from any thread,
+//    with no cache lock held (cold fetches overlap with other queries'
+//    compute and with each other across keys).  Completion is published
+//    through the entry's own mutex + condvar.
+//  * Concurrent Begins for the same key return joining Flights on the
+//    pending entry; Await blocks on it, never issuing a second fetch.
+//    Joiners count as shared-fetch hits: the work was shared even though
+//    nobody had finished it yet.
+//  * A failed Publish delivers its Status to the waiters that joined the
+//    flight, then evicts the entry, so transient I/O errors are retried by
+//    the next query rather than being cached forever.
+//
+// The pending entry is therefore also the *async completion rendezvous*:
+// an owner may hand its Flight to an I/O executor job and return to
+// compute; whichever I/O thread finishes the read Publishes, and every
+// Await — on any query lane — wakes through the same condvar the
+// synchronous path uses (storage/async_env.h, DESIGN.md §13).
 //
 // Entries are immutable once ready and handed out as shared_ptr, so an
 // eviction can never invalidate a bitmap an in-flight query still reads.
@@ -43,6 +52,10 @@
 #include "bitmap/bitvector.h"
 #include "bitmap/wah_bitvector.h"
 #include "core/status.h"
+
+namespace bix::obs {
+class Counter;
+}  // namespace bix::obs
 
 namespace bix::serve {
 
@@ -94,6 +107,9 @@ struct CachedOperand {
 };
 
 class OperandCache {
+ private:
+  struct Entry;  // defined below; Flight holds a shared_ptr to one
+
  public:
   struct Options {
     /// Ready entries retained (LRU beyond this).  Pending fetches are
@@ -104,16 +120,61 @@ class OperandCache {
   OperandCache() : OperandCache(Options{}) {}
   explicit OperandCache(const Options& options);
 
+  /// A single-flight claim on one key.  An owner() flight must be
+  /// completed with exactly one Publish (from any thread); a joining
+  /// flight references an entry someone else is fetching (or has
+  /// fetched) and is consumed with Await.  Copyable: an owner typically
+  /// keeps one copy to Await and moves another into the I/O job that
+  /// Publishes.
+  class Flight {
+   public:
+    Flight() = default;
+    bool owner() const { return owner_; }
+    explicit operator bool() const { return entry_ != nullptr; }
+
+   private:
+    friend class OperandCache;
+    std::shared_ptr<Entry> entry_;
+    OperandKey key_;
+    bool owner_ = false;
+  };
+
+  /// Non-blocking single-flight lookup: on a miss, inserts a pending entry
+  /// and returns the owner flight; otherwise returns a joining flight on
+  /// the existing (pending or ready) entry.  Never runs a fetch and never
+  /// waits.  Owners MUST Publish exactly once or every Await on the key
+  /// blocks forever.
+  Flight Begin(const OperandKey& key);
+
+  /// Owner-only: publishes `operand` (success or failure), wakes every
+  /// Await, and completes the entry's cache lifecycle — LRU insertion on
+  /// success, eviction on failure so the next query retries.  Safe from
+  /// any thread; returns the published operand.
+  std::shared_ptr<const CachedOperand> Publish(const Flight& flight,
+                                               CachedOperand operand);
+
+  /// Blocks until the flight's entry is ready and returns its operand.
+  std::shared_ptr<const CachedOperand> Await(const Flight& flight) const;
+
   /// The fetch callback: fill `out` (and out->payload_bytes) or return the
   /// failure through out->status.  Runs without any cache lock held.
   using FetchFn = std::function<void(CachedOperand* out)>;
 
-  /// Single-flight lookup.  Returns the ready (possibly failed) operand.
+  /// Single-flight lookup (Begin + synchronous fetch/Publish for owners,
+  /// Await for joiners).  Returns the ready (possibly failed) operand.
   /// `*was_hit` reports whether this call was served without running
-  /// `fetch` — including joining a fetch already in flight.
+  /// `fetch` — including joining a fetch already in flight.  Counts the
+  /// serve.shared_fetch_{hits,misses} counters; callers composing the
+  /// primitives directly count them themselves.
   std::shared_ptr<const CachedOperand> GetOrFetch(const OperandKey& key,
                                                   const FetchFn& fetch,
                                                   bool* was_hit);
+
+  /// The cross-query sharing counters (hit = joined or ready, miss = this
+  /// caller fetches), exposed so the async fetch path accounts through the
+  /// same names GetOrFetch uses.
+  static obs::Counter& SharedHitCounter();
+  static obs::Counter& SharedMissCounter();
 
   /// Ready entries currently resident.
   size_t size() const;

@@ -30,7 +30,25 @@ QueryService::QueryService(const ServeOptions& options)
     : options_(options),
       admission_(AdmissionController::Options{
           options.max_pending, options.default_deadline_ns}),
-      cache_(OperandCache::Options{options.cache_entries}) {}
+      cache_(OperandCache::Options{options.cache_entries}) {
+  // Async fetches only make sense through the shared cache: its pending
+  // entries are the completion rendezvous.
+  if (options.share_operands) {
+    if (options.io_executor != nullptr) {
+      io_ = options.io_executor;
+    } else if (options.io_threads > 0) {
+      AsyncIo::Options io_options;
+      io_options.num_threads = options.io_threads;
+      io_options.queue_depth = options.io_depth;
+      owned_io_ = std::make_unique<AsyncIo>(io_options);
+      io_ = owned_io_.get();
+    }
+  }
+}
+
+QueryService::~QueryService() {
+  if (io_ != nullptr) io_->Drain();
+}
 
 uint32_t QueryService::AddColumn(const StoredIndex* index) {
   columns_.push_back(index);
@@ -82,8 +100,24 @@ ServeResult QueryService::RunOne(const AdmittedQuery& admitted) {
 
   Bitvector foundset;
   if (options_.share_operands) {
+    // Async fetches cover BS columns only — CS/IS operands live in the
+    // per-query row-major buffers OpenQuerySource already read.
+    IoExecutor* io = (io_ != nullptr &&
+                      index->scheme() == StorageScheme::kBitmapLevel)
+                         ? io_
+                         : nullptr;
     SharingSource sharing(source.get(), &cache_, admitted.query.column,
-                          wah_direct, &result.stats);
+                          wah_direct, &result.stats, index, io, &planner_);
+    if (io != nullptr) {
+      // Submit every cold operand this predicate will touch before
+      // evaluation starts: the reads overlap with this query's compute on
+      // warm operands and with its batch-mates.
+      const OperandKey::Kind kind =
+          (wah_direct && options_.engine != EngineKind::kPlain)
+              ? OperandKey::Kind::kWah
+              : OperandKey::Kind::kDense;
+      sharing.Prefetch(admitted.query.op, admitted.query.value, kind);
+    }
     foundset = EvaluatePredicate(sharing, EvalAlgorithm::kAuto,
                                  admitted.query.op, admitted.query.value, exec,
                                  &result.stats);

@@ -32,6 +32,8 @@
 #include "core/status.h"
 #include "serve/admission.h"
 #include "serve/operand_cache.h"
+#include "serve/sharing_source.h"
+#include "storage/async_env.h"
 #include "storage/stored_index.h"
 
 namespace bix::serve {
@@ -50,6 +52,20 @@ struct ServeOptions {
   bool share_operands = true;
   /// Operator substrate for evaluation (core/eval.h).
   EngineKind engine = EngineKind::kPlain;
+  /// > 0 enables the async read path for BS columns (requires
+  /// share_operands): the service owns an AsyncIo executor with this many
+  /// I/O threads, cold operand fetches run there, and each query prefetches
+  /// the operands it is about to touch (storage/async_env.h, DESIGN.md
+  /// §13).  0 keeps every fetch synchronous on the query lane.
+  int io_threads = 0;
+  /// Queue-depth bound for the owned executor: outstanding (queued +
+  /// running) fetch jobs; a full queue blocks submitters (backpressure on
+  /// the query lanes).
+  size_t io_depth = 16;
+  /// Test seam: when non-null this executor is used instead of an owned
+  /// AsyncIo (io_threads/io_depth ignored; still requires share_operands).
+  /// Borrowed; must outlive the service, which Drains it on destruction.
+  IoExecutor* io_executor = nullptr;
 };
 
 /// Outcome of one served query.
@@ -68,6 +84,8 @@ struct ServeResult {
 class QueryService {
  public:
   explicit QueryService(const ServeOptions& options);
+  /// Drains in-flight async fetches before any shared state dies.
+  ~QueryService();
 
   /// Registers an opened index for serving and returns its column id
   /// (assigned densely in call order).  The index is borrowed and must
@@ -92,13 +110,26 @@ class QueryService {
   OperandCache& cache() { return cache_; }
   size_t pending() const { return admission_.pending(); }
 
+  /// Peak outstanding fetch jobs on the owned executor (0 when async I/O
+  /// is off or an injected executor is in use) — the overlap witness
+  /// bench-serve reports.
+  int64_t io_inflight_peak() const {
+    return owned_io_ != nullptr ? owned_io_->inflight_peak() : 0;
+  }
+
  private:
   ServeResult RunOne(const AdmittedQuery& admitted);
 
   const ServeOptions options_;
   AdmissionController admission_;
   OperandCache cache_;
+  PrefetchPlanner planner_;
   std::vector<const StoredIndex*> columns_;
+  // Async fetch executor (null = synchronous fetches).  Declared after
+  // cache_/columns_ and drained in the destructor, so no fetch job can
+  // outlive the state it publishes into.
+  std::unique_ptr<AsyncIo> owned_io_;
+  IoExecutor* io_ = nullptr;
 };
 
 }  // namespace bix::serve

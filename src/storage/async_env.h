@@ -1,0 +1,211 @@
+// Asynchronous read path for the storage layer: a queue-depth-bounded I/O
+// executor with submit/completion semantics layered over the injectable Env
+// seam (storage/env.h).
+//
+// The serve layer's cold operand fetches are synchronous Env reads on exec
+// workers: while the bytes come in (and inflate), the lane does nothing.
+// This subsystem moves that work to dedicated I/O threads so cold fetches
+// overlap with compute and with each other.  Nothing here knows about
+// bitmaps: an IoExecutor runs opaque completion jobs; the serve layer makes
+// those jobs "fetch one operand and publish it through the shared cache's
+// pending entry" (serve/sharing_source.h), so the single-flight rendezvous
+// the cache already has doubles as the async completion rendezvous.
+//
+// Composition with the fault seam: jobs read through whatever Env the index
+// was opened with, so FaultInjectingEnv (and its deterministic FaultPlan)
+// fires inside async reads unchanged — retry, typed errors, and
+// reconstruction behave identically on an I/O thread and on a query lane.
+//
+// Queue-depth model: an AsyncIo bounds *outstanding* jobs (queued plus
+// running) at Options::queue_depth.  A full queue blocks Submit — the
+// natural backpressure: producers are query lanes, and a lane that cannot
+// submit another prefetch simply proceeds to evaluation and rendezvouses on
+// the reads already in flight.  I/O threads never block on the bound, so
+// submitters always make progress.
+//
+// Metrics (obs/metrics.h, process-global):
+//   io.submitted / io.completed / io.errors       counters
+//   io.inflight / io.inflight_peak / io.queue_depth  gauges
+//   io.read_latency_ns                            histogram
+//     (submit-to-completion per job, queueing included — the latency a
+//     query would have paid had it waited for the read).
+// The exec pool's compute-side gauge is `thread_pool.compute_queue_depth`;
+// the io.* gauges are this subsystem's side of that split.
+
+#ifndef BIX_STORAGE_ASYNC_ENV_H_
+#define BIX_STORAGE_ASYNC_ENV_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <filesystem>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "core/status.h"
+#include "storage/env.h"
+
+namespace bix::obs {
+class Counter;
+}  // namespace bix::obs
+
+namespace bix {
+
+/// The submit/completion seam.  Implementations run each submitted job
+/// exactly once, possibly on another thread, possibly long after Submit
+/// returns; Drain blocks until every job submitted so far has completed.
+/// Jobs must not capture pointers that can die before Drain.
+class IoExecutor {
+ public:
+  virtual ~IoExecutor() = default;
+  virtual void Submit(std::function<void()> job) = 0;
+  virtual void Drain() = 0;
+};
+
+/// The "io.errors" counter — shared between AsyncEnv and the serve layer's
+/// fetch jobs so failed async reads are counted once, wherever they run.
+obs::Counter& IoErrorCounter();
+
+/// Production executor: a pool of dedicated I/O threads over a bounded
+/// queue.  Thread-safe; destruction drains and joins.
+class AsyncIo final : public IoExecutor {
+ public:
+  struct Options {
+    /// Dedicated I/O threads (clamped to >= 1 — callers wanting the
+    /// synchronous path simply don't construct an AsyncIo).
+    int num_threads = 2;
+    /// Max outstanding jobs, queued + running (clamped to >= 1).  Submit
+    /// blocks while the bound is met.
+    size_t queue_depth = 16;
+  };
+
+  explicit AsyncIo(const Options& options);
+  ~AsyncIo() override;
+
+  AsyncIo(const AsyncIo&) = delete;
+  AsyncIo& operator=(const AsyncIo&) = delete;
+
+  void Submit(std::function<void()> job) override;
+  void Drain() override;
+
+  int num_threads() const { return static_cast<int>(threads_.size()); }
+  int64_t submitted() const;
+  /// High-water mark of outstanding jobs over this executor's lifetime —
+  /// > 1 is the witness that reads actually overlapped.
+  int64_t inflight_peak() const;
+
+ private:
+  struct Job {
+    std::function<void()> fn;
+    int64_t submit_ns = 0;
+  };
+
+  void WorkerLoop();
+
+  const Options options_;
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   // workers: queue non-empty or stopping
+  std::condition_variable space_cv_;  // submitters: outstanding under bound
+  std::condition_variable idle_cv_;   // Drain: outstanding == 0
+  std::deque<Job> queue_;
+  size_t outstanding_ = 0;  // queued + running
+  int64_t submitted_ = 0;
+  int64_t peak_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+/// The async read path over an Env: whole-file reads with completion
+/// callbacks, metered through the io.* metrics.  The Env underneath is
+/// arbitrary — PosixEnv in production, FaultInjectingEnv under the chaos
+/// harness — and is only ever touched from inside submitted jobs.
+class AsyncEnv {
+ public:
+  using ReadDone = std::function<void(Status, std::vector<uint8_t>)>;
+
+  /// Both pointers are borrowed and must outlive every submitted read.
+  AsyncEnv(const Env* env, IoExecutor* io) : env_(env), io_(io) {}
+
+  /// Submits a whole-file read of `path`; `done` runs exactly once, on
+  /// whatever thread the executor completes the job, with the read's
+  /// Status and bytes.  Failures count io.errors.
+  void ReadFileAsync(std::filesystem::path path, ReadDone done) const;
+
+  const Env* env() const { return env_; }
+
+ private:
+  const Env* env_;
+  IoExecutor* io_;
+};
+
+/// Deterministic executor double with a fake clock ("the test async env").
+/// Jobs queue instead of running; the test decides when — and in what
+/// order — completions fire, which turns the orderings real disks only
+/// produce under load (out-of-order, delayed, failed) into plain test
+/// inputs:
+///  * Submit never blocks and never runs the job inline (the queue is
+///    unbounded: a bounded blocking Submit would deadlock single-threaded
+///    tests).
+///  * RunOne(i) completes the i-th queued job immediately, in any order.
+///  * AdvanceBy/AdvanceTo move the fake clock and run every job whose due
+///    time (submit time + latency) has arrived, in due order.
+///  * RunUntilIdle / Drain complete everything in submission order,
+///    including jobs submitted by running jobs.
+/// Failures are not simulated here — jobs run their real fetch against
+/// whatever Env backs the index, so a FaultInjectingEnv underneath makes a
+/// completion fail with the same typed Status production would see.
+/// Thread-safe: query lanes may Submit while a driver thread steps
+/// completions.
+class TestAsyncEnv final : public IoExecutor {
+ public:
+  TestAsyncEnv() = default;
+
+  /// Fake-clock completion latency attached to subsequent submissions.
+  void set_default_latency_ns(int64_t ns);
+  /// Latency for the next submission only (overrides the default once).
+  void SetNextLatencyNs(int64_t ns);
+
+  void Submit(std::function<void()> job) override;
+  void Drain() override { RunUntilIdle(); }
+
+  size_t queued() const;
+  /// High-water mark of the queue — the deterministic stand-in for
+  /// io.inflight_peak.
+  size_t max_queued() const;
+  int64_t now_ns() const;
+
+  /// Runs the index-th queued job (submission order among those still
+  /// queued).  Returns false when no such job exists.
+  bool RunOne(size_t index);
+  /// Advances the fake clock and runs due jobs; returns how many ran.
+  size_t AdvanceBy(int64_t delta_ns);
+  size_t AdvanceTo(int64_t t_ns);
+  /// Runs everything queued (and everything those jobs queue).
+  size_t RunUntilIdle();
+
+ private:
+  struct Pending {
+    uint64_t seq = 0;
+    int64_t due_ns = 0;
+    std::function<void()> job;
+  };
+
+  // Pops the queued job with the smallest due time <= `t_ns` (ties by
+  // submission order); empty optional when none qualify.
+  std::optional<Pending> TakeDueLocked(int64_t t_ns);
+
+  mutable std::mutex mu_;
+  std::vector<Pending> queue_;
+  uint64_t next_seq_ = 0;
+  int64_t now_ = 0;
+  int64_t default_latency_ = 0;
+  std::optional<int64_t> next_latency_;
+  size_t max_queued_ = 0;
+};
+
+}  // namespace bix
+
+#endif  // BIX_STORAGE_ASYNC_ENV_H_

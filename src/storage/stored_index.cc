@@ -151,6 +151,103 @@ Status StoredIndex::ReadBlob(const std::string& name, std::vector<uint8_t>* raw,
   return Status::OK();
 }
 
+// Rebuilds equality slice E^slot as B_nn AND NOT (OR of the sibling
+// slices): every non-null record sets exactly one slice, nulls set none.
+// Only possible for BS equality components with base > 2 (base == 2
+// stores a single slice; range bitmaps are prefix-ORs of each other and
+// a lost one cannot be recovered from its neighbors).
+bool StoredIndex::ReconstructSlice(int component, uint32_t slot,
+                                   Bitvector* out, int64_t* payload_bytes,
+                                   double* decompress_seconds) const {
+  if (encoding_ != Encoding::kEquality) return false;
+  uint32_t base = base_.base(component);
+  if (base <= 2) return false;
+  obs::TraceSpan span("storage", "reconstruct");
+  span.set_component(component);
+  span.set_slot(slot);
+  Bitvector siblings_or = Bitvector::Zeros(num_records_);
+  for (uint32_t j = 0; j < base; ++j) {
+    if (j == slot) continue;
+    std::vector<uint8_t> raw;
+    EvalStats io;
+    Status s = ReadBlob(BitmapFileName(component, j), &raw, &io,
+                        decompress_seconds);
+    *payload_bytes += io.bytes_read;
+    if (!s.ok() || raw.size() < (num_records_ + 7) / 8) {
+      return false;  // a sibling is damaged too; surface the original error
+    }
+    siblings_or.OrWith(Bitvector::FromBytes(raw, num_records_));
+  }
+  *out = non_null_;
+  out->AndNotWith(siblings_or);
+  recovery_internal::CountReconstruction();
+  return true;
+}
+
+Status StoredIndex::FetchBitmapOperand(int component, uint32_t slot,
+                                       bool wah, FetchedOperand* out) const {
+  BIX_CHECK(scheme_ == StorageScheme::kBitmapLevel);
+  const std::string name = BitmapFileName(component, slot);
+
+  if (wah) {
+    // Stored-payload handover for the compressed-domain engine: parse,
+    // validate, return.  Any problem is reported without recovery — the
+    // caller's dense-kind fallback re-reads with full retry and
+    // reconstruction handling — and without charging bytes (the dense
+    // fallback's read is the one that counts).
+    if (!UsesWahOperandPayloads(scheme_, *codec_)) {
+      return Status::NotFound("column does not store wah operand payloads");
+    }
+    std::vector<uint8_t> bytes;
+    Status s = ReadCheckedFile(name, &bytes);
+    if (!s.ok()) return s;
+    format::CheckedBlob blob;
+    s = format::DecodeBlobFile(bytes, name, &blob);
+    if (!s.ok()) return s;
+    if (!WahCodec::DecodeToWah(blob.payload, &out->wah) ||
+        out->wah.size() != num_records_) {
+      return Status::Corruption("wah payload does not decode: " + name);
+    }
+    out->payload_bytes = static_cast<int64_t>(blob.payload.size());
+    static obs::Counter& direct = obs::MetricsRegistry::Global().GetCounter(
+        "storage.wah_direct_fetches");
+    direct.Increment();
+    if (obs::Tracer::enabled()) {
+      obs::TraceSpan span("fetch", "BS_wah_direct");
+      span.set_component(component);
+      span.set_slot(slot);
+      span.set_bytes(out->payload_bytes);
+    }
+    return Status::OK();
+  }
+
+  obs::TraceSpan span("fetch", "BS_read");
+  span.set_component(component);
+  span.set_slot(slot);
+  span.set_hit(false);
+  std::vector<uint8_t> raw;
+  EvalStats io;
+  Status s = ReadBlob(name, &raw, &io, &out->decompress_seconds);
+  span.set_bytes(io.bytes_read);
+  out->payload_bytes += io.bytes_read;
+  if (s.ok() && raw.size() < (num_records_ + 7) / 8) {
+    s = Status::Corruption("bitmap file shorter than N bits: " + name);
+  }
+  if (!s.ok()) {
+    // Corruption is deterministic (retrying re-reads the same rot); try to
+    // rebuild the bitmap from its sibling slices instead.
+    if (s.code() == Status::Code::kCorruption &&
+        ReconstructSlice(component, slot, &out->dense, &out->payload_bytes,
+                         &out->decompress_seconds)) {
+      out->degraded = true;
+      return Status::OK();
+    }
+    return s;
+  }
+  out->dense = Bitvector::FromBytes(raw, num_records_);
+  return Status::OK();
+}
+
 // Per-query view over a StoredIndex.  For CS/IS the constructor eagerly
 // reads and inflates every index file (the paper's access-path model);
 // for BS each Fetch reads exactly one bitmap file.
@@ -227,37 +324,24 @@ class StoredQuerySource final : public QuerySource {
     obs::ProfSpan prof_span("fetch", prof_name);
     switch (index_.scheme_) {
       case StorageScheme::kBitmapLevel: {
-        obs::TraceSpan span("fetch", "BS_read");
-        span.set_component(component);
-        span.set_slot(slot);
-        span.set_hit(false);
-        std::vector<uint8_t> raw;
-        EvalStats io;
-        Status s = index_.ReadBlob(BitmapFileName(component, slot), &raw, &io,
-                                   decompress_seconds_);
-        span.set_bytes(io.bytes_read);
+        FetchedOperand op;
+        Status s =
+            index_.FetchBitmapOperand(component, slot, /*wah=*/false, &op);
         if (stats_ != nullptr) {
-          stats_->bytes_read += io.bytes_read;
-          obs::ProfCount(obs::ProfCounter::kBytesRead, io.bytes_read);
+          stats_->bytes_read += op.payload_bytes;
+          obs::ProfCount(obs::ProfCounter::kBytesRead, op.payload_bytes);
         }
-        if (s.ok() && raw.size() < (index_.num_records() + 7) / 8) {
-          s = Status::Corruption("bitmap file shorter than N bits: " +
-                                 BitmapFileName(component, slot));
+        if (decompress_seconds_ != nullptr) {
+          *decompress_seconds_ += op.decompress_seconds;
         }
+        if (op.degraded) degraded_ = true;
         if (!s.ok()) {
-          // Corruption is deterministic (retrying re-reads the same rot);
-          // try to rebuild the bitmap from its sibling slices instead.
-          Bitvector rebuilt;
-          if (s.code() == Status::Code::kCorruption &&
-              TryReconstruct(component, slot, &rebuilt)) {
-            return rebuilt;
-          }
           // Remember the first failure; the query completes with empty
           // bitmaps and the caller sees the status.
           if (status_.ok()) status_ = std::move(s);
           return Bitvector::Zeros(index_.num_records());
         }
-        return Bitvector::FromBytes(raw, index_.num_records());
+        return std::move(op.dense);
       }
       case StorageScheme::kComponentLevel: {
         obs::TraceSpan span("fetch", "CS_extract");
@@ -298,14 +382,8 @@ class StoredQuerySource final : public QuerySource {
       prof_name = "fetch c" + std::to_string(component);
     }
     obs::ProfSpan prof_span("fetch", prof_name);
-    std::string name = BitmapFileName(component, slot);
-    std::vector<uint8_t> bytes;
-    if (!index_.ReadCheckedFile(name, &bytes).ok()) return nullptr;
-    format::CheckedBlob blob;
-    if (!format::DecodeBlobFile(bytes, name, &blob).ok()) return nullptr;
-    WahBitvector wah;
-    if (!WahCodec::DecodeToWah(blob.payload, &wah) ||
-        wah.size() != index_.num_records()) {
+    FetchedOperand op;
+    if (!index_.FetchBitmapOperand(component, slot, /*wah=*/true, &op).ok()) {
       return nullptr;
     }
     // Same accounting as the Fetch() path: one scan, payload bytes.
@@ -314,59 +392,14 @@ class StoredQuerySource final : public QuerySource {
       obs::ProfCount(obs::ProfCounter::kBitmapScans);
     }
     if (stats_ != nullptr) {
-      stats_->bytes_read += static_cast<int64_t>(blob.payload.size());
-      obs::ProfCount(obs::ProfCounter::kBytesRead,
-                     static_cast<int64_t>(blob.payload.size()));
+      stats_->bytes_read += op.payload_bytes;
+      obs::ProfCount(obs::ProfCounter::kBytesRead, op.payload_bytes);
     }
-    static obs::Counter& direct = obs::MetricsRegistry::Global().GetCounter(
-        "storage.wah_direct_fetches");
-    direct.Increment();
-    if (obs::Tracer::enabled()) {
-      obs::TraceSpan span("fetch", "BS_wah_direct");
-      span.set_component(component);
-      span.set_slot(slot);
-      span.set_bytes(static_cast<int64_t>(blob.payload.size()));
-    }
-    wah_cache_.push_back(std::move(wah));
+    wah_cache_.push_back(std::move(op.wah));
     return &wah_cache_.back();
   }
 
  private:
-  // Rebuilds equality slice E^slot as B_nn AND NOT (OR of the sibling
-  // slices): every non-null record sets exactly one slice, nulls set none.
-  // Only possible for BS equality components with base > 2 (base == 2
-  // stores a single slice; range bitmaps are prefix-ORs of each other and
-  // a lost one cannot be recovered from its neighbors).
-  bool TryReconstruct(int component, uint32_t slot, Bitvector* out) const {
-    if (index_.encoding_ != Encoding::kEquality) return false;
-    uint32_t base = index_.base().base(component);
-    if (base <= 2) return false;
-    obs::TraceSpan span("storage", "reconstruct");
-    span.set_component(component);
-    span.set_slot(slot);
-    Bitvector siblings_or = Bitvector::Zeros(index_.num_records());
-    for (uint32_t j = 0; j < base; ++j) {
-      if (j == slot) continue;
-      std::vector<uint8_t> raw;
-      EvalStats io;
-      Status s = index_.ReadBlob(BitmapFileName(component, j), &raw, &io,
-                                 decompress_seconds_);
-      if (stats_ != nullptr) {
-        stats_->bytes_read += io.bytes_read;
-        obs::ProfCount(obs::ProfCounter::kBytesRead, io.bytes_read);
-      }
-      if (!s.ok() || raw.size() < (index_.num_records() + 7) / 8) {
-        return false;  // a sibling is damaged too; surface the original error
-      }
-      siblings_or.OrWith(Bitvector::FromBytes(raw, index_.num_records()));
-    }
-    *out = index_.non_null_;
-    out->AndNotWith(siblings_or);
-    recovery_internal::CountReconstruction();
-    degraded_ = true;
-    return true;
-  }
-
   const StoredIndex& index_;
   EvalStats* stats_;
   double* decompress_seconds_;

@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "bitmap/bitvector.h"
+#include "bitmap/wah_bitvector.h"
 #include "compress/codec.h"
 #include "core/base_sequence.h"
 #include "core/bitmap_index.h"
@@ -76,6 +77,22 @@ class QuerySource : public BitmapSource {
 struct StoredIndexOptions {
   const Env* env = nullptr;  // nullptr -> Env::Default()
   RetryPolicy retry;
+};
+
+/// One materialized BS operand, as fetched by StoredIndex::
+/// FetchBitmapOperand: exactly one of dense/wah is populated (per the
+/// `wah` argument), plus the accounting the caller charges to whichever
+/// query owns the fetch.
+struct FetchedOperand {
+  Bitvector dense;
+  WahBitvector wah;
+  /// Compressed payload bytes read, including sibling slices read for
+  /// reconstruction (even when reconstruction ultimately fails — the
+  /// bytes moved either way).
+  int64_t payload_bytes = 0;
+  double decompress_seconds = 0;
+  /// The dense bitmap was served via sibling-slice reconstruction.
+  bool degraded = false;
 };
 
 class StoredIndex {
@@ -142,6 +159,25 @@ class StoredIndex {
                      Status* status = nullptr,
                      const ExecOptions* exec = nullptr) const;
 
+  /// Fetches one stored bitmap of a BS-scheme index (aborts on other
+  /// schemes — their operands live in per-query row-major buffers, not
+  /// per-bitmap files).  This is the operand-materialization kernel the
+  /// per-query source and the serve layer's async I/O jobs share, so a
+  /// fetch has identical semantics whether it runs on a query lane or an
+  /// I/O thread:
+  ///  * `wah` false: read + verify + decode with full retry handling; a
+  ///    corrupt equality slice (base > 2) is healed from its siblings
+  ///    (`out->degraded`).  Non-OK only when recovery failed.
+  ///  * `wah` true: parse the stored wah-codec payload for the
+  ///    compressed-domain engine; kNotFound when the column does not store
+  ///    wah operand payloads, and the read/verify/parse failure otherwise
+  ///    — callers fall back to the dense kind, which re-reads with full
+  ///    recovery.  No reconstruction, no retry beyond ReadCheckedFile's.
+  /// Thread-safe: reads only immutable open-time state and the (thread-
+  /// safe) Env.
+  Status FetchBitmapOperand(int component, uint32_t slot, bool wah,
+                            FetchedOperand* out) const;
+
   /// Opens a per-query source over this index (the same view Evaluate()
   /// uses internally).  For CS/IS the construction eagerly reads the
   /// index files — check status() before evaluating.  `stats` and
@@ -165,6 +201,13 @@ class StoredIndex {
   /// `stats`/`decompress_seconds` account payload bytes and inflate time.
   Status ReadBlob(const std::string& name, std::vector<uint8_t>* raw,
                   EvalStats* stats, double* decompress_seconds) const;
+
+  /// Rebuilds equality slice E^slot from its siblings (see the .cc for the
+  /// identity and its preconditions).  Sibling payload bytes accumulate
+  /// into `*payload_bytes` even on failure.
+  bool ReconstructSlice(int component, uint32_t slot, Bitvector* out,
+                        int64_t* payload_bytes,
+                        double* decompress_seconds) const;
 
   friend class StoredQuerySource;
 

@@ -95,7 +95,9 @@ std::string SerializeTrace(const std::vector<TraceQuery>& trace) {
   std::ostringstream out;
   out << "# bix-trace v1\n";
   for (const TraceQuery& q : trace) {
-    out << "q " << q.column << ' ' << ToString(q.op) << ' ' << q.v << '\n';
+    out << "q " << q.column << ' ' << ToString(q.op) << ' ' << q.v;
+    if (q.deadline_ns != 0) out << ' ' << q.deadline_ns;
+    out << '\n';
   }
   return out.str();
 }
@@ -104,27 +106,42 @@ Status ParseTrace(std::string_view text, std::vector<TraceQuery>* out) {
   out->clear();
   size_t line_no = 0;
   size_t pos = 0;
+  bool seen_header = false;
   while (pos <= text.size()) {
     size_t end = text.find('\n', pos);
     if (end == std::string_view::npos) end = text.size();
     std::string_view line = text.substr(pos, end - pos);
     pos = end + 1;
     ++line_no;
+    // Tolerate CRLF input (and a stray trailing '\r' on the last line).
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
 
     std::istringstream fields{std::string(line)};
     std::string tag;
-    if (!(fields >> tag) || tag[0] == '#') continue;  // blank or comment
-    auto bad = [&](const char* what) {
+    if (!(fields >> tag)) continue;  // blank
+    auto bad = [&](const std::string& what) {
       return Status::InvalidArgument("trace line " + std::to_string(line_no) +
                                      ": " + what);
     };
+    if (tag[0] == '#') {
+      // A comment — unless it is the format header, which is validated so
+      // a future-versioned trace fails loudly instead of misparsing.
+      std::string word = tag == "#" ? "" : tag.substr(1);
+      if (word.empty() && !(fields >> word)) continue;
+      if (word != "bix-trace") continue;
+      if (seen_header) return bad("duplicate trace header");
+      std::string version;
+      if (!(fields >> version) || version != "v1") {
+        return bad("unsupported trace version (want v1)");
+      }
+      seen_header = true;
+      continue;
+    }
     if (tag != "q") return bad("expected 'q'");
     std::string column_tok, op_tok, value_tok;
     if (!(fields >> column_tok >> op_tok >> value_tok)) {
       return bad("expected 'q <column> <op> <value>'");
     }
-    std::string extra;
-    if (fields >> extra) return bad("trailing fields");
 
     TraceQuery q;
     auto col_res = std::from_chars(
@@ -139,6 +156,19 @@ Status ParseTrace(std::string_view text, std::vector<TraceQuery>* out) {
     if (val_res.ec != std::errc() ||
         val_res.ptr != value_tok.data() + value_tok.size()) {
       return bad("bad value");
+    }
+    std::string deadline_tok;
+    if (fields >> deadline_tok) {
+      auto ddl_res = std::from_chars(
+          deadline_tok.data(), deadline_tok.data() + deadline_tok.size(),
+          q.deadline_ns);
+      if (ddl_res.ec != std::errc() ||
+          ddl_res.ptr != deadline_tok.data() + deadline_tok.size()) {
+        return bad("bad deadline");
+      }
+      if (q.deadline_ns <= 0) return bad("deadline must be > 0 ns");
+      std::string extra;
+      if (fields >> extra) return bad("trailing fields");
     }
     out->push_back(q);
   }

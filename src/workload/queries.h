@@ -30,9 +30,12 @@ struct TraceQuery {
   uint32_t column = 0;
   CompareOp op = CompareOp::kEq;
   int64_t v = 0;
+  /// Per-query deadline relative to admission; 0 = use the service default.
+  int64_t deadline_ns = 0;
 
   bool operator==(const TraceQuery& o) const {
-    return column == o.column && op == o.op && v == o.v;
+    return column == o.column && op == o.op && v == o.v &&
+           deadline_ns == o.deadline_ns;
   }
 };
 
@@ -58,13 +61,19 @@ struct TraceSpec {
 /// Deterministic for a given spec (same seed -> same trace).
 std::vector<TraceQuery> GenerateMultiTenantTrace(const TraceSpec& spec);
 
-/// Serializes a trace to the line format `q <column> <op> <value>`, one
-/// query per line, with a leading `# bix-trace v1` header.  Blank lines and
-/// `#` comments are ignored by the parser, so traces are hand-editable.
+/// Serializes a trace to the line format `q <column> <op> <value>
+/// [deadline_ns]`, one query per line (the deadline column only when
+/// non-zero), with a leading `# bix-trace v1` header.  Blank lines and `#`
+/// comments are ignored by the parser, so traces are hand-editable.
 std::string SerializeTrace(const std::vector<TraceQuery>& trace);
 
 /// Parses the SerializeTrace format.  Round-trips exactly:
-/// ParseTrace(SerializeTrace(t)) == t.
+/// ParseTrace(SerializeTrace(t)) == t.  Hardened against hand-edited and
+/// truncated input — CRLF line endings are accepted, a `# bix-trace`
+/// header with any version other than v1 is rejected (as is a duplicate
+/// header), a deadline must be > 0 ns, and any malformed line (including a
+/// record truncated mid-line) yields a typed InvalidArgument naming the
+/// line, never a crash or a silently short trace.
 Status ParseTrace(std::string_view text, std::vector<TraceQuery>* out);
 
 }  // namespace bix

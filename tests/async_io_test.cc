@@ -1,0 +1,374 @@
+// Tests for the async storage I/O subsystem (src/storage/async_env.h):
+// the queue-depth-bounded AsyncIo executor, AsyncEnv whole-file reads (with
+// FaultInjectingEnv composed underneath), the deterministic TestAsyncEnv
+// double and its fake clock, and the rendezvous between async completions
+// and the shared operand cache's Begin/Publish/Await flights — including
+// out-of-order, delayed, and failed completion orderings that real disks
+// only produce under load.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <filesystem>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bitmap/bitvector.h"
+#include "obs/metrics.h"
+#include "serve/operand_cache.h"
+#include "storage/async_env.h"
+#include "storage/env.h"
+
+namespace bix {
+namespace {
+
+class TempDir {
+ public:
+  TempDir() {
+    std::string tmpl =
+        (std::filesystem::temp_directory_path() / "bix_async_XXXXXX").string();
+    std::vector<char> buf(tmpl.begin(), tmpl.end());
+    buf.push_back('\0');
+    path_ = mkdtemp(buf.data());
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+  const std::filesystem::path& path() const { return path_; }
+
+ private:
+  std::filesystem::path path_;
+};
+
+// ---------------------------------------------------------------------------
+// AsyncIo
+
+TEST(AsyncIoTest, RunsEveryJobExactlyOnceAndDrains) {
+  AsyncIo::Options options;
+  options.num_threads = 4;
+  options.queue_depth = 8;
+  AsyncIo io(options);
+
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 100; ++i) {
+    io.Submit([&] { ran.fetch_add(1); });
+  }
+  io.Drain();
+  EXPECT_EQ(ran.load(), 100);
+  EXPECT_EQ(io.submitted(), 100);
+  // Drain when already idle is a no-op, not a hang.
+  io.Drain();
+}
+
+TEST(AsyncIoTest, QueueDepthBoundBlocksSubmitters) {
+  AsyncIo::Options options;
+  options.num_threads = 1;
+  options.queue_depth = 2;
+  AsyncIo io(options);
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  auto blocking_job = [&] {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return release; });
+  };
+
+  // Two jobs fill the bound (one running, one queued).
+  io.Submit(blocking_job);
+  io.Submit(blocking_job);
+
+  // A third submitter must block until a slot frees.
+  std::atomic<bool> third_submitted{false};
+  std::thread submitter([&] {
+    io.Submit([] {});
+    third_submitted.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(third_submitted.load())
+      << "Submit returned with the queue at its depth bound";
+
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  submitter.join();
+  EXPECT_TRUE(third_submitted.load());
+  io.Drain();
+  EXPECT_EQ(io.submitted(), 3);
+}
+
+TEST(AsyncIoTest, InflightPeakWitnessesOverlap) {
+  AsyncIo::Options options;
+  options.num_threads = 4;
+  options.queue_depth = 8;
+  AsyncIo io(options);
+
+  // Submission takes microseconds and each job tens of milliseconds, so
+  // outstanding reliably exceeds one before the first completion.
+  for (int i = 0; i < 8; ++i) {
+    io.Submit([] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    });
+  }
+  io.Drain();
+  EXPECT_GE(io.inflight_peak(), 2) << "no two reads were ever in flight";
+}
+
+TEST(AsyncIoTest, DestructorDrainsOutstandingJobs) {
+  std::atomic<int> ran{0};
+  {
+    AsyncIo io(AsyncIo::Options{});
+    for (int i = 0; i < 32; ++i) {
+      io.Submit([&] { ran.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(ran.load(), 32);
+}
+
+// ---------------------------------------------------------------------------
+// AsyncEnv
+
+TEST(AsyncEnvTest, ReadDeliversBytesOnCompletion) {
+  TempDir dir;
+  const std::filesystem::path path = dir.path() / "blob";
+  const std::vector<uint8_t> payload = {1, 2, 3, 4, 5};
+  ASSERT_TRUE(Env::Default()->WriteFile(path, payload).ok());
+
+  AsyncIo io(AsyncIo::Options{});
+  AsyncEnv env(Env::Default(), &io);
+
+  Status got_status = Status::IoError("callback never ran");
+  std::vector<uint8_t> got_bytes;
+  env.ReadFileAsync(path, [&](Status s, std::vector<uint8_t> bytes) {
+    got_status = std::move(s);
+    got_bytes = std::move(bytes);
+  });
+  io.Drain();
+  ASSERT_TRUE(got_status.ok()) << got_status.ToString();
+  EXPECT_EQ(got_bytes, payload);
+}
+
+TEST(AsyncEnvTest, FailedReadDeliversTypedStatusAndCountsErrors) {
+  TempDir dir;
+  AsyncIo io(AsyncIo::Options{});
+  AsyncEnv env(Env::Default(), &io);
+
+  const int64_t errors_before = IoErrorCounter().value();
+  Status got_status;
+  env.ReadFileAsync(dir.path() / "missing",
+                    [&](Status s, std::vector<uint8_t>) {
+                      got_status = std::move(s);
+                    });
+  io.Drain();
+  EXPECT_FALSE(got_status.ok());
+  EXPECT_EQ(IoErrorCounter().value(), errors_before + 1);
+}
+
+TEST(AsyncEnvTest, FaultInjectingEnvComposesUnderneath) {
+  TempDir dir;
+  const std::filesystem::path path = dir.path() / "blob";
+  const std::vector<uint8_t> payload = {9, 8, 7};
+  ASSERT_TRUE(Env::Default()->WriteFile(path, payload).ok());
+
+  FaultPlan plan;
+  plan.faults.push_back({FaultSpec::Kind::kSticky, "blob", 0, 0, 1});
+  FaultInjectingEnv faulty(Env::Default(), std::move(plan));
+
+  AsyncIo io(AsyncIo::Options{});
+  AsyncEnv env(&faulty, &io);
+
+  Status got_status;
+  env.ReadFileAsync(path, [&](Status s, std::vector<uint8_t>) {
+    got_status = std::move(s);
+  });
+  io.Drain();
+  EXPECT_EQ(got_status.code(), Status::Code::kIoError)
+      << "sticky fault must surface typed through the async path";
+  EXPECT_GE(faulty.injected_errors(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// TestAsyncEnv (deterministic executor double)
+
+TEST(TestAsyncEnvTest, RunOneCompletesInAnyOrder) {
+  TestAsyncEnv env;
+  std::vector<int> order;
+  for (int i = 0; i < 3; ++i) {
+    env.Submit([&order, i] { order.push_back(i); });
+  }
+  EXPECT_EQ(env.queued(), 3u);
+  // Complete the last submission first, then the (now) second, then the
+  // first: indexes are positions among still-queued jobs.
+  EXPECT_TRUE(env.RunOne(2));
+  EXPECT_TRUE(env.RunOne(1));
+  EXPECT_TRUE(env.RunOne(0));
+  EXPECT_FALSE(env.RunOne(0)) << "queue must be empty";
+  EXPECT_EQ(order, (std::vector<int>{2, 1, 0}));
+  EXPECT_EQ(env.max_queued(), 3u);
+}
+
+TEST(TestAsyncEnvTest, FakeClockRunsJobsInDueOrder) {
+  TestAsyncEnv env;
+  std::vector<char> order;
+  env.set_default_latency_ns(100);
+  env.Submit([&] { order.push_back('a'); });  // due at t=100
+  env.SetNextLatencyNs(10);
+  env.Submit([&] { order.push_back('b'); });  // due at t=10
+  env.Submit([&] { order.push_back('c'); });  // due at t=100 (after 'a')
+
+  EXPECT_EQ(env.AdvanceBy(50), 1u);  // only 'b' is due
+  EXPECT_EQ(order, (std::vector<char>{'b'}));
+  EXPECT_EQ(env.AdvanceTo(100), 2u);  // 'a' then 'c', tie broken by seq
+  EXPECT_EQ(order, (std::vector<char>{'b', 'a', 'c'}));
+  EXPECT_EQ(env.now_ns(), 100);
+}
+
+TEST(TestAsyncEnvTest, RunUntilIdleIncludesJobsSubmittedByJobs) {
+  TestAsyncEnv env;
+  std::atomic<int> ran{0};
+  env.Submit([&] {
+    ran.fetch_add(1);
+    env.Submit([&] { ran.fetch_add(1); });
+  });
+  EXPECT_EQ(env.RunUntilIdle(), 2u);
+  EXPECT_EQ(ran.load(), 2);
+  EXPECT_EQ(env.queued(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Async completions through the OperandCache rendezvous
+
+serve::OperandKey Key(uint32_t column, int component, uint32_t slot) {
+  serve::OperandKey key;
+  key.column = column;
+  key.component = component;
+  key.slot = slot;
+  return key;
+}
+
+// The owner of a flight publishes from an executor job; waiters that joined
+// before the completion fired all wake with the published operand.
+TEST(AsyncRendezvousTest, ExecutorPublishWakesEarlyWaiters) {
+  serve::OperandCache cache;
+  TestAsyncEnv env;
+  const serve::OperandKey key = Key(0, 0, 3);
+
+  serve::OperandCache::Flight owner = cache.Begin(key);
+  ASSERT_TRUE(owner.owner());
+  env.Submit([&cache, owner] {
+    serve::CachedOperand op;
+    op.dense = Bitvector::Ones(32);
+    cache.Publish(owner, std::move(op));
+  });
+
+  std::vector<std::thread> waiters;
+  std::atomic<int> woke{0};
+  for (int i = 0; i < 4; ++i) {
+    waiters.emplace_back([&] {
+      serve::OperandCache::Flight joined = cache.Begin(key);
+      EXPECT_FALSE(joined.owner());
+      auto operand = cache.Await(joined);
+      EXPECT_EQ(operand->dense.Count(), 32u);
+      woke.fetch_add(1);
+    });
+  }
+  // Give the waiters time to block on the pending entry, then fire the
+  // completion.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(woke.load(), 0) << "a waiter returned before any publish";
+  env.RunUntilIdle();
+  for (std::thread& t : waiters) t.join();
+  EXPECT_EQ(woke.load(), 4);
+}
+
+// Completions firing in the reverse of submission order publish each
+// operand to its own key — rendezvous is per-entry, not per-queue.
+TEST(AsyncRendezvousTest, OutOfOrderCompletionsResolveTheRightFlights) {
+  serve::OperandCache cache;
+  TestAsyncEnv env;
+  const serve::OperandKey key_a = Key(0, 0, 1);
+  const serve::OperandKey key_b = Key(0, 0, 2);
+
+  serve::OperandCache::Flight fa = cache.Begin(key_a);
+  serve::OperandCache::Flight fb = cache.Begin(key_b);
+  ASSERT_TRUE(fa.owner() && fb.owner());
+  env.Submit([&cache, fa] {  // submitted first...
+    serve::CachedOperand op;
+    op.dense = Bitvector::Ones(8);
+    cache.Publish(fa, std::move(op));
+  });
+  env.Submit([&cache, fb] {
+    serve::CachedOperand op;
+    op.dense = Bitvector::Zeros(8);
+    cache.Publish(fb, std::move(op));
+  });
+
+  ASSERT_TRUE(env.RunOne(1));  // ...but B's read completes first
+  auto got_b = cache.Await(cache.Begin(key_b));
+  EXPECT_EQ(got_b->dense.Count(), 0u);
+  ASSERT_TRUE(env.RunOne(0));
+  auto got_a = cache.Await(cache.Begin(key_a));
+  EXPECT_EQ(got_a->dense.Count(), 8u);
+}
+
+// A failed async publish delivers the typed status to every joined waiter,
+// then evicts the entry so the next Begin retries as a fresh owner.
+TEST(AsyncRendezvousTest, FailedCompletionReachesWaitersThenEvicts) {
+  serve::OperandCache cache;
+  TestAsyncEnv env;
+  const serve::OperandKey key = Key(1, 0, 0);
+
+  serve::OperandCache::Flight owner = cache.Begin(key);
+  ASSERT_TRUE(owner.owner());
+  serve::OperandCache::Flight joined = cache.Begin(key);
+  ASSERT_FALSE(joined.owner());
+
+  env.Submit([&cache, owner] {
+    serve::CachedOperand op;
+    op.status = Status::IoError("disk ate the bitmap");
+    cache.Publish(owner, std::move(op));
+  });
+  env.RunUntilIdle();
+
+  auto operand = cache.Await(joined);
+  EXPECT_EQ(operand->status.code(), Status::Code::kIoError);
+
+  serve::OperandCache::Flight retry = cache.Begin(key);
+  EXPECT_TRUE(retry.owner()) << "failed entry must be evicted for retry";
+  serve::CachedOperand ok_op;
+  ok_op.dense = Bitvector::Ones(4);
+  cache.Publish(retry, std::move(ok_op));
+  EXPECT_EQ(cache.Await(cache.Begin(key))->dense.Count(), 4u);
+}
+
+// Delayed completions: waiters stay blocked exactly until the fake clock
+// reaches the read's due time.
+TEST(AsyncRendezvousTest, DelayedCompletionHoldsWaitersUntilDue) {
+  serve::OperandCache cache;
+  TestAsyncEnv env;
+  env.set_default_latency_ns(1000);
+  const serve::OperandKey key = Key(2, 1, 5);
+
+  serve::OperandCache::Flight owner = cache.Begin(key);
+  env.Submit([&cache, owner] {
+    serve::CachedOperand op;
+    op.dense = Bitvector::Ones(16);
+    cache.Publish(owner, std::move(op));
+  });
+
+  EXPECT_EQ(env.AdvanceBy(999), 0u);
+  EXPECT_EQ(env.queued(), 1u) << "read completed before its latency elapsed";
+  EXPECT_EQ(env.AdvanceBy(1), 1u);
+  EXPECT_EQ(cache.Await(cache.Begin(key))->dense.Count(), 16u);
+}
+
+}  // namespace
+}  // namespace bix

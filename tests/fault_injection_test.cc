@@ -29,6 +29,7 @@
 #include "bitmap/bitvector.h"
 #include "core/bitmap_index.h"
 #include "core/eval.h"
+#include "serve/service.h"
 #include "storage/env.h"
 #include "storage/stored_index.h"
 #include "workload/queries.h"
@@ -357,6 +358,144 @@ TEST(FaultInjectionTest, EqualitySliceRotIsHealedByReconstruction) {
   EXPECT_EQ(tally.loud_failures, 0)
       << "reconstruction should heal a single rotted equality slice";
   EXPECT_EQ(tally.exact, tally.combos);
+}
+
+// ---------------------------------------------------------------------------
+// Faults firing inside async reads (serve layer, src/storage/async_env.h)
+//
+// The async path moves cold operand fetches to I/O threads but reads
+// through the same FaultInjectingEnv seam, so fault plans fire inside
+// async jobs unchanged.  These tests hold the chaos contract across that
+// move: transient errors heal through the existing retry policy, sticky
+// errors surface a typed Status to every query joined on the operand, and
+// nothing is ever silently wrong.
+
+// One small BS index opened over a fault-injecting env, served with async
+// I/O enabled.
+struct AsyncChaosFixture {
+  TempDir dir;
+  std::vector<uint32_t> values;
+  std::unique_ptr<StoredIndex> stored;
+  std::unique_ptr<FaultInjectingEnv> env;
+
+  void Build(FaultPlan plan) {
+    std::mt19937_64 rng(4242);
+    values.resize(400);
+    for (uint32_t& v : values) v = static_cast<uint32_t>(rng() % 8);
+    BitmapIndex index = BitmapIndex::Build(
+        values, 8, BaseSequence::FromLsbFirst({8}), Encoding::kRange);
+    std::unique_ptr<StoredIndex> clean;
+    ASSERT_TRUE(StoredIndex::Write(index, dir.path() / "idx",
+                                   StorageScheme::kBitmapLevel,
+                                   *CodecByName("none"), &clean)
+                    .ok());
+    env = std::make_unique<FaultInjectingEnv>(Env::Default(), std::move(plan));
+    StoredIndexOptions options;
+    options.env = env.get();
+    options.retry.max_attempts = 5;
+    options.retry.seed = 4242;
+    options.retry.sleep = [](int64_t) {};  // deterministic, no real waiting
+    ASSERT_TRUE(StoredIndex::Open(dir.path() / "idx", &stored, options).ok());
+  }
+};
+
+TEST(FaultInjectionAsyncTest, TransientFaultsInsideAsyncReadsHeal) {
+  AsyncChaosFixture fx;
+  FaultPlan plan;
+  // Reads of any bitmap file fail four times total before healing — inside
+  // the per-read retry budget of 5 attempts.
+  plan.faults.push_back({FaultSpec::Kind::kTransient, ".bm", 0, 0, 4});
+  fx.Build(std::move(plan));
+  if (HasFatalFailure()) return;
+
+  serve::ServeOptions options;
+  options.num_threads = 4;
+  options.io_threads = 2;
+  options.io_depth = 4;
+  options.max_pending = 256;
+  serve::QueryService service(options);
+  service.AddColumn(fx.stored.get());
+
+  std::vector<serve::ServeQuery> queries;
+  for (const Query& q : AllSelectionQueries(8)) {
+    serve::ServeQuery sq;
+    sq.id = queries.size();
+    sq.op = q.op;
+    sq.value = q.v;
+    queries.push_back(sq);
+  }
+  std::vector<serve::ServeResult> results = service.RunBatch(queries);
+
+  ASSERT_EQ(results.size(), queries.size());
+  for (size_t i = 0; i < results.size(); ++i) {
+    SCOPED_TRACE("query " + std::to_string(i));
+    ASSERT_TRUE(results[i].status.ok())
+        << "transient faults within the retry budget must heal: "
+        << results[i].status.ToString();
+    Bitvector expected =
+        ScanEvaluate(fx.values, queries[i].op, queries[i].value);
+    EXPECT_EQ(results[i].foundset, expected);
+  }
+  EXPECT_GT(fx.env->injected_errors(), 0)
+      << "the plan never fired — the test proved nothing";
+}
+
+TEST(FaultInjectionAsyncTest, StickyAsyncFailureSurfacesTypedToAllWaiters) {
+  AsyncChaosFixture fx;
+  FaultPlan plan;
+  // Every read of slot 3's bitmap fails forever; range encoding has no
+  // sibling reconstruction, so queries needing that operand must fail
+  // loudly while the rest of the query space keeps answering exactly.
+  plan.faults.push_back({FaultSpec::Kind::kSticky, "c0_b3.bm", 0, 0, 1});
+  fx.Build(std::move(plan));
+  if (HasFatalFailure()) return;
+
+  serve::ServeOptions options;
+  options.num_threads = 8;
+  options.io_threads = 2;
+  options.max_pending = 256;
+  serve::QueryService service(options);
+  service.AddColumn(fx.stored.get());
+
+  // Many concurrent queries for the same poisoned operand (they join one
+  // flight or retry it after a failure-eviction), plus queries that never
+  // touch it.
+  std::vector<serve::ServeQuery> queries;
+  for (int i = 0; i < 8; ++i) {
+    serve::ServeQuery sq;
+    sq.id = queries.size();
+    sq.op = CompareOp::kEq;
+    sq.value = 3;  // range-encoded eq touches slots 3 and 2
+    queries.push_back(sq);
+  }
+  for (int i = 0; i < 4; ++i) {
+    serve::ServeQuery sq;
+    sq.id = queries.size();
+    sq.op = CompareOp::kLe;
+    sq.value = 1;  // touches only slot 1
+    queries.push_back(sq);
+  }
+
+  for (int round = 0; round < 2; ++round) {  // sticky stays sticky
+    SCOPED_TRACE("round " + std::to_string(round));
+    service.cache().Clear();
+    std::vector<serve::ServeResult> results = service.RunBatch(queries);
+    ASSERT_EQ(results.size(), queries.size());
+    for (size_t i = 0; i < results.size(); ++i) {
+      SCOPED_TRACE("query " + std::to_string(i));
+      if (queries[i].op == CompareOp::kEq) {
+        EXPECT_EQ(results[i].status.code(), Status::Code::kIoError)
+            << "every query joined on the poisoned operand gets the typed "
+               "error";
+        EXPECT_EQ(results[i].row_count, 0u);
+      } else {
+        ASSERT_TRUE(results[i].status.ok()) << results[i].status.ToString();
+        Bitvector expected =
+            ScanEvaluate(fx.values, queries[i].op, queries[i].value);
+        EXPECT_EQ(results[i].foundset, expected);
+      }
+    }
+  }
 }
 
 }  // namespace

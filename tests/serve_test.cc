@@ -25,6 +25,7 @@
 #include "serve/admission.h"
 #include "serve/operand_cache.h"
 #include "serve/service.h"
+#include "storage/async_env.h"
 #include "storage/stored_index.h"
 #include "workload/generators.h"
 #include "workload/queries.h"
@@ -270,6 +271,58 @@ TEST(TraceTest, ParseRejectsMalformedLines) {
   EXPECT_EQ(out[0], (TraceQuery{0, CompareOp::kEq, 1}));
 }
 
+// Edge cases a hand-edited or truncated trace file can contain: every one
+// must be a typed per-line error or an exact parse, never a crash or a
+// silently short trace.
+TEST(TraceTest, ParseEdgeCases) {
+  std::vector<TraceQuery> out;
+
+  // A record truncated mid-line (e.g. a partial download) errors with the
+  // line number instead of dropping the tail.
+  Status truncated = ParseTrace("# bix-trace v1\nq 0 = 1\nq 1 <=", &out);
+  EXPECT_FALSE(truncated.ok());
+  EXPECT_NE(truncated.ToString().find("line 3"), std::string::npos)
+      << truncated.ToString();
+
+  // CRLF line endings (and a final line without a newline) parse cleanly.
+  ASSERT_TRUE(ParseTrace("# bix-trace v1\r\nq 0 = 1\r\nq 1 <= 2", &out).ok());
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[1], (TraceQuery{1, CompareOp::kLe, 2}));
+
+  // The header is validated, not skipped: unknown versions and duplicate
+  // headers fail loudly.
+  EXPECT_FALSE(ParseTrace("# bix-trace v2\nq 0 = 1\n", &out).ok());
+  EXPECT_FALSE(ParseTrace("# bix-trace\nq 0 = 1\n", &out).ok());
+  EXPECT_FALSE(
+      ParseTrace("# bix-trace v1\n# bix-trace v1\nq 0 = 1\n", &out).ok());
+  EXPECT_TRUE(ParseTrace("#bix-trace v1\nq 0 = 1\n", &out).ok());
+
+  // Optional per-query deadline: must be a positive nanosecond count.
+  ASSERT_TRUE(ParseTrace("q 0 = 1 5000000\n", &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].deadline_ns, 5000000);
+  EXPECT_FALSE(ParseTrace("q 0 = 1 0\n", &out).ok());
+  EXPECT_FALSE(ParseTrace("q 0 = 1 -5\n", &out).ok());
+  EXPECT_FALSE(ParseTrace("q 0 = 1 soon\n", &out).ok());
+  EXPECT_FALSE(ParseTrace("q 0 = 1 5000 extra\n", &out).ok());
+
+  // An empty trace (or one that is all comments) is valid and empty.
+  ASSERT_TRUE(ParseTrace("", &out).ok());
+  EXPECT_TRUE(out.empty());
+  ASSERT_TRUE(ParseTrace("# bix-trace v1\n# nothing yet\n", &out).ok());
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(TraceTest, DeadlinesRoundTripThroughSerialize) {
+  std::vector<TraceQuery> trace = {
+      {0, CompareOp::kEq, 3, 0},
+      {1, CompareOp::kLe, 7, 2'000'000},
+  };
+  std::vector<TraceQuery> parsed;
+  ASSERT_TRUE(ParseTrace(SerializeTrace(trace), &parsed).ok());
+  EXPECT_EQ(parsed, trace);
+}
+
 // ---------------------------------------------------------------------------
 // Service
 
@@ -485,6 +538,231 @@ TEST(ServeDifferentialTest, TinyCacheStillBitIdentical) {
   tiny.share_operands = true;
   tiny.cache_entries = 1;  // evict on nearly every fetch
   serve::QueryService service(tiny);
+  for (const auto& idx : fx.indexes) service.AddColumn(idx.get());
+  std::vector<serve::ServeResult> got = service.RunBatch(queries);
+
+  ASSERT_EQ(got.size(), expected.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    ASSERT_TRUE(got[i].status.ok()) << got[i].status.ToString();
+    EXPECT_EQ(got[i].foundset, expected[i].foundset);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Async I/O under the service
+
+// The async guarantee extends the tentpole differential: shared execution
+// with cold fetches running on I/O threads (and prefetch submitting them
+// early) is still observationally identical to a sequential unshared
+// replay — same foundsets, same scan and op counts per query.  A tiny
+// queue depth forces submit-side backpressure on every batch.
+TEST(ServeAsyncDifferentialTest, AsyncSharedMatchesSequentialUnshared) {
+  for (EngineKind engine : {EngineKind::kPlain, EngineKind::kWah}) {
+    SCOPED_TRACE(ToString(engine));
+    ServeFixture fx;
+    fx.Build();
+    std::vector<serve::ServeQuery> queries = fx.MakeQueries(200);
+
+    serve::ServeOptions sequential;
+    sequential.num_threads = 1;
+    sequential.share_operands = false;
+    sequential.max_pending = queries.size();
+    sequential.engine = engine;
+    serve::QueryService reference(sequential);
+    for (const auto& idx : fx.indexes) reference.AddColumn(idx.get());
+    std::vector<serve::ServeResult> expected = reference.RunBatch(queries);
+
+    serve::ServeOptions async = sequential;
+    async.num_threads = 8;
+    async.share_operands = true;
+    async.io_threads = 4;
+    async.io_depth = 2;  // exercise Submit backpressure, not just overlap
+    serve::QueryService service(async);
+    for (const auto& idx : fx.indexes) service.AddColumn(idx.get());
+    std::vector<serve::ServeResult> got = service.RunBatch(queries);
+
+    ASSERT_EQ(got.size(), expected.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+      SCOPED_TRACE("query " + std::to_string(i));
+      ASSERT_TRUE(got[i].status.ok()) << got[i].status.ToString();
+      EXPECT_EQ(got[i].foundset, expected[i].foundset);
+      EXPECT_EQ(got[i].row_count, expected[i].row_count);
+      EXPECT_EQ(got[i].stats.bitmap_scans, expected[i].stats.bitmap_scans);
+      EXPECT_EQ(got[i].stats.TotalOps(), expected[i].stats.TotalOps());
+    }
+  }
+}
+
+// Same guarantee on a cold cache per batch: every operand fetch actually
+// exercises the async read path (no residual warmth from earlier batches).
+TEST(ServeAsyncDifferentialTest, ColdCacheAsyncStillBitIdentical) {
+  ServeFixture fx;
+  fx.Build();
+  std::vector<serve::ServeQuery> queries = fx.MakeQueries(60);
+
+  serve::ServeOptions sequential;
+  sequential.num_threads = 1;
+  sequential.share_operands = false;
+  sequential.max_pending = queries.size();
+  serve::QueryService reference(sequential);
+  for (const auto& idx : fx.indexes) reference.AddColumn(idx.get());
+  std::vector<serve::ServeResult> expected = reference.RunBatch(queries);
+
+  serve::ServeOptions async = sequential;
+  async.num_threads = 8;
+  async.share_operands = true;
+  async.io_threads = 2;
+  serve::QueryService service(async);
+  for (const auto& idx : fx.indexes) service.AddColumn(idx.get());
+  std::vector<serve::ServeResult> got;
+  for (const serve::ServeQuery& q : queries) {
+    service.cache().Clear();  // every query starts cold
+    std::vector<serve::ServeResult> one = service.RunBatch({q});
+    got.push_back(std::move(one[0]));
+  }
+
+  ASSERT_EQ(got.size(), expected.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    ASSERT_TRUE(got[i].status.ok()) << got[i].status.ToString();
+    EXPECT_EQ(got[i].foundset, expected[i].foundset);
+    EXPECT_EQ(got[i].stats.bitmap_scans, expected[i].stats.bitmap_scans);
+  }
+}
+
+// Deterministic overlap witness: with an injected TestAsyncEnv, a single
+// query's prefetch submits every operand its predicate touches before the
+// evaluation blocks on the first one — the reads pile up in the executor
+// (max_queued > 1), which on real threads is exactly the fetch/compute
+// overlap.  A driver thread steps completions while the batch runs.
+TEST(ServeAsyncOverlapTest, PrefetchSubmitsAllOperandsBeforeAwaiting) {
+  ServeFixture fx;
+  fx.Build();
+
+  TestAsyncEnv io;
+  serve::ServeOptions options;
+  options.num_threads = 1;
+  options.io_executor = &io;
+  serve::QueryService service(options);
+  for (const auto& idx : fx.indexes) service.AddColumn(idx.get());
+
+  serve::ServeQuery q;
+  q.column = 0;  // range-encoded, cardinality 17
+  q.op = CompareOp::kLe;
+  q.value = 7;
+
+  std::vector<serve::ServeResult> results;
+  std::atomic<bool> done{false};
+  std::thread batch([&] {
+    results = service.RunBatch({q});
+    done.store(true, std::memory_order_release);
+  });
+  // The query lane blocks awaiting its first prefetched operand; complete
+  // jobs until the batch finishes.
+  while (!done.load(std::memory_order_acquire)) {
+    io.RunUntilIdle();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  batch.join();
+  ASSERT_EQ(results.size(), 1u);
+
+  ASSERT_TRUE(results[0].status.ok()) << results[0].status.ToString();
+  EXPECT_GT(results[0].row_count, 0u);
+  EXPECT_GE(io.max_queued(), 2u)
+      << "prefetch must submit multiple reads before the first await";
+}
+
+// ---------------------------------------------------------------------------
+// OperandCache soak
+
+// Stress the cache's full lifecycle concurrently: eviction churn under a
+// pathologically small capacity, a steady fraction of failed fetches
+// (published to waiters, then evicted for retry), and readers that hold
+// operand handles across evictions.  Every handle must stay valid and
+// carry the bit pattern its key encodes; this is a prime TSan target
+// (scripts/check.sh --serve).
+TEST(OperandCacheSoakTest, ChurnFailuresAndOutlivingReaders) {
+  serve::OperandCache::Options options;
+  options.max_entries = 4;
+  serve::OperandCache cache(options);
+
+  constexpr int kThreads = 8;
+  constexpr int kIters = 400;
+  constexpr uint32_t kKeys = 16;
+  std::atomic<int64_t> ok_reads{0};
+  std::atomic<int64_t> failed_reads{0};
+  std::atomic<int64_t> wrong_bits{0};
+
+  auto worker = [&](int tid) {
+    std::vector<std::shared_ptr<const serve::CachedOperand>> held;
+    for (int i = 0; i < kIters; ++i) {
+      const uint32_t slot = static_cast<uint32_t>((i * 7 + tid * 3) % kKeys);
+      const serve::OperandKey key = Key(0, 0, slot);
+      // ~20% of fetches fail; failures must reach every joined waiter and
+      // never stick in the cache.
+      const bool fail = (i + tid) % 5 == 0;
+      auto operand = cache.GetOrFetch(
+          key,
+          [&](serve::CachedOperand* out) {
+            if (fail) {
+              out->status = Status::IoError("soak fault");
+              return;
+            }
+            Bitvector bits = Bitvector::Zeros(64);
+            for (uint32_t b = 0; b <= slot; ++b) bits.Set(b);
+            out->dense = std::move(bits);
+          },
+          nullptr);
+      if (!operand->status.ok()) {
+        failed_reads.fetch_add(1);
+        continue;
+      }
+      // A ready operand for slot k has exactly k+1 set bits, no matter how
+      // much churn happened between publish and read.
+      if (operand->dense.Count() != slot + 1) wrong_bits.fetch_add(1);
+      ok_reads.fetch_add(1);
+      // Hold a sliding window of handles so evicted entries have live
+      // readers.
+      held.push_back(operand);
+      if (held.size() > 8) held.erase(held.begin());
+    }
+    // Validate the held handles once more after all the churn.
+    for (const auto& op : held) {
+      if (op->status.ok() && op->dense.Count() == 0) wrong_bits.fetch_add(1);
+    }
+  };
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) threads.emplace_back(worker, t);
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(wrong_bits.load(), 0);
+  EXPECT_GT(ok_reads.load(), 0);
+  EXPECT_GT(failed_reads.load(), 0) << "the soak must exercise failures";
+  EXPECT_LE(cache.size(), options.max_entries);
+}
+
+// The same churn through the service end to end, with a cache too small
+// for the working set and async I/O underneath.
+TEST(OperandCacheSoakTest, ServiceChurnWithAsyncIoStaysCorrect) {
+  ServeFixture fx;
+  fx.Build();
+  std::vector<serve::ServeQuery> queries = fx.MakeQueries(150);
+
+  serve::ServeOptions sequential;
+  sequential.num_threads = 1;
+  sequential.share_operands = false;
+  sequential.max_pending = queries.size();
+  serve::QueryService reference(sequential);
+  for (const auto& idx : fx.indexes) reference.AddColumn(idx.get());
+  std::vector<serve::ServeResult> expected = reference.RunBatch(queries);
+
+  serve::ServeOptions churn = sequential;
+  churn.num_threads = 8;
+  churn.share_operands = true;
+  churn.cache_entries = 2;  // constant eviction under 8 lanes
+  churn.io_threads = 3;
+  churn.io_depth = 4;
+  serve::QueryService service(churn);
   for (const auto& idx : fx.indexes) service.AddColumn(idx.get());
   std::vector<serve::ServeResult> got = service.RunBatch(queries);
 

@@ -13,9 +13,11 @@
 //   bixctl benchdiff BASELINE.json FRESH.json [--band F] [--force]
 //   bixctl serve  --dirs ./idx1,./idx2 [--trace F] [--threads N] [--queue K]
 //                 [--deadline-ms D] [--batch B] [--no-share] [--engine E]
+//                 [--io-threads N] [--io-depth K]
 //   bixctl bench-serve [--columns N] [--rows R] [--cardinality C]
 //                 [--queries Q] [--col-skew S] [--val-skew S] [--threads N]
 //                 [--batch B] [--codec NAME] [--engine E] [--seed S] [--out F]
+//                 [--io-threads N] [--io-depth K]
 //
 // Every command also accepts --metrics-out=FILE to dump the process-wide
 // metrics registry in Prometheus text exposition format on exit.
@@ -187,12 +189,14 @@ int Usage() {
                "[--queue K]\n"
                "                 [--deadline-ms D] [--batch B] [--no-share] "
                "[--engine E]\n"
+               "                 [--io-threads N] [--io-depth K]\n"
                "  bixctl bench-serve [--columns N] [--rows R] "
                "[--cardinality C] [--queries Q]\n"
                "                 [--col-skew S] [--val-skew S] [--threads N] "
                "[--batch B]\n"
                "                 [--codec NAME] [--engine E] [--seed S] "
                "[--out FILE]\n"
+               "                 [--io-threads N] [--io-depth K]\n"
                "(any command: --metrics-out FILE dumps Prometheus metrics)\n");
   return 2;
 }
@@ -710,13 +714,16 @@ struct ReplayOutcome {
   double wall_seconds = 0;
 };
 
-// Feeds `queries` through `service` in batches of `batch_size`.
+// Feeds `queries` through `service` in batches of `batch_size`.  With
+// `cold_batches` the operand cache is cleared before every batch, so each
+// batch pays the full fetch cost (the cold-cache arms of bench-serve).
 ReplayOutcome ReplayTrace(serve::QueryService& service,
                           const std::vector<serve::ServeQuery>& queries,
-                          size_t batch_size) {
+                          size_t batch_size, bool cold_batches = false) {
   ReplayOutcome outcome;
   auto start = std::chrono::steady_clock::now();
   for (size_t begin = 0; begin < queries.size(); begin += batch_size) {
+    if (cold_batches) service.cache().Clear();
     size_t end = std::min(begin + batch_size, queries.size());
     std::vector<serve::ServeQuery> batch(queries.begin() + begin,
                                          queries.begin() + end);
@@ -769,6 +776,12 @@ int CmdServe(const Flags& flags) {
   options.default_deadline_ns =
       flags.GetInt("deadline-ms").value_or(0) * 1'000'000;
   options.share_operands = !flags.Has("no-share");
+  options.io_threads = static_cast<int>(flags.GetInt("io-threads").value_or(0));
+  options.io_depth =
+      static_cast<size_t>(flags.GetInt("io-depth").value_or(16));
+  if (options.io_threads > 0 && !options.share_operands) {
+    return Fail("--io-threads requires sharing (drop --no-share)");
+  }
   if (!ParseEngineFlag(flags, &options.engine)) {
     return Fail("--engine must be plain, wah, or auto");
   }
@@ -820,6 +833,7 @@ int CmdServe(const Flags& flags) {
     serve::ServeQuery q;
     q.id = i;
     q.column = t.column;
+    q.deadline_ns = t.deadline_ns;  // 0 falls back to --deadline-ms
     TranslateRawPredicate(maps[t.column], t.op, t.v, &q.op, &q.value);
     queries.push_back(q);
   }
@@ -841,6 +855,11 @@ int CmdServe(const Flags& flags) {
               queries.size(), dirs.size(), options.num_threads,
               std::string(ToString(options.engine)).c_str(),
               options.share_operands ? "on" : "off");
+  if (options.io_threads > 0) {
+    std::printf("  async io: %d threads, depth %zu, inflight peak %lld\n",
+                options.io_threads, options.io_depth,
+                static_cast<long long>(service.io_inflight_peak()));
+  }
   std::printf("  ok %zu, shed %zu, deadline-missed %zu, failed %zu; "
               "%llu rows found\n",
               outcome.ok, outcome.shed, outcome.deadline_missed,
@@ -883,6 +902,11 @@ int CmdBenchServe(const Flags& flags) {
       static_cast<uint64_t>(flags.GetInt("seed").value_or(42));
   const Codec* codec = CodecByName(flags.GetOr("codec", "lz77"));
   if (codec == nullptr) return Fail("unknown --codec");
+  // 0 skips the cold_async arm; the default measures the async read path.
+  const int io_threads =
+      static_cast<int>(flags.GetInt("io-threads").value_or(2));
+  const size_t io_depth =
+      static_cast<size_t>(flags.GetInt("io-depth").value_or(16));
   EngineKind engine;
   if (!ParseEngineFlag(flags, &engine)) {
     return Fail("--engine must be plain, wah, or auto");
@@ -938,36 +962,54 @@ int CmdBenchServe(const Flags& flags) {
       obs::MetricsRegistry::Global().GetCounter("serve.shared_fetch_hits");
   auto& misses_counter =
       obs::MetricsRegistry::Global().GetCounter("serve.shared_fetch_misses");
-  auto replay = [&](bool share) {
+  auto replay = [&](bool share, int io, bool cold_batches,
+                    int64_t* inflight_peak = nullptr) {
     serve::ServeOptions options;
     options.num_threads = threads;
     options.max_pending = queries.size();  // admission is not under test
     options.share_operands = share;
     options.engine = engine;
+    options.io_threads = io;
+    options.io_depth = io_depth;
     serve::QueryService service(options);
     for (const auto& stored : indexes) service.AddColumn(stored.get());
-    return ReplayTrace(service, queries, batch_size);
+    ReplayOutcome outcome =
+        ReplayTrace(service, queries, batch_size, cold_batches);
+    if (inflight_peak != nullptr) *inflight_peak = service.io_inflight_peak();
+    return outcome;
   };
 
-  // Untimed warmup pass so neither timed arm pays first-touch costs (page
+  // Untimed warmup pass so no timed arm pays first-touch costs (page
   // cache, pool spin-up, codec tables).
-  replay(false);
+  replay(false, 0, false);
 
-  const ReplayOutcome control = replay(false);
+  const ReplayOutcome control = replay(false, 0, false);
   const int64_t hits0 = hits_counter.value();
   const int64_t misses0 = misses_counter.value();
-  const ReplayOutcome shared = replay(true);
+  const ReplayOutcome shared = replay(true, 0, false);
   const int64_t hits = hits_counter.value() - hits0;
   const int64_t misses = misses_counter.value() - misses0;
+  // Cold-cache arms: the cache is cleared before every batch, so each
+  // batch pays the full fetch cost — the regime where moving fetches to
+  // I/O threads can overlap them with compute.
+  const ReplayOutcome cold = replay(true, 0, true);
+  ReplayOutcome cold_async;
+  int64_t io_peak = 0;
+  if (io_threads > 0) {
+    cold_async = replay(true, io_threads, true, &io_peak);
+  }
 
   std::filesystem::remove_all(tmp, ec);
-  if (control.failed + shared.failed > 0) {
+  if (control.failed + shared.failed + cold.failed + cold_async.failed > 0) {
     return Fail("bench-serve queries failed");
   }
-  if (control.rows_found != shared.rows_found) {
-    return Fail("sharing changed results: control found " +
-                std::to_string(control.rows_found) + " rows, shared " +
-                std::to_string(shared.rows_found));
+  for (const ReplayOutcome* o : {&shared, &cold,
+                                 io_threads > 0 ? &cold_async : &control}) {
+    if (control.rows_found != o->rows_found) {
+      return Fail("sharing changed results: control found " +
+                  std::to_string(control.rows_found) + " rows, another arm " +
+                  std::to_string(o->rows_found));
+    }
   }
 
   const double n = static_cast<double>(queries.size());
@@ -996,6 +1038,17 @@ int CmdBenchServe(const Flags& flags) {
   };
   arm("no-share", control, qps_control);
   arm("shared", shared, qps_shared);
+  const double qps_cold = n / cold.wall_seconds;
+  arm("cold", cold, qps_cold);
+  if (io_threads > 0) {
+    const double qps_cold_async = n / cold_async.wall_seconds;
+    arm("cold-async", cold_async, qps_cold_async);
+    std::printf("  cold-async vs cold: p95 %7.2fus vs %7.2fus (%d io "
+                "threads, depth %zu, inflight peak %lld)\n",
+                Percentile(cold_async.latencies_ns, 0.95) / 1e3,
+                Percentile(cold.latencies_ns, 0.95) / 1e3, io_threads,
+                io_depth, static_cast<long long>(io_peak));
+  }
   std::printf("  shared-fetch hit rate %.1f%% (%lld of %lld); speedup "
               "%.2fx\n",
               100.0 * hit_rate, static_cast<long long>(hits),
@@ -1015,14 +1068,21 @@ int CmdBenchServe(const Flags& flags) {
         {"threads", static_cast<int64_t>(threads)},
         {"batch", batch_size},
         {"codec", std::string(codec->name())},
+        {"io_threads", static_cast<int64_t>(io_threads)},
+        {"io_depth", io_depth},
     };
     struct Arm {
       const char* name;
       const ReplayOutcome* o;
       double qps;
     };
-    for (const Arm& a : {Arm{"no_share", &control, qps_control},
-                         Arm{"shared", &shared, qps_shared}}) {
+    std::vector<Arm> arms = {Arm{"no_share", &control, qps_control},
+                             Arm{"shared", &shared, qps_shared},
+                             Arm{"cold", &cold, qps_cold}};
+    if (io_threads > 0) {
+      arms.push_back(Arm{"cold_async", &cold_async, n / cold_async.wall_seconds});
+    }
+    for (const Arm& a : arms) {
       const ReplayOutcome& o = *a.o;
       const double qps = a.qps;
       std::vector<bench::BenchParam> params = common;
@@ -1042,6 +1102,12 @@ int CmdBenchServe(const Flags& flags) {
       params.emplace_back("arm", "shared");
       writer.Add("bench_serve", params, "hit_rate_pct", 100.0 * hit_rate,
                  "count");
+    }
+    if (io_threads > 0) {
+      std::vector<bench::BenchParam> params = common;
+      params.emplace_back("arm", "cold_async");
+      writer.Add("bench_serve", params, "io_inflight_peak",
+                 static_cast<double>(io_peak), "count");
     }
     if (!writer.WriteFile(*out)) return Fail("cannot write " + *out);
     std::printf("  wrote %s\n", out->c_str());
