@@ -10,6 +10,7 @@
 #   scripts/check.sh --tsan    TSan build + exec/pool tests only
 #   scripts/check.sh --diff    differential/property suite only (fast lane)
 #   scripts/check.sh --chaos   fault-injection/storage chaos suite under ASan
+#   scripts/check.sh --mutate  crash-point mutation battery under ASan
 #   scripts/check.sh --serve   concurrent-serve suite under TSan (fast lane)
 #   scripts/check.sh --bench-gate  smoke benches vs committed baselines
 #                                  through the benchdiff regression gate
@@ -21,6 +22,7 @@ RUN_ASAN=1
 RUN_TSAN=1
 RUN_DIFF=0
 RUN_CHAOS=0
+RUN_MUTATE=0
 RUN_SERVE=0
 RUN_BENCH_GATE=0
 case "${1:-}" in
@@ -29,6 +31,7 @@ case "${1:-}" in
   --tsan) RUN_MAIN=0; RUN_ASAN=0 ;;
   --diff) RUN_MAIN=0; RUN_ASAN=0; RUN_TSAN=0; RUN_DIFF=1 ;;
   --chaos) RUN_MAIN=0; RUN_ASAN=0; RUN_TSAN=0; RUN_CHAOS=1 ;;
+  --mutate) RUN_MAIN=0; RUN_ASAN=0; RUN_TSAN=0; RUN_MUTATE=1 ;;
   --serve) RUN_MAIN=0; RUN_ASAN=0; RUN_TSAN=0; RUN_SERVE=1 ;;
   --bench-gate) RUN_MAIN=0; RUN_ASAN=0; RUN_TSAN=0; RUN_BENCH_GATE=1 ;;
 esac
@@ -64,6 +67,22 @@ if [[ "$RUN_CHAOS" == 1 ]]; then
   ./build-asan/tests/bix_differential_tests --gtest_filter='FaultInjection*'
   ./build-asan/tests/bix_tests \
       --gtest_filter='StorageV2Test*:FormatTest*:PosixEnvTest*:FaultInjectingEnvTest*:RunWithRetryTest*:BackoffTest*:Crc32cTest*:StorageTest*'
+fi
+
+if [[ "$RUN_MUTATE" == 1 ]]; then
+  # Mutation robustness lane: the crash-point chaos battery (every
+  # mutating I/O event of seeded append/delete/compact schedules made
+  # fatal in turn; tests/mutation_crash_test.cc, ctest label "mutation")
+  # plus the delta-log parser and mutable-index unit tests, under ASan +
+  # UBSan — recovery code paths run torn buffers and partial files
+  # through parsing and repair, exactly where overreads hide.
+  cmake -B build-asan -G Ninja \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"
+  cmake --build build-asan --target bix_tests bix_mutation_tests
+  ./build-asan/tests/bix_mutation_tests
+  ./build-asan/tests/bix_tests \
+      --gtest_filter='DeltaLog*:MutableStoredIndex*'
 fi
 
 if [[ "$RUN_SERVE" == 1 ]]; then

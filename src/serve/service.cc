@@ -51,8 +51,13 @@ QueryService::~QueryService() {
 }
 
 uint32_t QueryService::AddColumn(const StoredIndex* index) {
-  columns_.push_back(index);
+  columns_.push_back(
+      std::make_unique<std::atomic<const StoredIndex*>>(index));
   return static_cast<uint32_t>(columns_.size() - 1);
+}
+
+void QueryService::UpdateColumn(uint32_t id, const StoredIndex* index) {
+  columns_[id]->store(index, std::memory_order_release);
 }
 
 Status QueryService::Admit(const ServeQuery& query) {
@@ -83,7 +88,8 @@ ServeResult QueryService::RunOne(const AdmittedQuery& admitted) {
     finish();
     return result;
   }
-  const StoredIndex* index = columns_[admitted.query.column];
+  const StoredIndex* index =
+      columns_[admitted.query.column]->load(std::memory_order_acquire);
 
   auto source = index->OpenQuerySource(&result.stats);
   if (!source->status().ok()) {
@@ -107,7 +113,8 @@ ServeResult QueryService::RunOne(const AdmittedQuery& admitted) {
                          ? io_
                          : nullptr;
     SharingSource sharing(source.get(), &cache_, admitted.query.column,
-                          wah_direct, &result.stats, index, io, &planner_);
+                          wah_direct, &result.stats, index, io, &planner_,
+                          index->generation());
     if (io != nullptr) {
       // Submit every cold operand this predicate will touch before
       // evaluation starts: the reads overlap with this query's compute on

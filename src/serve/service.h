@@ -22,6 +22,7 @@
 #ifndef BIX_SERVE_SERVICE_H_
 #define BIX_SERVE_SERVICE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -92,8 +93,20 @@ class QueryService {
   /// outlive the service.  Not safe concurrently with serving.
   uint32_t AddColumn(const StoredIndex* index);
 
+  /// Atomically swaps column `id` to a new index — the compaction
+  /// publication point.  Safe concurrently with serving: queries admitted
+  /// before the swap finish against the old generation (the caller must
+  /// keep the old index alive until they drain), queries planned after it
+  /// read the new one.  Staleness safety does not depend on timing: cache
+  /// keys carry the index's generation (OperandKey::generation), so a
+  /// query on the new generation can never consume an operand cached from
+  /// the old one.
+  void UpdateColumn(uint32_t id, const StoredIndex* index);
+
   size_t num_columns() const { return columns_.size(); }
-  const StoredIndex* column(uint32_t id) const { return columns_[id]; }
+  const StoredIndex* column(uint32_t id) const {
+    return columns_[id]->load(std::memory_order_acquire);
+  }
 
   /// Admits one query (see AdmissionController::Admit).
   Status Admit(const ServeQuery& query);
@@ -124,7 +137,9 @@ class QueryService {
   AdmissionController admission_;
   OperandCache cache_;
   PrefetchPlanner planner_;
-  std::vector<const StoredIndex*> columns_;
+  // Atomic slots so UpdateColumn can swap a column mid-serve; the vector
+  // itself is append-only before serving starts.
+  std::vector<std::unique_ptr<std::atomic<const StoredIndex*>>> columns_;
   // Async fetch executor (null = synchronous fetches).  Declared after
   // cache_/columns_ and drained in the destructor, so no fetch job can
   // outlive the state it publishes into.

@@ -55,6 +55,37 @@ class PosixRandomAccessFile final : public RandomAccessFile {
   std::filesystem::path path_;
 };
 
+class PosixAppendableFile final : public AppendableFile {
+ public:
+  PosixAppendableFile(int fd, std::filesystem::path path)
+      : fd_(fd), path_(std::move(path)) {}
+  ~PosixAppendableFile() override { ::close(fd_); }
+
+  Status Append(std::span<const uint8_t> data) override {
+    size_t written = 0;
+    while (written < data.size()) {
+      ssize_t r = ::write(fd_, data.data() + written, data.size() - written);
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        return Status::IoError(Errno("append failed:", path_));
+      }
+      written += static_cast<size_t>(r);
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    if (::fsync(fd_) != 0) {
+      return Status::IoError(Errno("fsync failed:", path_));
+    }
+    return Status::OK();
+  }
+
+ private:
+  int fd_;
+  std::filesystem::path path_;
+};
+
 class PosixEnv final : public Env {
  public:
   Status NewRandomAccessFile(
@@ -63,6 +94,18 @@ class PosixEnv final : public Env {
     int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
     if (fd < 0) return Status::IoError(Errno("cannot open:", path));
     *out = std::make_unique<PosixRandomAccessFile>(fd, path);
+    return Status::OK();
+  }
+
+  Status NewAppendableFile(
+      const std::filesystem::path& path,
+      std::unique_ptr<AppendableFile>* out) const override {
+    int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC,
+                    0644);
+    if (fd < 0) {
+      return Status::IoError(Errno("cannot open for append:", path));
+    }
+    *out = std::make_unique<PosixAppendableFile>(fd, path);
     return Status::OK();
   }
 
@@ -199,11 +242,69 @@ class FaultInjectingFile final : public RandomAccessFile {
   std::string path_;
 };
 
+/// Append-through wrapper that routes every mutation past the crash-point
+/// logic.  At namespace scope so the friend declaration in env.h applies.
+class FaultInjectingAppendableFile final : public AppendableFile {
+ public:
+  FaultInjectingAppendableFile(std::unique_ptr<AppendableFile> base,
+                               const FaultInjectingEnv* env, std::string path)
+      : base_(std::move(base)), env_(env), path_(std::move(path)) {}
+
+  Status Append(std::span<const uint8_t> data) override {
+    size_t persist = FaultInjectingEnv::kNoPersist;
+    Status s = env_->OnMutation(path_, data.size(), &persist);
+    if (s.ok()) return base_->Append(data);
+    if (persist != FaultInjectingEnv::kNoPersist && persist > 0) {
+      // The crash tears this append: a prefix reaches the file.
+      base_->Append(data.first(persist));
+    }
+    return s;
+  }
+
+  Status Sync() override {
+    size_t persist = FaultInjectingEnv::kNoPersist;
+    Status s = env_->OnMutation(path_, 0, &persist);
+    if (s.ok()) return base_->Sync();
+    return s;
+  }
+
+ private:
+  std::unique_ptr<AppendableFile> base_;
+  const FaultInjectingEnv* env_;
+  std::string path_;
+};
+
 FaultInjectingEnv::FaultInjectingEnv(const Env* base, FaultPlan plan)
     : base_(base) {
   for (FaultSpec& spec : plan.faults) {
     specs_.push_back(SpecState{spec, spec.count});
   }
+}
+
+Status FaultInjectingEnv::OnMutation(const std::string& path,
+                                     size_t data_size, size_t* persist) const {
+  *persist = kNoPersist;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) {
+    ++injected_errors_;
+    return Status::IoError("simulated crash: env is down (" + path + ")");
+  }
+  ++mutation_events_;
+  for (SpecState& state : specs_) {
+    const FaultSpec& spec = state.spec;
+    if (spec.kind != FaultSpec::Kind::kCrashPoint) continue;
+    if (path.find(spec.path_substring) == std::string::npos) continue;
+    if (state.remaining <= 0) continue;
+    if (--state.remaining == 0) {
+      crashed_ = true;
+      ++injected_errors_;
+      *persist = static_cast<size_t>(
+          std::min<uint64_t>(spec.offset, data_size));
+      return Status::IoError("injected crash at mutation event " +
+                             std::to_string(mutation_events_) + ": " + path);
+    }
+  }
+  return Status::OK();
 }
 
 Status FaultInjectingEnv::ApplyReadFaults(const std::string& path,
@@ -241,6 +342,9 @@ Status FaultInjectingEnv::ApplyReadFaults(const std::string& path,
         // Handled by TruncatedSize(); data past the cut never arrives.
         break;
       case FaultSpec::Kind::kRenameFail:
+        break;
+      case FaultSpec::Kind::kCrashPoint:
+        // Handled by OnMutation(); reads observe the post-crash disk state.
         break;
     }
   }
@@ -305,18 +409,56 @@ Status FaultInjectingEnv::NewRandomAccessFile(
   return Status::OK();
 }
 
+Status FaultInjectingEnv::NewAppendableFile(
+    const std::filesystem::path& path,
+    std::unique_ptr<AppendableFile>* out) const {
+  // Opening for append creates the file: that creation is itself a
+  // mutating event (a crash here means the log file never appears).
+  size_t persist = kNoPersist;
+  Status s = OnMutation(path.string(), 0, &persist);
+  if (!s.ok()) return s;
+  std::unique_ptr<AppendableFile> base_file;
+  s = base_->NewAppendableFile(path, &base_file);
+  if (!s.ok()) return s;
+  *out = std::make_unique<FaultInjectingAppendableFile>(std::move(base_file),
+                                                        this, path.string());
+  return Status::OK();
+}
+
 Status FaultInjectingEnv::WriteFile(const std::filesystem::path& path,
                                     std::span<const uint8_t> data) const {
-  return base_->WriteFile(path, data);
+  size_t persist = kNoPersist;
+  Status s = OnMutation(path.string(), data.size(), &persist);
+  if (s.ok()) return base_->WriteFile(path, data);
+  if (persist != kNoPersist) {
+    // The crash tears this write: the file is created/truncated and a
+    // prefix lands.
+    base_->WriteFile(path, data.first(persist));
+  }
+  return s;
 }
 
 Status FaultInjectingEnv::WriteFileSynced(const std::filesystem::path& path,
                                           std::span<const uint8_t> data) const {
-  return base_->WriteFile(path, data);
+  size_t persist = kNoPersist;
+  Status s = OnMutation(path.string(), data.size(), &persist);
+  if (s.ok()) return base_->WriteFile(path, data);
+  if (persist != kNoPersist) {
+    base_->WriteFile(path, data.first(persist));
+  }
+  return s;
 }
 
 Status FaultInjectingEnv::Rename(const std::filesystem::path& from,
                                  const std::filesystem::path& to) const {
+  {
+    size_t persist = kNoPersist;
+    // A crash at a rename event means the rename never happened (rename is
+    // atomic: the crash lands on one side of it, and crash-after is the
+    // same disk state as crashing at the next event).
+    Status s = OnMutation(to.string(), 0, &persist);
+    if (!s.ok()) return s;
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (SpecState& state : specs_) {
@@ -335,6 +477,9 @@ Status FaultInjectingEnv::Rename(const std::filesystem::path& from,
 }
 
 Status FaultInjectingEnv::RemoveFile(const std::filesystem::path& path) const {
+  size_t persist = kNoPersist;
+  Status s = OnMutation(path.string(), 0, &persist);
+  if (!s.ok()) return s;
   return base_->RemoveFile(path);
 }
 
@@ -355,6 +500,16 @@ int64_t FaultInjectingEnv::injected_errors() const {
 int64_t FaultInjectingEnv::injected_corruptions() const {
   std::lock_guard<std::mutex> lock(mu_);
   return injected_corruptions_;
+}
+
+int64_t FaultInjectingEnv::mutation_events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return mutation_events_;
+}
+
+bool FaultInjectingEnv::crashed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return crashed_;
 }
 
 }  // namespace bix

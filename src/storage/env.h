@@ -46,6 +46,19 @@ class RandomAccessFile {
   virtual Status Size(uint64_t* size) const = 0;
 };
 
+/// A file opened for appending (the delta log's write handle).  Append
+/// adds bytes at the end; Sync makes everything appended so far durable.
+/// One writer at a time; readers go through NewRandomAccessFile.
+class AppendableFile {
+ public:
+  virtual ~AppendableFile() = default;
+
+  virtual Status Append(std::span<const uint8_t> data) = 0;
+
+  /// fsync: appended bytes survive a crash after Sync returns OK.
+  virtual Status Sync() = 0;
+};
+
 class Env {
  public:
   virtual ~Env() = default;
@@ -56,6 +69,11 @@ class Env {
   virtual Status NewRandomAccessFile(
       const std::filesystem::path& path,
       std::unique_ptr<RandomAccessFile>* out) const = 0;
+
+  /// Opens `path` for appending, creating it (empty) when missing.
+  virtual Status NewAppendableFile(
+      const std::filesystem::path& path,
+      std::unique_ptr<AppendableFile>* out) const = 0;
 
   /// Creates/truncates `path` with `data`.  Not durable by itself (no
   /// fsync) — integrity of index payload files is guaranteed by checksums
@@ -103,12 +121,21 @@ struct FaultSpec {
     kTruncate,   // the file appears to end at `offset` (torn write)
     kRenameFail, // next `count` renames onto a matching path fail (crash
                  // between temp-write and rename)
+    kCrashPoint, // the process "dies" at the `count`-th mutating I/O event
+                 // touching a matching path: that event persists only an
+                 // `offset`-byte prefix of its data (renames/removes simply
+                 // do not happen), and every subsequent mutation on ANY
+                 // path fails with IoError — the crash-point injection the
+                 // mutation chaos harness enumerates.  Reads keep working
+                 // (they see the post-crash disk state); recovery is
+                 // exercised by reopening through a fresh env.
   };
   Kind kind = Kind::kTransient;
   std::string path_substring;
   uint64_t offset = 0;
   int bit = 0;        // kBitFlip: which bit of the byte, 0..7
-  int count = 1;      // kTransient/kRenameFail: failures before healing
+  int count = 1;      // kTransient/kRenameFail: failures before healing;
+                      // kCrashPoint: 1-based index of the fatal event
 };
 
 /// A deterministic set of faults.  The same plan applied to the same
@@ -127,6 +154,9 @@ class FaultInjectingEnv final : public Env {
   Status NewRandomAccessFile(
       const std::filesystem::path& path,
       std::unique_ptr<RandomAccessFile>* out) const override;
+  Status NewAppendableFile(
+      const std::filesystem::path& path,
+      std::unique_ptr<AppendableFile>* out) const override;
   Status WriteFile(const std::filesystem::path& path,
                    std::span<const uint8_t> data) const override;
   Status Rename(const std::filesystem::path& from,
@@ -140,16 +170,25 @@ class FaultInjectingEnv final : public Env {
   int64_t injected_errors() const;
   int64_t injected_corruptions() const;
 
+  /// Mutating I/O events observed before any crash fired (file create /
+  /// write / append / sync / rename / remove).  A harness replays a
+  /// schedule once through an env with an empty plan to learn the event
+  /// count K, then enumerates kCrashPoint specs with count = 1..K.
+  int64_t mutation_events() const;
+  /// True once a kCrashPoint spec fired (the env is "down").
+  bool crashed() const;
+
  protected:
   Status WriteFileSynced(const std::filesystem::path& path,
                          std::span<const uint8_t> data) const override;
 
  private:
   friend class FaultInjectingFile;
+  friend class FaultInjectingAppendableFile;
 
   struct SpecState {
     FaultSpec spec;
-    int remaining;         // kTransient/kRenameFail budget
+    int remaining;         // kTransient/kRenameFail/kCrashPoint budget
     bool counted = false;  // data faults count once per spec
   };
 
@@ -161,11 +200,25 @@ class FaultInjectingEnv final : public Env {
   /// `*limit` gets the truncated size.
   bool TruncatedSize(const std::string& path, uint64_t* limit) const;
 
+  /// Sentinel for OnMutation's persist out-parameter: the failing event
+  /// performs no I/O at all (the env was already down).
+  static constexpr size_t kNoPersist = static_cast<size_t>(-1);
+
+  /// Accounts one mutating I/O event of `data_size` bytes against `path`.
+  /// Returns OK when the op should proceed normally.  Returns IoError when
+  /// the env is down or this event is a kCrashPoint's fatal one; in the
+  /// latter case `*persist` is the byte prefix the caller must still write
+  /// (the torn write the crash leaves behind), otherwise kNoPersist.
+  Status OnMutation(const std::string& path, size_t data_size,
+                    size_t* persist) const;
+
   const Env* base_;
   mutable std::mutex mu_;
   mutable std::vector<SpecState> specs_;
   mutable int64_t injected_errors_ = 0;
   mutable int64_t injected_corruptions_ = 0;
+  mutable int64_t mutation_events_ = 0;
+  mutable bool crashed_ = false;
 };
 
 }  // namespace bix

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "bitmap/crc32c.h"
+#include "storage/delta.h"
 #include "storage/recovery.h"
 
 namespace bix::format {
@@ -136,9 +137,11 @@ Status ReadBlobFile(const Env& env, const std::filesystem::path& path,
   return DecodeBlobFile(bytes, path.filename().string(), out);
 }
 
-std::vector<uint8_t> EncodeManifest(const Manifest& manifest) {
+std::vector<uint8_t> EncodeManifest(const Manifest& manifest,
+                                    uint32_t generation) {
   std::ostringstream os;
   os << "bix_manifest_v1\n";
+  if (generation > 0) os << "gen " << generation << "\n";
   for (const auto& [name, entry] : manifest) {
     os << "file " << name << " " << entry.size << " " << Hex8(entry.crc)
        << "\n";
@@ -148,8 +151,10 @@ std::vector<uint8_t> EncodeManifest(const Manifest& manifest) {
   return {body.begin(), body.end()};
 }
 
-Status DecodeManifest(std::span<const uint8_t> bytes, Manifest* out) {
+Status DecodeManifest(std::span<const uint8_t> bytes, Manifest* out,
+                      uint32_t* generation) {
   out->clear();
+  if (generation != nullptr) *generation = 0;
   std::string text(bytes.begin(), bytes.end());
   size_t crc_line = text.rfind("crc ");
   if (crc_line == std::string::npos ||
@@ -171,7 +176,17 @@ Status DecodeManifest(std::span<const uint8_t> bytes, Manifest* out) {
     return Status::Corruption("unknown manifest header: " + header);
   }
   std::string key;
+  bool saw_gen = false;
   while (is >> key) {
+    if (key == "gen") {
+      uint32_t gen = 0;
+      if (saw_gen || !(is >> gen) || gen == 0) {
+        return Status::Corruption("bad manifest gen line");
+      }
+      saw_gen = true;
+      if (generation != nullptr) *generation = gen;
+      continue;
+    }
     if (key != "file") {
       return Status::Corruption("unknown manifest key: " + key);
     }
@@ -189,12 +204,13 @@ Status DecodeManifest(std::span<const uint8_t> bytes, Manifest* out) {
 }
 
 Status WriteManifest(const Env& env, const std::filesystem::path& dir,
-                     const Manifest& manifest) {
-  return env.WriteFileAtomic(dir / kManifestFile, EncodeManifest(manifest));
+                     const Manifest& manifest, uint32_t generation) {
+  return env.WriteFileAtomic(dir / kManifestFile,
+                             EncodeManifest(manifest, generation));
 }
 
 Status ReadManifest(const Env& env, const std::filesystem::path& dir,
-                    Manifest* out) {
+                    Manifest* out, uint32_t* generation) {
   std::filesystem::path path = dir / kManifestFile;
   if (!env.FileExists(path)) {
     return Status::NotFound("no manifest in " + dir.string());
@@ -202,7 +218,7 @@ Status ReadManifest(const Env& env, const std::filesystem::path& dir,
   std::vector<uint8_t> bytes;
   Status s = env.ReadFileBytes(path, &bytes);
   if (!s.ok()) return s;
-  return DecodeManifest(bytes, out);
+  return DecodeManifest(bytes, out, generation);
 }
 
 const char* ToString(FileCheck::State state) {
@@ -211,6 +227,7 @@ const char* ToString(FileCheck::State state) {
     case FileCheck::State::kUnverified: return "UNVERIFIED";
     case FileCheck::State::kCorrupt: return "CORRUPT";
     case FileCheck::State::kMissing: return "MISSING";
+    case FileCheck::State::kRecoverable: return "RECOVERABLE";
   }
   return "?";
 }
@@ -219,7 +236,8 @@ Status ScrubIndexDir(const Env& env, const std::filesystem::path& dir,
                      ScrubReport* report) {
   *report = ScrubReport();
   Manifest manifest;
-  Status ms = ReadManifest(env, dir, &manifest);
+  uint32_t generation = 0;
+  Status ms = ReadManifest(env, dir, &manifest, &generation);
   if (ms.code() == Status::Code::kNotFound) {
     // Legacy index: no integrity metadata.  Apply structural checks only.
     report->has_manifest = false;
@@ -295,6 +313,64 @@ Status ScrubIndexDir(const Env& env, const std::filesystem::path& dir,
       check.state = FileCheck::State::kOk;
     }
     report->files.push_back(std::move(check));
+  }
+  // Mutation sidecars (g<N>.delta / g<N>.tomb) live outside the manifest —
+  // the append log mutates in place, and the manifest only ever names
+  // immutable blobs — so scrub them by directory listing.  Only the
+  // current generation's sidecars carry live data; other generations are
+  // orphans a crashed compaction left behind (open removes them).
+  std::vector<std::string> names;
+  if (env.ListDir(dir, &names).ok()) {
+    for (const std::string& name : names) {
+      uint32_t gen = 0;
+      bool is_tomb = false;
+      if (!ParseDeltaFileName(name, &gen, &is_tomb)) continue;
+      FileCheck check;
+      check.name = name;
+      if (gen != generation) {
+        check.state = FileCheck::State::kUnverified;
+        check.detail = "stale generation (orphan; removed at next open)";
+        report->files.push_back(std::move(check));
+        continue;
+      }
+      std::vector<uint8_t> bytes;
+      Status rs = env.ReadFileBytes(dir / name, &bytes);
+      if (!rs.ok()) {
+        check.state = FileCheck::State::kCorrupt;
+        check.detail = rs.ToString();
+      } else if (is_tomb) {
+        CheckedBlob blob;
+        rs = DecodeBlobFile(bytes, name, &blob);
+        if (!rs.ok()) {
+          check.state = FileCheck::State::kCorrupt;
+          check.detail = std::string(rs.message());
+        } else {
+          check.state = FileCheck::State::kOk;
+        }
+      } else {
+        std::vector<uint32_t> values;
+        DeltaLogInfo info;
+        rs = ParseDeltaLog(bytes, name, &values, &info);
+        if (!rs.ok()) {
+          check.state = FileCheck::State::kCorrupt;
+          check.detail = std::string(rs.message());
+        } else if (info.generation != gen) {
+          check.state = FileCheck::State::kCorrupt;
+          check.detail = "log header generation " +
+                         std::to_string(info.generation) +
+                         " != file name generation " + std::to_string(gen);
+        } else if (info.torn_bytes > 0) {
+          check.state = FileCheck::State::kRecoverable;
+          check.detail = "torn tail: " + std::to_string(info.torn_bytes) +
+                         " unsynced byte(s) after " +
+                         std::to_string(info.num_records) +
+                         " intact record(s); truncated at next open";
+        } else {
+          check.state = FileCheck::State::kOk;
+        }
+      }
+      report->files.push_back(std::move(check));
+    }
   }
   return Status::OK();
 }

@@ -27,8 +27,16 @@
 //
 // Manifest text format:
 //   bix_manifest_v1\n
+//   gen <generation>\n                   (only when generation > 0)
 //   file <name> <size> <crc32c hex8>\n   (one per file, sorted)
 //   crc <hex8 of all preceding bytes>\n
+//
+// The generation line is how compaction commits: generation-N blobs carry
+// a "gN_" name prefix, the rewritten index is materialized entirely under
+// the next generation's names, and the atomic manifest rename is the one
+// instant the directory flips from all-old to all-new.  Generation 0
+// (the build-once path) omits the line, so pre-mutation manifests are
+// byte-identical to what this code always wrote.
 
 #ifndef BIX_STORAGE_FORMAT_H_
 #define BIX_STORAGE_FORMAT_H_
@@ -79,22 +87,27 @@ struct ManifestEntry {
 /// name -> entry, sorted by name (map keeps serialization deterministic).
 using Manifest = std::map<std::string, ManifestEntry>;
 
-std::vector<uint8_t> EncodeManifest(const Manifest& manifest);
+std::vector<uint8_t> EncodeManifest(const Manifest& manifest,
+                                    uint32_t generation = 0);
 
-/// Parses + verifies the manifest's own CRC line.
-Status DecodeManifest(std::span<const uint8_t> bytes, Manifest* out);
+/// Parses + verifies the manifest's own CRC line.  `generation` (optional)
+/// receives the manifest's generation tag, 0 when the line is absent.
+Status DecodeManifest(std::span<const uint8_t> bytes, Manifest* out,
+                      uint32_t* generation = nullptr);
 
 /// Writes the manifest atomically (write-temp-fsync-rename).
 Status WriteManifest(const Env& env, const std::filesystem::path& dir,
-                     const Manifest& manifest);
+                     const Manifest& manifest, uint32_t generation = 0);
 
 /// Reads <dir>/index.manifest; NotFound when absent (a V1 index).
 Status ReadManifest(const Env& env, const std::filesystem::path& dir,
-                    Manifest* out);
+                    Manifest* out, uint32_t* generation = nullptr);
 
-/// Per-file verdict from a scrub pass.
+/// Per-file verdict from a scrub pass.  kRecoverable marks damage the
+/// open path repairs losslessly by construction (a torn delta-log tail:
+/// the unsynced suffix of a crashed append) — the index is still clean.
 struct FileCheck {
-  enum class State { kOk, kUnverified, kCorrupt, kMissing };
+  enum class State { kOk, kUnverified, kCorrupt, kMissing, kRecoverable };
   std::string name;
   State state = State::kOk;
   std::string detail;
@@ -122,9 +135,12 @@ struct ScrubReport {
 /// Reads every file named by the manifest, verifying manifest size +
 /// whole-file CRC and (for V2 blobs) per-block CRCs.  Without a manifest
 /// the directory's .bm/.meta files get basic V1 header checks and are
-/// reported kUnverified.  The report is filled even when the returned
-/// status is non-OK (an unreadable manifest still yields a report saying
-/// so).
+/// reported kUnverified.  Mutation sidecars (g<N>.delta append logs and
+/// g<N>.tomb tombstone blobs) are scrubbed too: current-generation logs
+/// are record-parsed (torn tail -> kRecoverable, rot -> kCorrupt), stale
+/// generations are flagged kUnverified orphans.  The report is filled
+/// even when the returned status is non-OK (an unreadable manifest still
+/// yields a report saying so).
 Status ScrubIndexDir(const Env& env, const std::filesystem::path& dir,
                      ScrubReport* report);
 

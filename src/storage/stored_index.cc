@@ -24,15 +24,19 @@ namespace bix {
 
 namespace {
 
+// Base file names; every one is prefixed with GenerationPrefix(generation)
+// ("" at generation 0, so pre-mutation directories keep their exact names).
 constexpr const char* kMetaFile = "index.meta";
 constexpr const char* kNonNullFile = "nonnull.bm";
 
-std::string BitmapFileName(int component, uint32_t slot) {
-  return "c" + std::to_string(component) + "_b" + std::to_string(slot) + ".bm";
+std::string BitmapFileName(const std::string& prefix, int component,
+                           uint32_t slot) {
+  return prefix + "c" + std::to_string(component) + "_b" +
+         std::to_string(slot) + ".bm";
 }
 
-std::string ComponentFileName(int component) {
-  return "c" + std::to_string(component) + ".bm";
+std::string ComponentFileName(const std::string& prefix, int component) {
+  return prefix + "c" + std::to_string(component) + ".bm";
 }
 
 constexpr const char* kIndexFileName = "index.bm";
@@ -58,21 +62,33 @@ Status WriteBlobFile(const Env& env, const std::filesystem::path& dir,
 }
 
 // Packs rows of `width` bits per record, bit j of record r taken from
-// stored bitmap j of `index` component `component` (or, for IS, from the
-// global slot layout).  Used for the row-major CS and IS payloads.
-std::vector<uint8_t> PackRowMajor(const BitmapIndex& index, int first_component,
-                                  int last_component, uint32_t width) {
-  const size_t n = index.num_records();
+// stored bitmap j of `source` components [first, last] (or, for IS, from
+// the global slot layout).  Used for the row-major CS and IS payloads.
+std::vector<uint8_t> PackRowMajor(const BitmapSource& source,
+                                  int first_component, int last_component,
+                                  uint32_t width) {
+  const size_t n = source.num_records();
   std::vector<uint8_t> raw((n * width + 7) / 8, 0);
-  uint64_t bit = 0;
+  // Materialize the columns first (FetchView when the source is in-memory,
+  // Fetch otherwise); `holders` keeps fetched copies alive while `columns`
+  // points at them, and is pre-sized so pointers into it stay valid.
+  std::vector<Bitvector> holders(width);
   std::vector<const Bitvector*> columns;
+  columns.reserve(width);
   for (int c = first_component; c <= last_component; ++c) {
-    const IndexComponent& comp = index.component(c);
-    for (int j = 0; j < comp.num_stored_bitmaps(); ++j) {
-      columns.push_back(&comp.stored(static_cast<uint32_t>(j)));
+    uint32_t stored =
+        NumStoredBitmaps(source.encoding(), source.base().base(c));
+    for (uint32_t j = 0; j < stored; ++j) {
+      const Bitvector* view = source.FetchView(c, j, nullptr);
+      if (view == nullptr) {
+        holders[columns.size()] = source.Fetch(c, j, nullptr);
+        view = &holders[columns.size()];
+      }
+      columns.push_back(view);
     }
   }
   BIX_CHECK(columns.size() == width);
+  uint64_t bit = 0;
   for (size_t r = 0; r < n; ++r) {
     for (uint32_t j = 0; j < width; ++j, ++bit) {
       if (columns[j]->Get(r)) raw[bit >> 3] |= uint8_t{1} << (bit & 7);
@@ -170,7 +186,7 @@ bool StoredIndex::ReconstructSlice(int component, uint32_t slot,
     if (j == slot) continue;
     std::vector<uint8_t> raw;
     EvalStats io;
-    Status s = ReadBlob(BitmapFileName(component, j), &raw, &io,
+    Status s = ReadBlob(BitmapFileName(prefix_, component, j), &raw, &io,
                         decompress_seconds);
     *payload_bytes += io.bytes_read;
     if (!s.ok() || raw.size() < (num_records_ + 7) / 8) {
@@ -187,7 +203,7 @@ bool StoredIndex::ReconstructSlice(int component, uint32_t slot,
 Status StoredIndex::FetchBitmapOperand(int component, uint32_t slot,
                                        bool wah, FetchedOperand* out) const {
   BIX_CHECK(scheme_ == StorageScheme::kBitmapLevel);
-  const std::string name = BitmapFileName(component, slot);
+  const std::string name = BitmapFileName(prefix_, component, slot);
 
   if (wah) {
     // Stored-payload handover for the compressed-domain engine: parse,
@@ -262,7 +278,7 @@ class StoredQuerySource final : public QuerySource {
         obs::TraceSpan span("storage", "load_component");
         span.set_component(c);
         EvalStats io;
-        status_ = index_.ReadBlob(ComponentFileName(c),
+        status_ = index_.ReadBlob(ComponentFileName(index_.prefix_, c),
                                   &raw_[static_cast<size_t>(c)], &io,
                                   decompress_seconds_);
         span.set_bytes(io.bytes_read);
@@ -280,7 +296,7 @@ class StoredQuerySource final : public QuerySource {
       raw_.resize(1);
       obs::TraceSpan span("storage", "load_index");
       EvalStats io;
-      status_ = index_.ReadBlob(kIndexFileName, &raw_[0], &io,
+      status_ = index_.ReadBlob(index_.prefix_ + kIndexFileName, &raw_[0], &io,
                                 decompress_seconds_);
       span.set_bytes(io.bytes_read);
       if (stats_ != nullptr) {
@@ -415,25 +431,47 @@ std::unique_ptr<QuerySource> StoredIndex::OpenQuerySource(
   return std::make_unique<StoredQuerySource>(*this, stats, decompress_seconds);
 }
 
+std::string StoredIndex::GenerationPrefix(uint32_t generation) {
+  if (generation == 0) return "";
+  return "g" + std::to_string(generation) + "_";
+}
+
 Status StoredIndex::Write(const BitmapIndex& index,
                           const std::filesystem::path& dir,
                           StorageScheme scheme, const Codec& codec,
                           std::unique_ptr<StoredIndex>* out,
                           const StoredIndexOptions& options) {
+  return WriteFromSource(index, dir, scheme, codec, out, options,
+                         /*generation=*/0);
+}
+
+Status StoredIndex::WriteFromSource(const BitmapSource& source,
+                                    const std::filesystem::path& dir,
+                                    StorageScheme scheme, const Codec& codec,
+                                    std::unique_ptr<StoredIndex>* out,
+                                    const StoredIndexOptions& options,
+                                    uint32_t generation) {
   const Env* env = options.env != nullptr ? options.env : Env::Default();
   std::error_code ec;
   std::filesystem::create_directories(dir, ec);
   if (ec) return Status::IoError("cannot create directory: " + dir.string());
 
-  // Drop any stale manifest first: while the new files land, the directory
-  // must not look like a complete (old) verified index.
-  Status s = env->RemoveFile(dir / format::kManifestFile);
-  if (!s.ok()) return s;
+  Status s;
+  if (generation == 0) {
+    // Fresh build: drop any stale manifest first — while the new files
+    // land, the directory must not look like a complete (old) verified
+    // index.  Compaction (generation > 0) keeps the old manifest live:
+    // its files do not collide with the new generation's, and the atomic
+    // manifest rename below is the single commit point.
+    s = env->RemoveFile(dir / format::kManifestFile);
+    if (!s.ok()) return s;
+  }
 
+  const std::string prefix = GenerationPrefix(generation);
   format::Manifest manifest;
   int64_t stored = 0;
   int64_t uncompressed = 0;
-  const int n = index.base().num_components();
+  const int n = source.base().num_components();
   const bool wah_operands = UsesWahOperandPayloads(scheme, codec);
 
   auto write_blob = [&](const std::string& name, std::span<const uint8_t> raw,
@@ -446,15 +484,21 @@ Status StoredIndex::Write(const BitmapIndex& index,
   switch (scheme) {
     case StorageScheme::kBitmapLevel: {
       for (int c = 0; c < n && s.ok(); ++c) {
-        const IndexComponent& comp = index.component(c);
-        for (int j = 0; j < comp.num_stored_bitmaps() && s.ok(); ++j) {
-          const Bitvector& bits = comp.stored(static_cast<uint32_t>(j));
-          std::vector<uint8_t> raw = bits.ToBytes();
+        uint32_t num_stored =
+            NumStoredBitmaps(source.encoding(), source.base().base(c));
+        for (uint32_t j = 0; j < num_stored && s.ok(); ++j) {
+          const Bitvector* view = source.FetchView(c, j, nullptr);
+          Bitvector fetched;
+          if (view == nullptr) {
+            fetched = source.Fetch(c, j, nullptr);
+            view = &fetched;
+          }
+          std::vector<uint8_t> raw = view->ToBytes();
           // The "wah" codec's BS payloads carry the exact record count, not
           // the byte-padded bit length, so FetchWah operands match N.
           std::vector<uint8_t> payload =
-              wah_operands ? WahCodec::EncodeBits(bits) : codec.Compress(raw);
-          s = write_blob(BitmapFileName(c, static_cast<uint32_t>(j)), raw,
+              wah_operands ? WahCodec::EncodeBits(*view) : codec.Compress(raw);
+          s = write_blob(BitmapFileName(prefix, c, j), raw,
                          std::move(payload));
         }
       }
@@ -462,20 +506,20 @@ Status StoredIndex::Write(const BitmapIndex& index,
     }
     case StorageScheme::kComponentLevel: {
       for (int c = 0; c < n && s.ok(); ++c) {
-        uint32_t width = static_cast<uint32_t>(
-            index.component(c).num_stored_bitmaps());
-        std::vector<uint8_t> raw = PackRowMajor(index, c, c, width);
-        s = write_blob(ComponentFileName(c), raw, codec.Compress(raw));
+        uint32_t width =
+            NumStoredBitmaps(source.encoding(), source.base().base(c));
+        std::vector<uint8_t> raw = PackRowMajor(source, c, c, width);
+        s = write_blob(ComponentFileName(prefix, c), raw, codec.Compress(raw));
       }
       break;
     }
     case StorageScheme::kIndexLevel: {
       uint32_t width = 0;
       for (int c = 0; c < n; ++c) {
-        width += static_cast<uint32_t>(index.component(c).num_stored_bitmaps());
+        width += NumStoredBitmaps(source.encoding(), source.base().base(c));
       }
-      std::vector<uint8_t> raw = PackRowMajor(index, 0, n - 1, width);
-      s = write_blob(kIndexFileName, raw, codec.Compress(raw));
+      std::vector<uint8_t> raw = PackRowMajor(source, 0, n - 1, width);
+      s = write_blob(prefix + kIndexFileName, raw, codec.Compress(raw));
       break;
     }
   }
@@ -484,8 +528,9 @@ Status StoredIndex::Write(const BitmapIndex& index,
   // The shared non-null bitmap is stored uncompressed and excluded from the
   // index size accounting (it is common to every candidate design).
   {
-    std::vector<uint8_t> raw = index.non_null().ToBytes();
-    s = WriteBlobFile(*env, dir, kNonNullFile, raw, raw.size(), &manifest);
+    std::vector<uint8_t> raw = source.non_null().ToBytes();
+    s = WriteBlobFile(*env, dir, prefix + kNonNullFile, raw, raw.size(),
+                      &manifest);
     if (!s.ok()) return s;
   }
 
@@ -493,31 +538,32 @@ Status StoredIndex::Write(const BitmapIndex& index,
   {
     std::ostringstream meta;
     meta << "bix_index_meta_v2\n";
-    meta << "records " << index.num_records() << "\n";
-    meta << "cardinality " << index.cardinality() << "\n";
+    meta << "records " << source.num_records() << "\n";
+    meta << "cardinality " << source.cardinality() << "\n";
     meta << "encoding "
-         << (index.encoding() == Encoding::kRange ? "range" : "equality")
+         << (source.encoding() == Encoding::kRange ? "range" : "equality")
          << "\n";
     meta << "scheme " << ToString(scheme) << "\n";
     meta << "codec " << codec.name() << "\n";
     meta << "stored_bytes " << stored << "\n";
     meta << "uncompressed_bytes " << uncompressed << "\n";
     meta << "bases_lsb";
-    for (uint32_t b : index.base().bases_lsb_first()) meta << " " << b;
+    for (uint32_t b : source.base().bases_lsb_first()) meta << " " << b;
     meta << "\n";
     std::string text = meta.str();
     std::span<const uint8_t> bytes(
         reinterpret_cast<const uint8_t*>(text.data()), text.size());
-    s = env->WriteFile(dir / kMetaFile, bytes);
+    s = env->WriteFile(dir / (prefix + kMetaFile), bytes);
     if (!s.ok()) return s;
-    manifest[kMetaFile] = format::ManifestEntry{
+    manifest[prefix + kMetaFile] = format::ManifestEntry{
         text.size(), Crc32c(text.data(), text.size())};
   }
 
   // The manifest goes last, atomically: a crash before this point leaves a
-  // directory without a (current) manifest, which refuses to open as a
-  // verified index rather than serving a torn mix of files.
-  s = format::WriteManifest(*env, dir, manifest);
+  // directory without a (current) manifest — or, mid-compaction, with the
+  // previous generation's manifest still governing — which refuses to open
+  // as a verified index rather than serving a torn mix of files.
+  s = format::WriteManifest(*env, dir, manifest, generation);
   if (!s.ok()) return s;
 
   return Open(dir, out, options);
@@ -544,9 +590,10 @@ Status StoredIndex::Open(const std::filesystem::path& dir,
 }
 
 Status StoredIndex::LoadMeta(const std::filesystem::path& dir) {
-  // Manifest first: it decides whether every later read is verified.
+  // Manifest first: it decides whether every later read is verified, and
+  // its generation tag decides which file names are current.
   {
-    Status s = format::ReadManifest(*env_, dir, &manifest_);
+    Status s = format::ReadManifest(*env_, dir, &manifest_, &generation_);
     if (s.ok()) {
       verified_ = true;
     } else if (s.code() == Status::Code::kNotFound) {
@@ -554,10 +601,11 @@ Status StoredIndex::LoadMeta(const std::filesystem::path& dir) {
     } else {
       return s;
     }
+    prefix_ = GenerationPrefix(generation_);
   }
 
   std::vector<uint8_t> meta_bytes;
-  Status s = ReadCheckedFile(kMetaFile, &meta_bytes);
+  Status s = ReadCheckedFile(prefix_ + kMetaFile, &meta_bytes);
   if (!s.ok()) return s;
   std::istringstream f(
       std::string(reinterpret_cast<const char*>(meta_bytes.data()),
@@ -628,10 +676,10 @@ Status StoredIndex::LoadMeta(const std::filesystem::path& dir) {
   // Non-null bitmap (stored uncompressed; V2 blob or legacy V1).
   {
     std::vector<uint8_t> bytes;
-    Status nn = ReadCheckedFile(kNonNullFile, &bytes);
+    Status nn = ReadCheckedFile(prefix_ + kNonNullFile, &bytes);
     if (!nn.ok()) return nn;
     format::CheckedBlob blob;
-    nn = format::DecodeBlobFile(bytes, kNonNullFile, &blob);
+    nn = format::DecodeBlobFile(bytes, prefix_ + kNonNullFile, &blob);
     if (!nn.ok()) return nn;
     if (blob.payload.size() < (num_records_ + 7) / 8) {
       return Status::Corruption("non-null bitmap shorter than N bits");

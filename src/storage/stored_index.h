@@ -107,10 +107,30 @@ class StoredIndex {
                       const Codec& codec, std::unique_ptr<StoredIndex>* out,
                       const StoredIndexOptions& options = {});
 
+  /// Generalization of Write over any BitmapSource, materializing under
+  /// `generation`-tagged file names ("g<N>_" prefix; generation 0 uses the
+  /// bare legacy names).  This is compaction's writer: a delta-overlay
+  /// source folds base + log + tombstones, and because generation N+1's
+  /// files never collide with generation N's, the atomic manifest rename
+  /// at the end is the single instant the directory flips — a crash
+  /// before it leaves the old generation fully intact (plus inert orphan
+  /// files a later open garbage-collects).  Unlike Write, an existing
+  /// manifest is left in place until the new one renames over it.
+  static Status WriteFromSource(const BitmapSource& source,
+                                const std::filesystem::path& dir,
+                                StorageScheme scheme, const Codec& codec,
+                                std::unique_ptr<StoredIndex>* out,
+                                const StoredIndexOptions& options,
+                                uint32_t generation);
+
   /// Opens an index previously materialized with Write.
   static Status Open(const std::filesystem::path& dir,
                      std::unique_ptr<StoredIndex>* out,
                      const StoredIndexOptions& options = {});
+
+  /// "" for generation 0, "g<N>_" otherwise — the file-name prefix that
+  /// keeps concurrent generations of blobs from colliding in one dir.
+  static std::string GenerationPrefix(uint32_t generation);
 
   const BaseSequence& base() const { return base_; }
   Encoding encoding() const { return encoding_; }
@@ -118,6 +138,12 @@ class StoredIndex {
   const Codec& codec() const { return *codec_; }
   size_t num_records() const { return num_records_; }
   uint32_t cardinality() const { return cardinality_; }
+
+  /// Compaction generation this directory is at (0 = as first built).
+  /// Serves as the operand-cache epoch: serve-layer cache keys carry it,
+  /// so operands fetched from an older generation can never satisfy a
+  /// query admitted after a compaction swapped the index.
+  uint32_t generation() const { return generation_; }
 
   /// True when the directory carries a valid manifest and reads are
   /// checksum-verified end to end; false for legacy (V1) indexes, which
@@ -214,6 +240,8 @@ class StoredIndex {
   const Env* env_ = nullptr;
   RetryPolicy retry_;
   std::filesystem::path dir_;
+  uint32_t generation_ = 0;
+  std::string prefix_;  // GenerationPrefix(generation_), cached
   BaseSequence base_;
   Encoding encoding_ = Encoding::kRange;
   StorageScheme scheme_ = StorageScheme::kBitmapLevel;

@@ -1,0 +1,556 @@
+// Crash-point chaos battery for the mutable stored index (DESIGN.md §14).
+//
+// For a set of seeded build → append → delete → compact schedules, every
+// mutating I/O event (file create, write, append, fsync, rename, remove)
+// is in turn made fatal via FaultSpec::kCrashPoint: the event persists
+// only a prefix of its bytes, every later mutation fails, and the
+// directory is then reopened through a *clean* env — simulating a process
+// that died at exactly that point and restarted.
+//
+// The invariant under test is atomicity-per-operation:
+//   * every reopen succeeds (recovery never wedges the index), and
+//   * the reopened index answers the whole restricted query workload
+//     exactly like a scan over the logical column either BEFORE or AFTER
+//     the operation the crash interrupted — never a mix of the two, and
+//     never some third state.
+// Operations the index acknowledged (returned OK) before the crash must
+// be durable, so only the in-flight operation contributes two candidate
+// oracles.
+//
+// Every third combination additionally reopens under transient read
+// faults (exercising recovery and retry together), and dedicated tests
+// cover a second crash during recovery itself, a failed manifest rename
+// inside compaction, and continuing to mutate after a recovery.
+//
+// The issue's acceptance bar — at least 500 schedule × crash-point
+// combinations — is asserted at the bottom of the enumeration test.
+
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baseline/scan.h"
+#include "bitmap/bitvector.h"
+#include "compress/codec.h"
+#include "core/bitmap_index.h"
+#include "storage/delta.h"
+#include "storage/env.h"
+#include "storage/stored_index.h"
+#include "workload/queries.h"
+
+namespace bix {
+namespace {
+
+class TempDir {
+ public:
+  TempDir() {
+    std::string tmpl =
+        (std::filesystem::temp_directory_path() / "bix_crash_XXXXXX").string();
+    std::vector<char> buf(tmpl.begin(), tmpl.end());
+    buf.push_back('\0');
+    path_ = mkdtemp(buf.data());
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+  const std::filesystem::path& path() const { return path_; }
+
+ private:
+  std::filesystem::path path_;
+};
+
+struct Op {
+  enum class Kind { kAppend, kDelete, kCompact };
+  Kind kind = Kind::kCompact;
+  std::vector<uint32_t> values;  // append ranks / delete row ids
+};
+
+struct Schedule {
+  std::string label;
+  StorageScheme scheme;
+  std::string codec;
+  Encoding encoding;
+  std::vector<uint32_t> bases;  // LSB-first
+  uint32_t cardinality;
+  size_t base_rows;
+  uint64_t seed;
+  std::vector<Op> ops = {};  // filled by GenerateOps
+};
+
+// Applies `op` to the logical column (the scan oracle).
+void ApplyToOracle(const Op& op, std::vector<uint32_t>* logical) {
+  switch (op.kind) {
+    case Op::Kind::kAppend:
+      logical->insert(logical->end(), op.values.begin(), op.values.end());
+      break;
+    case Op::Kind::kDelete:
+      for (uint32_t r : op.values) (*logical)[r] = kNullValue;
+      break;
+    case Op::Kind::kCompact:
+      break;  // physical only
+  }
+}
+
+// Fills in a deterministic op sequence: two rounds of append/delete each
+// ending in a compaction, sized so the event space (log appends, tombstone
+// replaces, blob writes, manifest renames, garbage-collection removes) is
+// well covered.
+void GenerateOps(Schedule* s) {
+  std::mt19937 rng(s->seed);
+  size_t total = s->base_rows;
+  auto rank = [&]() -> uint32_t {
+    uint32_t r = rng() % (s->cardinality + 1);
+    return r == s->cardinality ? kNullValue : r;
+  };
+  auto append = [&](size_t n) {
+    Op op;
+    op.kind = Op::Kind::kAppend;
+    for (size_t i = 0; i < n; ++i) op.values.push_back(rank());
+    total += n;
+    s->ops.push_back(std::move(op));
+  };
+  auto del = [&](size_t n) {
+    Op op;
+    op.kind = Op::Kind::kDelete;
+    for (size_t i = 0; i < n; ++i)
+      op.values.push_back(rng() % static_cast<uint32_t>(total));
+    s->ops.push_back(std::move(op));
+  };
+  auto compact = [&] { s->ops.push_back(Op{Op::Kind::kCompact, {}}); };
+  append(3);
+  del(2);
+  append(2);
+  compact();
+  del(2);
+  append(3);
+  compact();
+  del(1);
+  append(2);
+  compact();
+}
+
+std::vector<Schedule> MakeSchedules() {
+  std::vector<Schedule> schedules = {
+      {"bs-none-range", StorageScheme::kBitmapLevel, "none", Encoding::kRange,
+       {3, 2}, 6, 96, 11},
+      {"bs-wah-range", StorageScheme::kBitmapLevel, "wah", Encoding::kRange,
+       {3, 2}, 6, 96, 12},
+      {"bs-lz77-eq", StorageScheme::kBitmapLevel, "lz77", Encoding::kEquality,
+       {6}, 6, 128, 13},
+      {"cs-none-range", StorageScheme::kComponentLevel, "none",
+       Encoding::kRange, {3, 2}, 6, 96, 14},
+      {"cs-lz77-eq", StorageScheme::kComponentLevel, "lz77",
+       Encoding::kEquality, {7}, 7, 112, 15},
+      {"is-none-range", StorageScheme::kIndexLevel, "none", Encoding::kRange,
+       {2, 3}, 6, 96, 16},
+      {"is-lz77-range", StorageScheme::kIndexLevel, "lz77", Encoding::kRange,
+       {3, 2}, 6, 160, 17},
+      {"bs-none-eq", StorageScheme::kBitmapLevel, "none", Encoding::kEquality,
+       {5}, 5, 100, 18},
+      {"bs-deflate-range", StorageScheme::kBitmapLevel, "deflate",
+       Encoding::kRange, {3, 2}, 6, 96, 19},
+      {"is-rle-eq", StorageScheme::kIndexLevel, "rle", Encoding::kEquality,
+       {6}, 6, 120, 20},
+  };
+  for (Schedule& s : schedules) GenerateOps(&s);
+  return schedules;
+}
+
+// Builds the base index (outside the fault env: crash points cover the
+// mutation path; the build path's atomicity is fault_injection_test.cc's
+// job) and returns the initial logical column.
+std::vector<uint32_t> BuildBase(const Schedule& s,
+                                const std::filesystem::path& dir) {
+  std::mt19937 rng(s.seed * 7919 + 1);
+  std::vector<uint32_t> logical;
+  for (size_t i = 0; i < s.base_rows; ++i) {
+    uint32_t r = rng() % (s.cardinality + 2);
+    logical.push_back(r >= s.cardinality ? kNullValue : r);
+  }
+  BitmapIndex index =
+      BitmapIndex::Build(logical, s.cardinality,
+                         BaseSequence::FromLsbFirst(s.bases), s.encoding);
+  const Codec* codec = CodecByName(s.codec);
+  EXPECT_NE(codec, nullptr) << s.codec;
+  std::unique_ptr<StoredIndex> stored;
+  Status st = StoredIndex::Write(index, dir, s.scheme, *codec, &stored);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  return logical;
+}
+
+StoredIndexOptions QuietRetry(const Env* env, uint64_t seed = 1) {
+  StoredIndexOptions options;
+  options.env = env;
+  options.retry.max_attempts = 5;
+  options.retry.seed = seed;
+  options.retry.sleep = [](int64_t) {};
+  return options;
+}
+
+// Replays the schedule's ops against `dir` through `env`.  Returns the
+// candidate logical columns the on-disk state is allowed to equal: the
+// last acknowledged oracle, plus (when an op failed mid-flight) the
+// would-be oracle of that op.
+std::vector<std::vector<uint32_t>> ReplayOps(
+    const Schedule& s, const std::filesystem::path& dir, const Env* env,
+    std::vector<uint32_t> logical) {
+  std::unique_ptr<MutableStoredIndex> index;
+  Status st = MutableStoredIndex::Open(dir, &index, QuietRetry(env, s.seed));
+  if (!st.ok()) {
+    // Open itself cannot crash here (the dir is clean and recovery is a
+    // no-op), so this only happens when a prior test misused the helper.
+    std::string listing;
+    for (const auto& e : std::filesystem::directory_iterator(dir)) {
+      listing += e.path().filename().string() + " ";
+    }
+    ADD_FAILURE() << "open failed: " << st.ToString() << " dir: " << listing;
+    return {logical};
+  }
+  for (const Op& op : s.ops) {
+    std::vector<uint32_t> after = logical;
+    ApplyToOracle(op, &after);
+    switch (op.kind) {
+      case Op::Kind::kAppend:
+        st = index->Append(op.values);
+        break;
+      case Op::Kind::kDelete:
+        st = index->Delete(op.values);
+        break;
+      case Op::Kind::kCompact:
+        st = index->Compact();
+        break;
+    }
+    if (!st.ok()) {
+      // The crash interrupted this op: disk may hold its pre- or
+      // post-state (e.g. an append whose bytes all hit the log before the
+      // failing fsync is durable even though it was never acknowledged).
+      return {logical, std::move(after)};
+    }
+    logical = std::move(after);
+  }
+  return {logical};
+}
+
+// Asserts the reopened index matches exactly one whole candidate oracle
+// across the full restricted workload — pre- or post-op, never a mix.
+void ExpectMatchesOneCandidate(
+    const std::filesystem::path& dir, const Schedule& s,
+    const std::vector<std::vector<uint32_t>>& candidates, const Env* env,
+    uint64_t retry_seed, const std::string& context) {
+  std::unique_ptr<MutableStoredIndex> index;
+  Status st = MutableStoredIndex::Open(dir, &index, QuietRetry(env, retry_seed));
+  ASSERT_TRUE(st.ok()) << context << ": reopen failed: " << st.ToString();
+
+  const std::vector<Query> queries = RestrictedSelectionQueries(s.cardinality);
+  std::vector<Bitvector> got;
+  got.reserve(queries.size());
+  for (const Query& q : queries) {
+    Status qs;
+    got.push_back(
+        index->Evaluate(EvalAlgorithm::kAuto, q.op, q.v, nullptr, nullptr,
+                        &qs));
+    ASSERT_TRUE(qs.ok()) << context << ": query failed: " << qs.ToString();
+  }
+  for (const auto& candidate : candidates) {
+    if (index->num_records() != candidate.size()) continue;
+    bool all = true;
+    for (size_t i = 0; i < queries.size() && all; ++i) {
+      all = got[i] == ScanEvaluate(candidate, queries[i].op, queries[i].v);
+    }
+    if (all) return;  // consistent with this candidate — invariant holds
+  }
+  FAIL() << context << ": reopened state matches no candidate oracle ("
+         << candidates.size() << " candidate(s); index has "
+         << index->num_records() << " records)";
+}
+
+// Copies the clean base build so each crash point replays against a
+// pristine directory without paying a rebuild.
+void CopyDir(const std::filesystem::path& from,
+             const std::filesystem::path& to) {
+  std::filesystem::create_directories(to);
+  std::filesystem::copy(from, to,
+                        std::filesystem::copy_options::recursive |
+                            std::filesystem::copy_options::overwrite_existing);
+}
+
+TEST(MutationCrash, EveryCrashPointRecoversToPreOrPostState) {
+  size_t combos = 0;
+  for (const Schedule& s : MakeSchedules()) {
+    TempDir tmp;
+    const std::filesystem::path base_dir = tmp.path() / "base";
+    const std::vector<uint32_t> base_logical = BuildBase(s, base_dir);
+
+    // Pass 1 (no faults): learn the schedule's mutation-event count K.
+    FaultInjectingEnv count_env(Env::Default(), FaultPlan{});
+    {
+      const std::filesystem::path dir = tmp.path() / "probe";
+      CopyDir(base_dir, dir);
+      auto final_oracle = ReplayOps(s, dir, &count_env, base_logical);
+      ASSERT_EQ(final_oracle.size(), 1u) << s.label << ": fault-free replay "
+                                            "reported a failed op";
+      // Sanity: the fault-free replay itself lands on the final oracle.
+      ExpectMatchesOneCandidate(dir, s, final_oracle, Env::Default(), s.seed,
+                                s.label + " fault-free");
+    }
+    const int64_t num_events = count_env.mutation_events();
+    ASSERT_GT(num_events, 0) << s.label;
+
+    // Pass 2: make each event fatal in turn.
+    for (int64_t k = 1; k <= num_events; ++k, ++combos) {
+      SCOPED_TRACE(s.label + " crash-point " + std::to_string(k));
+      const std::filesystem::path dir =
+          tmp.path() / ("k" + std::to_string(k));
+      CopyDir(base_dir, dir);
+
+      FaultPlan plan;
+      FaultSpec crash;
+      crash.kind = FaultSpec::Kind::kCrashPoint;
+      crash.path_substring = "";  // any file in the dir
+      crash.count = static_cast<int>(k);
+      // Vary how much of the fatal write survives: nothing, one byte, or
+      // a 5-byte torn prefix, cycling with k.
+      crash.offset = (k % 3 == 0) ? 0 : (k % 3 == 1 ? 1 : 5);
+      plan.faults.push_back(crash);
+      FaultInjectingEnv crash_env(Env::Default(), std::move(plan));
+
+      auto candidates = ReplayOps(s, dir, &crash_env, base_logical);
+      ASSERT_TRUE(crash_env.crashed()) << "crash point " << k
+                                       << " never fired";
+
+      if (combos % 3 == 0) {
+        // Reopen under transient read faults: recovery + retry together.
+        FaultPlan read_plan;
+        FaultSpec flaky;
+        flaky.kind = FaultSpec::Kind::kTransient;
+        flaky.path_substring = ".bm";
+        flaky.count = 2;
+        read_plan.faults.push_back(flaky);
+        FaultInjectingEnv flaky_env(Env::Default(), std::move(read_plan));
+        ExpectMatchesOneCandidate(dir, s, candidates, &flaky_env,
+                                  s.seed + static_cast<uint64_t>(k),
+                                  "flaky reopen");
+      } else {
+        ExpectMatchesOneCandidate(dir, s, candidates, Env::Default(),
+                                  s.seed + static_cast<uint64_t>(k),
+                                  "clean reopen");
+      }
+      std::error_code ec;
+      std::filesystem::remove_all(dir, ec);  // keep the temp dir bounded
+    }
+  }
+  // The issue's acceptance floor: ≥ 500 schedule × crash-point combos.
+  EXPECT_GE(combos, 500u) << "crash battery shrank below the acceptance bar";
+}
+
+// A second crash during recovery itself (repairing a torn log tail,
+// sweeping orphans) must leave the directory recoverable by the next
+// clean open — recovery is idempotent.
+TEST(MutationCrash, CrashDuringRecoveryStaysRecoverable) {
+  Schedule s{"recovery", StorageScheme::kBitmapLevel, "none",
+             Encoding::kRange, {3, 2}, 6, 96, 21};
+  GenerateOps(&s);
+
+  TempDir tmp;
+  const std::filesystem::path base_dir = tmp.path() / "base";
+  const std::vector<uint32_t> base_logical = BuildBase(s, base_dir);
+
+  FaultInjectingEnv count_env(Env::Default(), FaultPlan{});
+  {
+    const std::filesystem::path dir = tmp.path() / "probe";
+    CopyDir(base_dir, dir);
+    ReplayOps(s, dir, &count_env, base_logical);
+  }
+  const int64_t num_events = count_env.mutation_events();
+
+  size_t double_crashes = 0;
+  for (int64_t k = 1; k <= num_events; ++k) {
+    // First crash: at event k mid-schedule, persisting a torn prefix.
+    const std::filesystem::path dir = tmp.path() / ("k" + std::to_string(k));
+    CopyDir(base_dir, dir);
+    FaultPlan plan;
+    plan.faults.push_back(FaultSpec{FaultSpec::Kind::kCrashPoint, "",
+                                    /*offset=*/3, /*bit=*/0,
+                                    /*count=*/static_cast<int>(k)});
+    FaultInjectingEnv crash_env(Env::Default(), std::move(plan));
+    auto candidates = ReplayOps(s, dir, &crash_env, base_logical);
+
+    // Probe how many mutation events the recovery open performs (torn-log
+    // rewrite, orphan sweeps); skip crash points whose recovery is pure
+    // reading.
+    FaultInjectingEnv probe_env(Env::Default(), FaultPlan{});
+    {
+      std::unique_ptr<MutableStoredIndex> probe;
+      Status st = MutableStoredIndex::Open(dir, &probe,
+                                           QuietRetry(&probe_env, s.seed));
+      ASSERT_TRUE(st.ok()) << st.ToString();
+    }
+    const int64_t recovery_events = probe_env.mutation_events();
+    // NOTE: the probe open above already performed the recovery, so to
+    // crash *inside* recovery we rebuild the first crash's disk state.
+    for (int64_t r = 1; r <= recovery_events; ++r, ++double_crashes) {
+      SCOPED_TRACE("crash " + std::to_string(k) + " then recovery crash " +
+                   std::to_string(r));
+      const std::filesystem::path dir2 =
+          tmp.path() / ("k" + std::to_string(k) + "r" + std::to_string(r));
+      CopyDir(base_dir, dir2);
+      FaultPlan first;
+      first.faults.push_back(FaultSpec{FaultSpec::Kind::kCrashPoint, "",
+                                       /*offset=*/3, /*bit=*/0,
+                                       /*count=*/static_cast<int>(k)});
+      FaultInjectingEnv env1(Env::Default(), std::move(first));
+      auto cand2 = ReplayOps(s, dir2, &env1, base_logical);
+
+      // Second crash: during the recovery open.  The open may fail — the
+      // invariant is only that a *clean* open afterwards succeeds and
+      // lands on a candidate oracle.
+      FaultPlan second;
+      second.faults.push_back(FaultSpec{FaultSpec::Kind::kCrashPoint, "",
+                                        /*offset=*/1, /*bit=*/0,
+                                        /*count=*/static_cast<int>(r)});
+      FaultInjectingEnv env2(Env::Default(), std::move(second));
+      {
+        std::unique_ptr<MutableStoredIndex> doomed;
+        (void)MutableStoredIndex::Open(dir2, &doomed,
+                                       QuietRetry(&env2, s.seed));
+      }
+      ExpectMatchesOneCandidate(dir2, s, cand2, Env::Default(), s.seed,
+                                "after double crash");
+      std::error_code ec;
+      std::filesystem::remove_all(dir2, ec);
+    }
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);
+  }
+  // Torn appends leave repair work for recovery, so some crash points must
+  // have produced recovery mutations for the double-crash loop to chew on.
+  EXPECT_GT(double_crashes, 0u);
+}
+
+// Compaction whose manifest rename fails commits nothing: the index stays
+// at the old generation with the overlay intact, and a reopened handle
+// can compact successfully.
+TEST(MutationCrash, FailedManifestRenameAbortsCompaction) {
+  TempDir tmp;
+  Schedule s{"rename", StorageScheme::kBitmapLevel, "none", Encoding::kRange,
+             {3, 2}, 6, 96, 31};
+  std::vector<uint32_t> logical = BuildBase(s, tmp.path() / "idx");
+
+  FaultPlan plan;
+  FaultSpec rename_fail;
+  rename_fail.kind = FaultSpec::Kind::kRenameFail;
+  rename_fail.path_substring = "index.manifest";
+  rename_fail.count = 1;
+  plan.faults.push_back(rename_fail);
+  FaultInjectingEnv env(Env::Default(), std::move(plan));
+
+  std::unique_ptr<MutableStoredIndex> index;
+  ASSERT_TRUE(
+      MutableStoredIndex::Open(tmp.path() / "idx", &index, QuietRetry(&env))
+          .ok());
+  ASSERT_TRUE(index->Append(std::vector<uint32_t>{1, 2, kNullValue}).ok());
+  logical.insert(logical.end(), {1, 2, kNullValue});
+  ASSERT_TRUE(index->Delete(std::vector<uint32_t>{0, 97}).ok());
+  logical[0] = logical[97] = kNullValue;
+
+  // The rename fails; nothing must have committed.
+  Status st = index->Compact();
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(index->generation(), 0u);
+  EXPECT_TRUE(index->has_pending());
+
+  // The handle is poisoned for further mutations but keeps serving.
+  EXPECT_FALSE(index->Append(std::vector<uint32_t>{3}).ok());
+  for (const Query& q : RestrictedSelectionQueries(s.cardinality)) {
+    Status qs;
+    Bitvector got = index->Evaluate(EvalAlgorithm::kAuto, q.op, q.v, nullptr,
+                                    nullptr, &qs);
+    ASSERT_TRUE(qs.ok());
+    ASSERT_EQ(got, ScanEvaluate(logical, q.op, q.v));
+  }
+
+  // Reopen clean: pending mutations survived, compaction now succeeds, and
+  // the orphan generation-1 blobs from the aborted attempt are swept.
+  index.reset();
+  std::unique_ptr<MutableStoredIndex> reopened;
+  ASSERT_TRUE(
+      MutableStoredIndex::Open(tmp.path() / "idx", &reopened).ok());
+  EXPECT_TRUE(reopened->has_pending());
+  ASSERT_TRUE(reopened->Compact().ok());
+  EXPECT_EQ(reopened->generation(), 1u);
+  for (const Query& q : RestrictedSelectionQueries(s.cardinality)) {
+    Status qs;
+    Bitvector got = reopened->Evaluate(EvalAlgorithm::kAuto, q.op, q.v,
+                                       nullptr, nullptr, &qs);
+    ASSERT_TRUE(qs.ok());
+    ASSERT_EQ(got, ScanEvaluate(logical, q.op, q.v));
+  }
+}
+
+// After a crash and recovery the index is not merely readable — the full
+// mutation lifecycle (append, delete, compact) keeps working.
+TEST(MutationCrash, MutationsContinueAfterRecovery) {
+  TempDir tmp;
+  Schedule s{"continue", StorageScheme::kBitmapLevel, "lz77", Encoding::kRange,
+             {3, 2}, 6, 96, 41};
+  std::vector<uint32_t> logical = BuildBase(s, tmp.path() / "idx");
+
+  // Crash mid-append: the second batch's record write dies with a 3-byte
+  // torn prefix.  Log events so far: create(1), header append(2), first
+  // record append(3), sync(4), *second record append(5)*.
+  FaultPlan plan;
+  FaultSpec crash;
+  crash.kind = FaultSpec::Kind::kCrashPoint;
+  crash.path_substring = ".delta";
+  crash.count = 5;
+  crash.offset = 3;
+  plan.faults.push_back(crash);
+  FaultInjectingEnv env(Env::Default(), std::move(plan));
+  {
+    std::unique_ptr<MutableStoredIndex> index;
+    ASSERT_TRUE(
+        MutableStoredIndex::Open(tmp.path() / "idx", &index, QuietRetry(&env))
+            .ok());
+    ASSERT_TRUE(index->Append(std::vector<uint32_t>{0, 1}).ok());
+    Status st = index->Append(std::vector<uint32_t>{2, 3});
+    ASSERT_FALSE(st.ok());
+    ASSERT_TRUE(env.crashed());
+  }
+  logical.insert(logical.end(), {0, 1});  // only the acknowledged batch
+
+  std::unique_ptr<MutableStoredIndex> index;
+  ASSERT_TRUE(MutableStoredIndex::Open(tmp.path() / "idx", &index).ok());
+  // The torn second batch may or may not have become durable depending on
+  // what the appendable-file implementation flushed; pin the state by
+  // checking which oracle holds, then continue mutating from it.
+  if (index->num_records() == logical.size() + 2) {
+    logical.insert(logical.end(), {2, 3});
+  }
+  ASSERT_EQ(index->num_records(), logical.size());
+
+  ASSERT_TRUE(index->Append(std::vector<uint32_t>{4, kNullValue}).ok());
+  logical.insert(logical.end(), {4, kNullValue});
+  ASSERT_TRUE(index->Delete(std::vector<uint32_t>{1, 50}).ok());
+  logical[1] = logical[50] = kNullValue;
+  ASSERT_TRUE(index->Compact().ok());
+  EXPECT_EQ(index->generation(), 1u);
+  ASSERT_TRUE(index->Append(std::vector<uint32_t>{5}).ok());
+  logical.push_back(5);
+  for (const Query& q : RestrictedSelectionQueries(s.cardinality)) {
+    Status qs;
+    Bitvector got = index->Evaluate(EvalAlgorithm::kAuto, q.op, q.v, nullptr,
+                                    nullptr, &qs);
+    ASSERT_TRUE(qs.ok());
+    ASSERT_EQ(got, ScanEvaluate(logical, q.op, q.v));
+  }
+}
+
+}  // namespace
+}  // namespace bix

@@ -17,6 +17,7 @@
 
 #include <gtest/gtest.h>
 
+#include "baseline/scan.h"
 #include "compress/codec.h"
 #include "core/advisor.h"
 #include "core/bitmap_index.h"
@@ -771,6 +772,108 @@ TEST(OperandCacheSoakTest, ServiceChurnWithAsyncIoStaysCorrect) {
     ASSERT_TRUE(got[i].status.ok()) << got[i].status.ToString();
     EXPECT_EQ(got[i].foundset, expected[i].foundset);
   }
+}
+
+// Staleness across a compaction swap: two generations of one column live
+// in the same directory (generation 0's blobs plus generation 1's
+// "g1_"-prefixed rewrite, the on-disk state mid-compaction before garbage
+// collection).  While batches stream through a sharing service, the
+// column is swapped to the new generation mid-flight via UpdateColumn.
+// Every result must equal the old generation's oracle or the new one's,
+// wholesale — an operand cached under generation 0 satisfying a
+// generation-1 query (or vice versa) would produce a foundset matching
+// neither.  This is the regression test for OperandKey::generation; it
+// runs under TSan in scripts/check.sh --serve.
+TEST(ServeTest, CompactionSwapNeverServesStaleOperands) {
+  TempDir dir;
+  constexpr uint32_t kCardinality = 17;
+  std::vector<uint32_t> old_data = GenerateZipf(4000, kCardinality, 1.2, 7);
+
+  BitmapIndex old_mem = BitmapIndex::Build(
+      old_data, kCardinality, KneeBase(kCardinality), Encoding::kRange);
+  std::unique_ptr<StoredIndex> old_gen;
+  ASSERT_TRUE(StoredIndex::Write(old_mem, dir.path() / "col",
+                                 StorageScheme::kBitmapLevel,
+                                 *CodecByName("lz77"), &old_gen)
+                  .ok());
+  ASSERT_EQ(old_gen->generation(), 0u);
+
+  // "Compact": the logical column changes (appends + deletes folded in)
+  // and the rewrite lands under generation 1.  The generation-0 handle
+  // stays open over its own (still present) files, exactly like a serve
+  // process that keeps the old index alive while queries drain.
+  std::vector<uint32_t> new_data = old_data;
+  for (size_t i = 0; i < new_data.size(); i += 5) {
+    new_data[i] = (new_data[i] + 3) % kCardinality;
+  }
+  for (size_t i = 0; i < 200; ++i) new_data.push_back(i % kCardinality);
+  BitmapIndex new_mem = BitmapIndex::Build(
+      new_data, kCardinality, KneeBase(kCardinality), Encoding::kRange);
+  std::unique_ptr<StoredIndex> new_gen;
+  ASSERT_TRUE(StoredIndex::WriteFromSource(new_mem, dir.path() / "col",
+                                           StorageScheme::kBitmapLevel,
+                                           *CodecByName("lz77"), &new_gen, {},
+                                           /*generation=*/1)
+                  .ok());
+  ASSERT_EQ(new_gen->generation(), 1u);
+
+  std::vector<serve::ServeQuery> queries;
+  std::vector<Bitvector> want_old, want_new;
+  for (const Query& q : RestrictedSelectionQueries(kCardinality)) {
+    serve::ServeQuery sq;
+    sq.id = queries.size();
+    sq.column = 0;
+    sq.op = q.op;
+    sq.value = q.v;
+    queries.push_back(sq);
+    want_old.push_back(ScanEvaluate(old_data, q.op, q.v));
+    want_new.push_back(ScanEvaluate(new_data, q.op, q.v));
+  }
+
+  serve::ServeOptions options;
+  options.num_threads = 8;
+  options.share_operands = true;
+  options.max_pending = queries.size();
+  serve::QueryService service(options);
+  ASSERT_EQ(service.AddColumn(old_gen.get()), 0u);
+
+  auto check_batch = [&](const std::vector<serve::ServeResult>& results,
+                         bool* saw_old, bool* saw_new) {
+    for (size_t i = 0; i < results.size(); ++i) {
+      ASSERT_TRUE(results[i].status.ok()) << results[i].status.ToString();
+      const bool is_old = results[i].foundset == want_old[i];
+      const bool is_new = results[i].foundset == want_new[i];
+      ASSERT_TRUE(is_old || is_new)
+          << "query " << i << " matches neither generation's oracle "
+          << "(a mixed-generation operand leaked through the cache)";
+      if (is_old) *saw_old = true;
+      if (is_new) *saw_new = true;
+    }
+  };
+
+  // Warm the cache on generation 0 (the staleness hazard needs hits).
+  bool saw_old = false, saw_new = false;
+  check_batch(service.RunBatch(queries), &saw_old, &saw_new);
+  ASSERT_TRUE(saw_old && !saw_new);
+
+  // Swap mid-stream from another thread while batches keep running.
+  std::atomic<bool> swapped{false};
+  std::thread swapper([&] {
+    std::this_thread::sleep_for(std::chrono::microseconds(300));
+    service.UpdateColumn(0, new_gen.get());
+    swapped.store(true, std::memory_order_release);
+  });
+  while (!swapped.load(std::memory_order_acquire)) {
+    check_batch(service.RunBatch(queries), &saw_old, &saw_new);
+    if (HasFatalFailure()) break;
+  }
+  swapper.join();
+  ASSERT_FALSE(HasFatalFailure());
+
+  // After the swap every batch is answered by generation 1 alone.
+  saw_old = saw_new = false;
+  check_batch(service.RunBatch(queries), &saw_old, &saw_new);
+  EXPECT_TRUE(saw_new && !saw_old);
 }
 
 }  // namespace

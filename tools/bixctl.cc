@@ -7,6 +7,9 @@
 //   bixctl info   --dir ./idx
 //   bixctl query  --dir ./idx --pred "<= 24" [--limit 10]
 //   bixctl explain --dir ./idx --pred "<= 24" [--analyze] [--flame-out F]
+//   bixctl append --dir ./idx --values "24,36,null"
+//   bixctl delete --dir ./idx (--rows "0,5,7" | --pred "<= 24")
+//   bixctl compact --dir ./idx
 //   bixctl verify --dir ./idx
 //   bixctl scrub  --dir ./idx --inject SEED
 //   bixctl advise --cardinality 1000 [--budget 100]
@@ -54,6 +57,7 @@
 #include "bench/bench_json.h"
 #include "plan/predicate_parser.h"
 #include "serve/service.h"
+#include "storage/delta.h"
 #include "storage/env.h"
 #include "storage/format.h"
 #include "storage/stored_index.h"
@@ -180,6 +184,10 @@ int Usage() {
                "[--flame-out FILE]\n"
                "                 [--threads N] [--segment-bits B] "
                "[--engine plain|wah|auto]\n"
+               "  bixctl append  --dir D --values \"24,36,null,..\"\n"
+               "  bixctl delete  --dir D (--rows \"0,5,..\" | --pred "
+               "\"<= 24\")\n"
+               "  bixctl compact --dir D\n"
                "  bixctl verify  --dir D\n"
                "  bixctl scrub   --dir D --inject SEED\n"
                "  bixctl advise  --cardinality C [--budget M]\n"
@@ -329,13 +337,20 @@ int CmdBuild(const Flags& flags) {
 int CmdInfo(const Flags& flags) {
   auto dir = flags.Get("dir");
   if (!dir) return Usage();
-  std::unique_ptr<StoredIndex> stored;
-  Status s = StoredIndex::Open(*dir, &stored);
+  std::unique_ptr<MutableStoredIndex> index;
+  Status s = MutableStoredIndex::Open(*dir, &index);
   if (!s.ok()) return Fail(s.ToString());
+  std::shared_ptr<const StoredIndex> stored = index->base();
   ValueMap map;
   bool have_map = ReadValueMap(*dir, &map).ok();
 
-  std::printf("records:       %zu\n", stored->num_records());
+  std::printf("records:       %zu\n", index->num_records());
+  std::printf("generation:    %u\n", index->generation());
+  if (index->has_pending()) {
+    std::printf("pending:       %zu appended row(s) in the append log, %zu "
+                "tombstoned (compact to fold)\n",
+                index->num_delta_rows(), index->num_tombstones());
+  }
   std::printf("cardinality:   %u\n", stored->cardinality());
   std::printf("encoding:      %s\n",
               std::string(ToString(stored->encoding())).c_str());
@@ -372,8 +387,10 @@ int CmdQuery(const Flags& flags) {
   auto trace_out = flags.Get("trace-out");
   auto flame_out = flags.Get("flame-out");
 
-  std::unique_ptr<StoredIndex> stored;
-  Status s = StoredIndex::Open(*dir, &stored);
+  // The mutable view: pending appends/deletes are merged into the
+  // foundset exactly as a rebuilt index would report them.
+  std::unique_ptr<MutableStoredIndex> stored;
+  Status s = MutableStoredIndex::Open(*dir, &stored);
   if (!s.ok()) return Fail(s.ToString());
   ValueMap map;
   s = ReadValueMap(*dir, &map);
@@ -601,7 +618,14 @@ int CmdScrub(const Flags& flags) {
   if (!s.ok()) return Fail(s.ToString());
   std::vector<std::string> targets;
   for (const std::string& name : names) {
-    if (name.size() > 3 && name.compare(name.size() - 3, 3, ".bm") == 0) {
+    // Bitmap blobs and the tombstone sidecar: both are V2 blobs whose
+    // corruption must always be detected.  The append log is excluded —
+    // damage to its unsynced tail is *recoverable* by design, so "was it
+    // detected" is the wrong question for it (scrub still reports its
+    // state via verify's ScrubIndexDir pass).
+    if ((name.size() > 3 && name.compare(name.size() - 3, 3, ".bm") == 0) ||
+        (name.size() > 5 &&
+         name.compare(name.size() - 5, 5, ".tomb") == 0)) {
       targets.push_back(name);
     }
   }
@@ -651,6 +675,140 @@ int CmdScrub(const Flags& flags) {
   }
   std::printf("scrub: OK — %lld injected corruptions, all detected\n",
               static_cast<long long>(env.injected_corruptions()));
+  return 0;
+}
+
+// Parses a comma-separated list of raw values ("null" allowed) into value
+// ranks via the directory's value map.  Appends cannot grow the value
+// domain, so a constant absent from the map is a typed error.
+Status ParseAppendValues(const ValueMap& map, const std::string& text,
+                         std::vector<uint32_t>* ranks) {
+  std::stringstream ss(text);
+  std::string part;
+  while (std::getline(ss, part, ',')) {
+    if (part.empty()) continue;
+    if (part == "null") {
+      ranks->push_back(kNullValue);
+      continue;
+    }
+    int64_t raw = std::atoll(part.c_str());
+    int64_t rank = map.FloorRankOf(raw);
+    if (rank < 0 || map.ValueOf(static_cast<uint32_t>(rank)) != raw) {
+      return Status::InvalidArgument(
+          "value " + part +
+          " is not in the indexed domain (appends cannot grow the value "
+          "map)");
+    }
+    ranks->push_back(static_cast<uint32_t>(rank));
+  }
+  if (ranks->empty()) {
+    return Status::InvalidArgument("--values names no rows");
+  }
+  return Status::OK();
+}
+
+// Appends rows through the crash-safe append log (durable before the
+// command returns; a crash mid-append is repaired at the next open).
+int CmdAppend(const Flags& flags) {
+  auto dir = flags.Get("dir");
+  auto values_flag = flags.Get("values");
+  if (!dir || !values_flag) return Usage();
+  std::unique_ptr<MutableStoredIndex> index;
+  Status s = MutableStoredIndex::Open(*dir, &index);
+  if (!s.ok()) return Fail(s.ToString());
+  ValueMap map;
+  s = ReadValueMap(*dir, &map);
+  if (!s.ok()) return Fail(s.ToString());
+  std::vector<uint32_t> ranks;
+  s = ParseAppendValues(map, *values_flag, &ranks);
+  if (!s.ok()) return Fail(s.ToString());
+  s = index->Append(ranks);
+  if (!s.ok()) return Fail(s.ToString());
+  std::printf("appended %zu row(s): %zu records total, %zu pending in the "
+              "g%u append log\n",
+              ranks.size(), index->num_records(), index->num_delta_rows(),
+              index->generation());
+  return 0;
+}
+
+// Tombstones rows by id (--rows "0,5,7") or by predicate (--pred "<= 24",
+// deleting the predicate's current foundset).  Durable (atomic tombstone
+// replace) before the command returns.
+int CmdDelete(const Flags& flags) {
+  auto dir = flags.Get("dir");
+  auto rows_flag = flags.Get("rows");
+  auto pred_text = flags.Get("pred");
+  if (!dir || (!rows_flag && !pred_text)) return Usage();
+  if (rows_flag && pred_text) return Fail("give --rows or --pred, not both");
+  std::unique_ptr<MutableStoredIndex> index;
+  Status s = MutableStoredIndex::Open(*dir, &index);
+  if (!s.ok()) return Fail(s.ToString());
+
+  std::vector<uint32_t> rows;
+  if (rows_flag) {
+    std::stringstream ss(*rows_flag);
+    std::string part;
+    while (std::getline(ss, part, ',')) {
+      if (part.empty()) continue;
+      int64_t r = std::atoll(part.c_str());
+      if (r < 0 || static_cast<uint64_t>(r) >= index->num_records()) {
+        return Fail("row " + part + " outside [0, " +
+                    std::to_string(index->num_records()) + ")");
+      }
+      rows.push_back(static_cast<uint32_t>(r));
+    }
+  } else {
+    ValueMap map;
+    s = ReadValueMap(*dir, &map);
+    if (!s.ok()) return Fail(s.ToString());
+    ParsedPredicate parsed;
+    s = ParsePredicate(*pred_text, &parsed);
+    if (!s.ok()) return Fail(s.ToString());
+    CompareOp rank_op;
+    int64_t rank_v;
+    TranslateRawPredicate(map, parsed.op, parsed.value, &rank_op, &rank_v);
+    Status eval_status;
+    Bitvector found = index->Evaluate(EvalAlgorithm::kAuto, rank_op, rank_v,
+                                      nullptr, nullptr, &eval_status);
+    if (!eval_status.ok()) return Fail(eval_status.ToString());
+    found.ForEachSetBit(
+        [&rows](size_t r) { rows.push_back(static_cast<uint32_t>(r)); });
+  }
+  if (rows.empty()) {
+    std::printf("nothing to delete\n");
+    return 0;
+  }
+  const size_t before = index->num_tombstones();
+  s = index->Delete(rows);
+  if (!s.ok()) return Fail(s.ToString());
+  std::printf("deleted %zu row(s): %zu of %zu records tombstoned\n",
+              index->num_tombstones() - before, index->num_tombstones(),
+              index->num_records());
+  return 0;
+}
+
+// Folds the append log and tombstones into fresh generation-(G+1) blobs.
+// The manifest rename is the commit point: a crash anywhere leaves the
+// directory opening as exactly the old or the new generation.
+int CmdCompact(const Flags& flags) {
+  auto dir = flags.Get("dir");
+  if (!dir) return Usage();
+  std::unique_ptr<MutableStoredIndex> index;
+  Status s = MutableStoredIndex::Open(*dir, &index);
+  if (!s.ok()) return Fail(s.ToString());
+  if (!index->has_pending()) {
+    std::printf("nothing pending; index stays at generation %u\n",
+                index->generation());
+    return 0;
+  }
+  const size_t delta_rows = index->num_delta_rows();
+  const size_t tombstones = index->num_tombstones();
+  s = index->Compact();
+  if (!s.ok()) return Fail(s.ToString());
+  std::printf("compacted %zu appended + %zu deleted row(s) into generation "
+              "%u (%zu records)\n",
+              delta_rows, tombstones, index->generation(),
+              index->num_records());
   return 0;
 }
 
@@ -789,13 +947,24 @@ int CmdServe(const Flags& flags) {
       flags.GetInt("batch").value_or(
           static_cast<int64_t>(options.max_pending)));
 
-  std::vector<std::unique_ptr<StoredIndex>> indexes;
+  std::vector<std::shared_ptr<const StoredIndex>> indexes;
   std::vector<ValueMap> maps;
   serve::QueryService service(options);
   for (const std::string& dir : dirs) {
-    std::unique_ptr<StoredIndex> stored;
-    Status s = StoredIndex::Open(dir, &stored);
+    // Open through the mutation layer so recovery runs (torn append-log
+    // tails repaired, orphan generations collected), then require a
+    // compacted index: the serve fast paths read base blobs directly.
+    std::unique_ptr<MutableStoredIndex> opened;
+    Status s = MutableStoredIndex::Open(dir, &opened);
     if (!s.ok()) return Fail(dir + ": " + s.ToString());
+    if (opened->has_pending()) {
+      return Fail(dir + ": has " + std::to_string(opened->num_delta_rows()) +
+                  " pending appended row(s) and " +
+                  std::to_string(opened->num_tombstones()) +
+                  " tombstone(s); run `bixctl compact --dir " + dir +
+                  "` before serving");
+    }
+    std::shared_ptr<const StoredIndex> stored = opened->base();
     ValueMap map;
     s = ReadValueMap(dir, &map);
     if (!s.ok()) return Fail(dir + ": " + s.ToString());
@@ -1175,6 +1344,9 @@ int Main(int argc, char** argv) {
   else if (command == "info") rc = CmdInfo(flags);
   else if (command == "query") rc = CmdQuery(flags);
   else if (command == "explain") rc = CmdExplain(flags);
+  else if (command == "append") rc = CmdAppend(flags);
+  else if (command == "delete") rc = CmdDelete(flags);
+  else if (command == "compact") rc = CmdCompact(flags);
   else if (command == "verify") rc = CmdVerify(flags);
   else if (command == "scrub") rc = CmdScrub(flags);
   else if (command == "advise") rc = CmdAdvise(flags);

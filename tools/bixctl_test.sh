@@ -296,6 +296,47 @@ rc=0; "$BIXCTL" benchdiff "$WORK/bd_eng_base.json" \
     "$WORK/bd_eng_fresh.json" --force > /dev/null || rc=$?
 [ "$rc" = 1 ] || fail "--force must gate across engines ($rc != 1)"
 
+# Mutation: append rows (domain-checked), delete by predicate and by row
+# id, compact into the next generation.  Query results stay consistent
+# with the logical column at every step, and verify covers the sidecars.
+"$BIXCTL" build --csv "$WORK/data.csv" --col 0 --dir "$WORK/midx" \
+    --scheme cs --codec deflate > /dev/null
+"$BIXCTL" append --dir "$WORK/midx" --values "199,null,2999" \
+    > "$WORK/ap.out" || fail "append exit code"
+grep -q "appended 3 row(s): 12 records total" "$WORK/ap.out" \
+    || fail "append output"
+"$BIXCTL" query --dir "$WORK/midx" --pred "<= 500" | grep -q "7 of 12" \
+    || fail "query after append"
+"$BIXCTL" append --dir "$WORK/midx" --values "123" > /dev/null 2>&1 \
+    && fail "append outside the value domain must fail"
+"$BIXCTL" verify --dir "$WORK/midx" > "$WORK/mv.out" \
+    || fail "verify with mutation sidecars"
+grep -q "g0.delta" "$WORK/mv.out" || fail "verify lists the append log"
+# Serving requires a compacted index: the pending delta must be rejected.
+"$BIXCTL" serve --dirs "$WORK/midx" --trace "$WORK/trace.txt" \
+    > /dev/null 2>&1 && fail "serve must reject a dir with pending rows"
+"$BIXCTL" delete --dir "$WORK/midx" --pred "= 199" > "$WORK/del.out" \
+    || fail "delete exit code"
+grep -q "deleted 4 row(s)" "$WORK/del.out" || fail "delete output"
+"$BIXCTL" query --dir "$WORK/midx" --pred "<= 500" | grep -q "3 of 12" \
+    || fail "query after delete"
+"$BIXCTL" info --dir "$WORK/midx" | grep -q "pending:" \
+    || fail "info pending line"
+"$BIXCTL" compact --dir "$WORK/midx" > "$WORK/cp.out" || fail "compact"
+grep -q "into generation 1" "$WORK/cp.out" || fail "compact output"
+"$BIXCTL" query --dir "$WORK/midx" --pred "<= 500" | grep -q "3 of 12" \
+    || fail "query after compact"
+"$BIXCTL" info --dir "$WORK/midx" | grep -q "generation:    1" \
+    || fail "info generation"
+"$BIXCTL" verify --dir "$WORK/midx" > /dev/null || fail "verify after compact"
+"$BIXCTL" delete --dir "$WORK/midx" --rows "0,1" > /dev/null \
+    || fail "delete --rows"
+"$BIXCTL" compact --dir "$WORK/midx" > /dev/null || fail "second compact"
+"$BIXCTL" info --dir "$WORK/midx" | grep -q "generation:    2" \
+    || fail "info generation 2"
+"$BIXCTL" scrub --dir "$WORK/midx" --inject 11 > /dev/null \
+    || fail "scrub after compaction"
+
 # Error paths exit non-zero.
 "$BIXCTL" query --dir /nonexistent --pred "<= 1" > /dev/null 2>&1 \
     && fail "missing dir should fail"
