@@ -69,19 +69,23 @@ struct OperandKey {
   uint32_t column = 0;
   int32_t component = 0;
   uint32_t slot = 0;
-  /// The column's compaction generation (StoredIndex::generation()) at the
-  /// time the query was planned.  Folding it into the key makes operands
-  /// from different generations distinct cache citizens: after a
-  /// compaction swaps a column, a newly admitted query can never consume
-  /// an operand fetched from the previous generation's blobs (stale
-  /// entries age out of the LRU unused).
-  uint32_t generation = 0;
+  /// The column's serve epoch at the time the query bound its index: a
+  /// service-assigned counter bumped on *every* UpdateColumn swap (see
+  /// QueryService), never the on-disk StoredIndex generation — a full
+  /// rebuild restarts the on-disk generation at 0, so it can repeat, and a
+  /// repeated key would let a query on the new index consume operands
+  /// cached from the old data.  Folding the never-reused epoch into the
+  /// key makes operands from different swaps distinct cache citizens:
+  /// after a swap, a query bound to the new index can never consume an
+  /// operand fetched from the previous index's blobs (stale entries age
+  /// out of the LRU unused).
+  uint32_t epoch = 0;
   enum class Kind : uint8_t { kDense = 0, kWah = 1 };
   Kind kind = Kind::kDense;
 
   bool operator==(const OperandKey& o) const {
     return column == o.column && component == o.component && slot == o.slot &&
-           generation == o.generation && kind == o.kind;
+           epoch == o.epoch && kind == o.kind;
   }
 };
 
@@ -91,7 +95,7 @@ struct OperandKeyHash {
                  (static_cast<uint64_t>(static_cast<uint32_t>(k.component))
                   << 32) ^
                  (static_cast<uint64_t>(k.slot) << 1) ^
-                 (static_cast<uint64_t>(k.generation) << 17) ^
+                 (static_cast<uint64_t>(k.epoch) << 17) ^
                  static_cast<uint64_t>(k.kind);
     x ^= x >> 33;
     x *= 0xFF51AFD7ED558CCDull;

@@ -51,13 +51,22 @@ QueryService::~QueryService() {
 }
 
 uint32_t QueryService::AddColumn(const StoredIndex* index) {
-  columns_.push_back(
-      std::make_unique<std::atomic<const StoredIndex*>>(index));
+  std::lock_guard<std::mutex> lock(publish_mu_);
+  all_slots_.push_back(std::make_unique<const ColumnSlot>(
+      ColumnSlot{index, next_epoch_++}));
+  columns_.push_back(std::make_unique<std::atomic<const ColumnSlot*>>(
+      all_slots_.back().get()));
   return static_cast<uint32_t>(columns_.size() - 1);
 }
 
 void QueryService::UpdateColumn(uint32_t id, const StoredIndex* index) {
-  columns_[id]->store(index, std::memory_order_release);
+  std::lock_guard<std::mutex> lock(publish_mu_);
+  // A fresh epoch per swap — never the index's on-disk generation, which a
+  // full rebuild restarts at 0 and which would resurrect the replaced
+  // index's cache entries (see OperandKey::epoch).
+  all_slots_.push_back(std::make_unique<const ColumnSlot>(
+      ColumnSlot{index, next_epoch_++}));
+  columns_[id]->store(all_slots_.back().get(), std::memory_order_release);
 }
 
 Status QueryService::Admit(const ServeQuery& query) {
@@ -88,8 +97,11 @@ ServeResult QueryService::RunOne(const AdmittedQuery& admitted) {
     finish();
     return result;
   }
-  const StoredIndex* index =
+  // One load binds this query to an (index, epoch) pair for its whole
+  // execution; a concurrent UpdateColumn cannot tear them apart.
+  const ColumnSlot* slot =
       columns_[admitted.query.column]->load(std::memory_order_acquire);
+  const StoredIndex* index = slot->index;
 
   auto source = index->OpenQuerySource(&result.stats);
   if (!source->status().ok()) {
@@ -114,7 +126,7 @@ ServeResult QueryService::RunOne(const AdmittedQuery& admitted) {
                          : nullptr;
     SharingSource sharing(source.get(), &cache_, admitted.query.column,
                           wah_direct, &result.stats, index, io, &planner_,
-                          index->generation());
+                          slot->epoch);
     if (io != nullptr) {
       // Submit every cold operand this predicate will touch before
       // evaluation starts: the reads overlap with this query's compute on

@@ -25,6 +25,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "bitmap/bitvector.h"
@@ -93,19 +94,24 @@ class QueryService {
   /// outlive the service.  Not safe concurrently with serving.
   uint32_t AddColumn(const StoredIndex* index);
 
-  /// Atomically swaps column `id` to a new index — the compaction
-  /// publication point.  Safe concurrently with serving: queries admitted
-  /// before the swap finish against the old generation (the caller must
-  /// keep the old index alive until they drain), queries planned after it
-  /// read the new one.  Staleness safety does not depend on timing: cache
-  /// keys carry the index's generation (OperandKey::generation), so a
-  /// query on the new generation can never consume an operand cached from
-  /// the old one.
+  /// Atomically swaps column `id` to a new index — the compaction (or
+  /// rebuild) publication point.  Safe concurrently with serving.  A query
+  /// binds to an index when it *executes* (RunOne loads the column slot),
+  /// not when it is admitted: a query admitted before the swap but
+  /// executed after it runs against the new index.  The caller must
+  /// therefore keep the old index alive until every query that already
+  /// loaded its pointer completes — draining the in-flight batches after
+  /// the swap suffices.  Staleness safety does not depend on that timing:
+  /// each swap is assigned a fresh serve epoch stamped into the cache keys
+  /// (OperandKey::epoch), so a query bound to the new index can never
+  /// consume an operand cached from the old one — even when both indexes
+  /// carry the same on-disk generation (e.g. a gen-0 full rebuild
+  /// replacing a gen-0 original).
   void UpdateColumn(uint32_t id, const StoredIndex* index);
 
   size_t num_columns() const { return columns_.size(); }
   const StoredIndex* column(uint32_t id) const {
-    return columns_[id]->load(std::memory_order_acquire);
+    return columns_[id]->load(std::memory_order_acquire)->index;
   }
 
   /// Admits one query (see AdmissionController::Admit).
@@ -131,6 +137,15 @@ class QueryService {
   }
 
  private:
+  /// One published binding of a column id: the index plus the serve epoch
+  /// assigned when it was published.  Immutable once published (queries
+  /// read both fields through one atomic pointer load, so index and epoch
+  /// can never be observed mismatched across a racing swap).
+  struct ColumnSlot {
+    const StoredIndex* index = nullptr;
+    uint32_t epoch = 0;
+  };
+
   ServeResult RunOne(const AdmittedQuery& admitted);
 
   const ServeOptions options_;
@@ -139,7 +154,14 @@ class QueryService {
   PrefetchPlanner planner_;
   // Atomic slots so UpdateColumn can swap a column mid-serve; the vector
   // itself is append-only before serving starts.
-  std::vector<std::unique_ptr<std::atomic<const StoredIndex*>>> columns_;
+  std::vector<std::unique_ptr<std::atomic<const ColumnSlot*>>> columns_;
+  // Owns every ColumnSlot ever published.  Superseded slots are retained
+  // until destruction: an executing query may still hold a pointer loaded
+  // just before a swap, and slots are two words — the leak is bounded by
+  // the number of UpdateColumn calls.
+  std::vector<std::unique_ptr<const ColumnSlot>> all_slots_;
+  std::mutex publish_mu_;  // serializes AddColumn/UpdateColumn publication
+  uint32_t next_epoch_ = 0;  // guarded by publish_mu_; never reused
   // Async fetch executor (null = synchronous fetches).  Declared after
   // cache_/columns_ and drained in the destructor, so no fetch job can
   // outlive the state it publishes into.

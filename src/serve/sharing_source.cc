@@ -128,11 +128,11 @@ SharingSource::SharingSource(QuerySource* inner, OperandCache* cache,
                              uint32_t column, bool wah_direct,
                              EvalStats* stats, const StoredIndex* stored,
                              IoExecutor* io, PrefetchPlanner* planner,
-                             uint32_t generation)
+                             uint32_t epoch)
     : inner_(inner),
       cache_(cache),
       column_(column),
-      generation_(generation),
+      epoch_(epoch),
       wah_direct_(wah_direct),
       query_stats_(stats),
       stored_(stored),
@@ -170,7 +170,7 @@ void SharingSource::Prefetch(CompareOp op, int64_t v,
     key.column = column_;
     key.component = component;
     key.slot = slot;
-    key.generation = generation_;
+    key.epoch = epoch_;
     key.kind = kind;
     OperandCache::Flight flight = cache_->Begin(key);
     // Warm, or already in flight (ours or another query's): nothing to
@@ -220,7 +220,7 @@ std::shared_ptr<const CachedOperand> SharingSource::GetOperand(
   key.column = column_;
   key.component = component;
   key.slot = slot;
-  key.generation = generation_;
+  key.epoch = epoch_;
   key.kind = kind;
 
   if (io_ != nullptr && stored_ != nullptr) return GetOperandAsync(key);

@@ -101,15 +101,16 @@ class SharingSource final : public QuerySource {
   /// and `planner` (the service's shared probe-plan cache) enables the
   /// async fetch path; any null keeps every fetch synchronous on the query
   /// lane.  All pointers are borrowed and must outlive this object; `io`
-  /// must be drained before `cache` or `stored` die.  `generation` is the
-  /// column's compaction generation at admission; it is stamped into every
+  /// must be drained before `cache` or `stored` die.  `epoch` is the
+  /// column's serve epoch at the moment the query bound its index (the
+  /// service bumps it on every column swap); it is stamped into every
   /// cache key so this query can never consume an operand cached from an
-  /// earlier generation of the column (see OperandKey::generation).
+  /// earlier incarnation of the column (see OperandKey::epoch).
   SharingSource(QuerySource* inner, OperandCache* cache, uint32_t column,
                 bool wah_direct, EvalStats* stats,
                 const StoredIndex* stored = nullptr,
                 IoExecutor* io = nullptr, PrefetchPlanner* planner = nullptr,
-                uint32_t generation = 0);
+                uint32_t epoch = 0);
 
   /// Async mode only (no-op otherwise): enumerates the operands evaluating
   /// `A op v` will fetch and submits an async read for every cold one, so
@@ -161,7 +162,7 @@ class SharingSource final : public QuerySource {
   QuerySource* inner_;
   OperandCache* cache_;
   const uint32_t column_;
-  const uint32_t generation_;
+  const uint32_t epoch_;
   const bool wah_direct_;
   EvalStats* query_stats_;
   const StoredIndex* stored_;

@@ -112,6 +112,28 @@ bool ParseIndexFileName(const std::string& name, uint32_t* generation) {
          ParseUint(middle, sep + 2, middle.size(), &n);
 }
 
+/// Removes files of generations other than `keep_generation` and *.tmp
+/// leftovers.  Failures are ignored: orphans are inert and retried at the
+/// next open.  Free-standing (env + dir by value) because compaction runs
+/// it from a release hook that may outlive the MutableStoredIndex handle.
+void SweepStaleFiles(const Env& env, const std::filesystem::path& dir,
+                     uint32_t keep_generation) {
+  std::vector<std::string> names;
+  if (!env.ListDir(dir, &names).ok()) return;
+  for (const std::string& name : names) {
+    bool stale = name.ends_with(".tmp");
+    uint32_t gen = 0;
+    bool is_tomb = false;
+    if (!stale && ParseDeltaFileName(name, &gen, &is_tomb)) {
+      stale = gen != keep_generation;
+    }
+    if (!stale && ParseIndexFileName(name, &gen)) {
+      stale = gen != keep_generation;
+    }
+    if (stale) (void)env.RemoveFile(dir / name);
+  }
+}
+
 }  // namespace
 
 std::string DeltaLogFileName(uint32_t generation) {
@@ -417,6 +439,10 @@ class MaterializedSource final : public BitmapSource {
 // ---------------------------------------------------------------------------
 // MutableStoredIndex.
 
+MutableStoredIndex::GenerationHolder::~GenerationHolder() {
+  if (on_last_release) on_last_release();
+}
+
 std::shared_ptr<const MutableStoredIndex::DeltaState>
 MutableStoredIndex::MakeState(std::shared_ptr<const StoredIndex> base,
                               std::vector<uint32_t> delta_values,
@@ -445,7 +471,10 @@ Status MutableStoredIndex::Open(const std::filesystem::path& dir,
   std::unique_ptr<StoredIndex> base;
   Status s = StoredIndex::Open(dir, &base, options);
   if (!s.ok()) return s;
-  std::shared_ptr<const StoredIndex> shared_base = std::move(base);
+  auto holder = std::make_shared<GenerationHolder>();
+  holder->index = std::move(base);
+  std::shared_ptr<const StoredIndex> shared_base(holder, holder->index.get());
+  m->base_holder_ = std::move(holder);
   const uint32_t generation = shared_base->generation();
 
   // Recovery step 1: sweep orphans of whichever generation lost the race
@@ -519,21 +548,7 @@ Status MutableStoredIndex::Open(const std::filesystem::path& dir,
 }
 
 void MutableStoredIndex::CollectGarbage(uint32_t keep_generation) const {
-  std::vector<std::string> names;
-  if (!env_->ListDir(dir_, &names).ok()) return;
-  for (const std::string& name : names) {
-    bool stale = name.ends_with(".tmp");
-    uint32_t gen = 0;
-    bool is_tomb = false;
-    if (!stale && ParseDeltaFileName(name, &gen, &is_tomb)) {
-      stale = gen != keep_generation;
-    }
-    if (!stale && ParseIndexFileName(name, &gen)) {
-      stale = gen != keep_generation;
-    }
-    // Best-effort: a failed removal leaves an inert orphan for next time.
-    if (stale) (void)env_->RemoveFile(dir_ / name);
-  }
+  SweepStaleFiles(*env_, dir_, keep_generation);
 }
 
 std::shared_ptr<const MutableStoredIndex::DeltaState>
@@ -684,14 +699,27 @@ Status MutableStoredIndex::Compact() {
   }
 
   // Committed (the manifest rename inside WriteFromSource is the point of
-  // no return).  Swap the snapshot, then clean up the old generation —
-  // cleanup failures are harmless orphans.
+  // no return).  Swap the snapshot; removal of the old generation's files
+  // waits for its last reader.
   log_.reset();
-  std::shared_ptr<const StoredIndex> next_base = std::move(rewritten);
+  auto next_holder = std::make_shared<GenerationHolder>();
+  next_holder->index = std::move(rewritten);
+  std::shared_ptr<const StoredIndex> next_base(next_holder,
+                                               next_holder->index.get());
+  // In-flight queries pinning a pre-compaction snapshot still fetch the
+  // old base's blobs lazily by path, so the old files must outlive every
+  // such snapshot: arm the superseded holder to sweep them on its last
+  // release.  With no readers in flight that is `cur` dropping at the end
+  // of this function; either way sweep failures leave inert orphans the
+  // next open collects.
+  base_holder_->on_last_release =
+      [env = env_, dir = dir_, next_generation] {
+        SweepStaleFiles(*env, dir, next_generation);
+      };
+  base_holder_ = std::move(next_holder);
   const size_t n = next_base->num_records();
   state_ = MakeState(std::move(next_base), {}, Bitvector::Zeros(n));
   CompactionsCounter().Increment();
-  CollectGarbage(next_generation);
   return Status::OK();
 }
 

@@ -41,6 +41,7 @@
 
 #include <cstdint>
 #include <filesystem>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <span>
@@ -93,7 +94,11 @@ std::string TombFileName(uint32_t generation);
 /// the mutex only long enough to copy a shared_ptr to the current
 /// copy-on-write snapshot, and an in-flight query keeps its snapshot —
 /// including the pre-compaction base generation — alive via that
-/// shared_ptr, so compaction never invalidates a running read.
+/// shared_ptr.  The guarantee covers the *files* too: queries fetch base
+/// blobs lazily by path, so compaction defers removal of the superseded
+/// generation's files until the last snapshot pinning that base is
+/// released.  Compaction therefore never invalidates a running read,
+/// neither its in-memory index nor the blobs it still has to open.
 ///
 /// Failure containment: after any failed mutation the handle poisons
 /// itself — further mutations fail with the original error until the
@@ -119,8 +124,12 @@ class MutableStoredIndex {
 
   /// Folds log + tombstones into fresh generation-(G+1) blobs through the
   /// write-temp-fsync-rename manifest path, then garbage-collects the old
-  /// generation.  Deleted rows become permanent NULLs (N never shrinks,
-  /// so row ids stay stable).  No-op when nothing is pending.
+  /// generation — deferred until the last in-flight query (or held base()
+  /// pointer) pinning the pre-compaction snapshot releases it, so a
+  /// concurrent read never loses the blobs under its feet.  With no
+  /// readers in flight the sweep runs before Compact returns.  Deleted
+  /// rows become permanent NULLs (N never shrinks, so row ids stay
+  /// stable).  No-op when nothing is pending.
   Status Compact();
 
   /// The current base StoredIndex (pre-overlay).  The pointer stays valid
@@ -171,6 +180,21 @@ class MutableStoredIndex {
     }
   };
 
+  /// Owns one generation's base StoredIndex plus a cleanup hook that runs
+  /// when the last reference — the handle itself or an in-flight query's
+  /// snapshot — goes away.  Compaction points the superseded holder's hook
+  /// at the old generation's file sweep, which is what defers on-disk
+  /// garbage collection past every reader that may still fetch lazily
+  /// from those files.  Setting the hook is safe while readers hold
+  /// aliased pointers: they never touch it, and the handle's own
+  /// reference (released under the mutex after the hook is set) orders
+  /// the write before any final release.
+  struct GenerationHolder {
+    std::unique_ptr<const StoredIndex> index;
+    std::function<void()> on_last_release;  // set under mu_ before the swap
+    ~GenerationHolder();
+  };
+
   friend class DeltaQuerySource;
 
   MutableStoredIndex() = default;
@@ -195,6 +219,10 @@ class MutableStoredIndex {
 
   mutable std::mutex mu_;  // serializes mutations + snapshot swap
   std::shared_ptr<const DeltaState> state_;  // guarded by mu_ for writes
+  /// Holder of the current base generation (state_->base aliases into
+  /// it); guarded by mu_.  Kept so compaction can arm the old holder's
+  /// release hook before swapping it out.
+  std::shared_ptr<GenerationHolder> base_holder_;
   std::unique_ptr<AppendableFile> log_;      // lazily opened, guarded by mu_
   /// First mutation failure; mutations after it fail fast (see above).
   Status poisoned_;

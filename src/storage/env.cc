@@ -17,6 +17,17 @@ std::string Errno(const std::string& what, const std::filesystem::path& path) {
   return what + " " + path.string() + ": " + std::strerror(errno);
 }
 
+/// Best-effort fsync of a directory, making its entries (a rename, a newly
+/// created file) durable.
+void SyncDir(std::filesystem::path dir) {
+  if (dir.empty()) dir = ".";
+  int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+}
+
 class PosixRandomAccessFile final : public RandomAccessFile {
  public:
   PosixRandomAccessFile(int fd, std::filesystem::path path)
@@ -100,8 +111,16 @@ class PosixEnv final : public Env {
   Status NewAppendableFile(
       const std::filesystem::path& path,
       std::unique_ptr<AppendableFile>* out) const override {
-    int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC,
-                    0644);
+    // Open without O_CREAT first so creation is detectable: a newly
+    // created log needs its *directory entry* fsynced (mirroring Rename),
+    // or a power loss could erase the file's name even though Sync made
+    // its bytes durable — acknowledged appends silently gone.
+    int fd = ::open(path.c_str(), O_WRONLY | O_APPEND | O_CLOEXEC);
+    if (fd < 0 && errno == ENOENT) {
+      fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC,
+                  0644);
+      if (fd >= 0) SyncDir(path.parent_path());
+    }
     if (fd < 0) {
       return Status::IoError(Errno("cannot open for append:", path));
     }
@@ -120,13 +139,7 @@ class PosixEnv final : public Env {
       return Status::IoError(Errno("rename failed:", from));
     }
     // Make the rename durable: fsync the parent directory.
-    std::filesystem::path dir = to.parent_path();
-    if (dir.empty()) dir = ".";
-    int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
-    if (dfd >= 0) {
-      ::fsync(dfd);
-      ::close(dfd);
-    }
+    SyncDir(to.parent_path());
     return Status::OK();
   }
 

@@ -71,6 +71,8 @@ class Env {
       std::unique_ptr<RandomAccessFile>* out) const = 0;
 
   /// Opens `path` for appending, creating it (empty) when missing.
+  /// Creation syncs the parent directory, so the new file's entry is
+  /// durable before the first Sync can acknowledge any appended bytes.
   virtual Status NewAppendableFile(
       const std::filesystem::path& path,
       std::unique_ptr<AppendableFile>* out) const = 0;

@@ -780,9 +780,9 @@ TEST(OperandCacheSoakTest, ServiceChurnWithAsyncIoStaysCorrect) {
 // collection).  While batches stream through a sharing service, the
 // column is swapped to the new generation mid-flight via UpdateColumn.
 // Every result must equal the old generation's oracle or the new one's,
-// wholesale — an operand cached under generation 0 satisfying a
-// generation-1 query (or vice versa) would produce a foundset matching
-// neither.  This is the regression test for OperandKey::generation; it
+// wholesale — an operand cached under the old index satisfying a query
+// bound to the new one (or vice versa) would produce a foundset matching
+// neither.  This is the regression test for OperandKey::epoch; it
 // runs under TSan in scripts/check.sh --serve.
 TEST(ServeTest, CompactionSwapNeverServesStaleOperands) {
   TempDir dir;
@@ -874,6 +874,79 @@ TEST(ServeTest, CompactionSwapNeverServesStaleOperands) {
   saw_old = saw_new = false;
   check_batch(service.RunBatch(queries), &saw_old, &saw_new);
   EXPECT_TRUE(saw_new && !saw_old);
+}
+
+// Staleness across a *rebuild* swap: unlike a compaction, a full rebuild
+// via StoredIndex::Write lands at on-disk generation 0 — the same number
+// the replaced index carries.  The cache key must therefore use the
+// service's per-swap epoch, not the on-disk generation: keying on the
+// generation would let post-swap queries consume operands cached from the
+// old data (identical design ⇒ identical (column, component, slot)
+// coordinates) and silently return the old index's foundsets.
+TEST(ServeTest, RebuildSwapSameGenerationNeverServesStaleOperands) {
+  TempDir dir;
+  constexpr uint32_t kCardinality = 17;
+  std::vector<uint32_t> old_data = GenerateZipf(4000, kCardinality, 1.2, 7);
+  std::vector<uint32_t> new_data = old_data;
+  for (size_t i = 0; i < new_data.size(); i += 3) {
+    new_data[i] = (new_data[i] + 5) % kCardinality;
+  }
+
+  auto write_index = [&](const std::vector<uint32_t>& data,
+                         const std::string& name) {
+    BitmapIndex mem = BitmapIndex::Build(
+        data, kCardinality, KneeBase(kCardinality), Encoding::kRange);
+    std::unique_ptr<StoredIndex> stored;
+    EXPECT_TRUE(StoredIndex::Write(mem, dir.path() / name,
+                                   StorageScheme::kBitmapLevel,
+                                   *CodecByName("lz77"), &stored)
+                    .ok());
+    return stored;
+  };
+  std::unique_ptr<StoredIndex> old_idx = write_index(old_data, "old");
+  std::unique_ptr<StoredIndex> new_idx = write_index(new_data, "new");
+  // The hazard under test: both incarnations report the same on-disk
+  // generation, so nothing but the serve epoch separates their operands.
+  ASSERT_EQ(old_idx->generation(), new_idx->generation());
+
+  std::vector<serve::ServeQuery> queries;
+  std::vector<Bitvector> want_old, want_new;
+  for (const Query& q : RestrictedSelectionQueries(kCardinality)) {
+    serve::ServeQuery sq;
+    sq.id = queries.size();
+    sq.column = 0;
+    sq.op = q.op;
+    sq.value = q.v;
+    queries.push_back(sq);
+    want_old.push_back(ScanEvaluate(old_data, q.op, q.v));
+    want_new.push_back(ScanEvaluate(new_data, q.op, q.v));
+  }
+
+  serve::ServeOptions options;
+  options.num_threads = 1;  // deterministic: the staleness needs no race
+  options.share_operands = true;
+  options.max_pending = queries.size();
+  serve::QueryService service(options);
+  ASSERT_EQ(service.AddColumn(old_idx.get()), 0u);
+
+  // Warm the cache on the old incarnation.
+  std::vector<serve::ServeResult> before = service.RunBatch(queries);
+  for (size_t i = 0; i < before.size(); ++i) {
+    ASSERT_TRUE(before[i].status.ok()) << before[i].status.ToString();
+    ASSERT_EQ(before[i].foundset, want_old[i]);
+  }
+
+  service.UpdateColumn(0, new_idx.get());
+
+  // Every post-swap foundset must come from the new data; a cached gen-0
+  // operand surviving the swap would reproduce want_old here.
+  std::vector<serve::ServeResult> after = service.RunBatch(queries);
+  for (size_t i = 0; i < after.size(); ++i) {
+    ASSERT_TRUE(after[i].status.ok()) << after[i].status.ToString();
+    EXPECT_EQ(after[i].foundset, want_new[i])
+        << "query " << i << " served a stale operand cached from the "
+        << "replaced index (on-disk generation reused across the swap)";
+  }
 }
 
 }  // namespace
