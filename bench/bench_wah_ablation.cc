@@ -31,7 +31,10 @@
 #include "core/bitmap_index.h"
 #include "core/compressed_source.h"
 #include "core/eval.h"
+#include "core/row_order.h"
 #include "exec/segmented_eval.h"
+#include "obs/metrics.h"
+#include "workload/generators.h"
 
 using namespace bix;
 
@@ -342,6 +345,114 @@ int main(int argc, char** argv) {
                 {"rows", rows},
                 {"engine", engine}},
                "query_us", us, "us");
+    }
+  }
+
+  // Row-reordering lanes (core/row_order.h, DESIGN.md §15): the same
+  // relation indexed in arrival (shuffled) order versus after a lex / Gray
+  // sort.  Sorting multiplies WAH compression (arXiv 0901.3751), and the
+  // smaller operands pull the auto engine's per-operand choice — and its
+  // measured break-even (wah_engine.calibrated_ratio) — toward compressed
+  // execution.  Foundset checksums are order-invariant, so all three arms
+  // must agree bit-for-bit on every query's count.
+  const size_t sort_rows = smoke ? 100000 : 1000000;
+  std::printf("\nrow reordering: shuffled vs sorted builds, %zu rows, "
+              "equality encoding, auto engine\n\n", sort_rows);
+  std::printf("%-22s %-9s | %10s %7s | %10s %10s | %10s %9s\n", "relation",
+              "order", "wah KB", "ratio", "comp ops", "plain ops",
+              "auto us/q", "cal ratio");
+
+  struct SortLane {
+    const char* name;
+    uint32_t cardinality;
+    bool zipf;
+    uint32_t component_base;
+  };
+  const SortLane sort_lanes[] = {
+      {"zipf s=1.2 C=1000", 1000, true, 32},
+      {"uniform C=64", 64, false, 8},
+  };
+  obs::Counter& comp_ops_counter =
+      obs::MetricsRegistry::Global().GetCounter("wah_engine.compressed_ops");
+  obs::Counter& plain_ops_counter =
+      obs::MetricsRegistry::Global().GetCounter("wah_engine.plain_ops");
+  obs::Gauge& calibrated_gauge =
+      obs::MetricsRegistry::Global().GetGauge("wah_engine.calibrated_ratio");
+  for (const SortLane& lane : sort_lanes) {
+    std::vector<uint32_t> shuffled =
+        lane.zipf ? GenerateZipf(sort_rows, lane.cardinality, 1.2, 77)
+                  : GenerateUniform(sort_rows, lane.cardinality, 77);
+    BaseSequence base =
+        BaseSequence::Uniform(lane.component_base, lane.cardinality);
+    struct OrderArm {
+      const char* name;
+      RowOrder order;
+    };
+    const OrderArm arms[] = {{"shuffled", RowOrder::kNone},
+                             {"lex", RowOrder::kLex},
+                             {"gray", RowOrder::kGray}};
+    size_t shuffled_bytes = 0, shuffled_checksum = 0;
+    for (const OrderArm& arm : arms) {
+      std::vector<uint32_t> column = shuffled;
+      if (arm.order != RowOrder::kNone) {
+        column = ApplyPermutation(
+            shuffled,
+            ComputeRowOrder(shuffled, lane.cardinality, base, arm.order));
+      }
+      BitmapIndex index = BitmapIndex::Build(column, lane.cardinality, base,
+                                             Encoding::kEquality);
+      size_t wah_bytes = 0;
+      for (int comp = 0; comp < base.num_components(); ++comp) {
+        for (uint32_t slot = 0;
+             slot < NumStoredBitmaps(Encoding::kEquality, base.base(comp));
+             ++slot) {
+          wah_bytes +=
+              WahBitvector::FromBitvector(index.Fetch(comp, slot, nullptr))
+                  .SizeInBytes();
+        }
+      }
+      if (arm.order == RowOrder::kNone) shuffled_bytes = wah_bytes;
+      const double ratio = static_cast<double>(shuffled_bytes) /
+                           static_cast<double>(wah_bytes);
+
+      WahCompressedSource source(index);
+      const int64_t comp0 = comp_ops_counter.value();
+      const int64_t plain0 = plain_ops_counter.value();
+      size_t checksum = 0;
+      double auto_us = MeasureEngine(source, EngineKind::kAuto,
+                                     lane.cardinality, query_reps, &checksum);
+      const int64_t compressed_ops = comp_ops_counter.value() - comp0;
+      const int64_t plain_ops = plain_ops_counter.value() - plain0;
+      const int64_t calibrated = calibrated_gauge.value();
+      if (arm.order == RowOrder::kNone) {
+        shuffled_checksum = checksum;
+      } else if (checksum != shuffled_checksum) {
+        std::printf("FAIL: sorted foundset counts diverge on %s %s\n",
+                    lane.name, arm.name);
+        return 1;
+      }
+      std::printf("%-22s %-9s | %10.1f %6.2fx | %10lld %10lld | %10.1f "
+                  "%9lld\n",
+                  lane.name, arm.name,
+                  static_cast<double>(wah_bytes) / 1024, ratio,
+                  static_cast<long long>(compressed_ops),
+                  static_cast<long long>(plain_ops), auto_us,
+                  static_cast<long long>(calibrated));
+      const std::vector<bench::BenchParam> params = {
+          {"relation", lane.name},
+          {"order", arm.name},
+          {"rows", sort_rows},
+          {"cardinality", static_cast<int64_t>(lane.cardinality)}};
+      json.Add("wah_ablation_roworder", params, "wah_index_kb",
+               static_cast<double>(wah_bytes) / 1024, "KB");
+      json.Add("wah_ablation_roworder", params, "size_ratio", ratio, "x");
+      json.Add("wah_ablation_roworder", params, "query_us", auto_us, "us");
+      json.Add("wah_ablation_roworder", params, "compressed_ops",
+               static_cast<double>(compressed_ops), "count");
+      json.Add("wah_ablation_roworder", params, "plain_ops",
+               static_cast<double>(plain_ops), "count");
+      json.Add("wah_ablation_roworder", params, "calibrated_ratio",
+               static_cast<double>(calibrated), "permille");
     }
   }
 

@@ -52,6 +52,18 @@ if [[ "$RUN_DIFF" == 1 ]]; then
     BIX_WAH_MERGE=$s ctest --test-dir build -L differential \
         --output-on-failure
   done
+  # Sorted-index axis under ASan + UBSan: the engine harness re-runs its
+  # designs through the row-reordering pass (Design::sort), and the
+  # row-order suite fuzzes the permutation sidecar codec — remap and
+  # decode paths are pure pointer arithmetic over untrusted lengths,
+  # exactly where sanitizers earn their keep.
+  cmake -B build-asan -G Ninja \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"
+  cmake --build build-asan --target bix_tests bix_differential_tests
+  ./build-asan/tests/bix_differential_tests \
+      --gtest_filter='EngineDifferentialTest*'
+  ./build-asan/tests/bix_tests --gtest_filter='RowOrderTest*'
 fi
 
 if [[ "$RUN_CHAOS" == 1 ]]; then

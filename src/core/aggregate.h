@@ -12,6 +12,14 @@
 //
 // For equality encoding the per-digit value is read off E^d directly; for
 // range encoding the digit weight d is recovered from B^d \ B^{d-1}.
+//
+// Row-space contract: `foundset` is ANDed against the index's own bitmaps,
+// so it must live in the same row space the index was built over — for a
+// row-reordered index (core/row_order.h) that is PHYSICAL space.  A
+// logical foundset (what queries over a sorted index return) must pass
+// through RemapToPhysical first.  The aggregate *values* are order-
+// invariant: a permuted index plus the remapped foundset yields exactly
+// the unsorted result.
 
 #ifndef BIX_CORE_AGGREGATE_H_
 #define BIX_CORE_AGGREGATE_H_

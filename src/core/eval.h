@@ -25,6 +25,13 @@
 // core/cost_model.h for the closed forms.
 //
 // Results are always masked with B_nn; NULL records never qualify.
+//
+// Bit r of a result refers to row r *of the source*: for an index built
+// over row-reordered input that is a physical (build-order) position, not
+// the caller's row id.  The storage/serve entry points remap sorted-index
+// results to logical row ids before surfacing them (core/row_order.h);
+// anything consuming these raw results with a sorted source must do the
+// same.
 
 #ifndef BIX_CORE_EVAL_H_
 #define BIX_CORE_EVAL_H_

@@ -159,6 +159,11 @@ ServeResult QueryService::RunOne(const AdmittedQuery& admitted) {
     result.status = Status::DeadlineExceeded("deadline passed during eval");
   }
   if (result.status.ok()) {
+    // The evaluation ran over the index's physical bitmap order; a sorted
+    // index's results must surface original (logical) row ids.
+    if (!index->row_order().empty()) {
+      foundset = RemapToLogical(foundset, index->row_order());
+    }
     result.row_count = foundset.Count();
     result.foundset = std::move(foundset);
   }

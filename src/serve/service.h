@@ -74,7 +74,9 @@ struct ServeOptions {
 struct ServeResult {
   uint64_t id = 0;
   Status status;
-  /// The foundset (empty when status is non-OK).
+  /// The foundset, in logical (original) row ids — row-reordered indexes
+  /// are remapped before the result leaves the service (empty when status
+  /// is non-OK).
   Bitvector foundset;
   uint64_t row_count = 0;  // foundset popcount
   bool degraded = false;   // served via sibling reconstruction

@@ -81,9 +81,10 @@ bool ParseUint(const std::string& s, size_t pos, size_t end, uint32_t* out) {
 
 /// Matches the index blob/meta names WriteFromSource produces, with their
 /// optional "g<N>_" generation prefix: index.meta, nonnull.bm, index.bm,
-/// c<d>.bm, c<d>_b<d>.bm.  Never matches index.manifest, values.map, the
-/// delta/tomb sidecars, or anything else a user may have put in the dir —
-/// garbage collection only ever deletes names this recognizes.
+/// roworder.perm, c<d>.bm, c<d>_b<d>.bm.  Never matches index.manifest,
+/// values.map, the delta/tomb sidecars, or anything else a user may have
+/// put in the dir — garbage collection only ever deletes names this
+/// recognizes.
 bool ParseIndexFileName(const std::string& name, uint32_t* generation) {
   *generation = 0;
   std::string rest = name;
@@ -95,7 +96,8 @@ bool ParseIndexFileName(const std::string& name, uint32_t* generation) {
       rest = rest.substr(i + 1);
     }
   }
-  if (rest == "index.meta" || rest == "nonnull.bm" || rest == "index.bm") {
+  if (rest == "index.meta" || rest == "nonnull.bm" || rest == "index.bm" ||
+      rest == format::kRowOrderFile) {
     return true;
   }
   // c<d>.bm / c<d>_b<d>.bm
@@ -650,8 +652,16 @@ Status MutableStoredIndex::Delete(std::span<const uint32_t> rows) {
                                      ")");
     }
   }
+  // Tombstones live in physical (bitmap) space; the caller's row ids are
+  // logical.  Over a sorted base the two differ for base rows (appended
+  // tail rows are identity either way).
+  const std::vector<uint32_t>& perm = cur->base->row_order();
+  std::vector<uint32_t> inverse;
+  if (!perm.empty()) inverse = InvertPermutation(perm);
   Bitvector tombstones = cur->tombstones;
-  for (uint32_t r : rows) tombstones.Set(r);
+  for (uint32_t r : rows) {
+    tombstones.Set(r < inverse.size() ? inverse[r] : r);
+  }
   // Whole-bitmap atomic replace: after a crash the tombstone file is the
   // pre- or post-delete bitmap, never a mix.
   std::vector<uint8_t> payload = tombstones.ToBytes();
@@ -668,11 +678,11 @@ Status MutableStoredIndex::Delete(std::span<const uint32_t> rows) {
   return Status::OK();
 }
 
-Status MutableStoredIndex::Compact() {
+Status MutableStoredIndex::Compact(bool resort, RowOrder resort_order) {
   std::lock_guard<std::mutex> lock(mu_);
   if (!poisoned_.ok()) return poisoned_;
   const std::shared_ptr<const DeltaState> cur = state_;
-  if (!cur->has_pending()) return Status::OK();
+  if (!cur->has_pending() && !resort) return Status::OK();
   const uint32_t next_generation = cur->base->generation() + 1;
 
   // Materialize the overlay up front: all reads happen (and their status
@@ -687,10 +697,56 @@ Status MutableStoredIndex::Compact() {
     }
   }
 
+  // The base's permutation, identity-extended over the appended tail:
+  // physical p held logical ext(p) in the overlay just folded.
+  const std::vector<uint32_t>& base_perm = cur->base->row_order();
+  auto ext = [&](size_t p) -> uint32_t {
+    return p < base_perm.size() ? base_perm[p]
+                                : static_cast<uint32_t>(p);
+  };
+
+  Status s;
   std::unique_ptr<StoredIndex> rewritten;
-  Status s = StoredIndex::WriteFromSource(
-      folded, dir_, cur->base->scheme(), cur->base->codec(), &rewritten,
-      options_, next_generation);
+  if (resort) {
+    // Re-sort path: recover the logical column from the folded bitmaps
+    // (the directory has no base relation to consult — the bitmaps are a
+    // lossless encoding of it), recompute the permutation, and rebuild.
+    std::vector<uint32_t> physical_values;
+    s = DecodeIndexValues(folded, &physical_values);
+    if (!s.ok()) {
+      poisoned_ = s;
+      return s;
+    }
+    std::vector<uint32_t> logical_values(physical_values.size());
+    for (size_t p = 0; p < physical_values.size(); ++p) {
+      logical_values[ext(p)] = physical_values[p];
+    }
+    RowOrder kind = resort_order != RowOrder::kNone ? resort_order
+                    : cur->base->row_order_kind() != RowOrder::kNone
+                        ? cur->base->row_order_kind()
+                        : RowOrder::kLex;
+    std::vector<uint32_t> next_perm = ComputeRowOrder(
+        logical_values, cur->base->cardinality(), cur->base->base(), kind);
+    BitmapIndex sorted = BitmapIndex::Build(
+        ApplyPermutation(logical_values, next_perm),
+        cur->base->cardinality(), cur->base->base(), cur->base->encoding());
+    s = StoredIndex::WriteFromSource(sorted, dir_, cur->base->scheme(),
+                                     cur->base->codec(), &rewritten, options_,
+                                     next_generation, next_perm, kind);
+  } else if (!base_perm.empty()) {
+    // Plain compaction of a sorted base: the folded bitmaps keep their
+    // physical order, so the permutation carries forward, extended by the
+    // identity over the tail rows.
+    std::vector<uint32_t> next_perm(folded.num_records());
+    for (size_t p = 0; p < next_perm.size(); ++p) next_perm[p] = ext(p);
+    s = StoredIndex::WriteFromSource(
+        folded, dir_, cur->base->scheme(), cur->base->codec(), &rewritten,
+        options_, next_generation, next_perm, cur->base->row_order_kind());
+  } else {
+    s = StoredIndex::WriteFromSource(
+        folded, dir_, cur->base->scheme(), cur->base->codec(), &rewritten,
+        options_, next_generation);
+  }
   if (!s.ok()) {
     // Nothing committed: the old manifest still governs, and the partial
     // generation-(G+1) files are inert orphans the next open collects.
@@ -723,9 +779,9 @@ Status MutableStoredIndex::Compact() {
   return Status::OK();
 }
 
-std::unique_ptr<QuerySource> MutableStoredIndex::OpenQuerySource(
-    EvalStats* stats, double* decompress_seconds) const {
-  std::shared_ptr<const DeltaState> snapshot = state();
+std::unique_ptr<QuerySource> MutableStoredIndex::MakeQuerySource(
+    std::shared_ptr<const DeltaState> snapshot, EvalStats* stats,
+    double* decompress_seconds) {
   if (!snapshot->has_pending()) {
     std::unique_ptr<QuerySource> inner =
         snapshot->base->OpenQuerySource(stats, decompress_seconds);
@@ -736,6 +792,11 @@ std::unique_ptr<QuerySource> MutableStoredIndex::OpenQuerySource(
                                             decompress_seconds);
 }
 
+std::unique_ptr<QuerySource> MutableStoredIndex::OpenQuerySource(
+    EvalStats* stats, double* decompress_seconds) const {
+  return MakeQuerySource(state(), stats, decompress_seconds);
+}
+
 Bitvector MutableStoredIndex::Evaluate(EvalAlgorithm algorithm, CompareOp op,
                                        int64_t v, EvalStats* stats,
                                        double* decompress_seconds,
@@ -743,13 +804,19 @@ Bitvector MutableStoredIndex::Evaluate(EvalAlgorithm algorithm, CompareOp op,
                                        const ExecOptions* exec) const {
   EvalStats local;
   EvalStats* s = stats != nullptr ? stats : &local;
+  // One snapshot feeds both the source and the row-order remap below; a
+  // compaction landing mid-query cannot pair new bitmaps with an old
+  // permutation (or vice versa).
+  const std::shared_ptr<const DeltaState> snapshot = state();
   std::unique_ptr<QuerySource> source =
-      OpenQuerySource(s, decompress_seconds);
+      MakeQuerySource(snapshot, s, decompress_seconds);
   Bitvector result;
   if (source->status().ok()) {
     result = exec != nullptr
                  ? EvaluatePredicate(*source, algorithm, op, v, *exec, s)
                  : EvaluatePredicate(*source, algorithm, op, v, s);
+    const std::vector<uint32_t>& perm = snapshot->base->row_order();
+    if (!perm.empty()) result = RemapToLogical(result, perm);
   }
   if (status != nullptr) {
     *status = source->status();

@@ -117,9 +117,11 @@ class MutableStoredIndex {
   /// none of them are visible.
   Status Append(std::span<const uint32_t> values);
 
-  /// Tombstones `rows` (0-based over base + delta rows).  Deleting an
-  /// already-deleted row is a no-op.  Durable (atomic tombstone-blob
-  /// replace) before OK returns.
+  /// Tombstones `rows` (0-based over base + delta rows).  Row ids are
+  /// LOGICAL — the ids queries return — and are translated through the
+  /// base index's sort permutation internally, so callers never see
+  /// physical bitmap positions.  Deleting an already-deleted row is a
+  /// no-op.  Durable (atomic tombstone-blob replace) before OK returns.
   Status Delete(std::span<const uint32_t> rows);
 
   /// Folds log + tombstones into fresh generation-(G+1) blobs through the
@@ -129,8 +131,20 @@ class MutableStoredIndex {
   /// concurrent read never loses the blobs under its feet.  With no
   /// readers in flight the sweep runs before Compact returns.  Deleted
   /// rows become permanent NULLs (N never shrinks, so row ids stay
-  /// stable).  No-op when nothing is pending.
-  Status Compact();
+  /// stable).  No-op when nothing is pending (unless `resort` asks for a
+  /// rewrite anyway).
+  ///
+  /// A sorted base's permutation is carried forward across a plain
+  /// compaction, extended by the identity over the appended tail — tail
+  /// rows stay physically last.  With `resort` true the fold instead
+  /// decodes the logical column back out of the bitmaps, recomputes a
+  /// fresh sort permutation (`resort_order`, defaulting to the base's
+  /// current order, or lex for a previously unsorted index), and rewrites
+  /// the index fully sorted — the move that restores multiplied WAH
+  /// compression after a run of appends.  Logical row ids are preserved
+  /// in every case.
+  Status Compact(bool resort = false,
+                 RowOrder resort_order = RowOrder::kNone);
 
   /// The current base StoredIndex (pre-overlay).  The pointer stays valid
   /// across a later compaction for as long as the caller holds it.
@@ -151,10 +165,16 @@ class MutableStoredIndex {
   /// so EvalStats scan/op accounting matches a from-scratch rebuild
   /// (bytes_read additionally counts the base read, never the in-memory
   /// delta).
+  ///
+  /// The source lives in PHYSICAL row space (the base's build order plus
+  /// the appended tail): callers consuming raw fetches over a sorted base
+  /// must remap through base()->row_order() themselves.  Evaluate() below
+  /// already does.
   std::unique_ptr<QuerySource> OpenQuerySource(
       EvalStats* stats = nullptr, double* decompress_seconds = nullptr) const;
 
-  /// Evaluate over the overlay; same contract as StoredIndex::Evaluate.
+  /// Evaluate over the overlay; same contract as StoredIndex::Evaluate,
+  /// including the logical-row-id remap for a sorted base.
   Bitvector Evaluate(EvalAlgorithm algorithm, CompareOp op, int64_t v,
                      EvalStats* stats = nullptr,
                      double* decompress_seconds = nullptr,
@@ -200,6 +220,15 @@ class MutableStoredIndex {
   MutableStoredIndex() = default;
 
   std::shared_ptr<const DeltaState> state() const;
+
+  /// Source construction over a specific snapshot.  Evaluate() and
+  /// OpenQuerySource() both funnel through this so the source and the
+  /// permutation used to remap its results always come from the *same*
+  /// snapshot — a compaction between two state() reads could otherwise
+  /// pair a new base's bitmaps with the old base's row order.
+  static std::unique_ptr<QuerySource> MakeQuerySource(
+      std::shared_ptr<const DeltaState> snapshot, EvalStats* stats,
+      double* decompress_seconds);
 
   /// Builds the successor snapshot for the current delta + tombstones.
   static std::shared_ptr<const DeltaState> MakeState(

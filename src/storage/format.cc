@@ -14,6 +14,7 @@ namespace {
 
 constexpr char kMagicV2[4] = {'B', 'I', 'X', '2'};
 constexpr char kMagicV1[4] = {'B', 'I', 'X', 'F'};
+constexpr char kMagicPerm[4] = {'B', 'I', 'X', 'P'};
 
 // All on-disk integers are little-endian; the library targets x86-64 /
 // little-endian hosts, so fixed-width loads are plain memcpy.
@@ -135,6 +136,61 @@ Status ReadBlobFile(const Env& env, const std::filesystem::path& path,
   Status s = env.ReadFileBytes(path, &bytes);
   if (!s.ok()) return s;
   return DecodeBlobFile(bytes, path.filename().string(), out);
+}
+
+std::vector<uint8_t> EncodeRowOrderPayload(std::span<const uint32_t> perm) {
+  std::vector<uint8_t> out;
+  out.reserve(20 + 4 * perm.size());
+  out.insert(out.end(), kMagicPerm, kMagicPerm + 4);
+  Put32(&out, kRowOrderVersion);
+  Put64(&out, perm.size());
+  for (uint32_t p : perm) Put32(&out, p);
+  Put32(&out, Crc32c(out.data(), out.size()));
+  return out;
+}
+
+Status DecodeRowOrderPayload(std::span<const uint8_t> payload,
+                             const std::string& name,
+                             std::vector<uint32_t>* perm) {
+  perm->clear();
+  if (payload.size() < 20) {
+    return Status::Corruption("row-order sidecar truncated: " + name);
+  }
+  if (std::memcmp(payload.data(), kMagicPerm, 4) != 0) {
+    return Status::Corruption("row-order sidecar bad magic: " + name);
+  }
+  const uint32_t version = Get32(payload.data() + 4);
+  if (version != kRowOrderVersion) {
+    return Status::Corruption("row-order sidecar version " +
+                              std::to_string(version) + " unsupported: " +
+                              name);
+  }
+  const uint64_t rows = Get64(payload.data() + 8);
+  if (rows > (payload.size() - 20) / 4 || payload.size() != 20 + 4 * rows) {
+    return Status::Corruption("row-order sidecar length mismatch (" +
+                              std::to_string(rows) + " rows, " +
+                              std::to_string(payload.size()) + " bytes): " +
+                              name);
+  }
+  const uint32_t want = Get32(payload.data() + payload.size() - 4);
+  if (Crc32c(payload.data(), payload.size() - 4) != want) {
+    recovery_internal::CountChecksumFailure();
+    return Status::Corruption("row-order sidecar checksum mismatch: " + name);
+  }
+  perm->reserve(rows);
+  std::vector<uint8_t> seen(rows, 0);
+  for (uint64_t i = 0; i < rows; ++i) {
+    const uint32_t p = Get32(payload.data() + 16 + 4 * i);
+    if (p >= rows || seen[p]) {
+      perm->clear();
+      return Status::Corruption(
+          "row-order sidecar entry " + std::to_string(i) +
+          (p >= rows ? " out of range: " : " duplicated: ") + name);
+    }
+    seen[p] = 1;
+    perm->push_back(p);
+  }
+  return Status::OK();
 }
 
 std::vector<uint8_t> EncodeManifest(const Manifest& manifest,
@@ -309,6 +365,21 @@ Status ScrubIndexDir(const Env& env, const std::filesystem::path& dir,
       } else {
         recovery_internal::CountChecksumFailure();
       }
+    } else if (name.ends_with(kRowOrderFile)) {
+      // The permutation sidecar gets a full decode on top of the file CRC:
+      // blob header, block CRCs, then the payload's own magic/length/CRC
+      // and the entries-form-a-permutation check.
+      CheckedBlob blob;
+      std::vector<uint32_t> perm;
+      Status ps = DecodeBlobFile(bytes, name, &blob);
+      if (ps.ok()) ps = DecodeRowOrderPayload(blob.payload, name, &perm);
+      if (!ps.ok()) {
+        check.state = FileCheck::State::kCorrupt;
+        check.detail = std::string(ps.message());
+      } else {
+        check.state = FileCheck::State::kOk;
+        check.detail = std::to_string(perm.size()) + "-row permutation";
+      }
     } else {
       check.state = FileCheck::State::kOk;
     }
@@ -324,7 +395,22 @@ Status ScrubIndexDir(const Env& env, const std::filesystem::path& dir,
     for (const std::string& name : names) {
       uint32_t gen = 0;
       bool is_tomb = false;
-      if (!ParseDeltaFileName(name, &gen, &is_tomb)) continue;
+      if (!ParseDeltaFileName(name, &gen, &is_tomb)) {
+        // Anything else in the directory that the manifest doesn't claim is
+        // an orphan — a leftover from an interrupted write or a file that
+        // doesn't belong here.  Report it instead of silently skipping it.
+        // (values.map is the tools-layer value dictionary; it intentionally
+        // lives outside the manifest.)
+        if (name != kManifestFile && name != "values.map" &&
+            manifest.find(name) == manifest.end()) {
+          FileCheck check;
+          check.name = name;
+          check.state = FileCheck::State::kUnverified;
+          check.detail = "not in manifest (orphan)";
+          report->files.push_back(std::move(check));
+        }
+        continue;
+      }
       FileCheck check;
       check.name = name;
       if (gen != generation) {

@@ -56,6 +56,14 @@ namespace bix::format {
 inline constexpr uint32_t kDefaultBlockSize = 4096;
 inline constexpr const char* kManifestFile = "index.manifest";
 
+/// Row-order sidecar: the sort permutation of a row-reordered index
+/// (perm[physical] = logical; see core/row_order.h).  Written only when the
+/// permutation is non-identity, so unsorted indexes stay byte-identical to
+/// what this code always wrote.  The payload below is wrapped in a V2 blob
+/// file like every other index file and listed in the manifest.
+inline constexpr const char* kRowOrderFile = "roworder.perm";
+inline constexpr uint32_t kRowOrderVersion = 1;
+
 /// A decoded blob file: the still-codec-compressed payload plus the
 /// recorded raw size.  `verified` is false for V1 files (no checksums).
 struct CheckedBlob {
@@ -78,6 +86,24 @@ Status DecodeBlobFile(std::span<const uint8_t> file_bytes,
 /// Reads and decodes `path` through `env` (one whole-file read).
 Status ReadBlobFile(const Env& env, const std::filesystem::path& path,
                     CheckedBlob* out);
+
+/// Serializes a row permutation into the sidecar payload:
+///   [ 0,  4)  magic "BIXP"
+///   [ 4,  8)  u32 version (kRowOrderVersion)
+///   [ 8, 16)  u64 rows
+///   [16, 16+4*rows)  u32 perm[i]
+///   last 4    u32 crc32c of everything above
+/// The inner CRC is defense in depth under the blob file's block CRCs: a
+/// decode from any byte source yields a typed error, never garbage rows.
+std::vector<uint8_t> EncodeRowOrderPayload(std::span<const uint32_t> perm);
+
+/// Parses + validates a row-order payload: magic, version, exact length,
+/// CRC, and that the entries form a permutation of [0, rows).  Every
+/// failure is Corruption naming `name`; truncated or bit-rotted input can
+/// never crash or return a partial permutation.
+Status DecodeRowOrderPayload(std::span<const uint8_t> payload,
+                             const std::string& name,
+                             std::vector<uint32_t>* perm);
 
 struct ManifestEntry {
   uint64_t size = 0;

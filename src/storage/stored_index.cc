@@ -440,9 +440,11 @@ Status StoredIndex::Write(const BitmapIndex& index,
                           const std::filesystem::path& dir,
                           StorageScheme scheme, const Codec& codec,
                           std::unique_ptr<StoredIndex>* out,
-                          const StoredIndexOptions& options) {
+                          const StoredIndexOptions& options,
+                          std::span<const uint32_t> row_order,
+                          RowOrder order_kind) {
   return WriteFromSource(index, dir, scheme, codec, out, options,
-                         /*generation=*/0);
+                         /*generation=*/0, row_order, order_kind);
 }
 
 Status StoredIndex::WriteFromSource(const BitmapSource& source,
@@ -450,7 +452,9 @@ Status StoredIndex::WriteFromSource(const BitmapSource& source,
                                     StorageScheme scheme, const Codec& codec,
                                     std::unique_ptr<StoredIndex>* out,
                                     const StoredIndexOptions& options,
-                                    uint32_t generation) {
+                                    uint32_t generation,
+                                    std::span<const uint32_t> row_order,
+                                    RowOrder order_kind) {
   const Env* env = options.env != nullptr ? options.env : Env::Default();
   std::error_code ec;
   std::filesystem::create_directories(dir, ec);
@@ -534,6 +538,21 @@ Status StoredIndex::WriteFromSource(const BitmapSource& source,
     if (!s.ok()) return s;
   }
 
+  // Row-order sidecar, only for a genuinely reordered build: an identity
+  // (or absent) permutation writes nothing, keeping unsorted directories
+  // byte-identical to pre-row-order output.
+  const bool sorted = !row_order.empty() && !IsIdentityPermutation(row_order);
+  if (sorted) {
+    BIX_CHECK_MSG(row_order.size() == source.num_records(),
+                  "row_order length != num_records");
+    BIX_CHECK_MSG(order_kind != RowOrder::kNone,
+                  "sorted write needs a row-order kind");
+    std::vector<uint8_t> raw = format::EncodeRowOrderPayload(row_order);
+    s = WriteBlobFile(*env, dir, prefix + format::kRowOrderFile, raw,
+                      raw.size(), &manifest);
+    if (!s.ok()) return s;
+  }
+
   // Metadata.
   {
     std::ostringstream meta;
@@ -547,6 +566,7 @@ Status StoredIndex::WriteFromSource(const BitmapSource& source,
     meta << "codec " << codec.name() << "\n";
     meta << "stored_bytes " << stored << "\n";
     meta << "uncompressed_bytes " << uncompressed << "\n";
+    if (sorted) meta << "roworder " << ToString(order_kind) << "\n";
     meta << "bases_lsb";
     for (uint32_t b : source.base().bases_lsb_first()) meta << " " << b;
     meta << "\n";
@@ -648,6 +668,13 @@ Status StoredIndex::LoadMeta(const std::filesystem::path& dir) {
       std::istringstream line(rest);
       uint32_t b;
       while (line >> b) bases.push_back(b);
+    } else if (key == "roworder") {
+      std::string order_name;
+      f >> order_name;
+      if (!ParseRowOrder(order_name, &row_order_kind_) ||
+          row_order_kind_ == RowOrder::kNone) {
+        return Status::Corruption("bad roworder kind: " + order_name);
+      }
     } else {
       return Status::Corruption("unknown metadata key: " + key);
     }
@@ -685,6 +712,32 @@ Status StoredIndex::LoadMeta(const std::filesystem::path& dir) {
       return Status::Corruption("non-null bitmap shorter than N bits");
     }
     non_null_ = Bitvector::FromBytes(blob.payload, num_records_);
+  }
+
+  // Row-order sidecar: the metadata's "roworder" key promises it exists —
+  // a declared-sorted index without its permutation must not serve
+  // physical positions as row ids, so every failure here is terminal.
+  row_order_.clear();
+  if (row_order_kind_ != RowOrder::kNone) {
+    const std::string name = prefix_ + format::kRowOrderFile;
+    std::vector<uint8_t> bytes;
+    Status ro = ReadCheckedFile(name, &bytes);
+    if (!ro.ok()) {
+      if (!env_->FileExists(dir / name)) {
+        return Status::Corruption("row-order sidecar missing: " + name);
+      }
+      return ro;
+    }
+    format::CheckedBlob blob;
+    ro = format::DecodeBlobFile(bytes, name, &blob);
+    if (!ro.ok()) return ro;
+    ro = format::DecodeRowOrderPayload(blob.payload, name, &row_order_);
+    if (!ro.ok()) return ro;
+    if (row_order_.size() != num_records_) {
+      return Status::Corruption(
+          "row-order sidecar has " + std::to_string(row_order_.size()) +
+          " rows, index has " + std::to_string(num_records_));
+    }
   }
 
   slot_offsets_.clear();
@@ -731,6 +784,9 @@ Bitvector StoredIndex::Evaluate(EvalAlgorithm algorithm, CompareOp op,
     result = exec != nullptr
                  ? EvaluatePredicate(*source, algorithm, op, v, *exec, s)
                  : EvaluatePredicate(*source, algorithm, op, v, s);
+    // Sorted index: the bitmaps answered in physical (build) order; hand
+    // the caller original row ids.
+    if (!row_order_.empty()) result = RemapToLogical(result, row_order_);
   }
   if (source->degraded()) recovery_internal::CountDegradedQuery();
 

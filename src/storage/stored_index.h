@@ -31,6 +31,7 @@
 #include <cstdint>
 #include <filesystem>
 #include <memory>
+#include <span>
 #include <string_view>
 #include <vector>
 
@@ -42,6 +43,7 @@
 #include "core/eval.h"
 #include "core/eval_stats.h"
 #include "core/predicate.h"
+#include "core/row_order.h"
 #include "core/status.h"
 #include "storage/env.h"
 #include "storage/format.h"
@@ -102,10 +104,20 @@ class StoredIndex {
   /// manifest is removed first and a fresh one is written *last*
   /// (atomically), so a crash mid-write can never leave a directory that
   /// opens as a verified index with mixed contents.
+  ///
+  /// When the index was built over row-reordered input (core/row_order.h),
+  /// pass the sort permutation (`row_order[physical] = logical`, length ==
+  /// num_records) and its kind: the permutation is stored as a checksummed
+  /// sidecar (format::kRowOrderFile) listed in the manifest, and Evaluate()
+  /// remaps every foundset back to original row ids.  An empty or identity
+  /// permutation writes no sidecar and no extra metadata, so unsorted
+  /// output stays byte-identical to what this code always wrote.
   static Status Write(const BitmapIndex& index,
                       const std::filesystem::path& dir, StorageScheme scheme,
                       const Codec& codec, std::unique_ptr<StoredIndex>* out,
-                      const StoredIndexOptions& options = {});
+                      const StoredIndexOptions& options = {},
+                      std::span<const uint32_t> row_order = {},
+                      RowOrder order_kind = RowOrder::kNone);
 
   /// Generalization of Write over any BitmapSource, materializing under
   /// `generation`-tagged file names ("g<N>_" prefix; generation 0 uses the
@@ -121,7 +133,9 @@ class StoredIndex {
                                 StorageScheme scheme, const Codec& codec,
                                 std::unique_ptr<StoredIndex>* out,
                                 const StoredIndexOptions& options,
-                                uint32_t generation);
+                                uint32_t generation,
+                                std::span<const uint32_t> row_order = {},
+                                RowOrder order_kind = RowOrder::kNone);
 
   /// Opens an index previously materialized with Write.
   static Status Open(const std::filesystem::path& dir,
@@ -138,6 +152,15 @@ class StoredIndex {
   const Codec& codec() const { return *codec_; }
   size_t num_records() const { return num_records_; }
   uint32_t cardinality() const { return cardinality_; }
+
+  /// The sort permutation the index was built under (perm[physical] =
+  /// logical; see core/row_order.h), empty for an unsorted index.  The
+  /// stored bitmaps — and everything fetched through OpenQuerySource /
+  /// FetchBitmapOperand — live in this physical order; Evaluate() already
+  /// remaps its foundset, but callers consuming raw fetches must remap
+  /// through this permutation themselves.
+  const std::vector<uint32_t>& row_order() const { return row_order_; }
+  RowOrder row_order_kind() const { return row_order_kind_; }
 
   /// Compaction generation this directory is at (0 = as first built).
   /// Serves as the operand-cache epoch: serve-layer cache keys carry it,
@@ -169,6 +192,10 @@ class StoredIndex {
   /// per the open options before surfacing; a checksum failure on a BS
   /// equality bitmap (base > 2) is healed by reconstructing the slice from
   /// its siblings, counting the query as degraded.
+  ///
+  /// For a row-reordered index the returned foundset is already remapped to
+  /// logical (original) row ids — bit-identical to an unsorted build of the
+  /// same column.  The remap adds no scans, ops, or bytes to `stats`.
   ///
   /// With non-null `exec`, the bitwise combining runs on the engine
   /// `exec->engine` selects: the segmented dense engine
@@ -252,6 +279,9 @@ class StoredIndex {
   int64_t stored_bytes_ = 0;
   int64_t uncompressed_bytes_ = 0;
   bool verified_ = false;
+  // Sort permutation from the roworder.perm sidecar; empty when unsorted.
+  std::vector<uint32_t> row_order_;
+  RowOrder row_order_kind_ = RowOrder::kNone;
   format::Manifest manifest_;
   // Stored-slot offset of each component within an IS row.
   std::vector<uint32_t> slot_offsets_;

@@ -23,6 +23,7 @@
 #include "core/bitmap_index.h"
 #include "core/compressed_source.h"
 #include "core/eval.h"
+#include "core/row_order.h"
 #include "exec/segmented_eval.h"
 #include "workload/generators.h"
 
@@ -37,6 +38,7 @@ struct Design {
   size_t rows = 100;
   int null_period = 11;             // every k-th row is NULL (0 = none)
   int hot_percent = 0;              // % of rows pinned to value 0 (density)
+  RowOrder sort = RowOrder::kNone;  // row-reordering preprocessing pass
 
   std::string ToString() const {
     std::ostringstream os;
@@ -47,7 +49,7 @@ struct Design {
     os << "] C=" << cardinality
        << " enc=" << (encoding == Encoding::kRange ? "range" : "equality")
        << " rows=" << rows << " null_period=" << null_period
-       << " hot_percent=" << hot_percent;
+       << " hot_percent=" << hot_percent << " sort=" << bix::ToString(sort);
     return os.str();
   }
 };
@@ -81,8 +83,16 @@ struct Mismatch {
 bool SweepFails(const Design& d, Mismatch* out) {
   std::vector<uint32_t> values = GenerateData(d);
   BaseSequence base = BaseSequence::FromLsbFirst(d.bases);
-  BitmapIndex index =
-      BitmapIndex::Build(values, d.cardinality, base, d.encoding);
+  // The sorted axis: build over the permuted rows, evaluate in physical
+  // space, and remap every foundset back to logical ids before comparing
+  // against the (logical-space) scan oracle.
+  std::vector<uint32_t> perm;
+  if (d.sort != RowOrder::kNone) {
+    perm = ComputeRowOrder(values, d.cardinality, base, d.sort);
+  }
+  BitmapIndex index = BitmapIndex::Build(
+      perm.empty() ? values : ApplyPermutation(values, perm), d.cardinality,
+      base, d.encoding);
   WahCompressedSource compressed(index);
   const BitmapSource* sources[] = {&index, &compressed};
   const char* source_names[] = {"BitmapIndex", "WahCompressedSource"};
@@ -106,6 +116,7 @@ bool SweepFails(const Design& d, Mismatch* out) {
           EvalStats plain_stats;
           Bitvector plain =
               EvaluatePredicate(*sources[s], alg, op, v, &plain_stats);
+          if (!perm.empty()) plain = RemapToLogical(plain, perm);
 
           struct Variant {
             const char* name;
@@ -131,6 +142,7 @@ bool SweepFails(const Design& d, Mismatch* out) {
             EvalStats stats;
             Bitvector got = EvaluatePredicate(*sources[s], alg, op, v,
                                               *variant.options, &stats);
+            if (!perm.empty()) got = RemapToLogical(got, perm);
             if (!(got == expected)) {
               report(variant.name, "foundset diverges from scan oracle");
               return true;
@@ -203,6 +215,8 @@ Design RandomDesign(std::mt19937_64& rng) {
   // nearly all rows) through uniformly dense ones.
   const int densities[] = {0, 25, 60, 90, 98};
   d.hot_percent = densities[rng() % 5];
+  const RowOrder orders[] = {RowOrder::kNone, RowOrder::kLex, RowOrder::kGray};
+  d.sort = orders[rng() % 3];
   return d;
 }
 
@@ -229,16 +243,20 @@ TEST(EngineDifferentialTest, EdgeDesigns) {
   std::mt19937_64 rng(7);
   for (size_t rows : kBoundaryRows) {
     for (Encoding enc : {Encoding::kRange, Encoding::kEquality}) {
-      Design d;
-      d.seed = rng();
-      d.bases = {2, 2, 2};
-      d.cardinality = 8;
-      d.encoding = enc;
-      d.rows = rows;
-      d.null_period = 7;
-      d.hot_percent = 50;
-      Mismatch m;
-      EXPECT_FALSE(SweepFails(d, &m)) << m.detail;
+      for (RowOrder sort :
+           {RowOrder::kNone, RowOrder::kLex, RowOrder::kGray}) {
+        Design d;
+        d.seed = rng();
+        d.bases = {2, 2, 2};
+        d.cardinality = 8;
+        d.encoding = enc;
+        d.rows = rows;
+        d.null_period = 7;
+        d.hot_percent = 50;
+        d.sort = sort;
+        Mismatch m;
+        EXPECT_FALSE(SweepFails(d, &m)) << m.detail;
+      }
     }
   }
   Design all_null;
@@ -251,6 +269,50 @@ TEST(EngineDifferentialTest, EdgeDesigns) {
     all_null.encoding = enc;
     Mismatch m;
     EXPECT_FALSE(SweepFails(all_null, &m)) << m.detail;
+  }
+}
+
+// A sorted index is the same logical index in a different physical layout:
+// on the dense in-memory source the plain engine's scan/op counts depend
+// only on the design (the algorithms follow the published pseudocode
+// literally), so sorted and unsorted builds must report IDENTICAL EvalStats
+// — and bit-identical foundsets once the sorted result is remapped.
+TEST(EngineDifferentialTest, SortedIndexStatsMatchUnsorted) {
+  std::mt19937_64 rng(20260807);
+  for (int trial = 0; trial < 8; ++trial) {
+    Design d = RandomDesign(rng);
+    d.sort = RowOrder::kNone;
+    std::vector<uint32_t> values = GenerateData(d);
+    BaseSequence base = BaseSequence::FromLsbFirst(d.bases);
+    BitmapIndex unsorted =
+        BitmapIndex::Build(values, d.cardinality, base, d.encoding);
+    EvalAlgorithm alg = d.encoding == Encoding::kRange
+                            ? EvalAlgorithm::kRangeEvalOpt
+                            : EvalAlgorithm::kEqualityEval;
+    for (RowOrder sort : {RowOrder::kLex, RowOrder::kGray}) {
+      std::vector<uint32_t> perm =
+          ComputeRowOrder(values, d.cardinality, base, sort);
+      BitmapIndex sorted = BitmapIndex::Build(
+          ApplyPermutation(values, perm), d.cardinality, base, d.encoding);
+      for (CompareOp op : kAllCompareOps) {
+        for (int64_t v = -1; v <= static_cast<int64_t>(d.cardinality); ++v) {
+          EvalStats unsorted_stats;
+          Bitvector want =
+              EvaluatePredicate(unsorted, alg, op, v, &unsorted_stats);
+          EvalStats sorted_stats;
+          Bitvector got = EvaluatePredicate(sorted, alg, op, v, &sorted_stats);
+          got = RemapToLogical(got, perm);
+          ASSERT_TRUE(got == want)
+              << "sorted foundset diverges after remap: op="
+              << std::string(ToString(op)) << " v=" << v << " sort="
+              << bix::ToString(sort) << " | " << d.ToString();
+          ASSERT_TRUE(sorted_stats == unsorted_stats)
+              << "sorted EvalStats diverge from unsorted: op="
+              << std::string(ToString(op)) << " v=" << v << " sort="
+              << bix::ToString(sort) << " | " << d.ToString();
+        }
+      }
+    }
   }
 }
 

@@ -4,12 +4,13 @@
 //   bixctl build  --csv data.csv --col 0 --dir ./idx
 //                 [--base "28,36"] [--budget M] [--encoding range|equality]
 //                 [--scheme bs|cs|is] [--codec none|lz77|rle|huffman|deflate]
+//                 [--sort none|lex|gray]
 //   bixctl info   --dir ./idx
 //   bixctl query  --dir ./idx --pred "<= 24" [--limit 10]
 //   bixctl explain --dir ./idx --pred "<= 24" [--analyze] [--flame-out F]
 //   bixctl append --dir ./idx --values "24,36,null"
 //   bixctl delete --dir ./idx (--rows "0,5,7" | --pred "<= 24")
-//   bixctl compact --dir ./idx
+//   bixctl compact --dir ./idx [--resort [lex|gray]]
 //   bixctl verify --dir ./idx
 //   bixctl scrub  --dir ./idx --inject SEED
 //   bixctl advise --cardinality 1000 [--budget 100]
@@ -50,6 +51,7 @@
 #include "core/bitmap_index.h"
 #include "core/cost_model.h"
 #include "core/eval_stats.h"
+#include "core/row_order.h"
 #include "obs/audit.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
@@ -95,7 +97,7 @@ class Flags {
         values_[key.substr(2)] = argv[i + 1];
         i += 2;
       } else if (key == "--stats" || key == "--analyze" || key == "--force" ||
-                 key == "--no-share") {
+                 key == "--no-share" || key == "--resort") {
         values_[key.substr(2)] = "1";
         i += 1;
       } else {
@@ -174,6 +176,7 @@ int Usage() {
                "[--budget M]\n"
                "                 [--encoding range|equality] [--scheme "
                "bs|cs|is] [--codec NAME]\n"
+               "                 [--sort none|lex|gray]\n"
                "  bixctl info    --dir D\n"
                "  bixctl query   --dir D --pred \"<= 24\" [--limit K] "
                "[--stats]\n"
@@ -187,7 +190,7 @@ int Usage() {
                "  bixctl append  --dir D --values \"24,36,null,..\"\n"
                "  bixctl delete  --dir D (--rows \"0,5,..\" | --pred "
                "\"<= 24\")\n"
-               "  bixctl compact --dir D\n"
+               "  bixctl compact --dir D [--resort [lex|gray]]\n"
                "  bixctl verify  --dir D\n"
                "  bixctl scrub   --dir D --inject SEED\n"
                "  bixctl advise  --cardinality C [--budget M]\n"
@@ -310,14 +313,30 @@ int CmdBuild(const Flags& flags) {
   const Codec* codec = CodecByName(flags.GetOr("codec", "none"));
   if (codec == nullptr) return Fail("unknown --codec");
 
-  BitmapIndex index =
-      BitmapIndex::Build(ranks, map.cardinality(), base, encoding);
+  RowOrder sort = RowOrder::kNone;
+  if (auto sort_flag = flags.Get("sort")) {
+    if (!ParseRowOrder(*sort_flag, &sort)) {
+      return Fail("--sort must be none, lex, or gray");
+    }
+  }
+  std::vector<uint32_t> perm;
+  if (sort != RowOrder::kNone) {
+    perm = ComputeRowOrder(ranks, map.cardinality(), base, sort);
+  }
+  BitmapIndex index = BitmapIndex::Build(
+      perm.empty() ? ranks : ApplyPermutation(ranks, perm), map.cardinality(),
+      base, encoding);
   std::unique_ptr<StoredIndex> stored;
-  s = StoredIndex::Write(index, *dir, scheme, *codec, &stored);
+  s = StoredIndex::Write(index, *dir, scheme, *codec, &stored, {}, perm, sort);
   if (!s.ok()) return Fail(s.ToString());
   s = WriteValueMap(*dir, map);
   if (!s.ok()) return Fail(s.ToString());
 
+  if (sort != RowOrder::kNone) {
+    std::printf("rows %s-sorted before build (queries still return original "
+                "row ids)\n",
+                std::string(ToString(sort)).c_str());
+  }
   std::printf("built %s index %s over %zu rows (C=%u%s), scheme %s, codec "
               "%s\n  %lld bitmaps, %lld bytes on disk (%.1f%% of raw), "
               "expected %.2f scans/query\n",
@@ -360,6 +379,14 @@ int CmdInfo(const Flags& flags) {
   std::printf("scheme/codec:  %s / %s\n",
               std::string(ToString(stored->scheme())).c_str(),
               std::string(stored->codec().name()).c_str());
+  if (stored->row_order_kind() != RowOrder::kNone) {
+    std::printf("row order:     %s-sorted (%zu-row permutation sidecar; "
+                "results remapped to original ids)\n",
+                std::string(ToString(stored->row_order_kind())).c_str(),
+                stored->row_order().size());
+  } else {
+    std::printf("row order:     insertion (unsorted)\n");
+  }
   std::printf("integrity:     %s\n",
               stored->verified() ? "verified (v2 manifest + CRC32C)"
                                  : "unverified (legacy v1 files)");
@@ -618,14 +645,17 @@ int CmdScrub(const Flags& flags) {
   if (!s.ok()) return Fail(s.ToString());
   std::vector<std::string> targets;
   for (const std::string& name : names) {
-    // Bitmap blobs and the tombstone sidecar: both are V2 blobs whose
-    // corruption must always be detected.  The append log is excluded —
-    // damage to its unsynced tail is *recoverable* by design, so "was it
-    // detected" is the wrong question for it (scrub still reports its
-    // state via verify's ScrubIndexDir pass).
+    // Bitmap blobs, the tombstone sidecar, and the row-order permutation
+    // sidecar: all are V2 blobs whose corruption must always be detected.
+    // The append log is excluded — damage to its unsynced tail is
+    // *recoverable* by design, so "was it detected" is the wrong question
+    // for it (scrub still reports its state via verify's ScrubIndexDir
+    // pass).
     if ((name.size() > 3 && name.compare(name.size() - 3, 3, ".bm") == 0) ||
         (name.size() > 5 &&
-         name.compare(name.size() - 5, 5, ".tomb") == 0)) {
+         name.compare(name.size() - 5, 5, ".tomb") == 0) ||
+        (name.size() > 5 &&
+         name.compare(name.size() - 5, 5, ".perm") == 0)) {
       targets.push_back(name);
     }
   }
@@ -789,26 +819,39 @@ int CmdDelete(const Flags& flags) {
 
 // Folds the append log and tombstones into fresh generation-(G+1) blobs.
 // The manifest rename is the commit point: a crash anywhere leaves the
-// directory opening as exactly the old or the new generation.
+// directory opening as exactly the old or the new generation.  With
+// --resort (bare, or --resort lex|gray) the rewrite also re-sorts the
+// surviving rows for compression, defaulting to the base index's existing
+// order kind (lex for a previously unsorted index).
 int CmdCompact(const Flags& flags) {
   auto dir = flags.Get("dir");
   if (!dir) return Usage();
+  bool resort = false;
+  RowOrder resort_order = RowOrder::kNone;
+  if (auto resort_flag = flags.Get("resort")) {
+    resort = true;
+    if (*resort_flag != "1" &&
+        (!ParseRowOrder(*resort_flag, &resort_order) ||
+         resort_order == RowOrder::kNone)) {
+      return Fail("--resort takes no value, lex, or gray");
+    }
+  }
   std::unique_ptr<MutableStoredIndex> index;
   Status s = MutableStoredIndex::Open(*dir, &index);
   if (!s.ok()) return Fail(s.ToString());
-  if (!index->has_pending()) {
+  if (!index->has_pending() && !resort) {
     std::printf("nothing pending; index stays at generation %u\n",
                 index->generation());
     return 0;
   }
   const size_t delta_rows = index->num_delta_rows();
   const size_t tombstones = index->num_tombstones();
-  s = index->Compact();
+  s = index->Compact(resort, resort_order);
   if (!s.ok()) return Fail(s.ToString());
   std::printf("compacted %zu appended + %zu deleted row(s) into generation "
-              "%u (%zu records)\n",
+              "%u (%zu records%s)\n",
               delta_rows, tombstones, index->generation(),
-              index->num_records());
+              index->num_records(), resort ? ", re-sorted" : "");
   return 0;
 }
 
